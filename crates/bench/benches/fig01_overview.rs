@@ -1,0 +1,87 @@
+//! Figure 1: the paper's overview figure.
+//!
+//! Top tables: percentage of local/remote leaf PTEs per socket for a
+//! multi-socket workload (Canneal) and for a single-socket workload after
+//! migration (GUPS).  Bottom graphs: normalized runtime without and with
+//! Mitosis for both scenarios (1.34x and 3.24x improvements in the paper).
+
+use mitosis_bench::{harness_params, print_header, print_remote_leaf_fractions, print_speedup};
+use mitosis_sim::{
+    format_normalized_table, MigrationConfig, MigrationRun, MultiSocketConfig,
+    MultiSocketScenario, WorkloadMigrationScenario,
+};
+use mitosis_workloads::suite;
+
+fn main() {
+    let params = harness_params();
+    print_header(
+        "Figure 1",
+        "page-table locality and Mitosis speedups for the two scenarios",
+    );
+
+    // --- Multi-socket scenario: Canneal, first-touch ---------------------
+    println!("\n[top left] % remote leaf PTEs per socket, Canneal (first-touch):");
+    let canneal = suite::canneal();
+    let base = MultiSocketScenario::run(&canneal, MultiSocketConfig::first_touch(), &params)
+        .expect("multi-socket baseline run");
+    print_remote_leaf_fractions(&base);
+
+    let with_mitosis = MultiSocketScenario::run(
+        &canneal,
+        MultiSocketConfig::first_touch().with_mitosis(),
+        &params,
+    )
+    .expect("multi-socket Mitosis run");
+
+    println!("\n[bottom left] Canneal normalized runtime (first-touch):");
+    let rows = format_normalized_table(
+        &[base.clone(), with_mitosis.clone()],
+        &base.label,
+    );
+    for row in &rows {
+        println!("  {:<24} {:>7.3}", row.label, row.normalized_runtime);
+    }
+    print_speedup(
+        "Canneal (multi-socket)",
+        base.metrics.total_cycles,
+        with_mitosis.metrics.total_cycles,
+    );
+
+    // --- Workload-migration scenario: GUPS -------------------------------
+    println!("\n[top right] % remote leaf PTEs per socket, GUPS after migration (RPI-LD):");
+    let gups = suite::gups();
+    let local = WorkloadMigrationScenario::run(
+        &gups,
+        MigrationRun::new(MigrationConfig::LpLd),
+        &params,
+    )
+    .expect("GUPS local run");
+    let remote = WorkloadMigrationScenario::run(
+        &gups,
+        MigrationRun::new(MigrationConfig::RpiLd),
+        &params,
+    )
+    .expect("GUPS remote-PT run");
+    let repaired = WorkloadMigrationScenario::run(
+        &gups,
+        MigrationRun::new(MigrationConfig::RpiLd).with_mitosis(),
+        &params,
+    )
+    .expect("GUPS Mitosis run");
+    print_remote_leaf_fractions(&remote);
+
+    println!("\n[bottom right] GUPS normalized runtime (workload migration):");
+    let rows = format_normalized_table(
+        &[local.clone(), remote.clone(), repaired.clone()],
+        &local.label,
+    );
+    for row in &rows {
+        println!("  {:<24} {:>7.3}", row.label, row.normalized_runtime);
+    }
+    print_speedup(
+        "GUPS (migration)",
+        remote.metrics.total_cycles,
+        repaired.metrics.total_cycles,
+    );
+    println!("\npaper reference: Canneal 1.34x, GUPS 3.24x");
+}

@@ -1,0 +1,26 @@
+//! Figure 4: percentage of remote leaf PTEs as observed from each socket for
+//! the six multi-socket workloads (first-touch, 4 KiB pages).
+
+use mitosis_bench::{harness_params, print_header, print_remote_leaf_fractions};
+use mitosis_sim::{MultiSocketConfig, MultiSocketScenario};
+use mitosis_workloads::suite;
+
+fn main() {
+    let params = harness_params();
+    print_header(
+        "Figure 4",
+        "% remote leaf PTEs per observing socket, multi-socket workloads",
+    );
+    println!();
+
+    for spec in suite::multi_socket_suite() {
+        let result =
+            MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &params)
+                .unwrap_or_else(|err| panic!("{} failed: {err}", spec.name()));
+        print_remote_leaf_fractions(&result);
+    }
+    println!(
+        "\npaper reference: most sockets observe 60-99% remote leaf PTEs; \
+         single-thread-initialised workloads (Graph500) are skewed towards one socket"
+    );
+}

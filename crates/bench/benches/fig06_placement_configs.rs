@@ -1,0 +1,38 @@
+//! Figure 6: normalized runtime of the eight workload-migration workloads
+//! under all seven placement configurations of Table 2 (4 KiB pages).
+//!
+//! The baseline is `LP-LD` (page tables and data local, idle system); the
+//! other configurations place page tables and/or data remotely, optionally
+//! with an interfering memory hog on the remote socket.
+
+use mitosis_bench::{harness_params, print_header, print_normalized};
+use mitosis_sim::{
+    format_normalized_table, MigrationConfig, MigrationRun, WorkloadMigrationScenario,
+};
+use mitosis_workloads::suite;
+
+fn main() {
+    let params = harness_params();
+    print_header(
+        "Figure 6 (and Table 2)",
+        "workload-migration placement study, 4 KiB pages, normalized to LP-LD",
+    );
+    println!("\nTable 2 configurations: {:?}", MigrationConfig::all().map(|c| c.label()));
+
+    for spec in suite::migration_suite() {
+        let results: Vec<_> = MigrationConfig::all()
+            .into_iter()
+            .map(|config| {
+                WorkloadMigrationScenario::run(&spec, MigrationRun::new(config), &params)
+                    .unwrap_or_else(|err| panic!("{} {config} failed: {err}", spec.name()))
+            })
+            .collect();
+        let baseline_label = results[0].label.clone();
+        let rows = format_normalized_table(&results, &baseline_label);
+        print_normalized(spec.name(), &rows);
+    }
+    println!(
+        "\npaper reference: LP-RD ≈ 3x, RP-LD/RPI-LD ≈ 3.3x, RP-RD/RPI-RDI ≈ 3.6x slowdown, \
+         with up to 90% of cycles in page walks for the walk-heaviest workloads"
+    );
+}

@@ -1,0 +1,178 @@
+//! Micro-benchmarks (ablation) of the core mechanisms: TLB hits, local vs.
+//! remote page walks, native vs. replicated PTE updates and whole-tree
+//! replication.
+//!
+//! These are not paper figures; they quantify the design choices called out
+//! in DESIGN.md (2N-reference eager updates, replica-ring lookups, walk cost
+//! asymmetry) and guard against performance regressions in the simulator
+//! itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mitosis::{replicate_tree, MitosisPvOps};
+use mitosis_mem::FrameKind;
+use mitosis_mmu::{Mmu, PteCacheSet};
+use mitosis_numa::{CoreId, MachineConfig, NodeMask, SocketId};
+use mitosis_pt::{
+    Mapper, NativePvOps, PageSize, PtEnv, Pte, PteFlags, PvOps, ReplicationSpec, VirtAddr,
+};
+use std::time::Duration;
+
+/// Builds a native page table with `pages` 4 KiB mappings on socket 0.
+fn build_tree(pages: u64) -> (PtEnv, mitosis_pt::PtRoots, Vec<VirtAddr>) {
+    let machine = MachineConfig::paper_testbed_scaled().build();
+    let mut env = PtEnv::new(&machine);
+    let mut ops = NativePvOps::new();
+    let mut ctx = env.context();
+    let roots = Mapper::create_roots(&mut ops, &mut ctx, SocketId::new(0), ReplicationSpec::none())
+        .expect("roots");
+    let mapper = Mapper::new(&roots);
+    let mut addrs = Vec::new();
+    for i in 0..pages {
+        let addr = VirtAddr::new(0x10_0000_0000 + i * 4096);
+        let data = ctx.alloc.alloc_on(SocketId::new(0)).expect("data frame");
+        ctx.frames.insert(data, FrameKind::Data);
+        mapper
+            .map(
+                &mut ops,
+                &mut ctx,
+                addr,
+                data,
+                PageSize::Base4K,
+                PteFlags::user_data(),
+                SocketId::new(0),
+                ReplicationSpec::none(),
+            )
+            .expect("map");
+        addrs.push(addr);
+    }
+    drop(ctx);
+    (env, roots, addrs)
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/translation");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let machine = MachineConfig::paper_testbed_scaled().build();
+    let cost = machine.cost_model().clone();
+    let (mut env, roots, addrs) = build_tree(4096);
+
+    group.bench_function("tlb_hit", |b| {
+        let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(0));
+        let mut caches = PteCacheSet::for_machine(&machine);
+        // Warm the TLB with one address.
+        let addr = addrs[0];
+        mmu.access(
+            addr,
+            false,
+            roots.base(),
+            &mut env.store,
+            &env.frames,
+            &cost,
+            caches.socket(SocketId::new(0)),
+        );
+        b.iter(|| {
+            mmu.access(
+                addr,
+                false,
+                roots.base(),
+                &mut env.store,
+                &env.frames,
+                &cost,
+                caches.socket(SocketId::new(0)),
+            )
+        });
+    });
+
+    for (label, socket) in [("walk_local_socket", 0u16), ("walk_remote_socket", 1u16)] {
+        group.bench_function(label, |b| {
+            let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(socket));
+            let mut caches = PteCacheSet::with_capacity(machine.sockets(), 4);
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % addrs.len();
+                mmu.access(
+                    addrs[i],
+                    false,
+                    roots.base(),
+                    &mut env.store,
+                    &env.frames,
+                    &cost,
+                    caches.socket(SocketId::new(socket)),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pte_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/set_pte");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let machine = MachineConfig::paper_testbed().build();
+
+    group.bench_function("native", |b| {
+        let mut env = PtEnv::new(&machine);
+        let mut ops = NativePvOps::new();
+        let mut ctx = env.context();
+        let table = ops
+            .alloc_table(&mut ctx, mitosis_pt::Level::L1, SocketId::new(0), &ReplicationSpec::none())
+            .expect("table");
+        let data = ctx.alloc.alloc_on(SocketId::new(0)).expect("frame");
+        let pte = Pte::new(data, PteFlags::user_data());
+        let mut index = 0usize;
+        b.iter(|| {
+            index = (index + 1) % 512;
+            ops.set_pte(&mut ctx, table, index, pte);
+        });
+    });
+
+    group.bench_function("mitosis_4way", |b| {
+        let mut env = PtEnv::new(&machine);
+        let mut ops = MitosisPvOps::new();
+        let repl = ReplicationSpec::all_sockets(4);
+        let mut ctx = env.context();
+        let table = ops
+            .alloc_table(&mut ctx, mitosis_pt::Level::L1, SocketId::new(0), &repl)
+            .expect("table");
+        let data = ctx.alloc.alloc_on(SocketId::new(0)).expect("frame");
+        let pte = Pte::new(data, PteFlags::user_data());
+        let mut index = 0usize;
+        b.iter(|| {
+            index = (index + 1) % 512;
+            ops.set_pte(&mut ctx, table, index, pte);
+        });
+    });
+    group.finish();
+}
+
+fn bench_tree_replication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/replicate_tree");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("4096_pages_to_4_sockets", |b| {
+        b.iter_batched(
+            || build_tree(4096),
+            |(mut env, roots, _)| {
+                let mut ctx = env.context();
+                replicate_tree(&mut ctx, &roots, NodeMask::all(4)).expect("replicate");
+                env
+            },
+            BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(micro, bench_walks, bench_pte_updates, bench_tree_replication);
+criterion_main!(micro);

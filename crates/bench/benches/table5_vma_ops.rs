@@ -1,0 +1,105 @@
+//! Table 5: runtime overhead of virtual-memory operations (`mmap`,
+//! `mprotect`, `munmap`) with 4-way page-table replication, relative to no
+//! replication.
+//!
+//! The paper measures the syscall cycles on 4 KiB, 8 MiB and 4 GiB regions;
+//! the simulator measures the wall-clock time of the equivalent operations,
+//! whose dominant cost is likewise the number of page-table entry writes
+//! (4x with 4-way replication).  The largest region is scaled to 256 MiB to
+//! keep Criterion iteration times reasonable.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mitosis::Mitosis;
+use mitosis_numa::{MachineConfig, SocketId};
+use mitosis_vmm::{MmapFlags, Pid, Protection, System};
+use std::time::Duration;
+
+const REGION_SIZES: [(&str, u64); 3] = [
+    ("4KiB", 4096),
+    ("8MiB", 8 * 1024 * 1024),
+    ("256MiB", 256 * 1024 * 1024),
+];
+
+/// Builds a system with or without 4-way replication enabled for a fresh
+/// process, returning the system and pid.
+fn build(replicated: bool) -> (System, Pid) {
+    let machine = MachineConfig::paper_testbed_scaled().build();
+    let mut mitosis = Mitosis::new();
+    let mut system = if replicated {
+        mitosis.install(machine)
+    } else {
+        System::new(machine)
+    };
+    let pid = system.create_process(SocketId::new(0)).expect("process");
+    if replicated {
+        mitosis
+            .enable_for_process(&mut system, pid, None)
+            .expect("enable replication");
+    }
+    (system, pid)
+}
+
+fn bench_vma_ops(c: &mut Criterion) {
+    for (size_label, size) in REGION_SIZES {
+        let mut group = c.benchmark_group(format!("table5/{size_label}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_secs(1));
+
+        for (mode, replicated) in [("native", false), ("mitosis-4way", true)] {
+            group.bench_function(format!("mmap_populate/{mode}"), |b| {
+                b.iter_batched(
+                    || build(replicated),
+                    |(mut system, pid)| {
+                        let addr = system
+                            .mmap(pid, size, MmapFlags::populate().without_thp())
+                            .expect("mmap");
+                        (system, addr)
+                    },
+                    BatchSize::PerIteration,
+                );
+            });
+
+            group.bench_function(format!("mprotect/{mode}"), |b| {
+                b.iter_batched(
+                    || {
+                        let (mut system, pid) = build(replicated);
+                        let addr = system
+                            .mmap(pid, size, MmapFlags::populate().without_thp())
+                            .expect("mmap");
+                        (system, pid, addr)
+                    },
+                    |(mut system, pid, addr)| {
+                        system
+                            .mprotect(pid, addr, size, Protection::ReadOnly)
+                            .expect("mprotect");
+                        system
+                    },
+                    BatchSize::PerIteration,
+                );
+            });
+
+            group.bench_function(format!("munmap/{mode}"), |b| {
+                b.iter_batched(
+                    || {
+                        let (mut system, pid) = build(replicated);
+                        let addr = system
+                            .mmap(pid, size, MmapFlags::populate().without_thp())
+                            .expect("mmap");
+                        (system, pid, addr)
+                    },
+                    |(mut system, pid, addr)| {
+                        system.munmap(pid, addr, size).expect("munmap");
+                        system
+                    },
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(table5, bench_vma_ops);
+criterion_main!(table5);

@@ -1,0 +1,157 @@
+//! Analytic memory-overhead model (paper §8.3.1, Table 4).
+//!
+//! The paper estimates the memory cost of keeping `N` page-table replicas for
+//! an application with a given memory footprint, assuming 4-level x86-64
+//! paging over a compact address space.  This module reproduces that model so
+//! the Table 4 harness can regenerate the numbers exactly.
+
+use mitosis_numa::{GIB, KIB, MIB, TIB};
+
+const PAGE_TABLE_PAGE_BYTES: u64 = 4096;
+/// Bytes of virtual address space covered by one page of each level's tables.
+const L1_COVERAGE: u64 = 2 * MIB; // 512 x 4 KiB
+const L2_COVERAGE: u64 = 1 * GIB; // 512 x 2 MiB
+const L3_COVERAGE: u64 = 512 * GIB; // 512 x 1 GiB
+
+/// Size in bytes of the 4-level page table needed to map a compact address
+/// space of `footprint` bytes with 4 KiB pages.
+///
+/// Each level has at least one page allocated, matching the paper's "hard
+/// minimum of at least 16 KiB of page-tables".
+pub fn page_table_bytes(footprint: u64) -> u64 {
+    let l1 = footprint.div_ceil(L1_COVERAGE).max(1);
+    let l2 = footprint.div_ceil(L2_COVERAGE).max(1);
+    let l3 = footprint.div_ceil(L3_COVERAGE).max(1);
+    let l4 = 1;
+    (l1 + l2 + l3 + l4) * PAGE_TABLE_PAGE_BYTES
+}
+
+/// Relative memory consumption of running with `replicas` page-table
+/// replicas, normalised to the single page-table baseline
+/// (`mem_overhead(Footprint, Replicas)` in the paper).
+///
+/// A value of `1.014` means the application plus its replicated page tables
+/// consume 1.4 % more memory than the application plus a single page table.
+pub fn memory_overhead(footprint: u64, replicas: u64) -> f64 {
+    assert!(replicas >= 1, "at least one page table always exists");
+    let pt = page_table_bytes(footprint);
+    let baseline = footprint + pt;
+    let replicated = footprint + pt * replicas;
+    replicated as f64 / baseline as f64
+}
+
+/// One row/column entry of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadEntry {
+    /// Application memory footprint in bytes.
+    pub footprint: u64,
+    /// Size of one page-table copy in bytes.
+    pub page_table_bytes: u64,
+    /// Number of replicas.
+    pub replicas: u64,
+    /// Relative memory consumption vs. the single-copy baseline.
+    pub overhead_factor: f64,
+}
+
+impl OverheadEntry {
+    /// Computes the entry for a footprint/replica combination.
+    pub fn compute(footprint: u64, replicas: u64) -> Self {
+        OverheadEntry {
+            footprint,
+            page_table_bytes: page_table_bytes(footprint),
+            replicas,
+            overhead_factor: memory_overhead(footprint, replicas),
+        }
+    }
+
+    /// The footprints used in the paper's Table 4 (1 MiB, 1 GiB, 1 TiB,
+    /// 16 TiB).
+    pub fn paper_footprints() -> [u64; 4] {
+        [1 * MIB, 1 * GIB, 1 * TIB, 16 * TIB]
+    }
+
+    /// The replica counts used in the paper's Table 4.
+    pub fn paper_replica_counts() -> [u64; 5] {
+        [1, 2, 4, 8, 16]
+    }
+}
+
+/// Formats a footprint in the paper's units.
+pub fn format_footprint(bytes: u64) -> String {
+    if bytes >= TIB {
+        format!("{} TB", bytes / TIB)
+    } else if bytes >= GIB {
+        format!("{} GB", bytes / GIB)
+    } else if bytes >= MIB {
+        format!("{} MB", bytes / MIB)
+    } else {
+        format!("{} KB", bytes / KIB)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_table_size_matches_paper_column() {
+        // Table 4: 1 MB -> 0.02 MB, 1 GB -> 2.01 MB, 1 TB -> 2.00 GB,
+        // 16 TB -> 32 GB (to the printed precision).
+        assert_eq!(page_table_bytes(1 * MIB), 4 * 4096); // 16 KiB ≈ 0.02 MB
+        let gb = page_table_bytes(1 * GIB);
+        assert!((gb as f64 / MIB as f64 - 2.01).abs() < 0.01);
+        let tb = page_table_bytes(1 * TIB);
+        assert!((tb as f64 / GIB as f64 - 2.00).abs() < 0.01);
+        let tb16 = page_table_bytes(16 * TIB);
+        assert!((tb16 as f64 / GIB as f64 - 32.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn overhead_matches_paper_values() {
+        // Table 4 row "1 GB": 1.0, 1.002, 1.006, 1.014, 1.029.
+        let expect = [1.0, 1.002, 1.006, 1.014, 1.029];
+        for (replicas, expected) in [1u64, 2, 4, 8, 16].iter().zip(expect) {
+            let got = memory_overhead(1 * GIB, *replicas);
+            assert!(
+                (got - expected).abs() < 0.002,
+                "1 GiB x{replicas}: got {got}, expected {expected}"
+            );
+        }
+        // Table 4 row "1 MB": 1.0, 1.015, 1.046, 1.108, 1.231.
+        let expect = [1.0, 1.015, 1.046, 1.108, 1.231];
+        for (replicas, expected) in [1u64, 2, 4, 8, 16].iter().zip(expect) {
+            let got = memory_overhead(1 * MIB, *replicas);
+            assert!(
+                (got - expected).abs() < 0.01,
+                "1 MiB x{replicas}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn four_socket_machine_overhead_is_fraction_of_a_percent() {
+        // The paper quotes 0.6 % extra memory for the 4-socket machine.
+        let overhead = memory_overhead(1 * TIB, 4) - 1.0;
+        assert!(overhead < 0.01, "got {overhead}");
+        assert!(overhead > 0.001);
+    }
+
+    #[test]
+    fn entry_helpers_and_formatting() {
+        let entry = OverheadEntry::compute(1 * GIB, 4);
+        assert_eq!(entry.replicas, 4);
+        assert!(entry.overhead_factor > 1.0);
+        assert_eq!(OverheadEntry::paper_footprints().len(), 4);
+        assert_eq!(OverheadEntry::paper_replica_counts().len(), 5);
+        assert_eq!(format_footprint(16 * TIB), "16 TB");
+        assert_eq!(format_footprint(1 * GIB), "1 GB");
+        assert_eq!(format_footprint(1 * MIB), "1 MB");
+        assert_eq!(format_footprint(512), "0 KB");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page table")]
+    fn zero_replicas_panics() {
+        let _ = memory_overhead(GIB, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Replication policies (paper §6).
+//!
+//! Mitosis separates mechanism from policy.  System-wide policy is a simple
+//! four-state knob exposed through a sysctl-like interface (§6.1); users can
+//! additionally request replication per process through `numactl`/`libnuma`
+//! (§6.2, see [`crate::numactl`]).  The paper sketches — but leaves as future
+//! work — an automatic, counter-driven policy; [`ReplicationDecision`]
+//! implements that sketch as an optional extension.
+
+use mitosis_mmu::MmuStats;
+use mitosis_numa::{NodeMask, SocketId};
+
+/// The system-wide Mitosis mode (the sysctl of paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SystemWideMode {
+    /// Mitosis is compiled in but completely disabled.
+    Disabled,
+    /// Replication is enabled only for processes that request it
+    /// (via `numactl --pgtablerepl` / the libnuma call).  This is the
+    /// default.
+    #[default]
+    PerProcess,
+    /// Page-tables of all processes are allocated on one fixed socket
+    /// (the analysis configuration used in §3.2).
+    FixedSocket(SocketId),
+    /// Replication is enabled for every process in the system.
+    AllProcesses,
+}
+
+impl SystemWideMode {
+    /// Returns `true` if per-process replication requests are honoured.
+    pub fn allows_replication(self) -> bool {
+        !matches!(self, SystemWideMode::Disabled)
+    }
+
+    /// Returns `true` if replication should be applied even without a
+    /// per-process request.
+    pub fn replicates_all(self) -> bool {
+        matches!(self, SystemWideMode::AllProcesses)
+    }
+}
+
+/// The sysctl-style control block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MitosisCtl {
+    /// The system-wide mode.
+    pub mode: SystemWideMode,
+    /// Per-socket page-cache reserve for page-table frames
+    /// (`vm.mitosis_pagecache_pages` in the implementation).
+    pub page_cache_target: usize,
+}
+
+impl MitosisCtl {
+    /// The defaults shipped with the kernel patch: per-process mode and a
+    /// modest page-table reserve.
+    pub fn new() -> Self {
+        MitosisCtl {
+            mode: SystemWideMode::PerProcess,
+            page_cache_target: mitosis_pt::DEFAULT_PAGE_CACHE_TARGET,
+        }
+    }
+
+    /// Sets the mode.
+    pub fn with_mode(mut self, mode: SystemWideMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the per-socket page-cache reserve.
+    pub fn with_page_cache_target(mut self, pages: usize) -> Self {
+        self.page_cache_target = pages;
+        self
+    }
+}
+
+impl Default for MitosisCtl {
+    fn default() -> Self {
+        MitosisCtl::new()
+    }
+}
+
+/// Counter-driven replication advisor (the automatic policy the paper
+/// sketches in §6.1 and leaves as future work).
+///
+/// The heuristic replicates when a process spends a substantial share of its
+/// cycles in page walks *and* a substantial share of those walks go to remote
+/// memory — the situations in which Figures 9 and 10 show gains.  Short
+/// processes (too few translations observed) are never replicated, since the
+/// cost of building replicas cannot be amortised (§6.1, §8.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationDecision {
+    /// Minimum number of observed translations before recommending anything.
+    pub min_accesses: u64,
+    /// Minimum TLB miss ratio.
+    pub min_tlb_miss_ratio: f64,
+    /// Minimum fraction of walker DRAM reads that are remote.
+    pub min_remote_walk_fraction: f64,
+}
+
+impl ReplicationDecision {
+    /// Thresholds tuned for the paper's workloads: ≥1 % TLB miss ratio and
+    /// a majority of remote walker reads.
+    pub fn new() -> Self {
+        ReplicationDecision {
+            min_accesses: 100_000,
+            min_tlb_miss_ratio: 0.01,
+            min_remote_walk_fraction: 0.4,
+        }
+    }
+
+    /// Returns the replication mask to apply (`Some`) or `None` if the
+    /// counters do not justify replication.  `run_sockets` is the set of
+    /// sockets the process runs on.
+    pub fn recommend(&self, stats: &MmuStats, run_sockets: NodeMask) -> Option<NodeMask> {
+        if stats.accesses < self.min_accesses {
+            return None;
+        }
+        if stats.tlb_miss_ratio() < self.min_tlb_miss_ratio {
+            return None;
+        }
+        if stats.walk.remote_dram_fraction() < self.min_remote_walk_fraction {
+            return None;
+        }
+        if run_sockets.count() < 2 {
+            return None;
+        }
+        Some(run_sockets)
+    }
+}
+
+impl Default for ReplicationDecision {
+    fn default() -> Self {
+        ReplicationDecision::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitosis_mmu::WalkStats;
+
+    fn stats(accesses: u64, misses: u64, local: u64, remote: u64) -> MmuStats {
+        MmuStats {
+            accesses,
+            tlb_misses: misses,
+            walk: WalkStats {
+                walks: misses,
+                local_dram_accesses: local,
+                remote_dram_accesses: remote,
+                ..WalkStats::default()
+            },
+            ..MmuStats::default()
+        }
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(!SystemWideMode::Disabled.allows_replication());
+        assert!(SystemWideMode::PerProcess.allows_replication());
+        assert!(SystemWideMode::AllProcesses.replicates_all());
+        assert!(!SystemWideMode::FixedSocket(SocketId::new(0)).replicates_all());
+        assert_eq!(SystemWideMode::default(), SystemWideMode::PerProcess);
+    }
+
+    #[test]
+    fn ctl_builder() {
+        let ctl = MitosisCtl::new()
+            .with_mode(SystemWideMode::AllProcesses)
+            .with_page_cache_target(256);
+        assert_eq!(ctl.mode, SystemWideMode::AllProcesses);
+        assert_eq!(ctl.page_cache_target, 256);
+    }
+
+    #[test]
+    fn advisor_recommends_replication_for_walk_heavy_remote_processes() {
+        let advisor = ReplicationDecision::new();
+        let mask = NodeMask::all(4);
+        let heavy = stats(1_000_000, 500_000, 100_000, 400_000);
+        assert_eq!(advisor.recommend(&heavy, mask), Some(mask));
+    }
+
+    #[test]
+    fn advisor_declines_short_or_local_or_tlb_friendly_processes() {
+        let advisor = ReplicationDecision::new();
+        let mask = NodeMask::all(4);
+        // Too short.
+        assert_eq!(advisor.recommend(&stats(1_000, 900, 0, 900), mask), None);
+        // TLB-friendly.
+        assert_eq!(
+            advisor.recommend(&stats(10_000_000, 1_000, 0, 1_000), mask),
+            None
+        );
+        // Walks are already local.
+        assert_eq!(
+            advisor.recommend(&stats(1_000_000, 500_000, 500_000, 10_000), mask),
+            None
+        );
+        // Single-socket process: nothing to replicate onto.
+        assert_eq!(
+            advisor.recommend(
+                &stats(1_000_000, 500_000, 0, 500_000),
+                NodeMask::single(SocketId::new(0))
+            ),
+            None
+        );
+    }
+}

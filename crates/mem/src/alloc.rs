@@ -1,0 +1,349 @@
+//! Per-socket physical frame allocator.
+//!
+//! The allocator stands in for the Linux buddy allocator.  Each socket has its
+//! own pool of frames; requests either name a socket explicitly ("strict"
+//! allocation, the mode page-table replication uses) or go through a
+//! [`PlacementPolicy`](crate::PlacementPolicy) via
+//! [`PolicyEngine`](crate::PolicyEngine).
+
+use crate::error::MemError;
+use crate::fragmentation::FragmentationModel;
+use crate::frame::{FrameId, FrameSpace, FRAMES_PER_HUGE_PAGE};
+use mitosis_numa::{Machine, SocketId};
+use std::collections::BTreeSet;
+
+/// Per-socket allocation state.
+#[derive(Debug, Clone)]
+struct SocketPool {
+    /// Next never-allocated frame (bump pointer within the socket's range).
+    next: u64,
+    /// End of the socket's range (exclusive).
+    end: u64,
+    /// Frames returned by `free` that can be reused for 4 KiB allocations.
+    free_list: Vec<FrameId>,
+    /// Number of frames currently allocated.
+    allocated: u64,
+    /// High-water mark of allocated frames.
+    peak_allocated: u64,
+}
+
+impl SocketPool {
+    fn free_frames(&self) -> u64 {
+        (self.end - self.next) + self.free_list.len() as u64
+    }
+}
+
+/// Allocation statistics for one socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Frames currently allocated on the socket.
+    pub allocated_frames: u64,
+    /// Peak number of simultaneously allocated frames.
+    pub peak_allocated_frames: u64,
+    /// Frames still available on the socket.
+    pub free_frames: u64,
+}
+
+/// Per-socket physical frame allocator with huge-frame support and an
+/// external-fragmentation model.
+///
+/// # Example
+///
+/// ```
+/// use mitosis_numa::{MachineConfig, SocketId};
+/// use mitosis_mem::FrameAllocator;
+///
+/// let machine = MachineConfig::two_socket_small().build();
+/// let mut alloc = FrameAllocator::new(&machine);
+/// let on_zero = alloc.alloc_on(SocketId::new(0))?;
+/// let on_one = alloc.alloc_on(SocketId::new(1))?;
+/// assert_ne!(on_zero, on_one);
+/// alloc.free(on_zero)?;
+/// # Ok::<(), mitosis_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameAllocator {
+    space: FrameSpace,
+    pools: Vec<SocketPool>,
+    allocated: BTreeSet<FrameId>,
+    fragmentation: FragmentationModel,
+}
+
+impl FrameAllocator {
+    /// Creates an allocator covering the machine's physical memory.
+    pub fn new(machine: &Machine) -> Self {
+        FrameAllocator::with_frame_space(FrameSpace::new(machine))
+    }
+
+    /// Creates an allocator over an explicit frame space (useful for tests).
+    pub fn with_frame_space(space: FrameSpace) -> Self {
+        let pools = (0..space.sockets())
+            .map(|s| {
+                let range = space.range_of(SocketId::new(s as u16));
+                SocketPool {
+                    next: range.start.pfn(),
+                    end: range.end.pfn(),
+                    free_list: Vec::new(),
+                    allocated: 0,
+                    peak_allocated: 0,
+                }
+            })
+            .collect();
+        FrameAllocator {
+            space,
+            pools,
+            allocated: BTreeSet::new(),
+            fragmentation: FragmentationModel::none(),
+        }
+    }
+
+    /// Installs an external-fragmentation model (affects huge allocations).
+    pub fn set_fragmentation(&mut self, model: FragmentationModel) {
+        self.fragmentation = model;
+    }
+
+    /// The frame space this allocator manages.
+    pub fn frame_space(&self) -> &FrameSpace {
+        &self.space
+    }
+
+    /// Allocates one 4 KiB frame on exactly the given socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfMemory`] if the socket has no free frame.
+    pub fn alloc_on(&mut self, socket: SocketId) -> Result<FrameId, MemError> {
+        let pool = self
+            .pools
+            .get_mut(socket.index())
+            .ok_or(MemError::OutOfMemory { socket })?;
+        let frame = if let Some(frame) = pool.free_list.pop() {
+            frame
+        } else if pool.next < pool.end {
+            let frame = FrameId::new(pool.next);
+            pool.next += 1;
+            frame
+        } else {
+            return Err(MemError::OutOfMemory { socket });
+        };
+        pool.allocated += 1;
+        pool.peak_allocated = pool.peak_allocated.max(pool.allocated);
+        self.allocated.insert(frame);
+        Ok(frame)
+    }
+
+    /// Allocates one 4 KiB frame on the given socket, falling back to the
+    /// other sockets in index order if it is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::MachineOutOfMemory`] if every socket is full.
+    pub fn alloc_preferring(&mut self, socket: SocketId) -> Result<FrameId, MemError> {
+        if let Ok(frame) = self.alloc_on(socket) {
+            return Ok(frame);
+        }
+        for s in 0..self.space.sockets() {
+            if s == socket.index() {
+                continue;
+            }
+            if let Ok(frame) = self.alloc_on(SocketId::new(s as u16)) {
+                return Ok(frame);
+            }
+        }
+        Err(MemError::MachineOutOfMemory)
+    }
+
+    /// Allocates a 2 MiB-aligned run of 512 contiguous frames on the given
+    /// socket, returning the first frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::HugeAllocationFailed`] if the socket cannot supply
+    /// a contiguous aligned run, either because it is out of memory or
+    /// because the fragmentation model rejects the request.
+    pub fn alloc_huge_on(&mut self, socket: SocketId) -> Result<FrameId, MemError> {
+        if self.fragmentation.huge_allocation_fails() {
+            return Err(MemError::HugeAllocationFailed { socket });
+        }
+        let pool = self
+            .pools
+            .get_mut(socket.index())
+            .ok_or(MemError::HugeAllocationFailed { socket })?;
+        // Huge allocations are carved from the never-allocated region only;
+        // the free list holds individual 4 KiB frames which we do not try to
+        // coalesce (the fragmentation model covers that behaviour).
+        let aligned = pool.next.div_ceil(FRAMES_PER_HUGE_PAGE) * FRAMES_PER_HUGE_PAGE;
+        if aligned + FRAMES_PER_HUGE_PAGE > pool.end {
+            return Err(MemError::HugeAllocationFailed { socket });
+        }
+        // Frames skipped for alignment go to the free list.
+        for pfn in pool.next..aligned {
+            pool.free_list.push(FrameId::new(pfn));
+        }
+        pool.next = aligned + FRAMES_PER_HUGE_PAGE;
+        pool.allocated += FRAMES_PER_HUGE_PAGE;
+        pool.peak_allocated = pool.peak_allocated.max(pool.allocated);
+        let first = FrameId::new(aligned);
+        for i in 0..FRAMES_PER_HUGE_PAGE {
+            self.allocated.insert(first.offset(i));
+        }
+        Ok(first)
+    }
+
+    /// Frees a previously allocated 4 KiB frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotAllocated`] if the frame is not currently
+    /// allocated.
+    pub fn free(&mut self, frame: FrameId) -> Result<(), MemError> {
+        if !self.allocated.remove(&frame) {
+            return Err(MemError::NotAllocated { pfn: frame.pfn() });
+        }
+        let socket = self.space.socket_of(frame);
+        let pool = &mut self.pools[socket.index()];
+        pool.free_list.push(frame);
+        pool.allocated -= 1;
+        Ok(())
+    }
+
+    /// Frees a 2 MiB run previously returned by [`Self::alloc_huge_on`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::NotAllocated`] if any frame of the run is not
+    /// currently allocated.
+    pub fn free_huge(&mut self, first: FrameId) -> Result<(), MemError> {
+        for i in 0..FRAMES_PER_HUGE_PAGE {
+            self.free(first.offset(i))?;
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if `frame` is currently allocated.
+    pub fn is_allocated(&self, frame: FrameId) -> bool {
+        self.allocated.contains(&frame)
+    }
+
+    /// Number of frames currently allocated across the whole machine.
+    pub fn total_allocated(&self) -> u64 {
+        self.pools.iter().map(|p| p.allocated).sum()
+    }
+
+    /// Allocation statistics for one socket.
+    pub fn stats(&self, socket: SocketId) -> AllocStats {
+        let pool = &self.pools[socket.index()];
+        AllocStats {
+            allocated_frames: pool.allocated,
+            peak_allocated_frames: pool.peak_allocated,
+            free_frames: pool.free_frames(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_allocator() -> FrameAllocator {
+        FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(2, 2048))
+    }
+
+    #[test]
+    fn allocations_land_on_the_requested_socket() {
+        let mut alloc = small_allocator();
+        for _ in 0..16 {
+            let f0 = alloc.alloc_on(SocketId::new(0)).unwrap();
+            let f1 = alloc.alloc_on(SocketId::new(1)).unwrap();
+            assert_eq!(alloc.frame_space().socket_of(f0), SocketId::new(0));
+            assert_eq!(alloc.frame_space().socket_of(f1), SocketId::new(1));
+        }
+        assert_eq!(alloc.total_allocated(), 32);
+    }
+
+    #[test]
+    fn strict_allocation_fails_when_socket_is_full() {
+        let mut alloc =
+            FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(2, 4));
+        for _ in 0..4 {
+            alloc.alloc_on(SocketId::new(0)).unwrap();
+        }
+        assert_eq!(
+            alloc.alloc_on(SocketId::new(0)),
+            Err(MemError::OutOfMemory {
+                socket: SocketId::new(0)
+            })
+        );
+        // Preferring allocation falls over to socket 1.
+        let fallback = alloc.alloc_preferring(SocketId::new(0)).unwrap();
+        assert_eq!(alloc.frame_space().socket_of(fallback), SocketId::new(1));
+    }
+
+    #[test]
+    fn freed_frames_are_reused() {
+        let mut alloc = small_allocator();
+        let f = alloc.alloc_on(SocketId::new(0)).unwrap();
+        alloc.free(f).unwrap();
+        assert!(!alloc.is_allocated(f));
+        let g = alloc.alloc_on(SocketId::new(0)).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut alloc = small_allocator();
+        let f = alloc.alloc_on(SocketId::new(0)).unwrap();
+        alloc.free(f).unwrap();
+        assert_eq!(alloc.free(f), Err(MemError::NotAllocated { pfn: f.pfn() }));
+    }
+
+    #[test]
+    fn huge_allocations_are_aligned_and_contiguous() {
+        let mut alloc = small_allocator();
+        // Misalign the bump pointer first.
+        let _ = alloc.alloc_on(SocketId::new(0)).unwrap();
+        let huge = alloc.alloc_huge_on(SocketId::new(0)).unwrap();
+        assert!(huge.is_huge_aligned());
+        for i in 0..FRAMES_PER_HUGE_PAGE {
+            assert!(alloc.is_allocated(huge.offset(i)));
+        }
+        alloc.free_huge(huge).unwrap();
+        for i in 0..FRAMES_PER_HUGE_PAGE {
+            assert!(!alloc.is_allocated(huge.offset(i)));
+        }
+    }
+
+    #[test]
+    fn huge_allocation_fails_under_full_fragmentation() {
+        let mut alloc = small_allocator();
+        alloc.set_fragmentation(FragmentationModel::with_probability(1.0));
+        assert_eq!(
+            alloc.alloc_huge_on(SocketId::new(0)),
+            Err(MemError::HugeAllocationFailed {
+                socket: SocketId::new(0)
+            })
+        );
+        // Base-page allocation still succeeds.
+        assert!(alloc.alloc_on(SocketId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn huge_allocation_fails_when_not_enough_contiguous_memory() {
+        let mut alloc =
+            FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(1, 100));
+        assert!(alloc.alloc_huge_on(SocketId::new(0)).is_err());
+    }
+
+    #[test]
+    fn stats_track_allocated_peak_and_free() {
+        let mut alloc = small_allocator();
+        let f = alloc.alloc_on(SocketId::new(0)).unwrap();
+        let g = alloc.alloc_on(SocketId::new(0)).unwrap();
+        alloc.free(f).unwrap();
+        let stats = alloc.stats(SocketId::new(0));
+        assert_eq!(stats.allocated_frames, 1);
+        assert_eq!(stats.peak_allocated_frames, 2);
+        assert_eq!(stats.free_frames, 2048 - 1);
+        let _ = g;
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for physical memory operations.
+
+use mitosis_numa::SocketId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the physical memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The requested socket has no free frame left.
+    OutOfMemory {
+        /// Socket whose memory is exhausted.
+        socket: SocketId,
+    },
+    /// No socket in the machine has a free frame left.
+    MachineOutOfMemory,
+    /// A 2 MiB-aligned contiguous block could not be found on the socket,
+    /// either because memory is exhausted or because external fragmentation
+    /// prevents it.
+    HugeAllocationFailed {
+        /// Socket on which the huge allocation was attempted.
+        socket: SocketId,
+    },
+    /// The frame is not currently allocated (double free or stray free).
+    NotAllocated {
+        /// Raw frame number of the offending frame.
+        pfn: u64,
+    },
+    /// The per-socket page cache for page-table frames is empty and strict
+    /// allocation failed.
+    PageCacheEmpty {
+        /// Socket whose reserve is empty.
+        socket: SocketId,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory { socket } => {
+                write!(f, "out of memory on {socket}")
+            }
+            MemError::MachineOutOfMemory => write!(f, "out of memory on every socket"),
+            MemError::HugeAllocationFailed { socket } => {
+                write!(f, "huge page allocation failed on {socket}")
+            }
+            MemError::NotAllocated { pfn } => {
+                write!(f, "frame {pfn:#x} is not allocated")
+            }
+            MemError::PageCacheEmpty { socket } => {
+                write!(f, "page-table page cache empty on {socket}")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let messages = [
+            MemError::OutOfMemory {
+                socket: SocketId::new(1),
+            }
+            .to_string(),
+            MemError::MachineOutOfMemory.to_string(),
+            MemError::HugeAllocationFailed {
+                socket: SocketId::new(0),
+            }
+            .to_string(),
+            MemError::NotAllocated { pfn: 0x42 }.to_string(),
+            MemError::PageCacheEmpty {
+                socket: SocketId::new(2),
+            }
+            .to_string(),
+        ];
+        for msg in messages {
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<MemError>();
+    }
+}

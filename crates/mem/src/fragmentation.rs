@@ -1,0 +1,130 @@
+//! External-fragmentation model.
+//!
+//! The paper's Figure 11 evaluates Mitosis with transparent huge pages under
+//! *heavy memory fragmentation*: as a machine ages, physically contiguous
+//! 2 MiB regions become scarce and THP allocations fall back to 4 KiB pages,
+//! re-exposing the NUMA page-walk overheads.  We do not simulate the
+//! byte-level layout of a fragmented physical memory; instead this model makes
+//! huge-frame allocations fail with a configurable probability, which is the
+//! observable effect fragmentation has on the allocator.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+/// Probability model for huge-page allocation failures caused by external
+/// fragmentation.
+///
+/// # Example
+///
+/// ```
+/// use mitosis_mem::FragmentationModel;
+///
+/// let mut pristine = FragmentationModel::none();
+/// assert!(!pristine.huge_allocation_fails());
+///
+/// let mut heavy = FragmentationModel::heavy();
+/// let failures = (0..1000).filter(|_| heavy.huge_allocation_fails()).count();
+/// assert!(failures > 800);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FragmentationModel {
+    failure_probability: f64,
+    rng: StdRng,
+}
+
+impl FragmentationModel {
+    /// A pristine machine: huge allocations always succeed (given memory).
+    pub fn none() -> Self {
+        FragmentationModel::with_probability(0.0)
+    }
+
+    /// Heavy fragmentation as used for the paper's Figure 11: ~95 % of huge
+    /// allocations fail and fall back to base pages.
+    pub fn heavy() -> Self {
+        FragmentationModel::with_probability(0.95)
+    }
+
+    /// Creates a model with an explicit failure probability in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is not within `[0, 1]`.
+    pub fn with_probability(probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "fragmentation probability must be within [0, 1]"
+        );
+        FragmentationModel {
+            failure_probability: probability,
+            rng: StdRng::seed_from_u64(0x4d49544f53495321),
+        }
+    }
+
+    /// Overrides the random seed (for reproducible experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// The configured failure probability.
+    pub fn failure_probability(&self) -> f64 {
+        self.failure_probability
+    }
+
+    /// Draws whether the next huge-frame allocation fails due to
+    /// fragmentation.
+    pub fn huge_allocation_fails(&mut self) -> bool {
+        if self.failure_probability <= 0.0 {
+            return false;
+        }
+        if self.failure_probability >= 1.0 {
+            return true;
+        }
+        self.rng.random::<f64>() < self.failure_probability
+    }
+}
+
+impl Default for FragmentationModel {
+    fn default() -> Self {
+        FragmentationModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fragmentation_never_fails() {
+        let mut model = FragmentationModel::none();
+        assert!((0..100).all(|_| !model.huge_allocation_fails()));
+    }
+
+    #[test]
+    fn full_fragmentation_always_fails() {
+        let mut model = FragmentationModel::with_probability(1.0);
+        assert!((0..100).all(|_| model.huge_allocation_fails()));
+    }
+
+    #[test]
+    fn heavy_fragmentation_fails_mostly() {
+        let mut model = FragmentationModel::heavy();
+        let failures = (0..10_000).filter(|_| model.huge_allocation_fails()).count();
+        assert!((9_000..=10_000).contains(&failures), "failures = {failures}");
+    }
+
+    #[test]
+    fn seeded_models_are_reproducible() {
+        let mut a = FragmentationModel::with_probability(0.5).with_seed(7);
+        let mut b = FragmentationModel::with_probability(0.5).with_seed(7);
+        let draws_a: Vec<bool> = (0..64).map(|_| a.huge_allocation_fails()).collect();
+        let draws_b: Vec<bool> = (0..64).map(|_| b.huge_allocation_fails()).collect();
+        assert_eq!(draws_a, draws_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = FragmentationModel::with_probability(1.5);
+    }
+}

@@ -1,0 +1,216 @@
+//! Physical frames and the machine's frame space.
+
+use mitosis_numa::{Machine, SocketId};
+use std::fmt;
+
+/// Size of a base (4 KiB) page/frame in bytes.
+pub const BASE_PAGE_SIZE: u64 = 4096;
+/// Size of a huge (2 MiB) page in bytes.
+pub const HUGE_PAGE_SIZE: u64 = 2 * 1024 * 1024;
+/// Number of base frames backing one huge page.
+pub const FRAMES_PER_HUGE_PAGE: u64 = HUGE_PAGE_SIZE / BASE_PAGE_SIZE;
+
+/// A physical frame number (4 KiB granularity), global across the machine.
+///
+/// Frame numbers are dense: socket `s` owns the contiguous range
+/// `[s * frames_per_socket, (s + 1) * frames_per_socket)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(u64);
+
+impl FrameId {
+    /// Creates a frame identifier from a raw frame number.
+    pub const fn new(pfn: u64) -> Self {
+        FrameId(pfn)
+    }
+
+    /// Returns the raw physical frame number.
+    pub const fn pfn(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical byte address of the start of the frame.
+    pub const fn base_address(self) -> u64 {
+        self.0 * BASE_PAGE_SIZE
+    }
+
+    /// Returns the frame `offset` frames after this one.
+    pub const fn offset(self, offset: u64) -> FrameId {
+        FrameId(self.0 + offset)
+    }
+
+    /// Returns `true` if this frame is aligned to a huge-page boundary.
+    pub const fn is_huge_aligned(self) -> bool {
+        self.0 % FRAMES_PER_HUGE_PAGE == 0
+    }
+}
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+/// A contiguous, half-open range of frames `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameRange {
+    /// First frame of the range.
+    pub start: FrameId,
+    /// One past the last frame of the range.
+    pub end: FrameId,
+}
+
+impl FrameRange {
+    /// Creates a frame range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: FrameId, end: FrameId) -> Self {
+        assert!(start.pfn() <= end.pfn(), "frame range start must not exceed end");
+        FrameRange { start, end }
+    }
+
+    /// Number of frames in the range.
+    pub const fn len(&self) -> u64 {
+        self.end.pfn() - self.start.pfn()
+    }
+
+    /// Returns `true` if the range is empty.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `frame` falls within the range.
+    pub const fn contains(&self, frame: FrameId) -> bool {
+        frame.pfn() >= self.start.pfn() && frame.pfn() < self.end.pfn()
+    }
+
+    /// Iterates over the frames of the range.
+    pub fn iter(&self) -> impl Iterator<Item = FrameId> {
+        (self.start.pfn()..self.end.pfn()).map(FrameId::new)
+    }
+}
+
+/// The machine's physical frame space: which socket owns which frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameSpace {
+    frames_per_socket: u64,
+    sockets: usize,
+}
+
+impl FrameSpace {
+    /// Derives the frame space from a machine description.
+    pub fn new(machine: &Machine) -> Self {
+        FrameSpace {
+            frames_per_socket: machine.memory_per_socket() / BASE_PAGE_SIZE,
+            sockets: machine.sockets(),
+        }
+    }
+
+    /// Creates a frame space with an explicit per-socket frame count
+    /// (useful for tests).
+    pub fn with_frames_per_socket(sockets: usize, frames_per_socket: u64) -> Self {
+        assert!(sockets > 0 && frames_per_socket > 0);
+        FrameSpace {
+            frames_per_socket,
+            sockets,
+        }
+    }
+
+    /// Number of sockets covered by this frame space.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Number of frames attached to each socket.
+    pub fn frames_per_socket(&self) -> u64 {
+        self.frames_per_socket
+    }
+
+    /// Total number of frames in the machine.
+    pub fn total_frames(&self) -> u64 {
+        self.frames_per_socket * self.sockets as u64
+    }
+
+    /// Returns the socket whose memory controller serves `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` lies outside the frame space.
+    pub fn socket_of(&self, frame: FrameId) -> SocketId {
+        let socket = frame.pfn() / self.frames_per_socket;
+        assert!(
+            (socket as usize) < self.sockets,
+            "frame {frame} outside of physical memory"
+        );
+        SocketId::new(socket as u16)
+    }
+
+    /// Returns the frame range owned by `socket`.
+    pub fn range_of(&self, socket: SocketId) -> FrameRange {
+        let start = socket.index() as u64 * self.frames_per_socket;
+        FrameRange::new(FrameId::new(start), FrameId::new(start + self.frames_per_socket))
+    }
+
+    /// Returns `true` if `frame` is a valid frame of this machine.
+    pub fn contains(&self, frame: FrameId) -> bool {
+        frame.pfn() < self.total_frames()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitosis_numa::MachineConfig;
+
+    #[test]
+    fn frame_address_and_alignment() {
+        let f = FrameId::new(512);
+        assert_eq!(f.base_address(), 512 * 4096);
+        assert!(f.is_huge_aligned());
+        assert!(!f.offset(1).is_huge_aligned());
+    }
+
+    #[test]
+    fn socket_ownership_is_contiguous() {
+        let space = FrameSpace::with_frames_per_socket(4, 1000);
+        assert_eq!(space.socket_of(FrameId::new(0)), SocketId::new(0));
+        assert_eq!(space.socket_of(FrameId::new(999)), SocketId::new(0));
+        assert_eq!(space.socket_of(FrameId::new(1000)), SocketId::new(1));
+        assert_eq!(space.socket_of(FrameId::new(3999)), SocketId::new(3));
+        assert_eq!(space.total_frames(), 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside of physical memory")]
+    fn out_of_range_frame_panics() {
+        let space = FrameSpace::with_frames_per_socket(2, 10);
+        let _ = space.socket_of(FrameId::new(20));
+    }
+
+    #[test]
+    fn range_of_socket() {
+        let space = FrameSpace::with_frames_per_socket(2, 10);
+        let range = space.range_of(SocketId::new(1));
+        assert_eq!(range.start, FrameId::new(10));
+        assert_eq!(range.end, FrameId::new(20));
+        assert_eq!(range.len(), 10);
+        assert!(range.contains(FrameId::new(15)));
+        assert!(!range.contains(FrameId::new(20)));
+        assert_eq!(range.iter().count(), 10);
+    }
+
+    #[test]
+    fn frame_space_from_machine() {
+        let machine = MachineConfig::two_socket_small().build();
+        let space = FrameSpace::new(&machine);
+        assert_eq!(space.sockets(), 2);
+        assert_eq!(space.frames_per_socket(), (4u64 << 30) / 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "start must not exceed end")]
+    fn invalid_range_panics() {
+        let _ = FrameRange::new(FrameId::new(5), FrameId::new(1));
+    }
+}

@@ -1,0 +1,302 @@
+//! Per-frame metadata — the simulator's `struct page`.
+//!
+//! Linux keeps a `struct page` for every physical frame; Mitosis augments it
+//! with a pointer that threads all replicas of a page-table page into a
+//! circular linked list (paper §5.2, Figure 8).  That list is what allows an
+//! update intercepted at the PV-Ops layer to reach every replica in 2N memory
+//! references instead of walking N page-tables.
+
+use crate::frame::{FrameId, FrameSpace};
+use mitosis_numa::SocketId;
+use std::collections::HashMap;
+
+/// What a physical frame is currently used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// An application data frame.
+    Data,
+    /// A page-table page at the given level (1 = leaf/PTE level, 4 = root).
+    PageTable {
+        /// Radix-tree level of the page-table page (1..=4).
+        level: u8,
+    },
+}
+
+/// Metadata kept for one allocated physical frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageMeta {
+    kind: FrameKind,
+    /// Next frame in the circular list of replicas of the same logical
+    /// page-table page.  `None` when the page is not replicated.
+    replica_next: Option<FrameId>,
+}
+
+impl PageMeta {
+    /// Creates metadata for a freshly allocated frame.
+    pub fn new(kind: FrameKind) -> Self {
+        PageMeta {
+            kind,
+            replica_next: None,
+        }
+    }
+
+    /// The frame's current use.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// The next replica in the circular list, if the page is replicated.
+    pub fn replica_next(&self) -> Option<FrameId> {
+        self.replica_next
+    }
+}
+
+/// The machine-wide table of per-frame metadata.
+///
+/// Only allocated frames have entries; on a half-terabyte machine eagerly
+/// materialising 128 M `struct page`s would be wasteful for a simulator.
+///
+/// # Example
+///
+/// ```
+/// use mitosis_mem::{FrameId, FrameKind, FrameSpace, FrameTable};
+///
+/// let space = FrameSpace::with_frames_per_socket(2, 1024);
+/// let mut table = FrameTable::new(space);
+/// table.insert(FrameId::new(3), FrameKind::PageTable { level: 1 });
+/// assert_eq!(table.kind(FrameId::new(3)), Some(FrameKind::PageTable { level: 1 }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameTable {
+    space: FrameSpace,
+    entries: HashMap<FrameId, PageMeta>,
+}
+
+impl FrameTable {
+    /// Creates an empty frame table over the given frame space.
+    pub fn new(space: FrameSpace) -> Self {
+        FrameTable {
+            space,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The frame space this table describes.
+    pub fn frame_space(&self) -> &FrameSpace {
+        &self.space
+    }
+
+    /// Records metadata for a newly allocated frame, replacing any previous
+    /// entry.
+    pub fn insert(&mut self, frame: FrameId, kind: FrameKind) {
+        self.entries.insert(frame, PageMeta::new(kind));
+    }
+
+    /// Removes the metadata of a freed frame and returns it.
+    pub fn remove(&mut self, frame: FrameId) -> Option<PageMeta> {
+        self.entries.remove(&frame)
+    }
+
+    /// Returns the metadata of a frame, if the frame is tracked.
+    pub fn get(&self, frame: FrameId) -> Option<&PageMeta> {
+        self.entries.get(&frame)
+    }
+
+    /// Returns the use of a frame, if tracked.
+    pub fn kind(&self, frame: FrameId) -> Option<FrameKind> {
+        self.entries.get(&frame).map(|m| m.kind)
+    }
+
+    /// Returns the socket that owns a frame (derived from the frame space).
+    pub fn socket_of(&self, frame: FrameId) -> SocketId {
+        self.space.socket_of(frame)
+    }
+
+    /// Number of tracked frames.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no frame is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of tracked frames of a given kind on a given socket.
+    pub fn count_on_socket(&self, socket: SocketId, kind: FrameKind) -> usize {
+        self.entries
+            .iter()
+            .filter(|(frame, meta)| meta.kind == kind && self.space.socket_of(**frame) == socket)
+            .count()
+    }
+
+    // --- Replica ring management (paper §5.2, Figure 8) -------------------
+
+    /// Links `frames` into a circular replica list.  Each frame's
+    /// `replica_next` points to the next frame, and the last points back to
+    /// the first.  A single frame forms a self-loop, which is treated as
+    /// "not replicated" by [`Self::replicas_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or if any frame is untracked.
+    pub fn link_replicas(&mut self, frames: &[FrameId]) {
+        assert!(!frames.is_empty(), "cannot link an empty replica set");
+        for (i, &frame) in frames.iter().enumerate() {
+            let next = frames[(i + 1) % frames.len()];
+            let meta = self
+                .entries
+                .get_mut(&frame)
+                .expect("replica frame must be tracked");
+            meta.replica_next = if frames.len() == 1 { None } else { Some(next) };
+        }
+    }
+
+    /// Removes `frame` from its replica ring, patching the ring around it.
+    /// Returns the remaining ring members (excluding `frame`).
+    pub fn unlink_replica(&mut self, frame: FrameId) -> Vec<FrameId> {
+        let ring = self.replicas_of(frame);
+        let remaining: Vec<FrameId> = ring.into_iter().filter(|f| *f != frame).collect();
+        if let Some(meta) = self.entries.get_mut(&frame) {
+            meta.replica_next = None;
+        }
+        if !remaining.is_empty() {
+            self.link_replicas(&remaining);
+        }
+        remaining
+    }
+
+    /// Returns every member of `frame`'s replica ring, starting with `frame`
+    /// itself.  A non-replicated frame yields just `[frame]`.
+    pub fn replicas_of(&self, frame: FrameId) -> Vec<FrameId> {
+        let mut out = vec![frame];
+        let mut cursor = frame;
+        loop {
+            let next = match self.entries.get(&cursor).and_then(|m| m.replica_next) {
+                Some(next) => next,
+                None => break,
+            };
+            if next == frame {
+                break;
+            }
+            out.push(next);
+            cursor = next;
+            assert!(
+                out.len() <= 64,
+                "replica ring longer than the maximum socket count; corrupted ring?"
+            );
+        }
+        out
+    }
+
+    /// Returns the replica of `frame` that lives on `socket`, if any.
+    pub fn replica_on_socket(&self, frame: FrameId, socket: SocketId) -> Option<FrameId> {
+        self.replicas_of(frame)
+            .into_iter()
+            .find(|f| self.space.socket_of(*f) == socket)
+    }
+
+    /// Returns `true` if `frame` participates in a replica ring of more than
+    /// one page.
+    pub fn is_replicated(&self, frame: FrameId) -> bool {
+        self.entries
+            .get(&frame)
+            .and_then(|m| m.replica_next)
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FrameTable {
+        FrameTable::new(FrameSpace::with_frames_per_socket(4, 1000))
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = table();
+        t.insert(FrameId::new(5), FrameKind::Data);
+        assert_eq!(t.kind(FrameId::new(5)), Some(FrameKind::Data));
+        assert_eq!(t.len(), 1);
+        let meta = t.remove(FrameId::new(5)).unwrap();
+        assert_eq!(meta.kind(), FrameKind::Data);
+        assert!(t.is_empty());
+        assert_eq!(t.kind(FrameId::new(5)), None);
+    }
+
+    #[test]
+    fn replica_ring_links_all_members() {
+        let mut t = table();
+        // One page-table page replica per socket: frames 10, 1010, 2010, 3010.
+        let frames: Vec<FrameId> = (0..4).map(|s| FrameId::new(s * 1000 + 10)).collect();
+        for &f in &frames {
+            t.insert(f, FrameKind::PageTable { level: 2 });
+        }
+        t.link_replicas(&frames);
+        for &f in &frames {
+            assert!(t.is_replicated(f));
+            let ring = t.replicas_of(f);
+            assert_eq!(ring.len(), 4);
+            assert_eq!(ring[0], f);
+        }
+        assert_eq!(
+            t.replica_on_socket(frames[0], SocketId::new(2)),
+            Some(frames[2])
+        );
+    }
+
+    #[test]
+    fn single_frame_ring_is_not_replicated() {
+        let mut t = table();
+        t.insert(FrameId::new(7), FrameKind::PageTable { level: 1 });
+        t.link_replicas(&[FrameId::new(7)]);
+        assert!(!t.is_replicated(FrameId::new(7)));
+        assert_eq!(t.replicas_of(FrameId::new(7)), vec![FrameId::new(7)]);
+    }
+
+    #[test]
+    fn unlink_patches_the_ring() {
+        let mut t = table();
+        let frames: Vec<FrameId> = (0..3).map(|s| FrameId::new(s * 1000 + 1)).collect();
+        for &f in &frames {
+            t.insert(f, FrameKind::PageTable { level: 1 });
+        }
+        t.link_replicas(&frames);
+        let mut remaining = t.unlink_replica(frames[1]);
+        remaining.sort();
+        assert_eq!(remaining, vec![frames[0], frames[2]]);
+        assert!(!t.is_replicated(frames[1]));
+        assert_eq!(t.replicas_of(frames[0]).len(), 2);
+        assert_eq!(
+            t.replica_on_socket(frames[0], SocketId::new(1)),
+            None,
+            "socket 1 replica was unlinked"
+        );
+    }
+
+    #[test]
+    fn count_on_socket_filters_by_kind_and_socket() {
+        let mut t = table();
+        t.insert(FrameId::new(0), FrameKind::Data);
+        t.insert(FrameId::new(1), FrameKind::PageTable { level: 1 });
+        t.insert(FrameId::new(1001), FrameKind::PageTable { level: 1 });
+        assert_eq!(
+            t.count_on_socket(SocketId::new(0), FrameKind::PageTable { level: 1 }),
+            1
+        );
+        assert_eq!(
+            t.count_on_socket(SocketId::new(1), FrameKind::PageTable { level: 1 }),
+            1
+        );
+        assert_eq!(t.count_on_socket(SocketId::new(0), FrameKind::Data), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot link an empty replica set")]
+    fn linking_empty_set_panics() {
+        let mut t = table();
+        t.link_replicas(&[]);
+    }
+}

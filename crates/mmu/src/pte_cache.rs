@@ -1,0 +1,221 @@
+//! Last-level-cache model for page-table cache lines.
+//!
+//! Page-table entries are ordinary cacheable memory: eight 8-byte PTEs share
+//! one 64-byte line, and hot lines live in the socket's L3.  The paper relies
+//! on this to explain why some 2 MiB-page workloads see no slowdown from
+//! remote page tables (GUPS' entire leaf level fits in the L3, §8.2).  This
+//! module models the page-table-line footprint in each socket's L3 as an LRU
+//! set of lines with a capacity derived from the machine's L3 size.
+
+use mitosis_mem::FrameId;
+use mitosis_numa::{Machine, SocketId};
+use std::collections::HashMap;
+
+/// Number of page-table entries per 64-byte cache line.
+const PTES_PER_LINE: u64 = 8;
+
+/// Fraction of the L3 a socket realistically devotes to page-table lines in
+/// a big-memory workload (the rest is data).  Configurable per cache.
+const DEFAULT_L3_PT_FRACTION: f64 = 0.5;
+
+/// One socket's LRU cache of page-table lines.
+#[derive(Debug, Clone)]
+pub struct PteCache {
+    lines: HashMap<(u64, u64), u64>,
+    capacity_lines: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PteCache {
+    /// Creates a cache holding `capacity_lines` page-table lines.
+    pub fn new(capacity_lines: usize) -> Self {
+        PteCache {
+            lines: HashMap::new(),
+            capacity_lines: capacity_lines.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn line_of(table: FrameId, index: usize) -> (u64, u64) {
+        (table.pfn(), index as u64 / PTES_PER_LINE)
+    }
+
+    /// Records an access to entry `index` of page-table page `table`;
+    /// returns `true` if the line was already cached.
+    pub fn access(&mut self, table: FrameId, index: usize) -> bool {
+        self.tick += 1;
+        let key = Self::line_of(table, index);
+        if self.lines.contains_key(&key) {
+            self.lines.insert(key, self.tick);
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.lines.len() >= self.capacity_lines {
+            if let Some((&lru, _)) = self.lines.iter().min_by_key(|(_, t)| **t) {
+                self.lines.remove(&lru);
+            }
+        }
+        self.lines.insert(key, self.tick);
+        false
+    }
+
+    /// Invalidates every line belonging to `table` (table freed or migrated).
+    pub fn invalidate_table(&mut self, table: FrameId) {
+        self.lines.retain(|(pfn, _), _| *pfn != table.pfn());
+    }
+
+    /// Number of line hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of line misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Current number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Configured capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.capacity_lines
+    }
+}
+
+/// One [`PteCache`] per socket, shared by all cores of that socket.
+#[derive(Debug, Clone)]
+pub struct PteCacheSet {
+    caches: Vec<PteCache>,
+}
+
+impl PteCacheSet {
+    /// Creates per-socket caches sized from the machine's L3 capacity, using
+    /// the default fraction reserved for page-table lines.
+    pub fn for_machine(machine: &Machine) -> Self {
+        PteCacheSet::with_fraction(machine, DEFAULT_L3_PT_FRACTION)
+    }
+
+    /// Creates per-socket caches devoting `fraction` of the L3 to page-table
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not within `(0, 1]`.
+    pub fn with_fraction(machine: &Machine, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "L3 page-table fraction must be within (0, 1]"
+        );
+        let lines = ((machine.l3_bytes_per_socket() as f64 * fraction) / 64.0) as usize;
+        PteCacheSet {
+            caches: (0..machine.sockets()).map(|_| PteCache::new(lines)).collect(),
+        }
+    }
+
+    /// Creates per-socket caches with an explicit line capacity (tests).
+    pub fn with_capacity(sockets: usize, capacity_lines: usize) -> Self {
+        PteCacheSet {
+            caches: (0..sockets).map(|_| PteCache::new(capacity_lines)).collect(),
+        }
+    }
+
+    /// The cache of one socket.
+    pub fn socket(&mut self, socket: SocketId) -> &mut PteCache {
+        &mut self.caches[socket.index()]
+    }
+
+    /// Read-only access to one socket's cache.
+    pub fn socket_ref(&self, socket: SocketId) -> &PteCache {
+        &self.caches[socket.index()]
+    }
+
+    /// Number of sockets covered.
+    pub fn sockets(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Invalidates lines of `table` on every socket (e.g. after migration).
+    pub fn invalidate_table_everywhere(&mut self, table: FrameId) {
+        for cache in &mut self.caches {
+            cache.invalidate_table(table);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitosis_numa::MachineConfig;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut cache = PteCache::new(16);
+        assert!(!cache.access(FrameId::new(1), 0));
+        assert!(cache.access(FrameId::new(1), 0));
+        // Entries sharing the 64-byte line hit too.
+        assert!(cache.access(FrameId::new(1), 7));
+        assert!(!cache.access(FrameId::new(1), 8));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_when_capacity_exceeded() {
+        let mut cache = PteCache::new(2);
+        cache.access(FrameId::new(1), 0);
+        cache.access(FrameId::new(2), 0);
+        cache.access(FrameId::new(1), 0); // refresh 1, making 2 the LRU
+        cache.access(FrameId::new(3), 0); // evicts 2
+        assert!(cache.access(FrameId::new(1), 0));
+        assert!(!cache.access(FrameId::new(2), 0));
+        assert_eq!(cache.occupancy(), 2);
+    }
+
+    #[test]
+    fn invalidate_table_removes_all_its_lines() {
+        let mut cache = PteCache::new(16);
+        cache.access(FrameId::new(5), 0);
+        cache.access(FrameId::new(5), 64);
+        cache.access(FrameId::new(6), 0);
+        cache.invalidate_table(FrameId::new(5));
+        assert!(!cache.access(FrameId::new(5), 0));
+        assert!(cache.access(FrameId::new(6), 0));
+    }
+
+    #[test]
+    fn cache_set_is_sized_from_the_machine_l3() {
+        let machine = MachineConfig::paper_testbed().build();
+        let set = PteCacheSet::for_machine(&machine);
+        assert_eq!(set.sockets(), 4);
+        let expected_lines = (35 * 1024 * 1024 / 2) / 64;
+        assert_eq!(
+            set.socket_ref(SocketId::new(0)).capacity_lines(),
+            expected_lines as usize
+        );
+    }
+
+    #[test]
+    fn per_socket_caches_are_independent() {
+        let mut set = PteCacheSet::with_capacity(2, 8);
+        set.socket(SocketId::new(0)).access(FrameId::new(1), 0);
+        assert!(!set.socket(SocketId::new(1)).access(FrameId::new(1), 0));
+        assert!(set.socket(SocketId::new(0)).access(FrameId::new(1), 0));
+        set.invalidate_table_everywhere(FrameId::new(1));
+        assert!(!set.socket(SocketId::new(0)).access(FrameId::new(1), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "within (0, 1]")]
+    fn invalid_fraction_panics() {
+        let machine = MachineConfig::two_socket_small().build();
+        let _ = PteCacheSet::with_fraction(&machine, 0.0);
+    }
+}

@@ -1,0 +1,335 @@
+//! Translation lookaside buffers.
+
+use mitosis_mem::FrameId;
+use mitosis_pt::{PageSize, VirtAddr};
+
+/// Which level of the TLB hierarchy served a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbLevel {
+    /// First-level (per page-size) TLB.
+    L1,
+    /// Second-level (unified) TLB.
+    L2,
+}
+
+/// A set-associative TLB with LRU replacement.
+///
+/// Entries are tagged by virtual page number and store the translation's
+/// first frame; the page size is a property of the TLB instance (the split
+/// L1 design) or recorded per entry (unified L2).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: Vec<Vec<TlbEntry>>,
+    ways: usize,
+    /// Monotonic counter used for LRU ordering.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpn: u64,
+    size: PageSize,
+    frame: FrameId,
+    last_used: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` total entries and `ways` ways per set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a multiple of `ways` or either is zero.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(entries > 0 && ways > 0, "TLB dimensions must be positive");
+        assert!(entries % ways == 0, "entries must be a multiple of ways");
+        let sets = entries / ways;
+        Tlb {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    fn set_index(&self, vpn: u64) -> usize {
+        (vpn % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up the translation of `addr` at page size `size`.
+    pub fn lookup(&mut self, addr: VirtAddr, size: PageSize) -> Option<FrameId> {
+        self.tick += 1;
+        let vpn = addr.page_number(size);
+        let set = self.set_index(vpn);
+        let tick = self.tick;
+        if let Some(entry) = self.sets[set]
+            .iter_mut()
+            .find(|e| e.vpn == vpn && e.size == size)
+        {
+            entry.last_used = tick;
+            self.hits += 1;
+            return Some(entry.frame);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts a translation, evicting the LRU entry of the set if full.
+    pub fn insert(&mut self, addr: VirtAddr, size: PageSize, frame: FrameId) {
+        self.tick += 1;
+        let vpn = addr.page_number(size);
+        let set = self.set_index(vpn);
+        let ways = self.ways;
+        let tick = self.tick;
+        let entries = &mut self.sets[set];
+        if let Some(entry) = entries.iter_mut().find(|e| e.vpn == vpn && e.size == size) {
+            entry.frame = frame;
+            entry.last_used = tick;
+            return;
+        }
+        if entries.len() >= ways {
+            let lru = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            entries.swap_remove(lru);
+        }
+        entries.push(TlbEntry {
+            vpn,
+            size,
+            frame,
+            last_used: tick,
+        });
+    }
+
+    /// Invalidates every entry (a full TLB flush, e.g. on CR3 write).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Invalidates the entry covering `addr` at `size`, if present
+    /// (`invlpg`).
+    pub fn flush_page(&mut self, addr: VirtAddr, size: PageSize) {
+        let vpn = addr.page_number(size);
+        let set = self.set_index(vpn);
+        self.sets[set].retain(|e| !(e.vpn == vpn && e.size == size));
+    }
+
+    /// Number of lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// The per-core two-level TLB hierarchy of the paper's testbed: split 64-entry
+/// L1 TLBs (4 KiB and 2 MiB) backed by a 1024-entry unified L2 (STLB).
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    l1_4k: Tlb,
+    l1_2m: Tlb,
+    l2: Tlb,
+    /// Cycles charged when a lookup is served by the L2 TLB.
+    l2_hit_penalty: u64,
+}
+
+impl TlbHierarchy {
+    /// Creates the hierarchy with the paper's sizes (64 + 32 + 1024 entries).
+    pub fn paper_testbed() -> Self {
+        TlbHierarchy::new(64, 32, 1024)
+    }
+
+    /// Creates a hierarchy with explicit entry counts.
+    pub fn new(l1_4k_entries: usize, l1_2m_entries: usize, l2_entries: usize) -> Self {
+        TlbHierarchy {
+            l1_4k: Tlb::new(l1_4k_entries, 4),
+            l1_2m: Tlb::new(l1_2m_entries, 4),
+            l2: Tlb::new(l2_entries, 8),
+            l2_hit_penalty: 7,
+        }
+    }
+
+    /// Looks up `addr`; returns the serving level, frame and extra cycles.
+    pub fn lookup(&mut self, addr: VirtAddr, size: PageSize) -> Option<(TlbLevel, FrameId, u64)> {
+        let l1 = match size {
+            PageSize::Base4K => &mut self.l1_4k,
+            PageSize::Huge2M | PageSize::Giant1G => &mut self.l1_2m,
+        };
+        if let Some(frame) = l1.lookup(addr, size) {
+            return Some((TlbLevel::L1, frame, 0));
+        }
+        if let Some(frame) = self.l2.lookup(addr, size) {
+            // Promote into L1.
+            let l1 = match size {
+                PageSize::Base4K => &mut self.l1_4k,
+                PageSize::Huge2M | PageSize::Giant1G => &mut self.l1_2m,
+            };
+            l1.insert(addr, size, frame);
+            return Some((TlbLevel::L2, frame, self.l2_hit_penalty));
+        }
+        None
+    }
+
+    /// Installs a translation into both levels (as a walk completion does).
+    pub fn insert(&mut self, addr: VirtAddr, size: PageSize, frame: FrameId) {
+        match size {
+            PageSize::Base4K => self.l1_4k.insert(addr, size, frame),
+            PageSize::Huge2M | PageSize::Giant1G => self.l1_2m.insert(addr, size, frame),
+        }
+        self.l2.insert(addr, size, frame);
+    }
+
+    /// Flushes every entry (CR3 write without PCID, or shootdown broadcast).
+    pub fn flush(&mut self) {
+        self.l1_4k.flush();
+        self.l1_2m.flush();
+        self.l2.flush();
+    }
+
+    /// Flushes one page from every level.
+    pub fn flush_page(&mut self, addr: VirtAddr, size: PageSize) {
+        self.l1_4k.flush_page(addr, size);
+        self.l1_2m.flush_page(addr, size);
+        self.l2.flush_page(addr, size);
+    }
+
+    /// Combined hit count across levels.
+    pub fn hits(&self) -> u64 {
+        self.l1_4k.hits() + self.l1_2m.hits() + self.l2.hits()
+    }
+
+    /// Misses of the last level (i.e. accesses that required a page walk).
+    pub fn walk_triggering_misses(&self) -> u64 {
+        self.l2.misses()
+    }
+
+    /// Approximate total reach of the hierarchy in bytes for a page size.
+    pub fn reach(&self, size: PageSize) -> u64 {
+        let entries = match size {
+            PageSize::Base4K => self.l1_4k.capacity() + self.l2.capacity(),
+            PageSize::Huge2M | PageSize::Giant1G => self.l1_2m.capacity() + self.l2.capacity(),
+        };
+        entries as u64 * size.bytes()
+    }
+}
+
+impl Default for TlbHierarchy {
+    fn default() -> Self {
+        TlbHierarchy::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn va(page: u64) -> VirtAddr {
+        VirtAddr::new(page * 4096)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut tlb = Tlb::new(64, 4);
+        tlb.insert(va(5), PageSize::Base4K, FrameId::new(50));
+        assert_eq!(tlb.lookup(va(5), PageSize::Base4K), Some(FrameId::new(50)));
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 0);
+    }
+
+    #[test]
+    fn miss_on_empty_and_after_flush() {
+        let mut tlb = Tlb::new(64, 4);
+        assert_eq!(tlb.lookup(va(1), PageSize::Base4K), None);
+        tlb.insert(va(1), PageSize::Base4K, FrameId::new(10));
+        tlb.flush();
+        assert_eq!(tlb.lookup(va(1), PageSize::Base4K), None);
+        assert_eq!(tlb.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_a_set() {
+        // Fully associative (1 set, 4 ways): inserting 5 pages evicts the LRU.
+        let mut tlb = Tlb::new(4, 4);
+        for page in 0..4 {
+            tlb.insert(va(page), PageSize::Base4K, FrameId::new(page));
+        }
+        // Touch pages 1..4 so page 0 becomes LRU.
+        for page in 1..4 {
+            assert!(tlb.lookup(va(page), PageSize::Base4K).is_some());
+        }
+        tlb.insert(va(100), PageSize::Base4K, FrameId::new(100));
+        assert_eq!(tlb.lookup(va(0), PageSize::Base4K), None);
+        assert!(tlb.lookup(va(100), PageSize::Base4K).is_some());
+        assert_eq!(tlb.occupancy(), 4);
+    }
+
+    #[test]
+    fn flush_page_removes_only_that_page() {
+        let mut tlb = Tlb::new(64, 4);
+        tlb.insert(va(1), PageSize::Base4K, FrameId::new(1));
+        tlb.insert(va(2), PageSize::Base4K, FrameId::new(2));
+        tlb.flush_page(va(1), PageSize::Base4K);
+        assert_eq!(tlb.lookup(va(1), PageSize::Base4K), None);
+        assert!(tlb.lookup(va(2), PageSize::Base4K).is_some());
+    }
+
+    #[test]
+    fn hierarchy_promotes_from_l2_to_l1() {
+        let mut h = TlbHierarchy::new(8, 8, 64);
+        h.insert(va(3), PageSize::Base4K, FrameId::new(30));
+        // Evict from tiny L1 by filling it with other pages mapping to all sets.
+        for page in 100..116 {
+            h.l1_4k.insert(va(page), PageSize::Base4K, FrameId::new(page));
+        }
+        let (level, frame, penalty) = h.lookup(va(3), PageSize::Base4K).unwrap();
+        assert_eq!(level, TlbLevel::L2);
+        assert_eq!(frame, FrameId::new(30));
+        assert!(penalty > 0);
+        // Second lookup now hits L1.
+        let (level, _, penalty) = h.lookup(va(3), PageSize::Base4K).unwrap();
+        assert_eq!(level, TlbLevel::L1);
+        assert_eq!(penalty, 0);
+    }
+
+    #[test]
+    fn huge_pages_use_the_2m_l1() {
+        let mut h = TlbHierarchy::paper_testbed();
+        let addr = VirtAddr::new(0x4000_0000);
+        h.insert(addr, PageSize::Huge2M, FrameId::new(512));
+        assert!(h.lookup(addr, PageSize::Huge2M).is_some());
+        assert_eq!(h.lookup(addr, PageSize::Base4K), None);
+    }
+
+    #[test]
+    fn reach_scales_with_page_size() {
+        let h = TlbHierarchy::paper_testbed();
+        assert!(h.reach(PageSize::Huge2M) > 100 * h.reach(PageSize::Base4K));
+        assert_eq!(h.reach(PageSize::Base4K), (64 + 1024) * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn invalid_geometry_panics() {
+        let _ = Tlb::new(10, 4);
+    }
+}

@@ -1,0 +1,252 @@
+//! Machine configuration presets and the builder tying topology and cost
+//! model together.
+
+use crate::cost::CostModel;
+use crate::topology::Topology;
+use crate::{Cycles, GIB, MIB};
+
+/// Latency/bandwidth profile of the inter-socket interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectProfile {
+    /// Local DRAM latency in cycles.
+    pub local_latency: Cycles,
+    /// Remote DRAM latency in cycles.
+    pub remote_latency: Cycles,
+    /// L3 hit latency in cycles.
+    pub l3_latency: Cycles,
+    /// Local memory bandwidth in GB/s.
+    pub local_bandwidth_gbps: f64,
+    /// Remote memory bandwidth in GB/s.
+    pub remote_bandwidth_gbps: f64,
+}
+
+impl InterconnectProfile {
+    /// The paper's Xeon E7-4850v3 numbers (280/580 cycles, 28/11 GB/s).
+    pub const fn xeon_e7_4850_v3() -> Self {
+        InterconnectProfile {
+            local_latency: 280,
+            remote_latency: 580,
+            l3_latency: 42,
+            local_bandwidth_gbps: 28.0,
+            remote_bandwidth_gbps: 11.0,
+        }
+    }
+
+    /// A profile with a steeper NUMA factor (roughly EPYC inter-package),
+    /// useful for sensitivity studies.
+    pub const fn steep_numa() -> Self {
+        InterconnectProfile {
+            local_latency: 250,
+            remote_latency: 750,
+            l3_latency: 40,
+            local_bandwidth_gbps: 40.0,
+            remote_bandwidth_gbps: 10.0,
+        }
+    }
+}
+
+/// Builder for a simulated machine: topology plus cost model.
+///
+/// # Example
+///
+/// ```
+/// use mitosis_numa::MachineConfig;
+///
+/// let machine = MachineConfig::paper_testbed().build();
+/// assert_eq!(machine.total_cores(), 56);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    sockets: u16,
+    cores_per_socket: u32,
+    memory_per_socket: u64,
+    l3_bytes_per_socket: u64,
+    interconnect: InterconnectProfile,
+    scale: u64,
+}
+
+impl MachineConfig {
+    /// Starts a configuration with explicit socket/core counts.
+    pub fn new(sockets: u16, cores_per_socket: u32) -> Self {
+        MachineConfig {
+            sockets,
+            cores_per_socket,
+            memory_per_socket: 128 * GIB,
+            l3_bytes_per_socket: 35 * MIB,
+            interconnect: InterconnectProfile::xeon_e7_4850_v3(),
+            scale: 1,
+        }
+    }
+
+    /// The paper's testbed: 4 sockets x 14 cores, 128 GiB and 35 MiB L3 per
+    /// socket, Xeon E7-4850v3 interconnect numbers.
+    pub fn paper_testbed() -> Self {
+        MachineConfig::new(4, 14)
+    }
+
+    /// The paper's testbed scaled down by a factor of 16 in capacity
+    /// (memory and L3) so that experiments with gigabyte-scale footprints
+    /// reproduce the cache/TLB pressure ratios of the hundreds-of-gigabytes
+    /// originals.  Latencies and core counts are unchanged.
+    pub fn paper_testbed_scaled() -> Self {
+        MachineConfig::paper_testbed().with_scale(16)
+    }
+
+    /// A small two-socket machine, convenient for unit tests.
+    pub fn two_socket_small() -> Self {
+        MachineConfig::new(2, 4)
+            .with_memory_per_socket(4 * GIB)
+            .with_l3_bytes_per_socket(8 * MIB)
+    }
+
+    /// Sets the DRAM capacity attached to each socket.
+    pub fn with_memory_per_socket(mut self, bytes: u64) -> Self {
+        self.memory_per_socket = bytes;
+        self
+    }
+
+    /// Sets the last-level cache capacity of each socket.
+    pub fn with_l3_bytes_per_socket(mut self, bytes: u64) -> Self {
+        self.l3_bytes_per_socket = bytes;
+        self
+    }
+
+    /// Sets the interconnect latency/bandwidth profile.
+    pub fn with_interconnect(mut self, profile: InterconnectProfile) -> Self {
+        self.interconnect = profile;
+        self
+    }
+
+    /// Scales capacities (memory, L3) down by `factor`, keeping latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn with_scale(mut self, factor: u64) -> Self {
+        assert!(factor > 0, "scale factor must be positive");
+        self.scale = factor;
+        self
+    }
+
+    /// The configured capacity scale factor.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+
+    /// Builds the immutable [`Machine`] description.
+    pub fn build(self) -> Machine {
+        let topology = Topology::new(
+            self.sockets,
+            self.cores_per_socket,
+            (self.memory_per_socket / self.scale).max(MIB),
+            (self.l3_bytes_per_socket / self.scale).max(64 * crate::KIB),
+        );
+        let cost = CostModel::new(
+            topology.sockets(),
+            self.interconnect.local_latency,
+            self.interconnect.remote_latency,
+            self.interconnect.l3_latency,
+            self.interconnect.local_bandwidth_gbps,
+            self.interconnect.remote_bandwidth_gbps,
+        );
+        Machine {
+            topology,
+            cost,
+            scale: self.scale,
+        }
+    }
+}
+
+/// An immutable machine description: topology plus cost model.
+///
+/// `Machine` dereferences to [`Topology`] for convenience, so all topology
+/// accessors (`sockets()`, `socket_of_core()`, ...) are available directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    topology: Topology,
+    cost: CostModel,
+    scale: u64,
+}
+
+impl Machine {
+    /// The machine's topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The machine's memory-access cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Mutable access to the cost model (to install interference).
+    pub fn cost_model_mut(&mut self) -> &mut CostModel {
+        &mut self.cost
+    }
+
+    /// Capacity scale factor this machine was built with.
+    pub fn scale(&self) -> u64 {
+        self.scale
+    }
+}
+
+impl std::ops::Deref for Machine {
+    type Target = Topology;
+
+    fn deref(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::SocketId;
+    use crate::AccessKind;
+
+    #[test]
+    fn paper_testbed_dimensions() {
+        let machine = MachineConfig::paper_testbed().build();
+        assert_eq!(machine.sockets(), 4);
+        assert_eq!(machine.cores_per_socket(), 14);
+        assert_eq!(machine.memory_per_socket(), 128 * GIB);
+        assert_eq!(machine.l3_bytes_per_socket(), 35 * MIB);
+    }
+
+    #[test]
+    fn scaled_testbed_shrinks_capacity_not_latency() {
+        let machine = MachineConfig::paper_testbed_scaled().build();
+        assert_eq!(machine.memory_per_socket(), 8 * GIB);
+        assert_eq!(machine.cost_model().local_dram_latency(), 280);
+        assert_eq!(machine.cost_model().remote_dram_latency(), 580);
+        assert_eq!(machine.scale(), 16);
+    }
+
+    #[test]
+    fn interference_can_be_installed_via_cost_model_mut() {
+        let mut machine = MachineConfig::two_socket_small().build();
+        machine
+            .cost_model_mut()
+            .set_interference(crate::Interference::on([SocketId::new(1)]));
+        let cost =
+            machine
+                .cost_model()
+                .dram_access(SocketId::new(0), SocketId::new(1), AccessKind::Data);
+        assert!(cost.interfered);
+    }
+
+    #[test]
+    fn custom_interconnect_profile_is_honoured() {
+        let machine = MachineConfig::new(8, 8)
+            .with_interconnect(InterconnectProfile::steep_numa())
+            .build();
+        assert_eq!(machine.cost_model().remote_dram_latency(), 750);
+        assert_eq!(machine.sockets(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor must be positive")]
+    fn zero_scale_panics() {
+        let _ = MachineConfig::paper_testbed().with_scale(0);
+    }
+}

@@ -1,0 +1,52 @@
+//! NUMA machine model for the Mitosis reproduction.
+//!
+//! This crate models the *hardware substrate* the paper's evaluation runs on: a
+//! multi-socket, cache-coherent NUMA machine in which every memory access is
+//! either *local* (served by the DRAM attached to the socket issuing the
+//! access) or *remote* (served across the interconnect at higher latency and
+//! lower bandwidth).
+//!
+//! The model is intentionally a *cost model* rather than a cycle-accurate
+//! simulator: what matters for reproducing the paper is which socket a
+//! page-table (or data) page lives on relative to the core that touches it,
+//! and how expensive that access is.  The defaults mirror the paper's testbed,
+//! a four-socket Intel Xeon E7-4850v3:
+//!
+//! * 4 sockets x 14 cores (2-way SMT), 128 GiB per socket,
+//! * ~280 cycles local DRAM latency, ~580 cycles remote,
+//! * ~28 GB/s local bandwidth, ~11 GB/s remote,
+//! * 35 MiB shared L3 per socket.
+//!
+//! # Example
+//!
+//! ```
+//! use mitosis_numa::MachineConfig;
+//!
+//! let machine = MachineConfig::paper_testbed().build();
+//! assert_eq!(machine.sockets(), 4);
+//! let core = machine.core(20);
+//! assert_eq!(machine.socket_of_core(core).index(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod cost;
+mod topology;
+
+pub use config::{InterconnectProfile, Machine, MachineConfig};
+pub use cost::{AccessKind, CostModel, Interference, MemoryAccessCost};
+pub use topology::{CoreId, NodeMask, SocketId, Topology};
+
+/// Convenience constant: bytes per KiB.
+pub const KIB: u64 = 1024;
+/// Convenience constant: bytes per MiB.
+pub const MIB: u64 = 1024 * KIB;
+/// Convenience constant: bytes per GiB.
+pub const GIB: u64 = 1024 * MIB;
+/// Convenience constant: bytes per TiB.
+pub const TIB: u64 = 1024 * GIB;
+
+/// Cycle count used throughout the simulator.
+pub type Cycles = u64;

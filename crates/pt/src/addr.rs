@@ -1,0 +1,258 @@
+//! Virtual addresses, page sizes and page-table levels.
+
+use std::fmt;
+
+/// Number of entries in one page-table page (4 KiB / 8 bytes).
+pub const ENTRIES_PER_TABLE: usize = 512;
+
+/// A canonical x86-64 virtual address (48-bit, sign-extended ignored — the
+/// simulator only uses the lower half of the address space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address does not fit in 48 bits.
+    pub const fn new(addr: u64) -> Self {
+        assert!(addr < (1 << 48), "virtual address exceeds 48 bits");
+        VirtAddr(addr)
+    }
+
+    /// Returns the raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn add(self, bytes: u64) -> VirtAddr {
+        VirtAddr::new(self.0 + bytes)
+    }
+
+    /// Returns the address rounded down to the given page size.
+    pub const fn align_down(self, size: PageSize) -> VirtAddr {
+        VirtAddr(self.0 & !(size.bytes() - 1))
+    }
+
+    /// Returns the address rounded up to the given page size.
+    pub const fn align_up(self, size: PageSize) -> VirtAddr {
+        VirtAddr::new((self.0 + size.bytes() - 1) & !(size.bytes() - 1))
+    }
+
+    /// Returns `true` if the address is aligned to the given page size.
+    pub const fn is_aligned(self, size: PageSize) -> bool {
+        self.0 % size.bytes() == 0
+    }
+
+    /// Returns the page-table index used at `level` when translating this
+    /// address (9 bits per level).
+    pub const fn index_at(self, level: Level) -> usize {
+        ((self.0 >> level.index_shift()) & 0x1ff) as usize
+    }
+
+    /// Returns the offset of the address within a page of the given size.
+    pub const fn page_offset(self, size: PageSize) -> u64 {
+        self.0 & (size.bytes() - 1)
+    }
+
+    /// Returns the virtual page number at the given page size.
+    pub const fn page_number(self, size: PageSize) -> u64 {
+        self.0 / size.bytes()
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(value: u64) -> Self {
+        VirtAddr::new(value)
+    }
+}
+
+/// Page sizes supported by x86-64 paging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PageSize {
+    /// 4 KiB base pages (mapped at L1).
+    Base4K,
+    /// 2 MiB huge pages (mapped at L2 with the PS bit).
+    Huge2M,
+    /// 1 GiB giant pages (mapped at L3 with the PS bit).
+    Giant1G,
+}
+
+impl PageSize {
+    /// The page size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base4K => 4096,
+            PageSize::Huge2M => 2 * 1024 * 1024,
+            PageSize::Giant1G => 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Number of 4 KiB frames backing one page of this size.
+    pub const fn frames(self) -> u64 {
+        self.bytes() / 4096
+    }
+
+    /// The page-table level at which a page of this size is mapped.
+    pub const fn mapped_at(self) -> Level {
+        match self {
+            PageSize::Base4K => Level::L1,
+            PageSize::Huge2M => Level::L2,
+            PageSize::Giant1G => Level::L3,
+        }
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageSize::Base4K => write!(f, "4KiB"),
+            PageSize::Huge2M => write!(f, "2MiB"),
+            PageSize::Giant1G => write!(f, "1GiB"),
+        }
+    }
+}
+
+/// A level of the 4-level radix page table.  L4 is the root (PML4), L1 holds
+/// leaf PTEs for 4 KiB pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Leaf level (page table, PTEs).
+    L1,
+    /// Page directory (PDEs; 2 MiB mappings live here).
+    L2,
+    /// Page directory pointer table (1 GiB mappings live here).
+    L3,
+    /// Root level (PML4).
+    L4,
+}
+
+impl Level {
+    /// All levels from the root down to the leaf, in walk order.
+    pub const WALK_ORDER: [Level; 4] = [Level::L4, Level::L3, Level::L2, Level::L1];
+
+    /// The numeric level (1..=4), matching the paper's "L1".."L4" notation.
+    pub const fn number(self) -> u8 {
+        match self {
+            Level::L1 => 1,
+            Level::L2 => 2,
+            Level::L3 => 3,
+            Level::L4 => 4,
+        }
+    }
+
+    /// Creates a level from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number` is not within `1..=4`.
+    pub const fn from_number(number: u8) -> Self {
+        match number {
+            1 => Level::L1,
+            2 => Level::L2,
+            3 => Level::L3,
+            4 => Level::L4,
+            _ => panic!("page-table level must be within 1..=4"),
+        }
+    }
+
+    /// The next level down the walk (towards the leaf), if any.
+    pub const fn next_lower(self) -> Option<Level> {
+        match self {
+            Level::L4 => Some(Level::L3),
+            Level::L3 => Some(Level::L2),
+            Level::L2 => Some(Level::L1),
+            Level::L1 => None,
+        }
+    }
+
+    /// The bit position of the 9-bit index this level extracts from a
+    /// virtual address.
+    pub const fn index_shift(self) -> u32 {
+        match self {
+            Level::L1 => 12,
+            Level::L2 => 21,
+            Level::L3 => 30,
+            Level::L4 => 39,
+        }
+    }
+
+    /// Bytes of virtual address space covered by one entry at this level.
+    pub const fn entry_coverage(self) -> u64 {
+        1u64 << self.index_shift()
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.number())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_extraction_matches_x86_64_layout() {
+        // Address with distinct indices: L4=1, L3=2, L2=3, L1=4, offset=5.
+        let addr = VirtAddr::new((1 << 39) | (2 << 30) | (3 << 21) | (4 << 12) | 5);
+        assert_eq!(addr.index_at(Level::L4), 1);
+        assert_eq!(addr.index_at(Level::L3), 2);
+        assert_eq!(addr.index_at(Level::L2), 3);
+        assert_eq!(addr.index_at(Level::L1), 4);
+        assert_eq!(addr.page_offset(PageSize::Base4K), 5);
+    }
+
+    #[test]
+    fn alignment_helpers() {
+        let addr = VirtAddr::new(0x2000_1234);
+        assert_eq!(addr.align_down(PageSize::Base4K).as_u64(), 0x2000_1000);
+        assert_eq!(addr.align_up(PageSize::Base4K).as_u64(), 0x2000_2000);
+        assert_eq!(addr.align_down(PageSize::Huge2M).as_u64(), 0x2000_0000);
+        assert!(VirtAddr::new(0x4000_0000).is_aligned(PageSize::Giant1G));
+        assert!(!addr.is_aligned(PageSize::Huge2M));
+    }
+
+    #[test]
+    fn page_sizes_and_levels_are_consistent() {
+        assert_eq!(PageSize::Base4K.bytes(), 4096);
+        assert_eq!(PageSize::Huge2M.frames(), 512);
+        assert_eq!(PageSize::Giant1G.frames(), 512 * 512);
+        assert_eq!(PageSize::Base4K.mapped_at(), Level::L1);
+        assert_eq!(PageSize::Huge2M.mapped_at(), Level::L2);
+        assert_eq!(PageSize::Giant1G.mapped_at(), Level::L3);
+    }
+
+    #[test]
+    fn level_numbers_roundtrip() {
+        for level in Level::WALK_ORDER {
+            assert_eq!(Level::from_number(level.number()), level);
+        }
+        assert_eq!(Level::L4.next_lower(), Some(Level::L3));
+        assert_eq!(Level::L1.next_lower(), None);
+        assert_eq!(Level::L2.entry_coverage(), 2 * 1024 * 1024);
+        assert_eq!(Level::L4.entry_coverage(), 512u64 << 30);
+    }
+
+    #[test]
+    fn page_number_and_offsets() {
+        let addr = VirtAddr::new(5 * 4096 + 17);
+        assert_eq!(addr.page_number(PageSize::Base4K), 5);
+        assert_eq!(addr.page_offset(PageSize::Base4K), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn non_canonical_address_panics() {
+        let _ = VirtAddr::new(1 << 48);
+    }
+}

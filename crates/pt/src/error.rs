@@ -1,0 +1,84 @@
+//! Error type for page-table operations.
+
+use crate::addr::{PageSize, VirtAddr};
+use mitosis_mem::MemError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by page-table manipulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtError {
+    /// The virtual address is already mapped (possibly by a larger page).
+    AlreadyMapped {
+        /// Address whose mapping collided.
+        addr: VirtAddr,
+    },
+    /// The virtual address is not mapped.
+    NotMapped {
+        /// Address that was expected to be mapped.
+        addr: VirtAddr,
+    },
+    /// The virtual address is not aligned to the requested page size.
+    Misaligned {
+        /// Offending address.
+        addr: VirtAddr,
+        /// Page size the operation required.
+        size: PageSize,
+    },
+    /// A physical memory allocation failed.
+    Mem(MemError),
+}
+
+impl fmt::Display for PtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtError::AlreadyMapped { addr } => write!(f, "address {addr} is already mapped"),
+            PtError::NotMapped { addr } => write!(f, "address {addr} is not mapped"),
+            PtError::Misaligned { addr, size } => {
+                write!(f, "address {addr} is not aligned to {size}")
+            }
+            PtError::Mem(err) => write!(f, "physical memory error: {err}"),
+        }
+    }
+}
+
+impl Error for PtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PtError::Mem(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for PtError {
+    fn from(err: MemError) -> Self {
+        PtError::Mem(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitosis_numa::SocketId;
+
+    #[test]
+    fn messages_and_source_chain() {
+        let err = PtError::from(MemError::OutOfMemory {
+            socket: SocketId::new(1),
+        });
+        assert!(err.to_string().contains("physical memory error"));
+        assert!(err.source().is_some());
+        assert!(PtError::NotMapped {
+            addr: VirtAddr::new(0x1000)
+        }
+        .source()
+        .is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<E: Error + Send + Sync + 'static>() {}
+        assert_bounds::<PtError>();
+    }
+}

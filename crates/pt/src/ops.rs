@@ -1,0 +1,382 @@
+//! The paravirtualised page-table interface (PV-Ops).
+//!
+//! Linux routes page-table allocation, freeing and entry writes through the
+//! `paravirt_ops` indirection layer so hypervisors like Xen can intercept
+//! them.  The paper implements Mitosis as a *new PV-Ops backend* next to the
+//! native and Xen ones (paper §5.2, Listing 1).  This module defines the
+//! equivalent interface for the simulator:
+//!
+//! * [`PvOps`] — the trait the virtual memory subsystem calls for every
+//!   page-table mutation;
+//! * [`NativePvOps`] — the pass-through backend (stock Linux behaviour);
+//! * the Mitosis backend lives in the `mitosis` crate and propagates every
+//!   write to all replicas.
+//!
+//! [`PtEnv`]/[`PtContext`] bundle the physical-memory state every backend
+//! needs (page-table contents, frame metadata, allocator and per-socket page
+//! cache) so that backends themselves stay stateless apart from statistics.
+
+use crate::addr::Level;
+use crate::entry::Pte;
+use crate::error::PtError;
+use crate::mapper::PtRoots;
+use crate::store::PtStore;
+use mitosis_mem::{FrameAllocator, FrameId, FrameKind, FrameTable, PageCache};
+use mitosis_numa::{Machine, NodeMask, SocketId};
+
+/// Number of page-table frames each socket keeps in reserve by default.
+/// Corresponds to the sysctl knob of paper §5.1.
+pub const DEFAULT_PAGE_CACHE_TARGET: usize = 64;
+
+/// Replication request attached to an address space.
+///
+/// An empty mask means "no replication" (native behaviour).  A non-empty mask
+/// requests one page-table replica on every socket in the mask, which is what
+/// `numa_set_pgtable_replication_mask` installs in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicationSpec {
+    mask: NodeMask,
+}
+
+impl ReplicationSpec {
+    /// No replication: a single page-table, as in stock Linux.
+    pub fn none() -> Self {
+        ReplicationSpec {
+            mask: NodeMask::EMPTY,
+        }
+    }
+
+    /// Replicate page-tables on every socket in `mask`.
+    pub fn on(mask: NodeMask) -> Self {
+        ReplicationSpec { mask }
+    }
+
+    /// Replicate page-tables on every socket of an `n`-socket machine.
+    pub fn all_sockets(n: usize) -> Self {
+        ReplicationSpec {
+            mask: NodeMask::all(n),
+        }
+    }
+
+    /// The replication mask.
+    pub fn mask(&self) -> NodeMask {
+        self.mask
+    }
+
+    /// Returns `true` if replication is requested (non-empty mask).
+    pub fn is_enabled(&self) -> bool {
+        !self.mask.is_empty()
+    }
+
+    /// Returns the sockets replicas should exist on.
+    pub fn sockets(&self) -> Vec<SocketId> {
+        self.mask.iter().collect()
+    }
+}
+
+/// Counters describing the page-table work a backend has performed.
+///
+/// The paper's Table 5 (VMA-operation overheads) is derived from these: with
+/// 4-way replication every `set_pte` turns into four entry writes plus the
+/// replica-ring traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PtOpStats {
+    /// Page-table entry writes performed on primary tables.
+    pub pte_writes: u64,
+    /// Additional entry writes performed on replicas.
+    pub replica_pte_writes: u64,
+    /// Reads of the replica ring performed to locate replicas.
+    pub replica_ring_reads: u64,
+    /// Page-table pages allocated (including replicas).
+    pub tables_allocated: u64,
+    /// Page-table pages freed (including replicas).
+    pub tables_freed: u64,
+}
+
+impl PtOpStats {
+    /// Total memory references attributable to page-table maintenance,
+    /// in units of one entry access.
+    pub fn total_references(&self) -> u64 {
+        self.pte_writes + self.replica_pte_writes + self.replica_ring_reads
+    }
+}
+
+/// Owner of all physical page-table state: contents, frame metadata,
+/// allocator and the per-socket page cache.
+#[derive(Debug, Clone)]
+pub struct PtEnv {
+    /// Contents of page-table pages.
+    pub store: PtStore,
+    /// Per-frame metadata (`struct page`), including replica rings.
+    pub frames: FrameTable,
+    /// The machine's frame allocator.
+    pub alloc: FrameAllocator,
+    /// Per-socket reserves for page-table frames.
+    pub page_cache: PageCache,
+}
+
+impl PtEnv {
+    /// Creates the environment for a machine, with the default page-cache
+    /// reserve target.
+    pub fn new(machine: &Machine) -> Self {
+        let alloc = FrameAllocator::new(machine);
+        let frames = FrameTable::new(alloc.frame_space().clone());
+        PtEnv {
+            store: PtStore::new(),
+            frames,
+            alloc,
+            page_cache: PageCache::new(machine.sockets(), DEFAULT_PAGE_CACHE_TARGET),
+        }
+    }
+
+    /// Borrows every component as a [`PtContext`] for use by a backend.
+    pub fn context(&mut self) -> PtContext<'_> {
+        PtContext {
+            store: &mut self.store,
+            frames: &mut self.frames,
+            alloc: &mut self.alloc,
+            page_cache: &mut self.page_cache,
+        }
+    }
+}
+
+/// Mutable view of the page-table environment handed to [`PvOps`] calls.
+#[derive(Debug)]
+pub struct PtContext<'a> {
+    /// Contents of page-table pages.
+    pub store: &'a mut PtStore,
+    /// Per-frame metadata (`struct page`), including replica rings.
+    pub frames: &'a mut FrameTable,
+    /// The machine's frame allocator.
+    pub alloc: &'a mut FrameAllocator,
+    /// Per-socket reserves for page-table frames.
+    pub page_cache: &'a mut PageCache,
+}
+
+/// The paravirtualised page-table operations interface.
+///
+/// Every page-table mutation the virtual memory subsystem performs goes
+/// through this trait, exactly as Linux routes them through PV-Ops.  The
+/// native backend writes one table; the Mitosis backend keeps all replicas
+/// consistent.
+pub trait PvOps: std::fmt::Debug {
+    /// Allocates a page-table page at `level`, homed on `socket`.
+    ///
+    /// With replication enabled the backend additionally allocates one
+    /// replica per socket in the replication mask and links them into a
+    /// circular list; the returned frame is the replica on `socket` when one
+    /// exists there.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if physical memory (or the per-socket page cache) is
+    /// exhausted.
+    fn alloc_table(
+        &mut self,
+        ctx: &mut PtContext<'_>,
+        level: Level,
+        socket: SocketId,
+        repl: &ReplicationSpec,
+    ) -> Result<FrameId, PtError>;
+
+    /// Releases a page-table page and every replica linked to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a frame was not allocated (double free).
+    fn release_table(&mut self, ctx: &mut PtContext<'_>, frame: FrameId) -> Result<(), PtError>;
+
+    /// Writes the entry at `index` of `table`, propagating to replicas.
+    fn set_pte(&mut self, ctx: &mut PtContext<'_>, table: FrameId, index: usize, pte: Pte);
+
+    /// Reads the entry at `index` of `table`.  Accessed/dirty bits reflect
+    /// every replica (logical OR), as the paper's extended PV-Ops getters do.
+    fn read_pte(&self, ctx: &PtContext<'_>, table: FrameId, index: usize) -> Pte;
+
+    /// Clears accessed and dirty bits of the entry in `table` and all its
+    /// replicas.
+    fn clear_accessed_dirty(&mut self, ctx: &mut PtContext<'_>, table: FrameId, index: usize);
+
+    /// Selects the page-table root a core on `socket` should load into CR3.
+    fn select_root(&self, roots: &PtRoots, socket: SocketId) -> FrameId {
+        roots.root_for_socket(socket)
+    }
+
+    /// Statistics accumulated since creation or the last reset.
+    fn stats(&self) -> PtOpStats;
+
+    /// Resets the statistics counters.
+    fn reset_stats(&mut self);
+}
+
+/// The pass-through PV-Ops backend: stock Linux behaviour, one page-table per
+/// process, no replication.
+#[derive(Debug, Clone, Default)]
+pub struct NativePvOps {
+    stats: PtOpStats,
+}
+
+impl NativePvOps {
+    /// Creates a native backend.
+    pub fn new() -> Self {
+        NativePvOps::default()
+    }
+}
+
+impl PvOps for NativePvOps {
+    fn alloc_table(
+        &mut self,
+        ctx: &mut PtContext<'_>,
+        level: Level,
+        socket: SocketId,
+        _repl: &ReplicationSpec,
+    ) -> Result<FrameId, PtError> {
+        let frame = ctx.page_cache.alloc_pagetable_frame(ctx.alloc, socket)?;
+        ctx.frames.insert(
+            frame,
+            FrameKind::PageTable {
+                level: level.number(),
+            },
+        );
+        ctx.store.insert_table(frame);
+        self.stats.tables_allocated += 1;
+        Ok(frame)
+    }
+
+    fn release_table(&mut self, ctx: &mut PtContext<'_>, frame: FrameId) -> Result<(), PtError> {
+        ctx.store.remove_table(frame);
+        ctx.frames.remove(frame);
+        ctx.page_cache.release_pagetable_frame(ctx.alloc, frame)?;
+        self.stats.tables_freed += 1;
+        Ok(())
+    }
+
+    fn set_pte(&mut self, ctx: &mut PtContext<'_>, table: FrameId, index: usize, pte: Pte) {
+        ctx.store.write(table, index, pte);
+        self.stats.pte_writes += 1;
+    }
+
+    fn read_pte(&self, ctx: &PtContext<'_>, table: FrameId, index: usize) -> Pte {
+        ctx.store.read(table, index)
+    }
+
+    fn clear_accessed_dirty(&mut self, ctx: &mut PtContext<'_>, table: FrameId, index: usize) {
+        let pte = ctx.store.read(table, index);
+        if pte.is_present() {
+            ctx.store.write(table, index, pte.with_ad_cleared());
+            self.stats.pte_writes += 1;
+        }
+    }
+
+    fn stats(&self) -> PtOpStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = PtOpStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::PteFlags;
+    use mitosis_numa::MachineConfig;
+
+    fn env() -> PtEnv {
+        PtEnv::new(&MachineConfig::two_socket_small().build())
+    }
+
+    #[test]
+    fn native_alloc_places_table_on_requested_socket() {
+        let mut env = env();
+        let mut ops = NativePvOps::new();
+        let mut ctx = env.context();
+        let frame = ops
+            .alloc_table(&mut ctx, Level::L4, SocketId::new(1), &ReplicationSpec::none())
+            .unwrap();
+        assert_eq!(ctx.frames.socket_of(frame), SocketId::new(1));
+        assert_eq!(
+            ctx.frames.kind(frame),
+            Some(FrameKind::PageTable { level: 4 })
+        );
+        assert!(ctx.store.contains(frame));
+        assert_eq!(ops.stats().tables_allocated, 1);
+    }
+
+    #[test]
+    fn native_set_and_read_pte() {
+        let mut env = env();
+        let mut ops = NativePvOps::new();
+        let mut ctx = env.context();
+        let table = ops
+            .alloc_table(&mut ctx, Level::L1, SocketId::new(0), &ReplicationSpec::none())
+            .unwrap();
+        let data = ctx.alloc.alloc_on(SocketId::new(0)).unwrap();
+        ops.set_pte(
+            &mut ctx,
+            table,
+            7,
+            Pte::new(data, PteFlags::user_data()),
+        );
+        assert_eq!(ops.read_pte(&ctx, table, 7).frame(), Some(data));
+        assert_eq!(ops.stats().pte_writes, 1);
+        assert_eq!(ops.stats().replica_pte_writes, 0);
+    }
+
+    #[test]
+    fn native_clear_accessed_dirty() {
+        let mut env = env();
+        let mut ops = NativePvOps::new();
+        let mut ctx = env.context();
+        let table = ops
+            .alloc_table(&mut ctx, Level::L1, SocketId::new(0), &ReplicationSpec::none())
+            .unwrap();
+        let data = ctx.alloc.alloc_on(SocketId::new(0)).unwrap();
+        ops.set_pte(
+            &mut ctx,
+            table,
+            0,
+            Pte::new(data, PteFlags::user_data()).with_accessed().with_dirty(),
+        );
+        ops.clear_accessed_dirty(&mut ctx, table, 0);
+        let pte = ops.read_pte(&ctx, table, 0);
+        assert!(!pte.flags().accessed);
+        assert!(!pte.flags().dirty);
+        // Clearing an empty entry is a no-op.
+        ops.clear_accessed_dirty(&mut ctx, table, 1);
+    }
+
+    #[test]
+    fn native_release_returns_frame() {
+        let mut env = env();
+        let mut ops = NativePvOps::new();
+        let mut ctx = env.context();
+        let table = ops
+            .alloc_table(&mut ctx, Level::L2, SocketId::new(0), &ReplicationSpec::none())
+            .unwrap();
+        ops.release_table(&mut ctx, table).unwrap();
+        assert!(!ctx.store.contains(table));
+        assert_eq!(ctx.frames.kind(table), None);
+        assert_eq!(ops.stats().tables_freed, 1);
+    }
+
+    #[test]
+    fn replication_spec_accessors() {
+        assert!(!ReplicationSpec::none().is_enabled());
+        let spec = ReplicationSpec::all_sockets(4);
+        assert!(spec.is_enabled());
+        assert_eq!(spec.sockets().len(), 4);
+        assert_eq!(spec.mask(), NodeMask::all(4));
+        let single = ReplicationSpec::on(NodeMask::single(SocketId::new(2)));
+        assert_eq!(single.sockets(), vec![SocketId::new(2)]);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let mut ops = NativePvOps::new();
+        ops.stats.pte_writes = 5;
+        ops.reset_stats();
+        assert_eq!(ops.stats().total_references(), 0);
+    }
+}

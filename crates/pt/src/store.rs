@@ -1,0 +1,176 @@
+//! Backing storage for page-table pages.
+//!
+//! The simulator does not materialise the contents of data pages (only their
+//! placement matters), but page-table pages have semantic content: 512
+//! entries each.  [`PtStore`] is the "physical memory" that holds them,
+//! indexed by the frame the table lives in.
+
+use crate::addr::ENTRIES_PER_TABLE;
+use crate::entry::Pte;
+use mitosis_mem::FrameId;
+use std::collections::HashMap;
+
+/// One page-table page: 512 entries.
+type TablePage = Box<[Pte; ENTRIES_PER_TABLE]>;
+
+fn empty_table() -> TablePage {
+    Box::new([Pte::EMPTY; ENTRIES_PER_TABLE])
+}
+
+/// Storage for the contents of every allocated page-table page.
+///
+/// # Example
+///
+/// ```
+/// use mitosis_mem::FrameId;
+/// use mitosis_pt::{Pte, PteFlags, PtStore};
+///
+/// let mut store = PtStore::new();
+/// store.insert_table(FrameId::new(100));
+/// store.write(FrameId::new(100), 3, Pte::new(FrameId::new(7), PteFlags::user_data()));
+/// assert!(store.read(FrameId::new(100), 3).is_present());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PtStore {
+    tables: HashMap<FrameId, TablePage>,
+}
+
+impl PtStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PtStore {
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Registers `frame` as a page-table page with all entries empty.
+    ///
+    /// Re-inserting an existing table clears it (matching the kernel zeroing
+    /// freshly allocated page-table pages).
+    pub fn insert_table(&mut self, frame: FrameId) {
+        self.tables.insert(frame, empty_table());
+    }
+
+    /// Removes a page-table page from the store.
+    pub fn remove_table(&mut self, frame: FrameId) {
+        self.tables.remove(&frame);
+    }
+
+    /// Returns `true` if `frame` holds a page-table page.
+    pub fn contains(&self, frame: FrameId) -> bool {
+        self.tables.contains_key(&frame)
+    }
+
+    /// Number of page-table pages currently stored.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Reads the entry at `index` of the table in `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not a page-table page or `index >= 512`.
+    pub fn read(&self, frame: FrameId, index: usize) -> Pte {
+        self.tables
+            .get(&frame)
+            .unwrap_or_else(|| panic!("{frame} is not a page-table page"))[index]
+    }
+
+    /// Writes the entry at `index` of the table in `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not a page-table page or `index >= 512`.
+    pub fn write(&mut self, frame: FrameId, index: usize, pte: Pte) {
+        self.tables
+            .get_mut(&frame)
+            .unwrap_or_else(|| panic!("{frame} is not a page-table page"))[index] = pte;
+    }
+
+    /// Iterates over the present entries of the table in `frame` as
+    /// `(index, pte)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not a page-table page.
+    pub fn present_entries(&self, frame: FrameId) -> Vec<(usize, Pte)> {
+        self.tables
+            .get(&frame)
+            .unwrap_or_else(|| panic!("{frame} is not a page-table page"))
+            .iter()
+            .enumerate()
+            .filter(|(_, pte)| pte.is_present())
+            .map(|(i, pte)| (i, *pte))
+            .collect()
+    }
+
+    /// Number of present entries in the table in `frame`.
+    pub fn present_count(&self, frame: FrameId) -> usize {
+        self.present_entries(frame).len()
+    }
+
+    /// Iterates over all page-table frames currently stored.
+    pub fn table_frames(&self) -> impl Iterator<Item = FrameId> + '_ {
+        self.tables.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::PteFlags;
+
+    #[test]
+    fn fresh_tables_are_empty() {
+        let mut store = PtStore::new();
+        store.insert_table(FrameId::new(1));
+        assert_eq!(store.present_count(FrameId::new(1)), 0);
+        assert!(!store.read(FrameId::new(1), 0).is_present());
+        assert!(store.contains(FrameId::new(1)));
+        assert_eq!(store.table_count(), 1);
+    }
+
+    #[test]
+    fn writes_are_readable_and_enumerable() {
+        let mut store = PtStore::new();
+        store.insert_table(FrameId::new(1));
+        let pte = Pte::new(FrameId::new(99), PteFlags::user_data());
+        store.write(FrameId::new(1), 511, pte);
+        store.write(FrameId::new(1), 0, pte);
+        assert_eq!(store.read(FrameId::new(1), 511), pte);
+        let entries = store.present_entries(FrameId::new(1));
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, 0);
+        assert_eq!(entries[1].0, 511);
+    }
+
+    #[test]
+    fn reinserting_clears_the_table() {
+        let mut store = PtStore::new();
+        store.insert_table(FrameId::new(1));
+        store.write(
+            FrameId::new(1),
+            5,
+            Pte::new(FrameId::new(3), PteFlags::user_data()),
+        );
+        store.insert_table(FrameId::new(1));
+        assert_eq!(store.present_count(FrameId::new(1)), 0);
+    }
+
+    #[test]
+    fn remove_table_forgets_contents() {
+        let mut store = PtStore::new();
+        store.insert_table(FrameId::new(2));
+        store.remove_table(FrameId::new(2));
+        assert!(!store.contains(FrameId::new(2)));
+        assert_eq!(store.table_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a page-table page")]
+    fn reading_unknown_table_panics() {
+        let store = PtStore::new();
+        let _ = store.read(FrameId::new(9), 0);
+    }
+}

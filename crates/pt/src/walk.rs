@@ -1,0 +1,197 @@
+//! Software page-table walks (reads only).
+//!
+//! These helpers walk a page-table radix tree directly through the
+//! [`PtStore`], the way the OS inspects its own page tables (the hardware
+//! walker with its cost model lives in `mitosis-mmu`).
+
+use crate::addr::{Level, PageSize, VirtAddr, ENTRIES_PER_TABLE};
+use crate::entry::Pte;
+use crate::store::PtStore;
+use mitosis_mem::FrameId;
+
+/// Result of translating a virtual address in software.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// First frame of the mapped page.
+    pub frame: FrameId,
+    /// Size of the mapping.
+    pub size: PageSize,
+    /// The leaf entry that produced the translation.
+    pub pte: Pte,
+    /// Level at which the leaf entry was found.
+    pub level: Level,
+}
+
+impl Translation {
+    /// Returns the exact 4 KiB frame backing `addr` (for huge pages this is
+    /// an offset into the contiguous run).
+    pub fn frame_for(&self, addr: VirtAddr) -> FrameId {
+        let offset_frames = addr.page_offset(self.size) / PageSize::Base4K.bytes();
+        self.frame.offset(offset_frames)
+    }
+}
+
+/// One leaf mapping enumerated from a page table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafMapping {
+    /// First virtual address of the mapping.
+    pub addr: VirtAddr,
+    /// First frame of the mapping.
+    pub frame: FrameId,
+    /// Size of the mapping.
+    pub size: PageSize,
+    /// The leaf entry.
+    pub pte: Pte,
+}
+
+/// Translates `addr` by walking the radix tree rooted at `root`.
+///
+/// Returns `None` if the address is unmapped.
+pub fn translate(store: &PtStore, root: FrameId, addr: VirtAddr) -> Option<Translation> {
+    let mut table = root;
+    for level in Level::WALK_ORDER {
+        let pte = store.read(table, addr.index_at(level));
+        if !pte.is_present() {
+            return None;
+        }
+        let is_leaf = level == Level::L1 || pte.is_huge();
+        if is_leaf {
+            let size = match level {
+                Level::L1 => PageSize::Base4K,
+                Level::L2 => PageSize::Huge2M,
+                Level::L3 => PageSize::Giant1G,
+                Level::L4 => return None,
+            };
+            return Some(Translation {
+                frame: pte.frame().expect("present leaf entry has a frame"),
+                size,
+                pte,
+                level,
+            });
+        }
+        table = pte.frame().expect("present table entry has a frame");
+    }
+    None
+}
+
+/// Enumerates every leaf mapping reachable from `root`, in address order.
+pub fn iter_leaf_mappings(store: &PtStore, root: FrameId) -> Vec<LeafMapping> {
+    let mut out = Vec::new();
+    collect(store, root, Level::L4, 0, &mut out);
+    out
+}
+
+fn collect(store: &PtStore, table: FrameId, level: Level, base: u64, out: &mut Vec<LeafMapping>) {
+    for index in 0..ENTRIES_PER_TABLE {
+        let pte = store.read(table, index);
+        if !pte.is_present() {
+            continue;
+        }
+        let entry_base = base + (index as u64) * level.entry_coverage();
+        let is_leaf = level == Level::L1 || pte.is_huge();
+        if is_leaf {
+            let size = match level {
+                Level::L1 => PageSize::Base4K,
+                Level::L2 => PageSize::Huge2M,
+                Level::L3 => PageSize::Giant1G,
+                Level::L4 => continue,
+            };
+            out.push(LeafMapping {
+                addr: VirtAddr::new(entry_base),
+                frame: pte.frame().expect("present leaf entry has a frame"),
+                size,
+                pte,
+            });
+        } else if let Some(next) = level.next_lower() {
+            let child = pte.frame().expect("present table entry has a frame");
+            collect(store, child, next, entry_base, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::PteFlags;
+
+    /// Builds a tiny page table by hand:
+    /// root(L4)@0 -> L3@1 -> L2@2 -> L1@3 -> data@100 at VA 0x4000_0000,
+    /// plus a 2 MiB mapping at VA 0x4020_0000 -> data@512.
+    fn build() -> (PtStore, FrameId) {
+        let mut store = PtStore::new();
+        let root = FrameId::new(0);
+        for pfn in 0..4 {
+            store.insert_table(FrameId::new(pfn));
+        }
+        let va = VirtAddr::new(0x4000_0000);
+        store.write(
+            root,
+            va.index_at(Level::L4),
+            Pte::new(FrameId::new(1), PteFlags::table_pointer()),
+        );
+        store.write(
+            FrameId::new(1),
+            va.index_at(Level::L3),
+            Pte::new(FrameId::new(2), PteFlags::table_pointer()),
+        );
+        store.write(
+            FrameId::new(2),
+            va.index_at(Level::L2),
+            Pte::new(FrameId::new(3), PteFlags::table_pointer()),
+        );
+        store.write(
+            FrameId::new(3),
+            va.index_at(Level::L1),
+            Pte::new(FrameId::new(100), PteFlags::user_data()),
+        );
+        let huge_va = VirtAddr::new(0x4020_0000);
+        store.write(
+            FrameId::new(2),
+            huge_va.index_at(Level::L2),
+            Pte::new(FrameId::new(512), PteFlags::user_data().huge_page()),
+        );
+        (store, root)
+    }
+
+    #[test]
+    fn translate_base_page() {
+        let (store, root) = build();
+        let t = translate(&store, root, VirtAddr::new(0x4000_0000)).unwrap();
+        assert_eq!(t.frame, FrameId::new(100));
+        assert_eq!(t.size, PageSize::Base4K);
+        assert_eq!(t.level, Level::L1);
+        assert_eq!(t.frame_for(VirtAddr::new(0x4000_0123)), FrameId::new(100));
+    }
+
+    #[test]
+    fn translate_huge_page_and_offsets() {
+        let (store, root) = build();
+        let t = translate(&store, root, VirtAddr::new(0x4020_0000)).unwrap();
+        assert_eq!(t.size, PageSize::Huge2M);
+        assert_eq!(t.level, Level::L2);
+        // 0x4020_0000 + 3 * 4 KiB lands three frames into the huge page.
+        assert_eq!(
+            t.frame_for(VirtAddr::new(0x4020_3000)),
+            FrameId::new(512 + 3)
+        );
+    }
+
+    #[test]
+    fn translate_unmapped_returns_none() {
+        let (store, root) = build();
+        assert!(translate(&store, root, VirtAddr::new(0x1000)).is_none());
+        assert!(translate(&store, root, VirtAddr::new(0x4000_2000)).is_none());
+    }
+
+    #[test]
+    fn iter_leaf_mappings_enumerates_both_sizes_in_order() {
+        let (store, root) = build();
+        let leaves = iter_leaf_mappings(&store, root);
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].addr, VirtAddr::new(0x4000_0000));
+        assert_eq!(leaves[0].size, PageSize::Base4K);
+        assert_eq!(leaves[1].addr, VirtAddr::new(0x4020_0000));
+        assert_eq!(leaves[1].size, PageSize::Huge2M);
+        assert_eq!(leaves[1].frame, FrameId::new(512));
+    }
+}

@@ -1,0 +1,304 @@
+//! Experiment configuration matrices (the paper's Tables 2 and 3).
+
+use std::fmt;
+
+/// Data-page placement choice for the multi-socket scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPolicyChoice {
+    /// First-touch allocation (Linux default).
+    FirstTouch,
+    /// Interleaved allocation across all sockets.
+    Interleave,
+}
+
+/// One configuration of the multi-socket scenario (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiSocketConfig {
+    /// Data-page placement policy.
+    pub data_policy: DataPolicyChoice,
+    /// Whether AutoNUMA data-page migration runs.
+    pub autonuma: bool,
+    /// Whether Mitosis page-table replication is enabled.
+    pub mitosis: bool,
+    /// Whether transparent huge pages back the workload.
+    pub thp: bool,
+}
+
+impl MultiSocketConfig {
+    /// First-touch without Mitosis (`F`).
+    pub fn first_touch() -> Self {
+        MultiSocketConfig {
+            data_policy: DataPolicyChoice::FirstTouch,
+            autonuma: false,
+            mitosis: false,
+            thp: false,
+        }
+    }
+
+    /// Enables Mitosis replication (`+M`).
+    pub fn with_mitosis(mut self) -> Self {
+        self.mitosis = true;
+        self
+    }
+
+    /// Enables AutoNUMA data migration (`-A`).
+    pub fn with_autonuma(mut self) -> Self {
+        self.autonuma = true;
+        self
+    }
+
+    /// Uses interleaved data placement (`I`).
+    pub fn with_interleave(mut self) -> Self {
+        self.data_policy = DataPolicyChoice::Interleave;
+        self
+    }
+
+    /// Backs the workload with 2 MiB transparent huge pages (`T` prefix).
+    pub fn with_thp(mut self) -> Self {
+        self.thp = true;
+        self
+    }
+
+    /// The six configurations of Figure 9, in the paper's order:
+    /// `F, F+M, F-A, F-A+M, I, I+M` (with a `T` prefix when `thp`).
+    pub fn figure9(thp: bool) -> Vec<MultiSocketConfig> {
+        let base = if thp {
+            MultiSocketConfig::first_touch().with_thp()
+        } else {
+            MultiSocketConfig::first_touch()
+        };
+        vec![
+            base,
+            base.with_mitosis(),
+            base.with_autonuma(),
+            base.with_autonuma().with_mitosis(),
+            base.with_interleave(),
+            base.with_interleave().with_mitosis(),
+        ]
+    }
+
+    /// The paper's label for this configuration.
+    pub fn label(&self) -> String {
+        let mut label = String::new();
+        if self.thp {
+            label.push('T');
+        }
+        match self.data_policy {
+            DataPolicyChoice::FirstTouch => label.push('F'),
+            DataPolicyChoice::Interleave => label.push('I'),
+        }
+        if self.autonuma {
+            label.push_str("-A");
+        }
+        if self.mitosis {
+            label.push_str("+M");
+        }
+        label
+    }
+}
+
+impl fmt::Display for MultiSocketConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One placement configuration of the workload-migration scenario (Table 2).
+///
+/// `Lp`/`Rp` — page tables local / remote; `Ld`/`Rd` — data local / remote;
+/// the trailing `i` marks an interfering memory hog on the remote socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationConfig {
+    /// Local page table, local data (the baseline).
+    LpLd,
+    /// Local page table, remote data.
+    LpRd,
+    /// Local page table, remote data with interference on the data socket.
+    LpRdi,
+    /// Remote page table, local data.
+    RpLd,
+    /// Remote page table (with interference on its socket), local data.
+    RpiLd,
+    /// Remote page table, remote data.
+    RpRd,
+    /// Remote page table and data, both with interference.
+    RpiRdi,
+}
+
+impl MigrationConfig {
+    /// All seven configurations in the paper's order (Figure 6).
+    pub fn all() -> [MigrationConfig; 7] {
+        [
+            MigrationConfig::LpLd,
+            MigrationConfig::LpRd,
+            MigrationConfig::LpRdi,
+            MigrationConfig::RpLd,
+            MigrationConfig::RpiLd,
+            MigrationConfig::RpRd,
+            MigrationConfig::RpiRdi,
+        ]
+    }
+
+    /// Returns `true` if page tables are placed on the remote socket.
+    pub fn pt_remote(self) -> bool {
+        matches!(
+            self,
+            MigrationConfig::RpLd
+                | MigrationConfig::RpiLd
+                | MigrationConfig::RpRd
+                | MigrationConfig::RpiRdi
+        )
+    }
+
+    /// Returns `true` if data pages are placed on the remote socket.
+    pub fn data_remote(self) -> bool {
+        matches!(
+            self,
+            MigrationConfig::LpRd
+                | MigrationConfig::LpRdi
+                | MigrationConfig::RpRd
+                | MigrationConfig::RpiRdi
+        )
+    }
+
+    /// Returns `true` if an interfering process loads the remote socket.
+    pub fn interference(self) -> bool {
+        matches!(
+            self,
+            MigrationConfig::LpRdi | MigrationConfig::RpiLd | MigrationConfig::RpiRdi
+        )
+    }
+
+    /// The paper's label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MigrationConfig::LpLd => "LP-LD",
+            MigrationConfig::LpRd => "LP-RD",
+            MigrationConfig::LpRdi => "LP-RDI",
+            MigrationConfig::RpLd => "RP-LD",
+            MigrationConfig::RpiLd => "RPI-LD",
+            MigrationConfig::RpRd => "RP-RD",
+            MigrationConfig::RpiRdi => "RPI-RDI",
+        }
+    }
+}
+
+impl fmt::Display for MigrationConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// A full workload-migration run: placement configuration plus the Mitosis
+/// and THP knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRun {
+    /// The placement configuration.
+    pub config: MigrationConfig,
+    /// Whether Mitosis page-table migration repairs the placement (`+M`).
+    pub mitosis: bool,
+    /// Whether transparent huge pages back the workload (`T` prefix).
+    pub thp: bool,
+}
+
+impl MigrationRun {
+    /// A run of `config` without Mitosis, with 4 KiB pages.
+    pub fn new(config: MigrationConfig) -> Self {
+        MigrationRun {
+            config,
+            mitosis: false,
+            thp: false,
+        }
+    }
+
+    /// Enables Mitosis page-table migration (`+M`).
+    pub fn with_mitosis(mut self) -> Self {
+        self.mitosis = true;
+        self
+    }
+
+    /// Enables transparent huge pages (`T`).
+    pub fn with_thp(mut self) -> Self {
+        self.thp = true;
+        self
+    }
+
+    /// The paper's label, e.g. `TRPI-LD+M`.
+    pub fn label(&self) -> String {
+        let mut label = String::new();
+        if self.thp {
+            label.push('T');
+        }
+        label.push_str(self.config.label());
+        if self.mitosis {
+            label.push_str("+M");
+        }
+        label
+    }
+
+    /// The three bars of Figure 10 for one workload:
+    /// `LP-LD`, `RPI-LD`, `RPI-LD+M`.
+    pub fn figure10(thp: bool) -> Vec<MigrationRun> {
+        let t = |run: MigrationRun| if thp { run.with_thp() } else { run };
+        vec![
+            t(MigrationRun::new(MigrationConfig::LpLd)),
+            t(MigrationRun::new(MigrationConfig::RpiLd)),
+            t(MigrationRun::new(MigrationConfig::RpiLd).with_mitosis()),
+        ]
+    }
+}
+
+impl fmt::Display for MigrationRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_labels_match_the_paper() {
+        let labels: Vec<String> = MultiSocketConfig::figure9(false)
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        assert_eq!(labels, ["F", "F+M", "F-A", "F-A+M", "I", "I+M"]);
+        let thp_labels: Vec<String> = MultiSocketConfig::figure9(true)
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        assert_eq!(thp_labels, ["TF", "TF+M", "TF-A", "TF-A+M", "TI", "TI+M"]);
+    }
+
+    #[test]
+    fn migration_config_placement_flags() {
+        assert!(!MigrationConfig::LpLd.pt_remote());
+        assert!(!MigrationConfig::LpLd.data_remote());
+        assert!(MigrationConfig::RpiLd.pt_remote());
+        assert!(!MigrationConfig::RpiLd.data_remote());
+        assert!(MigrationConfig::RpiLd.interference());
+        assert!(MigrationConfig::LpRdi.interference());
+        assert!(!MigrationConfig::RpRd.interference());
+        assert!(MigrationConfig::RpiRdi.data_remote() && MigrationConfig::RpiRdi.pt_remote());
+        assert_eq!(MigrationConfig::all().len(), 7);
+    }
+
+    #[test]
+    fn migration_run_labels() {
+        assert_eq!(MigrationRun::new(MigrationConfig::RpiLd).label(), "RPI-LD");
+        assert_eq!(
+            MigrationRun::new(MigrationConfig::RpiLd)
+                .with_mitosis()
+                .with_thp()
+                .label(),
+            "TRPI-LD+M"
+        );
+        let fig10: Vec<String> = MigrationRun::figure10(false)
+            .iter()
+            .map(|r| r.label())
+            .collect();
+        assert_eq!(fig10, ["LP-LD", "RPI-LD", "RPI-LD+M"]);
+    }
+}

@@ -1,0 +1,338 @@
+//! The execution engine: replays workload access streams through the MMU
+//! model against the system's real page tables.
+
+use crate::metrics::RunMetrics;
+use crate::params::SimParams;
+use mitosis_mmu::{Mmu, MmuStats, PteCacheSet};
+use mitosis_numa::{AccessKind, CoreId, CostModel, Cycles, SocketId};
+use mitosis_pt::{PageSize, VirtAddr};
+use mitosis_vmm::{Pid, System, VmError};
+use mitosis_workloads::{AccessStream, InitPattern, WorkloadSpec};
+
+/// Placement of one simulated thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPlacement {
+    /// The core the thread is pinned to.
+    pub core: CoreId,
+    /// The socket that core belongs to.
+    pub socket: SocketId,
+}
+
+/// Cycles charged for one data access, given where the data lives and how
+/// bandwidth-hungry the workload is.
+///
+/// Remote accesses pay the interconnect latency; bandwidth-bound workloads
+/// additionally pay a queueing penalty proportional to the local/remote
+/// bandwidth ratio.  Accesses served by a socket hosting an interfering
+/// memory hog pay the interference factor (already applied by the cost
+/// model); the larger of the two penalties applies.
+pub fn data_access_cycles(
+    cost: &CostModel,
+    from: SocketId,
+    to: SocketId,
+    bandwidth_intensity: f64,
+) -> Cycles {
+    let access = cost.dram_access(from, to, AccessKind::Data);
+    if access.local || access.interfered {
+        return access.cycles;
+    }
+    let queueing = 1.0 + bandwidth_intensity * (cost.remote_bandwidth_penalty() - 1.0);
+    (access.cycles as f64 * queueing).round() as Cycles
+}
+
+/// Replays workload access streams against a [`System`].
+#[derive(Debug)]
+pub struct ExecutionEngine {
+    pte_caches: PteCacheSet,
+}
+
+impl ExecutionEngine {
+    /// Creates an engine for the system's machine (per-socket page-table
+    /// line caches sized from the machine's L3).
+    pub fn new(system: &System) -> Self {
+        ExecutionEngine {
+            pte_caches: PteCacheSet::for_machine(system.machine()),
+        }
+    }
+
+    /// One thread pinned to the first core of each socket in `sockets`.
+    pub fn one_thread_per_socket(system: &System, sockets: &[SocketId]) -> Vec<ThreadPlacement> {
+        sockets
+            .iter()
+            .map(|s| ThreadPlacement {
+                core: system.machine().first_core_of_socket(*s),
+                socket: *s,
+            })
+            .collect()
+    }
+
+    /// Populates the workload's memory region the way the real program
+    /// initialises it: either one thread (on `sockets[0]`) touches
+    /// everything, or each participating socket touches its contiguous
+    /// chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-handling errors.
+    pub fn populate(
+        system: &mut System,
+        pid: Pid,
+        region: VirtAddr,
+        footprint: u64,
+        init: InitPattern,
+        sockets: &[SocketId],
+    ) -> Result<(), VmError> {
+        assert!(!sockets.is_empty(), "populate needs at least one socket");
+        match init {
+            InitPattern::SingleThread => {
+                system.populate_region(pid, region, footprint, sockets[0])
+            }
+            InitPattern::Parallel => {
+                let chunk = (footprint / sockets.len() as u64)
+                    .max(PageSize::Base4K.bytes())
+                    .next_multiple_of(PageSize::Huge2M.bytes());
+                let mut offset = 0;
+                for socket in sockets {
+                    if offset >= footprint {
+                        break;
+                    }
+                    let len = chunk.min(footprint - offset);
+                    system.populate_region(pid, region.add(offset), len, *socket)?;
+                    offset += len;
+                }
+                if offset < footprint {
+                    system.populate_region(
+                        pid,
+                        region.add(offset),
+                        footprint - offset,
+                        sockets[0],
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs the measured phase: every thread replays
+    /// `params.accesses_per_thread` accesses of `spec`'s stream over the
+    /// region at `region`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-fault handling errors (demand paging during the
+    /// measured phase is allowed and counted).
+    pub fn run(
+        &mut self,
+        system: &mut System,
+        pid: Pid,
+        spec: &WorkloadSpec,
+        region: VirtAddr,
+        threads: &[ThreadPlacement],
+        params: &SimParams,
+    ) -> Result<RunMetrics, VmError> {
+        let cost = system.machine().cost_model().clone();
+        let frame_space = system.pt_env().alloc.frame_space().clone();
+        let mut metrics = RunMetrics::default();
+
+        for (index, placement) in threads.iter().enumerate() {
+            let cr3 = system.cr3_for(pid, placement.socket)?;
+            let mut mmu = Mmu::new(placement.core, placement.socket);
+            let mut stream = AccessStream::new(spec, params.seed.wrapping_add(index as u64));
+            let mut compute: Cycles = 0;
+            let mut data: Cycles = 0;
+            let mut translation: Cycles = 0;
+            let mut demand_faults = 0u64;
+
+            for _ in 0..params.accesses_per_thread {
+                let access = stream.next_access();
+                // Accesses are 8-byte word granular within the footprint.
+                let addr = VirtAddr::new(region.as_u64() + (access.offset & !0x7));
+                compute += spec.compute_cycles_per_access();
+
+                let outcome = {
+                    let env = system.pt_env_mut();
+                    mmu.access(
+                        addr,
+                        access.is_write,
+                        cr3,
+                        &mut env.store,
+                        &env.frames,
+                        &cost,
+                        self.pte_caches.socket(placement.socket),
+                    )
+                };
+                translation += outcome.translation_cycles;
+
+                let frame = if outcome.fault {
+                    // Demand paging: fault into the kernel, then retry.
+                    demand_faults += 1;
+                    let fault = system.handle_fault(pid, addr, placement.socket)?;
+                    let retry = {
+                        let env = system.pt_env_mut();
+                        mmu.access(
+                            addr,
+                            access.is_write,
+                            cr3,
+                            &mut env.store,
+                            &env.frames,
+                            &cost,
+                            self.pte_caches.socket(placement.socket),
+                        )
+                    };
+                    translation += retry.translation_cycles;
+                    retry.frame.unwrap_or(fault.frame)
+                } else {
+                    outcome.frame.expect("non-faulting access yields a frame")
+                };
+
+                let data_socket = frame_space.socket_of(frame);
+                data += data_access_cycles(
+                    &cost,
+                    placement.socket,
+                    data_socket,
+                    spec.bandwidth_intensity(),
+                );
+            }
+
+            let thread_cycles = compute + data + translation;
+            metrics.absorb_thread(
+                thread_cycles,
+                compute,
+                data,
+                translation,
+                params.accesses_per_thread,
+                mmu.stats(),
+                demand_faults,
+            );
+        }
+        Ok(metrics)
+    }
+
+    /// Merged MMU statistics helper (for tests).
+    pub fn merged_stats(metrics: &RunMetrics) -> &MmuStats {
+        &metrics.mmu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitosis_numa::{Interference, MachineConfig};
+    use mitosis_vmm::MmapFlags;
+    use mitosis_workloads::suite;
+
+    fn quick() -> SimParams {
+        SimParams::quick_test()
+    }
+
+    fn setup(params: &SimParams) -> (System, Pid, VirtAddr, WorkloadSpec) {
+        let mut system = System::new(params.machine());
+        let pid = system.create_process(SocketId::new(0)).unwrap();
+        let spec = params.scale_workload(&suite::gups());
+        let region = system
+            .mmap(pid, spec.footprint(), MmapFlags::lazy().without_thp())
+            .unwrap();
+        ExecutionEngine::populate(
+            &mut system,
+            pid,
+            region,
+            spec.footprint(),
+            InitPattern::SingleThread,
+            &[SocketId::new(0)],
+        )
+        .unwrap();
+        (system, pid, region, spec)
+    }
+
+    #[test]
+    fn local_run_produces_mostly_local_walks() {
+        let params = quick();
+        let (mut system, pid, region, spec) = setup(&params);
+        let mut engine = ExecutionEngine::new(&system);
+        let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+        let metrics = engine
+            .run(&mut system, pid, &spec, region, &threads, &params)
+            .unwrap();
+        assert_eq!(metrics.accesses, params.accesses_per_thread);
+        assert!(metrics.total_cycles > 0);
+        assert!(metrics.mmu.walk.remote_dram_fraction() < 0.05);
+        assert_eq!(metrics.demand_faults, 0, "populate covered the footprint");
+    }
+
+    #[test]
+    fn remote_data_is_slower_than_local_data() {
+        let params = quick();
+        let (mut system, pid, region, spec) = setup(&params);
+        let mut engine = ExecutionEngine::new(&system);
+        // Same page table, but run the thread from socket 1: data and page
+        // tables are now remote.
+        let local_threads =
+            ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+        let remote_threads =
+            ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(1)]);
+        let local = engine
+            .run(&mut system, pid, &spec, region, &local_threads, &params)
+            .unwrap();
+        let remote = engine
+            .run(&mut system, pid, &spec, region, &remote_threads, &params)
+            .unwrap();
+        assert!(remote.total_cycles as f64 > local.total_cycles as f64 * 1.5);
+        assert!(remote.mmu.walk.remote_dram_fraction() > 0.9);
+    }
+
+    #[test]
+    fn data_access_cost_orders_local_remote_interfered() {
+        let machine = MachineConfig::paper_testbed().build();
+        let mut cost = machine.cost_model().clone();
+        let local = data_access_cycles(&cost, SocketId::new(0), SocketId::new(0), 0.9);
+        let remote = data_access_cycles(&cost, SocketId::new(0), SocketId::new(1), 0.9);
+        let remote_low_bw = data_access_cycles(&cost, SocketId::new(0), SocketId::new(1), 0.0);
+        assert!(local < remote_low_bw);
+        assert!(remote_low_bw < remote);
+        cost.set_interference(Interference::on([SocketId::new(1)]));
+        let interfered = data_access_cycles(&cost, SocketId::new(0), SocketId::new(1), 0.0);
+        assert!(interfered > remote_low_bw);
+    }
+
+    #[test]
+    fn demand_faults_are_handled_during_the_run() {
+        let params = quick();
+        let mut system = System::new(params.machine());
+        let pid = system.create_process(SocketId::new(0)).unwrap();
+        let spec = params.scale_workload(&suite::gups());
+        // Lazy mapping, no populate: every new page faults.
+        let region = system
+            .mmap(pid, spec.footprint(), MmapFlags::lazy().without_thp())
+            .unwrap();
+        let mut engine = ExecutionEngine::new(&system);
+        let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+        let metrics = engine
+            .run(&mut system, pid, &spec, region, &threads, &params)
+            .unwrap();
+        assert!(metrics.demand_faults > 0);
+    }
+
+    #[test]
+    fn parallel_populate_spreads_first_touch_data() {
+        let params = quick();
+        let mut system = System::new(params.machine());
+        let pid = system.create_process(SocketId::new(0)).unwrap();
+        let spec = params.scale_workload(&suite::xsbench());
+        let region = system
+            .mmap(pid, spec.footprint(), MmapFlags::lazy().without_thp())
+            .unwrap();
+        let sockets: Vec<SocketId> = system.machine().socket_ids().collect();
+        ExecutionEngine::populate(
+            &mut system,
+            pid,
+            region,
+            spec.footprint(),
+            InitPattern::Parallel,
+            &sockets,
+        )
+        .unwrap();
+        let footprint = system.footprint(pid).unwrap();
+        let populated_sockets = footprint.data_bytes.iter().filter(|b| **b > 0).count();
+        assert_eq!(populated_sockets, 4);
+    }
+}

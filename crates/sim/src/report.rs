@@ -1,0 +1,130 @@
+//! Scenario results and table formatting for the figure harnesses.
+
+use crate::metrics::RunMetrics;
+use mitosis_vmm::MemoryFootprint;
+
+/// Result of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Human-readable label, e.g. `"Canneal F+M"` or `"GUPS RPI-LD"`.
+    pub label: String,
+    /// The measured metrics.
+    pub metrics: RunMetrics,
+    /// Fraction of leaf PTEs that are remote as observed from each socket
+    /// (the quantity of Figures 1 and 4), captured before the run.
+    pub remote_leaf_fractions: Vec<f64>,
+    /// Per-socket memory footprint after setup.
+    pub footprint: MemoryFootprint,
+}
+
+/// One row of a normalized-runtime table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedRow {
+    /// Configuration label.
+    pub label: String,
+    /// Runtime normalised to the table's baseline.
+    pub normalized_runtime: f64,
+    /// Fraction of the runtime spent in page walks.
+    pub walk_fraction: f64,
+}
+
+/// Formats scenario results as the paper presents them: runtime normalised
+/// to `baseline_label`, with the page-walk fraction (the hashed bar part)
+/// alongside.
+///
+/// Returns the rows (for programmatic checks) and prints nothing; the
+/// benches render them.
+pub fn format_normalized_table(
+    results: &[ScenarioResult],
+    baseline_label: &str,
+) -> Vec<NormalizedRow> {
+    let baseline = results
+        .iter()
+        .find(|r| r.label == baseline_label)
+        .map(|r| r.metrics)
+        .unwrap_or_else(|| {
+            results
+                .first()
+                .map(|r| r.metrics)
+                .unwrap_or_default()
+        });
+    results
+        .iter()
+        .map(|r| NormalizedRow {
+            label: r.label.clone(),
+            normalized_runtime: r.metrics.normalized_to(&baseline),
+            walk_fraction: r.metrics.walk_cycle_fraction(),
+        })
+        .collect()
+}
+
+/// Renders normalized rows as a fixed-width text table.
+pub fn render_rows(title: &str, rows: &[NormalizedRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<22} {:>18} {:>16}\n",
+        "config", "normalized runtime", "walk fraction"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<22} {:>18.3} {:>15.1}%\n",
+            row.label,
+            row.normalized_runtime,
+            row.walk_fraction * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(label: &str, cycles: u64, walk: u64) -> ScenarioResult {
+        let mut metrics = RunMetrics {
+            total_cycles: cycles,
+            threads: 1,
+            ..RunMetrics::default()
+        };
+        metrics.mmu.walk.walk_cycles = walk;
+        ScenarioResult {
+            label: label.to_string(),
+            metrics,
+            remote_leaf_fractions: vec![0.0; 4],
+            footprint: MemoryFootprint::default(),
+        }
+    }
+
+    #[test]
+    fn normalisation_uses_the_named_baseline() {
+        let results = vec![
+            result("LP-LD", 1_000, 300),
+            result("RPI-LD", 3_240, 2_500),
+            result("RPI-LD+M", 1_010, 310),
+        ];
+        let rows = format_normalized_table(&results, "LP-LD");
+        assert_eq!(rows.len(), 3);
+        assert!((rows[1].normalized_runtime - 3.24).abs() < 1e-9);
+        assert!((rows[2].normalized_runtime - 1.01).abs() < 1e-9);
+        assert!((rows[0].walk_fraction - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_baseline_falls_back_to_the_first_row() {
+        let results = vec![result("A", 2_000, 0), result("B", 4_000, 0)];
+        let rows = format_normalized_table(&results, "does-not-exist");
+        assert!((rows[0].normalized_runtime - 1.0).abs() < 1e-9);
+        assert!((rows[1].normalized_runtime - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendering_contains_every_label() {
+        let results = vec![result("F", 1_000, 100), result("F+M", 800, 50)];
+        let rows = format_normalized_table(&results, "F");
+        let text = render_rows("Figure 9a — Canneal", &rows);
+        assert!(text.contains("Figure 9a"));
+        assert!(text.contains("F+M"));
+        assert!(text.contains("normalized runtime"));
+    }
+}

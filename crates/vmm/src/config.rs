@@ -1,0 +1,109 @@
+//! System-wide virtual-memory configuration knobs.
+
+use mitosis_numa::SocketId;
+
+/// Transparent huge page mode (`/sys/kernel/mm/transparent_hugepage/enabled`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ThpMode {
+    /// Never back anonymous memory with 2 MiB pages.
+    #[default]
+    Never,
+    /// Back anonymous memory with 2 MiB pages whenever possible (the paper's
+    /// "T" configurations).
+    Always,
+}
+
+impl ThpMode {
+    /// Returns `true` if THP is enabled.
+    pub fn is_enabled(self) -> bool {
+        matches!(self, ThpMode::Always)
+    }
+}
+
+/// Where page-table pages are allocated.
+///
+/// The paper modifies Linux to force page-table allocations onto a fixed
+/// socket for the placement study (§3.2); stock Linux allocates them local to
+/// the faulting thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PtPlacement {
+    /// Allocate page-table pages on the socket of the faulting thread
+    /// (stock Linux behaviour).
+    #[default]
+    Local,
+    /// Force all page-table pages onto one socket (the paper's analysis
+    /// configurations, e.g. `RP-LD`).
+    Fixed(SocketId),
+}
+
+impl PtPlacement {
+    /// Resolves the socket a page-table page should be allocated on, given
+    /// the faulting thread's socket.
+    pub fn resolve(self, faulting_socket: SocketId) -> SocketId {
+        match self {
+            PtPlacement::Local => faulting_socket,
+            PtPlacement::Fixed(socket) => socket,
+        }
+    }
+}
+
+/// System-wide virtual-memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VmmConfig {
+    /// Transparent huge page mode.
+    pub thp: ThpMode,
+    /// Page-table placement policy.
+    pub pt_placement: PtPlacement,
+}
+
+impl VmmConfig {
+    /// Stock configuration: 4 KiB pages, local page-table allocation.
+    pub fn stock() -> Self {
+        VmmConfig::default()
+    }
+
+    /// Configuration with THP enabled.
+    pub fn with_thp(mut self) -> Self {
+        self.thp = ThpMode::Always;
+        self
+    }
+
+    /// Configuration forcing page tables onto `socket`.
+    pub fn with_fixed_pt_socket(mut self, socket: SocketId) -> Self {
+        self.pt_placement = PtPlacement::Fixed(socket);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thp_mode_flags() {
+        assert!(!ThpMode::Never.is_enabled());
+        assert!(ThpMode::Always.is_enabled());
+        assert_eq!(ThpMode::default(), ThpMode::Never);
+    }
+
+    #[test]
+    fn pt_placement_resolution() {
+        assert_eq!(
+            PtPlacement::Local.resolve(SocketId::new(2)),
+            SocketId::new(2)
+        );
+        assert_eq!(
+            PtPlacement::Fixed(SocketId::new(1)).resolve(SocketId::new(2)),
+            SocketId::new(1)
+        );
+    }
+
+    #[test]
+    fn builder_style_config() {
+        let config = VmmConfig::stock()
+            .with_thp()
+            .with_fixed_pt_socket(SocketId::new(3));
+        assert!(config.thp.is_enabled());
+        assert_eq!(config.pt_placement, PtPlacement::Fixed(SocketId::new(3)));
+    }
+}

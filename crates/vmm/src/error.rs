@@ -1,0 +1,106 @@
+//! Error type of the virtual memory subsystem.
+
+use crate::process::Pid;
+use mitosis_mem::MemError;
+use mitosis_pt::{PtError, VirtAddr};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the virtual memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// The process does not exist.
+    NoSuchProcess {
+        /// Offending process identifier.
+        pid: Pid,
+    },
+    /// The address is not covered by any VMA (a segmentation fault).
+    SegmentationFault {
+        /// Faulting address.
+        addr: VirtAddr,
+    },
+    /// The requested virtual region overlaps an existing VMA.
+    VmaOverlap {
+        /// Start of the overlapping request.
+        addr: VirtAddr,
+    },
+    /// The address or length is invalid (zero length, unaligned, ...).
+    InvalidArgument,
+    /// A page-table operation failed.
+    Pt(PtError),
+    /// A physical memory operation failed.
+    Mem(MemError),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::NoSuchProcess { pid } => write!(f, "no such process: {pid}"),
+            VmError::SegmentationFault { addr } => {
+                write!(f, "segmentation fault at {addr}")
+            }
+            VmError::VmaOverlap { addr } => {
+                write!(f, "requested region at {addr} overlaps an existing mapping")
+            }
+            VmError::InvalidArgument => write!(f, "invalid argument"),
+            VmError::Pt(err) => write!(f, "page-table error: {err}"),
+            VmError::Mem(err) => write!(f, "memory error: {err}"),
+        }
+    }
+}
+
+impl Error for VmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VmError::Pt(err) => Some(err),
+            VmError::Mem(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<PtError> for VmError {
+    fn from(err: PtError) -> Self {
+        match err {
+            PtError::Mem(mem) => VmError::Mem(mem),
+            other => VmError::Pt(other),
+        }
+    }
+}
+
+impl From<MemError> for VmError {
+    fn from(err: MemError) -> Self {
+        VmError::Mem(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitosis_numa::SocketId;
+
+    #[test]
+    fn conversions_flatten_nested_memory_errors() {
+        let err: VmError = PtError::Mem(MemError::OutOfMemory {
+            socket: SocketId::new(0),
+        })
+        .into();
+        assert!(matches!(err, VmError::Mem(_)));
+        let err: VmError = PtError::NotMapped {
+            addr: VirtAddr::new(0x1000),
+        }
+        .into();
+        assert!(matches!(err, VmError::Pt(_)));
+    }
+
+    #[test]
+    fn display_and_source() {
+        let err = VmError::SegmentationFault {
+            addr: VirtAddr::new(0xdead000),
+        };
+        assert!(err.to_string().contains("segmentation fault"));
+        assert!(err.source().is_none());
+        let err = VmError::Mem(MemError::MachineOutOfMemory);
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,55 @@
+//! Virtual memory subsystem for the Mitosis reproduction.
+//!
+//! This crate is the simulator's "Linux memory management": the pieces of the
+//! OS whose behaviour creates the problem the paper studies and through which
+//! Mitosis operates:
+//!
+//! * [`Vma`]/[`VmaSet`] — virtual memory areas established by `mmap`;
+//! * [`Process`]/[`AddressSpace`] — per-process state: VMAs, page-table
+//!   roots, data-placement policy, page-table replication mask;
+//! * [`System`] — the kernel: process creation, `mmap`/`munmap`/`mprotect`,
+//!   demand paging with first-touch/interleave placement, transparent huge
+//!   pages with fragmentation fallback, page-table placement control, and
+//!   cross-socket process migration (data pages move, page-tables do not —
+//!   exactly the stock-Linux behaviour the paper measures);
+//! * [`AutoNuma`] — background data-page migration/balancing, which never
+//!   touches page-table pages;
+//! * [`Scheduler`] — context switches that load the per-socket page-table
+//!   root through the PV-Ops backend (`write_cr3`).
+//!
+//! The Mitosis mechanism itself (replication/migration of page tables) is
+//! implemented in the `mitosis` crate as a [`PvOps`](mitosis_pt::PvOps)
+//! backend plus a controller that drives this crate's [`System`].
+//!
+//! # Example
+//!
+//! ```
+//! use mitosis_numa::{MachineConfig, SocketId};
+//! use mitosis_vmm::{MmapFlags, System};
+//!
+//! let machine = MachineConfig::two_socket_small().build();
+//! let mut system = System::new(machine);
+//! let pid = system.create_process(SocketId::new(0))?;
+//! let addr = system.mmap(pid, 2 * 1024 * 1024, MmapFlags::populate())?;
+//! assert!(system.translate(pid, addr)?.is_some());
+//! # Ok::<(), mitosis_vmm::VmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autonuma;
+mod config;
+mod error;
+mod process;
+mod scheduler;
+mod system;
+mod vma;
+
+pub use autonuma::AutoNuma;
+pub use config::{PtPlacement, ThpMode, VmmConfig};
+pub use error::VmError;
+pub use process::{AddressSpace, Pid, Process};
+pub use scheduler::Scheduler;
+pub use system::{FaultOutcome, MemoryFootprint, MmapFlags, System};
+pub use vma::{Protection, Vma, VmaSet};

@@ -1,0 +1,210 @@
+//! Processes and their address spaces.
+
+use crate::vma::VmaSet;
+use mitosis_mem::{PlacementPolicy, PolicyEngine};
+use mitosis_numa::SocketId;
+use mitosis_pt::{PtRoots, ReplicationSpec, VirtAddr};
+use std::fmt;
+
+/// A process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Creates a process identifier.
+    pub const fn new(value: u32) -> Self {
+        Pid(value)
+    }
+
+    /// The raw numeric identifier.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+/// Base of the anonymous-mapping region used by `mmap`.
+const MMAP_BASE: u64 = 0x2000_0000_0000;
+
+/// The virtual address space of a process.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    roots: PtRoots,
+    vmas: VmaSet,
+    mmap_hint: VirtAddr,
+}
+
+impl AddressSpace {
+    /// Creates an address space around freshly allocated page-table roots.
+    pub fn new(roots: PtRoots) -> Self {
+        AddressSpace {
+            roots,
+            vmas: VmaSet::new(),
+            mmap_hint: VirtAddr::new(MMAP_BASE),
+        }
+    }
+
+    /// The per-socket page-table roots.
+    pub fn roots(&self) -> &PtRoots {
+        &self.roots
+    }
+
+    /// Mutable access to the roots (used when replicas are created or the
+    /// page table is migrated).
+    pub fn roots_mut(&mut self) -> &mut PtRoots {
+        &mut self.roots
+    }
+
+    /// The VMAs of this address space.
+    pub fn vmas(&self) -> &VmaSet {
+        &self.vmas
+    }
+
+    /// Mutable access to the VMAs.
+    pub fn vmas_mut(&mut self) -> &mut VmaSet {
+        &mut self.vmas
+    }
+
+    /// Picks an unused region of `length` bytes for a new mapping and bumps
+    /// the internal hint.
+    pub fn reserve_region(&mut self, length: u64) -> VirtAddr {
+        let start = self.vmas.find_free_region(self.mmap_hint, length);
+        self.mmap_hint = start.add(length);
+        start
+    }
+}
+
+/// A process: identity, scheduling placement and memory-management policy.
+#[derive(Debug, Clone)]
+pub struct Process {
+    pid: Pid,
+    home_socket: SocketId,
+    address_space: AddressSpace,
+    data_policy: PolicyEngine,
+    replication: ReplicationSpec,
+}
+
+impl Process {
+    /// Creates a process homed on `home_socket`.
+    pub fn new(pid: Pid, home_socket: SocketId, address_space: AddressSpace) -> Self {
+        Process {
+            pid,
+            home_socket,
+            address_space,
+            data_policy: PolicyEngine::new(PlacementPolicy::FirstTouch),
+            replication: ReplicationSpec::none(),
+        }
+    }
+
+    /// The process identifier.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The socket the process' threads currently run on.
+    pub fn home_socket(&self) -> SocketId {
+        self.home_socket
+    }
+
+    /// Moves the process to another socket (scheduling only; memory stays
+    /// where it is unless explicitly migrated).
+    pub fn set_home_socket(&mut self, socket: SocketId) {
+        self.home_socket = socket;
+    }
+
+    /// The process' address space.
+    pub fn address_space(&self) -> &AddressSpace {
+        &self.address_space
+    }
+
+    /// Mutable access to the address space.
+    pub fn address_space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.address_space
+    }
+
+    /// The data-page placement policy engine.
+    pub fn data_policy(&self) -> &PolicyEngine {
+        &self.data_policy
+    }
+
+    /// Mutable access to the data-page placement policy engine.
+    pub fn data_policy_mut(&mut self) -> &mut PolicyEngine {
+        &mut self.data_policy
+    }
+
+    /// Replaces the data-page placement policy (`set_mempolicy`/`mbind`).
+    pub fn set_data_policy(&mut self, policy: PlacementPolicy) {
+        self.data_policy.set_policy(policy);
+    }
+
+    /// The page-table replication request for this process.
+    pub fn replication(&self) -> ReplicationSpec {
+        self.replication
+    }
+
+    /// Installs a page-table replication request
+    /// (`numa_set_pgtable_replication_mask`).  Newly allocated page-table
+    /// pages honour it immediately; replicating the existing tree is the
+    /// Mitosis controller's job.
+    pub fn set_replication(&mut self, replication: ReplicationSpec) {
+        self.replication = replication;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitosis_mem::FrameId;
+    use mitosis_numa::NodeMask;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(PtRoots::single(FrameId::new(1), 2))
+    }
+
+    #[test]
+    fn reserve_region_bumps_the_hint() {
+        let mut space = space();
+        let a = space.reserve_region(0x10_000);
+        let b = space.reserve_region(0x10_000);
+        assert_eq!(b, a.add(0x10_000));
+    }
+
+    #[test]
+    fn process_accessors() {
+        let mut p = Process::new(Pid::new(7), SocketId::new(1), space());
+        assert_eq!(p.pid().as_u32(), 7);
+        assert_eq!(p.pid().to_string(), "pid:7");
+        assert_eq!(p.home_socket(), SocketId::new(1));
+        p.set_home_socket(SocketId::new(0));
+        assert_eq!(p.home_socket(), SocketId::new(0));
+        assert!(!p.replication().is_enabled());
+        p.set_replication(ReplicationSpec::on(NodeMask::all(2)));
+        assert!(p.replication().is_enabled());
+        p.set_data_policy(PlacementPolicy::interleave_all(2));
+        assert_eq!(
+            p.data_policy().policy(),
+            PlacementPolicy::interleave_all(2)
+        );
+    }
+
+    #[test]
+    fn address_space_exposes_roots_and_vmas() {
+        let mut space = space();
+        assert_eq!(space.roots().base(), FrameId::new(1));
+        assert!(space.vmas().is_empty());
+        space
+            .vmas_mut()
+            .insert(crate::vma::Vma::new(
+                VirtAddr::new(0x1000),
+                0x1000,
+                crate::vma::Protection::ReadWrite,
+            ))
+            .unwrap();
+        assert_eq!(space.vmas().len(), 1);
+    }
+}

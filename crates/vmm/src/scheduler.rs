@@ -1,0 +1,126 @@
+//! Context switching and CPU placement.
+//!
+//! The only scheduler behaviour that matters for the paper is what happens on
+//! a context switch: the kernel writes the process' page-table root into CR3
+//! and flushes the TLB.  With Mitosis the value written is the *local
+//! replica's* root for the socket the core belongs to (paper §5.3); that
+//! decision is delegated to the PV-Ops backend via
+//! [`System::cr3_for`](crate::System::cr3_for).
+
+use crate::error::VmError;
+use crate::process::Pid;
+use crate::system::System;
+use mitosis_mem::FrameId;
+use mitosis_numa::{CoreId, SocketId};
+use std::collections::HashMap;
+
+/// What a core must do after a context switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextSwitch {
+    /// The page-table root to load into CR3.
+    pub cr3: FrameId,
+    /// Whether the TLB (and paging-structure caches) must be flushed.
+    /// Reloading the same root (same process, same socket) does not flush.
+    pub flush_tlb: bool,
+}
+
+/// Tracks which process (and which root) every core currently runs.
+#[derive(Debug, Clone, Default)]
+pub struct Scheduler {
+    current: HashMap<CoreId, (Pid, FrameId)>,
+}
+
+impl Scheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// Switches `core` (on `socket`) to run `pid` and returns the CR3 value
+    /// plus whether a TLB flush is required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoSuchProcess`] for an unknown pid.
+    pub fn context_switch(
+        &mut self,
+        system: &System,
+        core: CoreId,
+        socket: SocketId,
+        pid: Pid,
+    ) -> Result<ContextSwitch, VmError> {
+        let cr3 = system.cr3_for(pid, socket)?;
+        let flush_tlb = match self.current.get(&core) {
+            Some((prev_pid, prev_cr3)) => *prev_pid != pid || *prev_cr3 != cr3,
+            None => true,
+        };
+        self.current.insert(core, (pid, cr3));
+        Ok(ContextSwitch { cr3, flush_tlb })
+    }
+
+    /// The process currently running on `core`, if any.
+    pub fn running_on(&self, core: CoreId) -> Option<Pid> {
+        self.current.get(&core).map(|(pid, _)| *pid)
+    }
+
+    /// Forgets the assignment of `core` (idle).
+    pub fn park(&mut self, core: CoreId) {
+        self.current.remove(&core);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::MmapFlags;
+    use mitosis_numa::MachineConfig;
+
+    #[test]
+    fn repeated_switches_to_the_same_process_do_not_flush() {
+        let machine = MachineConfig::two_socket_small().build();
+        let mut system = System::new(machine);
+        let pid = system.create_process(SocketId::new(0)).unwrap();
+        let _ = system.mmap(pid, 4096, MmapFlags::populate()).unwrap();
+        let mut sched = Scheduler::new();
+        let core = CoreId::new(0);
+        let first = sched
+            .context_switch(&system, core, SocketId::new(0), pid)
+            .unwrap();
+        assert!(first.flush_tlb);
+        let second = sched
+            .context_switch(&system, core, SocketId::new(0), pid)
+            .unwrap();
+        assert!(!second.flush_tlb);
+        assert_eq!(first.cr3, second.cr3);
+        assert_eq!(sched.running_on(core), Some(pid));
+    }
+
+    #[test]
+    fn switching_processes_flushes() {
+        let machine = MachineConfig::two_socket_small().build();
+        let mut system = System::new(machine);
+        let a = system.create_process(SocketId::new(0)).unwrap();
+        let b = system.create_process(SocketId::new(0)).unwrap();
+        let mut sched = Scheduler::new();
+        let core = CoreId::new(1);
+        sched
+            .context_switch(&system, core, SocketId::new(0), a)
+            .unwrap();
+        let switch = sched
+            .context_switch(&system, core, SocketId::new(0), b)
+            .unwrap();
+        assert!(switch.flush_tlb);
+        sched.park(core);
+        assert_eq!(sched.running_on(core), None);
+    }
+
+    #[test]
+    fn unknown_process_is_an_error() {
+        let machine = MachineConfig::two_socket_small().build();
+        let system = System::new(machine);
+        let mut sched = Scheduler::new();
+        assert!(sched
+            .context_switch(&system, CoreId::new(0), SocketId::new(0), Pid::new(42))
+            .is_err());
+    }
+}

@@ -1,0 +1,918 @@
+//! The kernel: processes, system calls, demand paging and migration.
+
+use crate::config::{PtPlacement, ThpMode, VmmConfig};
+use crate::error::VmError;
+use crate::process::{AddressSpace, Pid, Process};
+use crate::vma::{Protection, Vma};
+use mitosis_mem::{FrameKind, FrameId};
+use mitosis_numa::{Machine, SocketId};
+use mitosis_pt::{
+    Mapper, NativePvOps, PageSize, PageTableDump, PtEnv, PteFlags, PvOps, Translation, VirtAddr,
+};
+use std::collections::BTreeMap;
+
+/// Flags controlling an [`System::mmap`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MmapFlags {
+    /// Eagerly fault in every page (`MAP_POPULATE`).
+    pub populate: bool,
+    /// Protection of the new area.
+    pub protection: Protection,
+    /// Allow transparent huge pages to back the area.
+    pub thp_eligible: bool,
+}
+
+impl MmapFlags {
+    /// Lazily populated, read-write, THP-eligible mapping.
+    pub fn lazy() -> Self {
+        MmapFlags {
+            populate: false,
+            protection: Protection::ReadWrite,
+            thp_eligible: true,
+        }
+    }
+
+    /// Eagerly populated (`MAP_POPULATE`), read-write, THP-eligible mapping.
+    pub fn populate() -> Self {
+        MmapFlags {
+            populate: true,
+            ..MmapFlags::lazy()
+        }
+    }
+
+    /// Disables THP for the area (`MADV_NOHUGEPAGE`).
+    pub fn without_thp(mut self) -> Self {
+        self.thp_eligible = false;
+        self
+    }
+
+    /// Sets the protection of the area.
+    pub fn with_protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self
+    }
+}
+
+impl Default for MmapFlags {
+    fn default() -> Self {
+        MmapFlags::lazy()
+    }
+}
+
+/// Result of servicing one page fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// First virtual address of the page that was mapped.
+    pub addr: VirtAddr,
+    /// Size of the page that was mapped.
+    pub size: PageSize,
+    /// First physical frame backing the page.
+    pub frame: FrameId,
+    /// `true` if the page was already mapped (spurious fault) and nothing
+    /// was done.
+    pub already_mapped: bool,
+}
+
+/// Per-socket memory footprint of one process.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    /// Bytes of data pages on each socket.
+    pub data_bytes: Vec<u64>,
+    /// Bytes of page-table pages on each socket (including replicas).
+    pub pagetable_bytes: Vec<u64>,
+}
+
+impl MemoryFootprint {
+    /// Total data bytes across sockets.
+    pub fn total_data(&self) -> u64 {
+        self.data_bytes.iter().sum()
+    }
+
+    /// Total page-table bytes across sockets.
+    pub fn total_pagetables(&self) -> u64 {
+        self.pagetable_bytes.iter().sum()
+    }
+
+    /// Page-table overhead relative to the data footprint, as a fraction.
+    pub fn pagetable_overhead(&self) -> f64 {
+        let data = self.total_data();
+        if data == 0 {
+            0.0
+        } else {
+            self.total_pagetables() as f64 / data as f64
+        }
+    }
+}
+
+/// The simulated kernel.
+///
+/// Owns the machine description, the physical page-table state ([`PtEnv`]),
+/// the PV-Ops backend and every process.  See the crate-level documentation
+/// for an example.
+#[derive(Debug)]
+pub struct System {
+    machine: Machine,
+    env: PtEnv,
+    ops: Box<dyn PvOps>,
+    processes: BTreeMap<Pid, Process>,
+    config: VmmConfig,
+    next_pid: u32,
+}
+
+impl System {
+    /// Creates a system with the stock (native, non-replicating) PV-Ops
+    /// backend.
+    pub fn new(machine: Machine) -> Self {
+        System::with_pvops(machine, Box::new(NativePvOps::new()))
+    }
+
+    /// Creates a system with an explicit PV-Ops backend (this is how the
+    /// Mitosis backend is installed).
+    pub fn with_pvops(machine: Machine, ops: Box<dyn PvOps>) -> Self {
+        let env = PtEnv::new(&machine);
+        System {
+            machine,
+            env,
+            ops,
+            processes: BTreeMap::new(),
+            config: VmmConfig::stock(),
+            next_pid: 1,
+        }
+    }
+
+    /// The machine this system runs on.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable access to the machine (e.g. to install interference).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The system-wide virtual-memory configuration.
+    pub fn config(&self) -> VmmConfig {
+        self.config
+    }
+
+    /// Sets the transparent-huge-page mode.
+    pub fn set_thp(&mut self, mode: ThpMode) {
+        self.config.thp = mode;
+    }
+
+    /// Sets the page-table placement policy.
+    pub fn set_pt_placement(&mut self, placement: PtPlacement) {
+        self.config.pt_placement = placement;
+    }
+
+    /// Replaces the whole configuration.
+    pub fn set_config(&mut self, config: VmmConfig) {
+        self.config = config;
+    }
+
+    /// The page-table environment (store, frame table, allocator, cache).
+    pub fn pt_env(&self) -> &PtEnv {
+        &self.env
+    }
+
+    /// Mutable access to the page-table environment (used by the execution
+    /// engine to let the hardware walker set accessed/dirty bits).
+    pub fn pt_env_mut(&mut self) -> &mut PtEnv {
+        &mut self.env
+    }
+
+    /// The installed PV-Ops backend.
+    pub fn pvops(&self) -> &dyn PvOps {
+        self.ops.as_ref()
+    }
+
+    /// Mutable access to the PV-Ops backend (statistics reset etc.).
+    pub fn pvops_mut(&mut self) -> &mut dyn PvOps {
+        self.ops.as_mut()
+    }
+
+    /// Borrows the PV-Ops backend together with a page-table context, for OS
+    /// code paths that read entries *through* the backend (e.g. consolidated
+    /// accessed/dirty reads across replicas).
+    pub fn pvops_with_context(&mut self) -> (&dyn PvOps, mitosis_pt::PtContext<'_>) {
+        (self.ops.as_ref(), self.env.context())
+    }
+
+    /// Identifiers of all live processes.
+    pub fn pids(&self) -> Vec<Pid> {
+        self.processes.keys().copied().collect()
+    }
+
+    /// Looks up a process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoSuchProcess`] if it does not exist.
+    pub fn process(&self, pid: Pid) -> Result<&Process, VmError> {
+        self.processes
+            .get(&pid)
+            .ok_or(VmError::NoSuchProcess { pid })
+    }
+
+    /// Looks up a process mutably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoSuchProcess`] if it does not exist.
+    pub fn process_mut(&mut self, pid: Pid) -> Result<&mut Process, VmError> {
+        self.processes
+            .get_mut(&pid)
+            .ok_or(VmError::NoSuchProcess { pid })
+    }
+
+    /// Creates a new process homed on `home_socket` and returns its pid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the page-table root cannot be allocated.
+    pub fn create_process(&mut self, home_socket: SocketId) -> Result<Pid, VmError> {
+        let pid = Pid::new(self.next_pid);
+        self.next_pid += 1;
+        let pt_socket = self.config.pt_placement.resolve(home_socket);
+        let mut ctx = self.env.context();
+        let roots = Mapper::create_roots(
+            self.ops.as_mut(),
+            &mut ctx,
+            pt_socket,
+            mitosis_pt::ReplicationSpec::none(),
+        )?;
+        let process = Process::new(pid, home_socket, AddressSpace::new(roots));
+        self.processes.insert(pid, process);
+        Ok(pid)
+    }
+
+    /// Maps `length` bytes of anonymous memory into the process and returns
+    /// the starting address.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a zero/unaligned length, an unknown process, or
+    /// (with `populate`) an allocation failure.
+    pub fn mmap(&mut self, pid: Pid, length: u64, flags: MmapFlags) -> Result<VirtAddr, VmError> {
+        if length == 0 || length % PageSize::Base4K.bytes() != 0 {
+            return Err(VmError::InvalidArgument);
+        }
+        let home = self.process(pid)?.home_socket();
+        let process = self.process_mut(pid)?;
+        let start = process.address_space_mut().reserve_region(length);
+        let mut vma = Vma::new(start, length, flags.protection);
+        if !flags.thp_eligible {
+            vma = vma.with_thp_disabled();
+        }
+        process.address_space_mut().vmas_mut().insert(vma)?;
+        if flags.populate {
+            self.populate_region(pid, start, length, home)?;
+        }
+        Ok(start)
+    }
+
+    /// Faults in every page of `[addr, addr + length)` as if touched by a
+    /// thread running on `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-handling errors; pages already mapped are skipped.
+    pub fn populate_region(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        length: u64,
+        socket: SocketId,
+    ) -> Result<(), VmError> {
+        let mut cursor = addr;
+        let end = addr.add(length);
+        while cursor < end {
+            let outcome = self.handle_fault(pid, cursor, socket)?;
+            cursor = outcome.addr.add(outcome.size.bytes());
+        }
+        Ok(())
+    }
+
+    /// Handles a page fault at `addr` raised by a thread running on
+    /// `socket`: allocates a data page according to the process' placement
+    /// policy and maps it, backing the area with a 2 MiB page when THP
+    /// allows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::SegmentationFault`] if no VMA covers `addr`, or an
+    /// allocation/page-table error.
+    pub fn handle_fault(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        socket: SocketId,
+    ) -> Result<FaultOutcome, VmError> {
+        let config = self.config;
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(VmError::NoSuchProcess { pid })?;
+        let (protection, thp_eligible, fits_huge) = {
+            let vma = process
+                .address_space()
+                .vmas()
+                .find(addr)
+                .ok_or(VmError::SegmentationFault { addr })?;
+            (
+                vma.protection(),
+                vma.thp_eligible(),
+                vma.fits_huge_page(addr),
+            )
+        };
+        let replication = process.replication();
+        let roots = process.address_space().roots().clone();
+        let mut ctx = self.env.context();
+        let mapper = Mapper::new(&roots);
+
+        // Spurious fault: the page is already mapped.
+        if let Some(existing) = mapper.translate(&ctx, addr) {
+            return Ok(FaultOutcome {
+                addr: addr.align_down(existing.size),
+                size: existing.size,
+                frame: existing.frame,
+                already_mapped: true,
+            });
+        }
+
+        let flags = if protection.is_writable() {
+            PteFlags::user_data()
+        } else {
+            PteFlags::user_readonly()
+        };
+        let pt_socket = config.pt_placement.resolve(socket);
+
+        // Try a transparent huge page first.
+        if config.thp.is_enabled() && thp_eligible && fits_huge {
+            let huge_addr = addr.align_down(PageSize::Huge2M);
+            // The whole 2 MiB range must be unmapped.
+            let range_free = mapper.translate(&ctx, huge_addr).is_none();
+            if range_free {
+                if let Ok(frame) = process.data_policy_mut().alloc_huge_data(ctx.alloc, socket) {
+                    ctx.frames.insert(frame, FrameKind::Data);
+                    match mapper.map(
+                        self.ops.as_mut(),
+                        &mut ctx,
+                        huge_addr,
+                        frame,
+                        PageSize::Huge2M,
+                        flags,
+                        pt_socket,
+                        replication,
+                    ) {
+                        Ok(()) => {
+                            return Ok(FaultOutcome {
+                                addr: huge_addr,
+                                size: PageSize::Huge2M,
+                                frame,
+                                already_mapped: false,
+                            });
+                        }
+                        Err(mitosis_pt::PtError::AlreadyMapped { .. }) => {
+                            // Part of the range is mapped with base pages:
+                            // fall back to a 4 KiB page for this fault.
+                            ctx.frames.remove(frame);
+                            ctx.alloc.free_huge(frame)?;
+                        }
+                        Err(other) => return Err(other.into()),
+                    }
+                }
+            }
+        }
+
+        // Base-page path.
+        let page_addr = addr.align_down(PageSize::Base4K);
+        let frame = process.data_policy_mut().alloc_data(ctx.alloc, socket)?;
+        ctx.frames.insert(frame, FrameKind::Data);
+        mapper.map(
+            self.ops.as_mut(),
+            &mut ctx,
+            page_addr,
+            frame,
+            PageSize::Base4K,
+            flags,
+            pt_socket,
+            replication,
+        )?;
+        Ok(FaultOutcome {
+            addr: page_addr,
+            size: PageSize::Base4K,
+            frame,
+            already_mapped: false,
+        })
+    }
+
+    /// Unmaps the area previously returned by [`System::mmap`].
+    ///
+    /// The whole area must be named exactly (`addr` = area start, `length` =
+    /// area length), as the paper's micro-benchmarks do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidArgument`] if the range does not name a
+    /// whole VMA, or propagates page-table errors.
+    pub fn munmap(&mut self, pid: Pid, addr: VirtAddr, length: u64) -> Result<(), VmError> {
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(VmError::NoSuchProcess { pid })?;
+        let matches_whole_vma = process
+            .address_space()
+            .vmas()
+            .find(addr)
+            .map(|vma| vma.start() == addr && vma.length() == length)
+            .unwrap_or(false);
+        if !matches_whole_vma {
+            return Err(VmError::InvalidArgument);
+        }
+        let roots = process.address_space().roots().clone();
+        let mut ctx = self.env.context();
+        let mapper = Mapper::new(&roots);
+        let mut cursor = addr;
+        let end = addr.add(length);
+        while cursor < end {
+            match mapper.translate(&ctx, cursor) {
+                Some(t) => {
+                    let old = mapper.unmap(self.ops.as_mut(), &mut ctx, cursor)?;
+                    let frame = old.frame().expect("mapped entry has a frame");
+                    ctx.frames.remove(frame);
+                    match t.size {
+                        PageSize::Base4K => ctx.alloc.free(frame)?,
+                        PageSize::Huge2M => ctx.alloc.free_huge(frame)?,
+                        PageSize::Giant1G => {
+                            for i in 0..PageSize::Giant1G.frames() / 512 {
+                                ctx.alloc.free_huge(frame.offset(i * 512))?;
+                            }
+                        }
+                    }
+                    cursor = cursor.add(t.size.bytes());
+                }
+                None => cursor = cursor.add(PageSize::Base4K.bytes()),
+            }
+        }
+        process.address_space_mut().vmas_mut().remove(addr);
+        Ok(())
+    }
+
+    /// Changes the protection of `[addr, addr + length)` (`mprotect`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::SegmentationFault`] if the range is not covered by
+    /// a VMA.
+    pub fn mprotect(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        length: u64,
+        protection: Protection,
+    ) -> Result<(), VmError> {
+        if length == 0 {
+            return Err(VmError::InvalidArgument);
+        }
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(VmError::NoSuchProcess { pid })?;
+        {
+            let vma = process
+                .address_space_mut()
+                .vmas_mut()
+                .find_mut(addr)
+                .ok_or(VmError::SegmentationFault { addr })?;
+            if vma.start() == addr && vma.length() == length {
+                vma.set_protection(protection);
+            }
+        }
+        let roots = process.address_space().roots().clone();
+        let mut ctx = self.env.context();
+        let mapper = Mapper::new(&roots);
+        let flags = if protection.is_writable() {
+            PteFlags::user_data()
+        } else {
+            PteFlags::user_readonly()
+        };
+        let mut cursor = addr;
+        let end = addr.add(length);
+        while cursor < end {
+            match mapper.translate(&ctx, cursor) {
+                Some(t) => {
+                    mapper.protect(self.ops.as_mut(), &mut ctx, cursor, flags)?;
+                    cursor = cursor.add(t.size.bytes());
+                }
+                None => cursor = cursor.add(PageSize::Base4K.bytes()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Translates a virtual address of a process in software.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoSuchProcess`] for an unknown pid.
+    pub fn translate(&self, pid: Pid, addr: VirtAddr) -> Result<Option<Translation>, VmError> {
+        let process = self.process(pid)?;
+        Ok(mitosis_pt::translate(
+            &self.env.store,
+            process.address_space().roots().base(),
+            addr,
+        ))
+    }
+
+    /// Captures a placement dump of the process' page table (base replica).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoSuchProcess`] for an unknown pid.
+    pub fn page_table_dump(&self, pid: Pid) -> Result<PageTableDump, VmError> {
+        let process = self.process(pid)?;
+        Ok(PageTableDump::capture(
+            &self.env.store,
+            &self.env.frames,
+            process.address_space().roots().base(),
+        ))
+    }
+
+    /// Captures a placement dump of the page-table replica used by `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoSuchProcess`] for an unknown pid.
+    pub fn page_table_dump_for_socket(
+        &self,
+        pid: Pid,
+        socket: SocketId,
+    ) -> Result<PageTableDump, VmError> {
+        let process = self.process(pid)?;
+        Ok(PageTableDump::capture(
+            &self.env.store,
+            &self.env.frames,
+            process.address_space().roots().root_for_socket(socket),
+        ))
+    }
+
+    /// Migrates one mapped data page to `target` socket, preserving its
+    /// virtual address, protection and page size.  Returns `false` if the
+    /// page already lives on `target`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and page-table errors.
+    pub fn migrate_data_page(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        target: SocketId,
+    ) -> Result<bool, VmError> {
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(VmError::NoSuchProcess { pid })?;
+        let replication = process.replication();
+        let roots = process.address_space().roots().clone();
+        let pt_socket = self.config.pt_placement.resolve(target);
+        let mut ctx = self.env.context();
+        let mapper = Mapper::new(&roots);
+        let t = match mapper.translate(&ctx, addr) {
+            Some(t) => t,
+            None => return Err(VmError::SegmentationFault { addr }),
+        };
+        if ctx.frames.socket_of(t.frame) == target {
+            return Ok(false);
+        }
+        let new_frame = match t.size {
+            PageSize::Base4K => ctx.alloc.alloc_on(target)?,
+            PageSize::Huge2M => ctx.alloc.alloc_huge_on(target)?,
+            PageSize::Giant1G => return Err(VmError::InvalidArgument),
+        };
+        ctx.frames.insert(new_frame, FrameKind::Data);
+        let aligned = addr.align_down(t.size);
+        let old = mapper.unmap(self.ops.as_mut(), &mut ctx, aligned)?;
+        let old_frame = old.frame().expect("mapped entry has a frame");
+        mapper.map(
+            self.ops.as_mut(),
+            &mut ctx,
+            aligned,
+            new_frame,
+            t.size,
+            old.flags(),
+            pt_socket,
+            replication,
+        )?;
+        ctx.frames.remove(old_frame);
+        match t.size {
+            PageSize::Base4K => ctx.alloc.free(old_frame)?,
+            PageSize::Huge2M => ctx.alloc.free_huge(old_frame)?,
+            PageSize::Giant1G => unreachable!("rejected above"),
+        }
+        Ok(true)
+    }
+
+    /// Migrates every data page of the process to `target`.  Returns the
+    /// number of pages moved.  Page-table pages are *not* moved — this is
+    /// the stock-Linux behaviour the paper contrasts with Mitosis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and page-table errors.
+    pub fn migrate_data(&mut self, pid: Pid, target: SocketId) -> Result<u64, VmError> {
+        let mappings: Vec<VirtAddr> = {
+            let process = self.process(pid)?;
+            let roots = process.address_space().roots().clone();
+            mitosis_pt::iter_leaf_mappings(&self.env.store, roots.base())
+                .into_iter()
+                .map(|m| m.addr)
+                .collect()
+        };
+        let mut moved = 0;
+        for addr in mappings {
+            if self.migrate_data_page(pid, addr, target)? {
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Migrates the process to another socket, as a NUMA-aware scheduler
+    /// would: the home socket changes and, if `migrate_data` is set, data
+    /// pages follow.  Page-table pages never move (use the Mitosis
+    /// controller for that).
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation and page-table errors.
+    pub fn migrate_process(
+        &mut self,
+        pid: Pid,
+        target: SocketId,
+        migrate_data: bool,
+    ) -> Result<u64, VmError> {
+        self.process_mut(pid)?.set_home_socket(target);
+        if migrate_data {
+            self.migrate_data(pid, target)
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Computes the per-socket memory footprint (data and page-table pages)
+    /// of a process, including page-table replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoSuchProcess`] for an unknown pid.
+    pub fn footprint(&self, pid: Pid) -> Result<MemoryFootprint, VmError> {
+        let process = self.process(pid)?;
+        let sockets = self.machine.sockets();
+        let mut footprint = MemoryFootprint {
+            data_bytes: vec![0; sockets],
+            pagetable_bytes: vec![0; sockets],
+        };
+        let roots = process.address_space().roots();
+        for mapping in mitosis_pt::iter_leaf_mappings(&self.env.store, roots.base()) {
+            let socket = self.env.frames.socket_of(mapping.frame);
+            footprint.data_bytes[socket.index()] += mapping.size.bytes();
+        }
+        for root in roots.distinct_roots() {
+            let dump = PageTableDump::capture(&self.env.store, &self.env.frames, root);
+            for cell in dump.cells() {
+                footprint.pagetable_bytes[cell.socket.index()] += cell.table_pages * 4096;
+            }
+        }
+        Ok(footprint)
+    }
+
+    /// The page-table root a core on `socket` should load for `pid`
+    /// (the `write_cr3` decision, delegated to the PV-Ops backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoSuchProcess`] for an unknown pid.
+    pub fn cr3_for(&self, pid: Pid, socket: SocketId) -> Result<FrameId, VmError> {
+        let process = self.process(pid)?;
+        Ok(self
+            .ops
+            .select_root(process.address_space().roots(), socket))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitosis_mem::PlacementPolicy;
+    use mitosis_numa::MachineConfig;
+
+    fn system() -> System {
+        System::new(MachineConfig::two_socket_small().build())
+    }
+
+    #[test]
+    fn create_process_allocates_a_root_on_the_home_socket() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(1)).unwrap();
+        let root = sys.process(pid).unwrap().address_space().roots().base();
+        assert_eq!(sys.pt_env().frames.socket_of(root), SocketId::new(1));
+        assert_eq!(sys.pids(), vec![pid]);
+    }
+
+    #[test]
+    fn mmap_populate_maps_every_page_with_first_touch_placement() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let len = 64 * 4096;
+        let addr = sys.mmap(pid, len, MmapFlags::populate()).unwrap();
+        for i in 0..64u64 {
+            let t = sys.translate(pid, addr.add(i * 4096)).unwrap().unwrap();
+            assert_eq!(
+                sys.pt_env().frames.socket_of(t.frame),
+                SocketId::new(0),
+                "first-touch places data on the faulting socket"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_mmap_faults_on_demand() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let addr = sys.mmap(pid, 16 * 4096, MmapFlags::lazy()).unwrap();
+        assert!(sys.translate(pid, addr).unwrap().is_none());
+        let outcome = sys.handle_fault(pid, addr.add(4096), SocketId::new(1)).unwrap();
+        assert!(!outcome.already_mapped);
+        assert_eq!(outcome.size, PageSize::Base4K);
+        assert_eq!(
+            sys.pt_env().frames.socket_of(outcome.frame),
+            SocketId::new(1)
+        );
+        // Faulting again on the same page is spurious.
+        let again = sys.handle_fault(pid, addr.add(4096), SocketId::new(0)).unwrap();
+        assert!(again.already_mapped);
+    }
+
+    #[test]
+    fn fault_outside_any_vma_is_a_segfault() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let err = sys
+            .handle_fault(pid, VirtAddr::new(0x1234_5000), SocketId::new(0))
+            .unwrap_err();
+        assert!(matches!(err, VmError::SegmentationFault { .. }));
+    }
+
+    #[test]
+    fn thp_backs_aligned_regions_with_huge_pages() {
+        let mut sys = system();
+        sys.set_thp(ThpMode::Always);
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let addr = sys.mmap(pid, 4 * 1024 * 1024, MmapFlags::populate()).unwrap();
+        let t = sys.translate(pid, addr).unwrap().unwrap();
+        assert_eq!(t.size, PageSize::Huge2M);
+        // The whole region needed only two huge mappings.
+        let dump = sys.page_table_dump(pid).unwrap();
+        assert_eq!(dump.total_leaf_ptes(), 2);
+    }
+
+    #[test]
+    fn thp_falls_back_to_base_pages_under_fragmentation() {
+        let mut sys = system();
+        sys.set_thp(ThpMode::Always);
+        sys.pt_env_mut()
+            .alloc
+            .set_fragmentation(mitosis_mem::FragmentationModel::with_probability(1.0));
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let addr = sys.mmap(pid, 2 * 1024 * 1024, MmapFlags::populate()).unwrap();
+        let t = sys.translate(pid, addr).unwrap().unwrap();
+        assert_eq!(t.size, PageSize::Base4K);
+    }
+
+    #[test]
+    fn interleave_policy_spreads_data_pages() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        sys.process_mut(pid)
+            .unwrap()
+            .set_data_policy(PlacementPolicy::interleave_all(2));
+        let addr = sys.mmap(pid, 8 * 4096, MmapFlags::populate()).unwrap();
+        let mut per_socket = [0u64; 2];
+        for i in 0..8u64 {
+            let t = sys.translate(pid, addr.add(i * 4096)).unwrap().unwrap();
+            per_socket[sys.pt_env().frames.socket_of(t.frame).index()] += 1;
+        }
+        assert_eq!(per_socket, [4, 4]);
+    }
+
+    #[test]
+    fn fixed_pt_placement_forces_page_tables_onto_one_socket() {
+        let mut sys = system();
+        sys.set_pt_placement(PtPlacement::Fixed(SocketId::new(1)));
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let _ = sys.mmap(pid, 32 * 4096, MmapFlags::populate()).unwrap();
+        let footprint = sys.footprint(pid).unwrap();
+        assert_eq!(footprint.pagetable_bytes[0], 0);
+        assert!(footprint.pagetable_bytes[1] > 0);
+        // Data stayed on the faulting socket.
+        assert!(footprint.data_bytes[0] > 0);
+        assert_eq!(footprint.data_bytes[1], 0);
+    }
+
+    #[test]
+    fn munmap_frees_data_frames_and_removes_the_vma() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let len = 16 * 4096;
+        let addr = sys.mmap(pid, len, MmapFlags::populate()).unwrap();
+        let allocated_before = sys.pt_env().alloc.total_allocated();
+        sys.munmap(pid, addr, len).unwrap();
+        assert!(sys.translate(pid, addr).unwrap().is_none());
+        assert!(sys.pt_env().alloc.total_allocated() < allocated_before);
+        assert!(sys
+            .process(pid)
+            .unwrap()
+            .address_space()
+            .vmas()
+            .is_empty());
+        // Partial munmap is rejected.
+        let addr2 = sys.mmap(pid, len, MmapFlags::lazy()).unwrap();
+        assert_eq!(
+            sys.munmap(pid, addr2, 4096),
+            Err(VmError::InvalidArgument)
+        );
+    }
+
+    #[test]
+    fn mprotect_downgrades_leaf_flags() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let len = 4 * 4096;
+        let addr = sys.mmap(pid, len, MmapFlags::populate()).unwrap();
+        sys.mprotect(pid, addr, len, Protection::ReadOnly).unwrap();
+        let t = sys.translate(pid, addr).unwrap().unwrap();
+        assert!(!t.pte.flags().writable);
+        assert_eq!(
+            sys.process(pid)
+                .unwrap()
+                .address_space()
+                .vmas()
+                .find(addr)
+                .unwrap()
+                .protection(),
+            Protection::ReadOnly
+        );
+    }
+
+    #[test]
+    fn process_migration_moves_data_but_not_page_tables() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let len = 64 * 4096;
+        let _ = sys.mmap(pid, len, MmapFlags::populate()).unwrap();
+        let before = sys.footprint(pid).unwrap();
+        assert!(before.data_bytes[0] > 0);
+        assert_eq!(before.data_bytes[1], 0);
+
+        let moved = sys.migrate_process(pid, SocketId::new(1), true).unwrap();
+        assert_eq!(moved, 64);
+        let after = sys.footprint(pid).unwrap();
+        assert_eq!(after.data_bytes[0], 0);
+        assert!(after.data_bytes[1] > 0);
+        // Page tables did not move: still entirely on socket 0.
+        assert_eq!(after.pagetable_bytes[1], 0);
+        assert_eq!(after.pagetable_bytes[0], before.pagetable_bytes[0]);
+        assert_eq!(sys.process(pid).unwrap().home_socket(), SocketId::new(1));
+    }
+
+    #[test]
+    fn footprint_overhead_is_small_for_base_pages() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let _ = sys.mmap(pid, 512 * 4096, MmapFlags::populate()).unwrap();
+        let footprint = sys.footprint(pid).unwrap();
+        assert_eq!(footprint.total_data(), 512 * 4096);
+        // 1 L1 table per 2 MiB plus the upper levels: well under 1 %.
+        assert!(footprint.pagetable_overhead() < 0.01);
+    }
+
+    #[test]
+    fn cr3_for_uses_the_single_root_without_replication() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let base = sys.process(pid).unwrap().address_space().roots().base();
+        assert_eq!(sys.cr3_for(pid, SocketId::new(0)).unwrap(), base);
+        assert_eq!(sys.cr3_for(pid, SocketId::new(1)).unwrap(), base);
+    }
+
+    #[test]
+    fn unknown_pid_errors() {
+        let sys = system();
+        assert!(matches!(
+            sys.process(Pid::new(99)),
+            Err(VmError::NoSuchProcess { .. })
+        ));
+    }
+}

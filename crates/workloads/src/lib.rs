@@ -1,0 +1,39 @@
+//! Synthetic big-memory workloads matching the Mitosis evaluation suite.
+//!
+//! The paper evaluates Mitosis with eleven memory-intensive programs
+//! (Table 1): Memcached, Graph500, HashJoin, Canneal, XSBench, BTree, GUPS,
+//! Redis, PageRank, LibLinear and STREAM.  We cannot run the originals inside
+//! a simulator, but their effect on the memory system is characterised by a
+//! handful of parameters: memory footprint, virtual-address access pattern,
+//! read/write mix, how much computation happens between memory accesses, how
+//! bandwidth-hungry they are, and whether initialisation is single-threaded
+//! (which skews first-touch placement) or parallel.
+//!
+//! [`WorkloadSpec`] captures those parameters, [`suite`] provides one spec
+//! per paper workload (with the paper's footprints), and [`AccessStream`]
+//! turns a spec into the deterministic stream of virtual-address offsets the
+//! execution engine replays.
+//!
+//! # Example
+//!
+//! ```
+//! use mitosis_workloads::{suite, AccessStream};
+//!
+//! let gups = suite::gups();
+//! assert_eq!(gups.name(), "GUPS");
+//! let mut stream = AccessStream::new(&gups, 42);
+//! let access = stream.next_access();
+//! assert!(access.offset < gups.footprint());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pattern;
+mod spec;
+mod stream;
+pub mod suite;
+
+pub use pattern::AccessPattern;
+pub use spec::{InitPattern, Scenario, WorkloadSpec};
+pub use stream::{Access, AccessStream};

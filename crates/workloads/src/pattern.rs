@@ -1,0 +1,155 @@
+//! Virtual-address access patterns.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How a workload walks its memory footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Uniformly random accesses over the whole footprint (GUPS, hash
+    /// probes): the worst case for TLBs, every access is a miss.
+    UniformRandom,
+    /// Zipf-like skew: a small hot set absorbs most accesses (key-value
+    /// stores).  `hot_fraction` of the footprint receives
+    /// `hot_access_probability` of the accesses.
+    HotCold {
+        /// Fraction of the footprint that is hot (0, 1].
+        hot_fraction: f64,
+        /// Probability that an access goes to the hot region [0, 1].
+        hot_access_probability: f64,
+    },
+    /// Sequential streaming with a fixed stride in bytes (STREAM, scans).
+    Sequential {
+        /// Stride between consecutive accesses in bytes.
+        stride: u64,
+    },
+    /// Pointer chasing through a working set: random within a window that
+    /// slowly slides over the footprint (graph traversals, annealing moves).
+    PointerChase {
+        /// Size of the active window as a fraction of the footprint (0, 1].
+        window_fraction: f64,
+    },
+}
+
+impl AccessPattern {
+    /// Produces the next byte offset into a footprint of `footprint` bytes.
+    ///
+    /// `step` is the index of the access (used by sequential/windowed
+    /// patterns) and `rng` the per-stream random source.
+    pub fn next_offset(&self, step: u64, footprint: u64, rng: &mut StdRng) -> u64 {
+        debug_assert!(footprint > 0);
+        match *self {
+            AccessPattern::UniformRandom => rng.random_range(0..footprint),
+            AccessPattern::HotCold {
+                hot_fraction,
+                hot_access_probability,
+            } => {
+                let hot_bytes = ((footprint as f64 * hot_fraction) as u64).max(1);
+                if rng.random_bool(hot_access_probability) {
+                    rng.random_range(0..hot_bytes)
+                } else if hot_bytes < footprint {
+                    hot_bytes + rng.random_range(0..footprint - hot_bytes)
+                } else {
+                    rng.random_range(0..footprint)
+                }
+            }
+            AccessPattern::Sequential { stride } => (step * stride) % footprint,
+            AccessPattern::PointerChase { window_fraction } => {
+                let window = ((footprint as f64 * window_fraction) as u64).max(4096);
+                let windows = footprint.div_ceil(window).max(1);
+                // The window slides slowly: one window per 4096 accesses.
+                let base = ((step / 4096) % windows) * window;
+                let span = window.min(footprint - base);
+                base + rng.random_range(0..span)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    const FOOTPRINT: u64 = 1 << 30;
+
+    #[test]
+    fn offsets_stay_within_the_footprint() {
+        let mut r = rng();
+        let patterns = [
+            AccessPattern::UniformRandom,
+            AccessPattern::HotCold {
+                hot_fraction: 0.1,
+                hot_access_probability: 0.9,
+            },
+            AccessPattern::Sequential { stride: 64 },
+            AccessPattern::PointerChase {
+                window_fraction: 0.05,
+            },
+        ];
+        for pattern in patterns {
+            for step in 0..10_000 {
+                let offset = pattern.next_offset(step, FOOTPRINT, &mut r);
+                assert!(offset < FOOTPRINT, "{pattern:?} escaped the footprint");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_random_covers_the_whole_range() {
+        let mut r = rng();
+        let pattern = AccessPattern::UniformRandom;
+        let mut top_half = 0;
+        for step in 0..10_000 {
+            if pattern.next_offset(step, FOOTPRINT, &mut r) >= FOOTPRINT / 2 {
+                top_half += 1;
+            }
+        }
+        assert!((4_000..6_000).contains(&top_half));
+    }
+
+    #[test]
+    fn hot_cold_concentrates_accesses() {
+        let mut r = rng();
+        let pattern = AccessPattern::HotCold {
+            hot_fraction: 0.05,
+            hot_access_probability: 0.9,
+        };
+        let hot_bytes = (FOOTPRINT as f64 * 0.05) as u64;
+        let mut hot = 0;
+        for step in 0..10_000 {
+            if pattern.next_offset(step, FOOTPRINT, &mut r) < hot_bytes {
+                hot += 1;
+            }
+        }
+        assert!(hot > 8_500, "hot accesses = {hot}");
+    }
+
+    #[test]
+    fn sequential_is_strided_and_wraps() {
+        let mut r = rng();
+        let pattern = AccessPattern::Sequential { stride: 4096 };
+        assert_eq!(pattern.next_offset(0, FOOTPRINT, &mut r), 0);
+        assert_eq!(pattern.next_offset(3, FOOTPRINT, &mut r), 3 * 4096);
+        let wrap_step = FOOTPRINT / 4096 + 2;
+        assert_eq!(pattern.next_offset(wrap_step, FOOTPRINT, &mut r), 2 * 4096);
+    }
+
+    #[test]
+    fn pointer_chase_stays_in_its_window_then_moves_on() {
+        let mut r = rng();
+        let pattern = AccessPattern::PointerChase {
+            window_fraction: 0.01,
+        };
+        let window = (FOOTPRINT as f64 * 0.01) as u64;
+        for step in 0..1_000 {
+            assert!(pattern.next_offset(step, FOOTPRINT, &mut r) < window);
+        }
+        let later = pattern.next_offset(5_000, FOOTPRINT, &mut r);
+        assert!(later >= window);
+    }
+}

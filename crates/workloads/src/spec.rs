@@ -1,0 +1,187 @@
+//! Workload characterisation.
+
+use crate::pattern::AccessPattern;
+use mitosis_numa::GIB;
+
+/// Whether a workload appears in the paper's multi-socket (MS) or
+/// workload-migration (WM) scenario, or both (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Multi-socket scenario only.
+    MultiSocket,
+    /// Workload-migration scenario only.
+    Migration,
+    /// Used in both scenarios (with different footprints).
+    Both,
+}
+
+/// How the workload initialises its data structures, which determines
+/// first-touch placement of both data and page-table pages (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitPattern {
+    /// A single thread allocates and initialises all memory (e.g. Graph500
+    /// graph generation), skewing first-touch placement to one socket.
+    SingleThread,
+    /// All threads initialise their chunk of memory in parallel, spreading
+    /// first-touch placement across the sockets the workload runs on.
+    Parallel,
+}
+
+/// The parameters that characterise one of the paper's workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    name: &'static str,
+    description: &'static str,
+    footprint: u64,
+    pattern: AccessPattern,
+    write_fraction: f64,
+    compute_cycles_per_access: u64,
+    bandwidth_intensity: f64,
+    init: InitPattern,
+    scenario: Scenario,
+}
+
+impl WorkloadSpec {
+    /// Creates a fully specified workload.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &'static str,
+        description: &'static str,
+        footprint: u64,
+        pattern: AccessPattern,
+        write_fraction: f64,
+        compute_cycles_per_access: u64,
+        bandwidth_intensity: f64,
+        init: InitPattern,
+        scenario: Scenario,
+    ) -> Self {
+        assert!(footprint > 0, "a workload needs a footprint");
+        assert!((0.0..=1.0).contains(&write_fraction));
+        assert!((0.0..=1.0).contains(&bandwidth_intensity));
+        WorkloadSpec {
+            name,
+            description,
+            footprint,
+            pattern,
+            write_fraction,
+            compute_cycles_per_access,
+            bandwidth_intensity,
+            init,
+            scenario,
+        }
+    }
+
+    /// Short name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description (Table 1).
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Memory footprint in bytes (the paper-scale value).
+    pub fn footprint(&self) -> u64 {
+        self.footprint
+    }
+
+    /// The virtual-address access pattern.
+    pub fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// Fraction of accesses that are writes.
+    pub fn write_fraction(&self) -> f64 {
+        self.write_fraction
+    }
+
+    /// Computation cycles charged between two memory accesses.
+    pub fn compute_cycles_per_access(&self) -> u64 {
+        self.compute_cycles_per_access
+    }
+
+    /// How bandwidth-bound the workload is, in `[0, 1]`; used to derive the
+    /// extra queueing penalty of remote data accesses.
+    pub fn bandwidth_intensity(&self) -> f64 {
+        self.bandwidth_intensity
+    }
+
+    /// How the workload initialises its memory.
+    pub fn init(&self) -> InitPattern {
+        self.init
+    }
+
+    /// Which evaluation scenario(s) the workload belongs to.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Returns a copy with the footprint divided by `scale` (used to run the
+    /// paper's hundreds-of-gigabytes workloads on a scaled-down simulated
+    /// machine), clamped to at least 64 MiB.
+    pub fn scaled(&self, scale: u64) -> WorkloadSpec {
+        assert!(scale > 0);
+        let mut out = self.clone();
+        out.footprint = (self.footprint / scale).max(64 * 1024 * 1024);
+        out
+    }
+
+    /// Returns a copy with an explicit footprint (tests and quick runs).
+    pub fn with_footprint(&self, footprint: u64) -> WorkloadSpec {
+        assert!(footprint > 0);
+        let mut out = self.clone();
+        out.footprint = footprint;
+        out
+    }
+
+    /// Footprint expressed in whole GiB (as Table 1 reports it).
+    pub fn footprint_gib(&self) -> u64 {
+        self.footprint / GIB
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::new(
+            "Test",
+            "a test workload",
+            64 * GIB,
+            AccessPattern::UniformRandom,
+            0.5,
+            10,
+            0.8,
+            InitPattern::Parallel,
+            Scenario::Both,
+        )
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let w = spec();
+        assert_eq!(w.name(), "Test");
+        assert_eq!(w.footprint_gib(), 64);
+        assert_eq!(w.write_fraction(), 0.5);
+        assert_eq!(w.compute_cycles_per_access(), 10);
+        assert_eq!(w.init(), InitPattern::Parallel);
+        assert_eq!(w.scenario(), Scenario::Both);
+    }
+
+    #[test]
+    fn scaling_divides_the_footprint_with_a_floor() {
+        let w = spec();
+        assert_eq!(w.scaled(64).footprint(), GIB);
+        // Extreme scaling clamps to the 64 MiB floor.
+        assert_eq!(w.scaled(1 << 20).footprint(), 64 * 1024 * 1024);
+        assert_eq!(w.with_footprint(123 * 4096).footprint(), 123 * 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "footprint")]
+    fn zero_footprint_panics() {
+        let _ = spec().with_footprint(0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The paper's workload suite (Table 1).
+//!
+//! Footprints are the paper-scale values; callers running on a scaled
+//! machine use [`WorkloadSpec::scaled`] to shrink them proportionally.
+//! Access-pattern parameters are chosen to reproduce each program's
+//! qualitative memory behaviour (TLB pressure, read/write mix,
+//! bandwidth-boundedness), which is what determines where it lands in the
+//! paper's figures.
+
+use crate::pattern::AccessPattern;
+use crate::spec::{InitPattern, Scenario, WorkloadSpec};
+use mitosis_numa::GIB;
+
+/// Memcached: a distributed in-memory object cache (350 GB, multi-socket).
+pub fn memcached() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "Memcached",
+        "a commercial distributed in-memory object caching system",
+        350 * GIB,
+        AccessPattern::HotCold {
+            hot_fraction: 0.10,
+            hot_access_probability: 0.60,
+        },
+        0.10,
+        30,
+        0.5,
+        InitPattern::Parallel,
+        Scenario::MultiSocket,
+    )
+}
+
+/// Graph500: generation, compression and BFS of large graphs (420 GB).
+pub fn graph500() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "Graph500",
+        "a benchmark for generation, compression and search of large graphs",
+        420 * GIB,
+        AccessPattern::PointerChase {
+            window_fraction: 0.30,
+        },
+        0.05,
+        20,
+        0.7,
+        InitPattern::SingleThread,
+        Scenario::MultiSocket,
+    )
+}
+
+/// HashJoin: hash-table probing as in database join operators
+/// (480 GB multi-socket, 17 GB migration).
+pub fn hashjoin() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "HashJoin",
+        "a benchmark for hash-table probing used in database applications",
+        480 * GIB,
+        AccessPattern::UniformRandom,
+        0.25,
+        15,
+        0.7,
+        InitPattern::Parallel,
+        Scenario::Both,
+    )
+}
+
+/// Canneal: cache-aware simulated annealing for chip routing
+/// (382 GB multi-socket, 32 GB migration).
+pub fn canneal() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "Canneal",
+        "simulated cache-aware annealing to optimize routing cost of a chip design",
+        382 * GIB,
+        AccessPattern::PointerChase {
+            window_fraction: 0.90,
+        },
+        0.30,
+        5,
+        0.6,
+        InitPattern::Parallel,
+        Scenario::Both,
+    )
+}
+
+/// XSBench: Monte Carlo neutronics macroscopic cross-section lookups
+/// (440 GB multi-socket, 85 GB migration).
+pub fn xsbench() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "XSBench",
+        "a key computational kernel of the Monte Carlo neutronics application",
+        440 * GIB,
+        AccessPattern::UniformRandom,
+        0.02,
+        40,
+        0.5,
+        InitPattern::Parallel,
+        Scenario::Both,
+    )
+}
+
+/// BTree: index lookups as in database indices
+/// (145 GB multi-socket, 35 GB migration).
+pub fn btree() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "BTree",
+        "a benchmark for index lookups used in database and other large applications",
+        145 * GIB,
+        AccessPattern::HotCold {
+            hot_fraction: 0.02,
+            hot_access_probability: 0.50,
+        },
+        0.05,
+        25,
+        0.3,
+        InitPattern::Parallel,
+        Scenario::Both,
+    )
+}
+
+/// GUPS: random read-modify-write updates over a huge table (64 GB).
+pub fn gups() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "GUPS",
+        "HPC Challenge benchmark measuring the rate of random integer updates of memory",
+        64 * GIB,
+        AccessPattern::UniformRandom,
+        0.50,
+        5,
+        0.9,
+        InitPattern::SingleThread,
+        Scenario::Migration,
+    )
+}
+
+/// Redis: single-threaded in-memory key-value store (75 GB).
+pub fn redis() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "Redis",
+        "a commercial in-memory key-value store",
+        75 * GIB,
+        AccessPattern::HotCold {
+            hot_fraction: 0.15,
+            hot_access_probability: 0.70,
+        },
+        0.30,
+        35,
+        0.4,
+        InitPattern::SingleThread,
+        Scenario::Migration,
+    )
+}
+
+/// PageRank: iterative rank propagation over a web graph (69 GB).
+pub fn pagerank() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "PageRank",
+        "a benchmark for page rank used to rank pages in search engines",
+        69 * GIB,
+        AccessPattern::PointerChase {
+            window_fraction: 0.20,
+        },
+        0.10,
+        12,
+        0.8,
+        InitPattern::Parallel,
+        Scenario::Migration,
+    )
+}
+
+/// LibLinear: linear classification over millions of sparse features (67 GB).
+pub fn liblinear() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "LibLinear",
+        "a linear classifier for data with millions of instances and features",
+        67 * GIB,
+        AccessPattern::Sequential { stride: 64 },
+        0.10,
+        20,
+        0.9,
+        InitPattern::Parallel,
+        Scenario::Migration,
+    )
+}
+
+/// STREAM: pure sequential bandwidth (used as the interfering co-runner).
+pub fn stream() -> WorkloadSpec {
+    WorkloadSpec::new(
+        "STREAM",
+        "sustainable memory bandwidth kernel, used as the interfering process",
+        16 * GIB,
+        AccessPattern::Sequential { stride: 64 },
+        0.33,
+        2,
+        1.0,
+        InitPattern::Parallel,
+        Scenario::Migration,
+    )
+}
+
+/// The six multi-socket workloads in the order of Figures 4 and 9, with
+/// their multi-socket footprints from Table 1.
+pub fn multi_socket_suite() -> Vec<WorkloadSpec> {
+    vec![
+        canneal().with_footprint(382 * GIB),
+        memcached(),
+        xsbench().with_footprint(440 * GIB),
+        graph500(),
+        hashjoin().with_footprint(480 * GIB),
+        btree().with_footprint(145 * GIB),
+    ]
+}
+
+/// The eight workload-migration workloads in the order of Figures 6 and 10,
+/// with their migration-scenario footprints from Table 1.
+pub fn migration_suite() -> Vec<WorkloadSpec> {
+    vec![
+        gups(),
+        btree().with_footprint(35 * GIB),
+        hashjoin().with_footprint(17 * GIB),
+        redis(),
+        xsbench().with_footprint(85 * GIB),
+        pagerank(),
+        liblinear(),
+        canneal().with_footprint(32 * GIB),
+    ]
+}
+
+/// Looks a workload up by its paper name (case-insensitive).
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    let all = [
+        memcached(),
+        graph500(),
+        hashjoin(),
+        canneal(),
+        xsbench(),
+        btree(),
+        gups(),
+        redis(),
+        pagerank(),
+        liblinear(),
+        stream(),
+    ];
+    all.into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_footprints_match_the_paper() {
+        assert_eq!(memcached().footprint_gib(), 350);
+        assert_eq!(graph500().footprint_gib(), 420);
+        assert_eq!(hashjoin().footprint_gib(), 480);
+        assert_eq!(canneal().footprint_gib(), 382);
+        assert_eq!(xsbench().footprint_gib(), 440);
+        assert_eq!(btree().footprint_gib(), 145);
+        assert_eq!(gups().footprint_gib(), 64);
+        assert_eq!(redis().footprint_gib(), 75);
+        assert_eq!(pagerank().footprint_gib(), 69);
+        assert_eq!(liblinear().footprint_gib(), 67);
+    }
+
+    #[test]
+    fn suites_have_the_figure_workloads_in_order() {
+        let ms: Vec<&str> = multi_socket_suite().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            ms,
+            ["Canneal", "Memcached", "XSBench", "Graph500", "HashJoin", "BTree"]
+        );
+        let wm: Vec<&str> = migration_suite().iter().map(|w| w.name()).collect();
+        assert_eq!(
+            wm,
+            ["GUPS", "BTree", "HashJoin", "Redis", "XSBench", "PageRank", "LibLinear", "Canneal"]
+        );
+        // Migration-scenario footprints from Table 1.
+        let wm_fp: Vec<u64> = migration_suite().iter().map(|w| w.footprint_gib()).collect();
+        assert_eq!(wm_fp, [64, 35, 17, 75, 85, 69, 67, 32]);
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(by_name("gups").unwrap().name(), "GUPS");
+        assert_eq!(by_name("Canneal").unwrap().name(), "Canneal");
+        assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn single_threaded_initialisers_are_marked() {
+        assert_eq!(graph500().init(), InitPattern::SingleThread);
+        assert_eq!(redis().init(), InitPattern::SingleThread);
+        assert_eq!(xsbench().init(), InitPattern::Parallel);
+    }
+}

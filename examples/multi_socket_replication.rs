@@ -1,0 +1,65 @@
+//! Multi-socket scenario walkthrough (paper §8.1): run one of the paper's
+//! workloads on all four sockets, first without and then with page-table
+//! replication, and print the placement analysis plus the speedup.
+//!
+//! ```text
+//! cargo run --release --example multi_socket_replication [workload]
+//! ```
+//!
+//! `workload` is one of the Table 1 names (default: `Canneal`).
+
+use mitosis_sim::{MultiSocketConfig, MultiSocketScenario, SimParams};
+use mitosis_workloads::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "Canneal".into());
+    let spec = suite::by_name(&name)
+        .ok_or_else(|| format!("unknown workload {name:?}; use a Table 1 name like Canneal"))?;
+    let params = SimParams::new().with_accesses(30_000);
+
+    println!(
+        "workload: {} ({}; {} GB paper footprint, scaled 1/{})",
+        spec.name(),
+        spec.description(),
+        spec.footprint_gib(),
+        params.machine_scale
+    );
+
+    let first_touch =
+        MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &params)?;
+    println!("\nfirst-touch placement (stock Linux):");
+    for (socket, fraction) in first_touch.remote_leaf_fractions.iter().enumerate() {
+        println!(
+            "  socket {socket}: {:>5.1}% of leaf PTEs are remote on a TLB miss",
+            fraction * 100.0
+        );
+    }
+    println!(
+        "  runtime: {} cycles, {:.0}% of it in page walks",
+        first_touch.metrics.total_cycles,
+        first_touch.metrics.walk_cycle_fraction() * 100.0
+    );
+
+    let replicated = MultiSocketScenario::run(
+        &spec,
+        MultiSocketConfig::first_touch().with_mitosis(),
+        &params,
+    )?;
+    println!("\nwith Mitosis page-table replication:");
+    for (socket, fraction) in replicated.remote_leaf_fractions.iter().enumerate() {
+        println!(
+            "  socket {socket}: {:>5.1}% of leaf PTEs are remote on a TLB miss",
+            fraction * 100.0
+        );
+    }
+    println!(
+        "  runtime: {} cycles, {:.0}% of it in page walks",
+        replicated.metrics.total_cycles,
+        replicated.metrics.walk_cycle_fraction() * 100.0
+    );
+    println!(
+        "\nspeedup from replicating page tables: {:.2}x (paper: up to 1.34x)",
+        replicated.metrics.speedup_over(&first_touch.metrics)
+    );
+    Ok(())
+}

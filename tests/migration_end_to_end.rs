@@ -1,0 +1,145 @@
+//! End-to-end integration tests of the workload-migration story across the
+//! whole stack: stock Linux behaviour (data follows, page tables do not),
+//! Mitosis page-table migration, and the performance consequences measured
+//! through the MMU model.
+
+use mitosis::Mitosis;
+use mitosis_numa::{MachineConfig, SocketId};
+use mitosis_sim::{
+    ExecutionEngine, MigrationConfig, MigrationRun, SimParams, WorkloadMigrationScenario,
+};
+use mitosis_vmm::{AutoNuma, MmapFlags, System};
+use mitosis_workloads::suite;
+
+#[test]
+fn stock_linux_leaves_page_tables_behind_and_mitosis_fixes_it() {
+    let machine = MachineConfig::two_socket_small().build();
+    let mitosis = Mitosis::new();
+    let mut system = mitosis.install(machine);
+    let pid = system.create_process(SocketId::new(0)).unwrap();
+    let _ = system.mmap(pid, 16 * 1024 * 1024, MmapFlags::populate()).unwrap();
+
+    // The NUMA scheduler moves the process; AutoNUMA moves the data.
+    system.migrate_process(pid, SocketId::new(1), false).unwrap();
+    AutoNuma::new().scan_toward_home(&mut system, pid).unwrap();
+    let stock = system.footprint(pid).unwrap();
+    assert_eq!(stock.data_bytes[0], 0, "data followed the process");
+    assert!(stock.pagetable_bytes[0] > 0, "page tables did not");
+    assert_eq!(stock.pagetable_bytes[1], 0);
+
+    // Mitosis migrates the page tables too.
+    let migration = mitosis
+        .migrate_page_table(&mut system, pid, SocketId::new(1), true)
+        .unwrap();
+    assert!(migration.tables_created > 0);
+    let fixed = system.footprint(pid).unwrap();
+    assert_eq!(fixed.pagetable_bytes[0], 0);
+    assert!(fixed.pagetable_bytes[1] > 0);
+    // Everything still translates.
+    assert!(system
+        .translate(pid, mitosis_pt::VirtAddr::new(0x2000_0000_0000))
+        .unwrap()
+        .is_some());
+}
+
+#[test]
+fn scenario_shapes_match_the_paper() {
+    // Small but end-to-end: the relative ordering of the Figure 10 bars must
+    // hold for a walk-heavy workload.
+    let params = SimParams::quick_test();
+    let spec = suite::gups();
+    let results: Vec<_> = MigrationRun::figure10(false)
+        .into_iter()
+        .map(|run| WorkloadMigrationScenario::run(&spec, run, &params).unwrap())
+        .collect();
+    let baseline = results[0].metrics;
+    let broken = results[1].metrics.normalized_to(&baseline);
+    let repaired = results[2].metrics.normalized_to(&baseline);
+    assert!(broken > 1.5, "RPI-LD must be substantially slower, got {broken}");
+    assert!(repaired < 1.15, "RPI-LD+M must match LP-LD, got {repaired}");
+    // The broken configuration spends most of its extra time in page walks.
+    assert!(
+        results[1].metrics.walk_cycle_fraction() > results[0].metrics.walk_cycle_fraction()
+    );
+}
+
+#[test]
+fn thp_narrows_but_does_not_eliminate_the_gap_under_fragmentation() {
+    let params = SimParams::quick_test();
+    let spec = suite::gups();
+    let thp_broken = WorkloadMigrationScenario::run(
+        &spec,
+        MigrationRun::new(MigrationConfig::RpiLd).with_thp(),
+        &params,
+    )
+    .unwrap();
+    let thp_baseline = WorkloadMigrationScenario::run(
+        &spec,
+        MigrationRun::new(MigrationConfig::LpLd).with_thp(),
+        &params,
+    )
+    .unwrap();
+    let gap_thp = thp_broken.metrics.normalized_to(&thp_baseline.metrics);
+
+    let frag = SimParams::quick_test().with_heavy_fragmentation();
+    let frag_broken = WorkloadMigrationScenario::run(
+        &spec,
+        MigrationRun::new(MigrationConfig::RpiLd).with_thp(),
+        &frag,
+    )
+    .unwrap();
+    let frag_baseline = WorkloadMigrationScenario::run(
+        &spec,
+        MigrationRun::new(MigrationConfig::LpLd).with_thp(),
+        &frag,
+    )
+    .unwrap();
+    let gap_frag = frag_broken.metrics.normalized_to(&frag_baseline.metrics);
+
+    // Figure 11: fragmentation forces 4 KiB fallback, so the remote-PT gap
+    // grows again relative to the pristine-THP machine.
+    assert!(
+        gap_frag > gap_thp,
+        "fragmentation should widen the gap: {gap_frag} vs {gap_thp}"
+    );
+}
+
+#[test]
+fn migration_scenario_runs_on_every_paper_workload() {
+    // A smoke test over the full Figure 6 matrix with a tiny budget, making
+    // sure no workload/config combination errors out.
+    let params = SimParams::quick_test().with_accesses(500);
+    for spec in suite::migration_suite() {
+        for config in MigrationConfig::all() {
+            let result =
+                WorkloadMigrationScenario::run(&spec, MigrationRun::new(config), &params)
+                    .unwrap_or_else(|e| panic!("{} {config} failed: {e}", spec.name()));
+            assert!(result.metrics.total_cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn engine_populate_then_run_reports_no_demand_faults() {
+    let params = SimParams::quick_test();
+    let mut system = System::new(params.machine());
+    let pid = system.create_process(SocketId::new(0)).unwrap();
+    let spec = params.scale_workload(&suite::redis());
+    let region = system.mmap(pid, spec.footprint(), MmapFlags::lazy()).unwrap();
+    ExecutionEngine::populate(
+        &mut system,
+        pid,
+        region,
+        spec.footprint(),
+        spec.init(),
+        &[SocketId::new(0)],
+    )
+    .unwrap();
+    let mut engine = ExecutionEngine::new(&system);
+    let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+    let metrics = engine
+        .run(&mut system, pid, &spec, region, &threads, &params)
+        .unwrap();
+    assert_eq!(metrics.demand_faults, 0);
+    assert!(metrics.mmu.tlb_misses > 0);
+}
