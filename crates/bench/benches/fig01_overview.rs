@@ -7,8 +7,8 @@
 
 use mitosis_bench::{harness_params, print_header, print_remote_leaf_fractions, print_speedup};
 use mitosis_sim::{
-    format_normalized_table, MigrationConfig, MigrationRun, MultiSocketConfig,
-    MultiSocketScenario, WorkloadMigrationScenario,
+    format_normalized_table, MigrationConfig, MigrationRun, MultiSocketConfig, MultiSocketScenario,
+    WorkloadMigrationScenario,
 };
 use mitosis_workloads::suite;
 
@@ -34,10 +34,7 @@ fn main() {
     .expect("multi-socket Mitosis run");
 
     println!("\n[bottom left] Canneal normalized runtime (first-touch):");
-    let rows = format_normalized_table(
-        &[base.clone(), with_mitosis.clone()],
-        &base.label,
-    );
+    let rows = format_normalized_table(&[base.clone(), with_mitosis.clone()], &base.label);
     for row in &rows {
         println!("  {:<24} {:>7.3}", row.label, row.normalized_runtime);
     }
@@ -50,18 +47,12 @@ fn main() {
     // --- Workload-migration scenario: GUPS -------------------------------
     println!("\n[top right] % remote leaf PTEs per socket, GUPS after migration (RPI-LD):");
     let gups = suite::gups();
-    let local = WorkloadMigrationScenario::run(
-        &gups,
-        MigrationRun::new(MigrationConfig::LpLd),
-        &params,
-    )
-    .expect("GUPS local run");
-    let remote = WorkloadMigrationScenario::run(
-        &gups,
-        MigrationRun::new(MigrationConfig::RpiLd),
-        &params,
-    )
-    .expect("GUPS remote-PT run");
+    let local =
+        WorkloadMigrationScenario::run(&gups, MigrationRun::new(MigrationConfig::LpLd), &params)
+            .expect("GUPS local run");
+    let remote =
+        WorkloadMigrationScenario::run(&gups, MigrationRun::new(MigrationConfig::RpiLd), &params)
+            .expect("GUPS remote-PT run");
     let repaired = WorkloadMigrationScenario::run(
         &gups,
         MigrationRun::new(MigrationConfig::RpiLd).with_mitosis(),

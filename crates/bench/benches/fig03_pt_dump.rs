@@ -6,10 +6,10 @@
 //! sockets, and the fraction of entries pointing to remote memory.
 
 use mitosis_bench::{harness_params, print_header};
+use mitosis_sim::ExecutionEngine;
 use mitosis_sim::{MultiSocketConfig, SimParams};
 use mitosis_vmm::{MmapFlags, System};
 use mitosis_workloads::suite;
-use mitosis_sim::ExecutionEngine;
 
 fn main() {
     let params: SimParams = harness_params();
@@ -23,9 +23,7 @@ fn main() {
     let machine = params.machine();
     let sockets: Vec<_> = machine.socket_ids().collect();
     let mut system = System::new(machine);
-    let pid = system
-        .create_process(sockets[0])
-        .expect("process creation");
+    let pid = system.create_process(sockets[0]).expect("process creation");
     let region = system
         .mmap(pid, spec.footprint(), MmapFlags::lazy())
         .expect("mmap");
@@ -40,7 +38,11 @@ fn main() {
     .expect("populate");
 
     let dump = system.page_table_dump(pid).expect("page-table dump");
-    println!("\nconfiguration: {} ({} GiB scaled footprint)", config, spec.footprint() >> 30);
+    println!(
+        "\nconfiguration: {} ({} GiB scaled footprint)",
+        config,
+        spec.footprint() >> 30
+    );
     println!("{}", dump.to_paper_format());
     println!(
         "total page-table pages: {} ({} KiB); leaf PTEs per socket: {:?}",

@@ -14,9 +14,8 @@ fn main() {
     println!();
 
     for spec in suite::multi_socket_suite() {
-        let result =
-            MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &params)
-                .unwrap_or_else(|err| panic!("{} failed: {err}", spec.name()));
+        let result = MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &params)
+            .unwrap_or_else(|err| panic!("{} failed: {err}", spec.name()));
         print_remote_leaf_fractions(&result);
     }
     println!(

@@ -17,7 +17,10 @@ fn main() {
         "Figure 6 (and Table 2)",
         "workload-migration placement study, 4 KiB pages, normalized to LP-LD",
     );
-    println!("\nTable 2 configurations: {:?}", MigrationConfig::all().map(|c| c.label()));
+    println!(
+        "\nTable 2 configurations: {:?}",
+        MigrationConfig::all().map(|c| c.label())
+    );
 
     for spec in suite::migration_suite() {
         let results: Vec<_> = MigrationConfig::all()

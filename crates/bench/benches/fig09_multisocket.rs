@@ -6,7 +6,9 @@
 //! each workload, as in the paper.
 
 use mitosis_bench::{harness_params, print_header, print_normalized, print_speedup};
-use mitosis_sim::{format_normalized_table, MultiSocketConfig, MultiSocketScenario, ScenarioResult};
+use mitosis_sim::{
+    format_normalized_table, MultiSocketConfig, MultiSocketScenario, ScenarioResult,
+};
 use mitosis_workloads::suite;
 
 fn main() {

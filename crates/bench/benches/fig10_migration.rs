@@ -5,7 +5,9 @@
 //! to the 4 KiB `LP-LD` bar of each workload.
 
 use mitosis_bench::{harness_params, print_header, print_normalized, print_speedup};
-use mitosis_sim::{format_normalized_table, MigrationRun, ScenarioResult, WorkloadMigrationScenario};
+use mitosis_sim::{
+    format_normalized_table, MigrationRun, ScenarioResult, WorkloadMigrationScenario,
+};
 use mitosis_workloads::suite;
 
 fn main() {

@@ -23,8 +23,13 @@ fn build_tree(pages: u64) -> (PtEnv, mitosis_pt::PtRoots, Vec<VirtAddr>) {
     let mut env = PtEnv::new(&machine);
     let mut ops = NativePvOps::new();
     let mut ctx = env.context();
-    let roots = Mapper::create_roots(&mut ops, &mut ctx, SocketId::new(0), ReplicationSpec::none())
-        .expect("roots");
+    let roots = Mapper::create_roots(
+        &mut ops,
+        &mut ctx,
+        SocketId::new(0),
+        ReplicationSpec::none(),
+    )
+    .expect("roots");
     let mapper = Mapper::new(&roots);
     let mut addrs = Vec::new();
     for i in 0..pages {
@@ -45,7 +50,6 @@ fn build_tree(pages: u64) -> (PtEnv, mitosis_pt::PtRoots, Vec<VirtAddr>) {
             .expect("map");
         addrs.push(addr);
     }
-    drop(ctx);
     (env, roots, addrs)
 }
 
@@ -123,7 +127,12 @@ fn bench_pte_updates(c: &mut Criterion) {
         let mut ops = NativePvOps::new();
         let mut ctx = env.context();
         let table = ops
-            .alloc_table(&mut ctx, mitosis_pt::Level::L1, SocketId::new(0), &ReplicationSpec::none())
+            .alloc_table(
+                &mut ctx,
+                mitosis_pt::Level::L1,
+                SocketId::new(0),
+                &ReplicationSpec::none(),
+            )
             .expect("table");
         let data = ctx.alloc.alloc_on(SocketId::new(0)).expect("frame");
         let pte = Pte::new(data, PteFlags::user_data());
@@ -174,5 +183,10 @@ fn bench_tree_replication(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(micro, bench_walks, bench_pte_updates, bench_tree_replication);
+criterion_group!(
+    micro,
+    bench_walks,
+    bench_pte_updates,
+    bench_tree_replication
+);
 criterion_main!(micro);

@@ -12,7 +12,10 @@ use mitosis_numa::{MachineConfig, SocketId, GIB};
 use mitosis_vmm::MmapFlags;
 
 fn main() {
-    print_header("Table 4", "memory footprint overhead of Mitosis page-table replication");
+    print_header(
+        "Table 4",
+        "memory footprint overhead of Mitosis page-table replication",
+    );
 
     println!(
         "\n{:<12} {:>10} | {:>7} {:>7} {:>7} {:>7} {:>7}",
@@ -22,7 +25,12 @@ fn main() {
         let pt = OverheadEntry::compute(footprint, 1).page_table_bytes;
         let factors: Vec<String> = OverheadEntry::paper_replica_counts()
             .iter()
-            .map(|r| format!("{:.3}", OverheadEntry::compute(footprint, *r).overhead_factor))
+            .map(|r| {
+                format!(
+                    "{:.3}",
+                    OverheadEntry::compute(footprint, *r).overhead_factor
+                )
+            })
             .collect();
         println!(
             "{:<12} {:>10} | {}",
@@ -42,7 +50,7 @@ fn main() {
     let mut mitosis = mitosis::Mitosis::new();
     let mut system = mitosis.install(machine);
     let pid = system.create_process(SocketId::new(0)).expect("process");
-    let footprint = 1 * GIB;
+    let footprint = GIB;
     let _ = system
         .mmap(pid, footprint, MmapFlags::populate())
         .expect("mmap");

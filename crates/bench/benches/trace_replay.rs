@@ -1,0 +1,108 @@
+//! Throughput of live generation vs. trace replay vs. parallel replay.
+//!
+//! Live generation pays the access-pattern RNG on every access; replay
+//! reads a pre-captured lane; the parallel driver shards a batch of traces
+//! across worker threads.  This bench quantifies all three so regressions
+//! in the trace hot path (varint decode, cursor dispatch) and the scaling
+//! of the parallel driver are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mitosis_numa::SocketId;
+use mitosis_sim::{ExecutionEngine, SimParams};
+use mitosis_trace::{capture_engine_run, replay_parallel, replay_sequential, replay_trace, Trace};
+use mitosis_vmm::{MmapFlags, System};
+use mitosis_workloads::suite;
+use std::time::Duration;
+
+const ACCESSES: u64 = 20_000;
+
+fn params() -> SimParams {
+    SimParams::quick_test().with_accesses(ACCESSES)
+}
+
+fn bench_single(c: &mut Criterion) {
+    let params = params();
+    let spec = suite::gups();
+    let scaled = params.scale_workload(&spec);
+    let captured = capture_engine_run(&spec, &params, &[SocketId::new(0)]).expect("capture gups");
+    let trace = captured.trace;
+
+    let mut group = c.benchmark_group("trace_replay/single");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("live_generation", |b| {
+        b.iter(|| {
+            let mut system = System::new(params.machine());
+            let pid = system.create_process(SocketId::new(0)).expect("process");
+            let region = system
+                .mmap(pid, scaled.footprint(), MmapFlags::lazy().without_thp())
+                .expect("mmap");
+            ExecutionEngine::populate(
+                &mut system,
+                pid,
+                region,
+                scaled.footprint(),
+                scaled.init(),
+                &[SocketId::new(0)],
+            )
+            .expect("populate");
+            let mut engine = ExecutionEngine::new(&system);
+            let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+            engine
+                .run(&mut system, pid, &scaled, region, &threads, &params)
+                .expect("run")
+        });
+    });
+
+    group.bench_function("trace_replay", |b| {
+        b.iter(|| replay_trace(&trace, &params).expect("replay"));
+    });
+
+    group.bench_function("decode_from_bytes", |b| {
+        let bytes = trace.to_bytes().expect("encode");
+        b.iter(|| Trace::from_bytes(&bytes).expect("decode"));
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let params = params();
+    let traces: Vec<Trace> = [
+        suite::gups(),
+        suite::btree(),
+        suite::memcached(),
+        suite::redis(),
+    ]
+    .iter()
+    .map(|spec| {
+        capture_engine_run(spec, &params, &[SocketId::new(0)])
+            .expect("capture")
+            .trace
+    })
+    .collect();
+
+    let mut group = c.benchmark_group("trace_replay/batch4");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| replay_sequential(&traces, &params).expect("sequential"));
+    });
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    group.bench_function(format!("parallel_{workers}_workers"), |b| {
+        b.iter(|| replay_parallel(&traces, &params, workers).expect("parallel"));
+    });
+    group.finish();
+}
+
+criterion_group!(trace_replay, bench_single, bench_batch);
+criterion_main!(trace_replay);

@@ -1,0 +1,311 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the benchmark
+//! targets link this shim instead of the real Criterion.  It keeps the same
+//! authoring surface — [`Criterion`], benchmark groups, `iter` /
+//! `iter_batched`, the [`criterion_group!`] / [`criterion_main!`] macros —
+//! and implements a straightforward timing loop: per benchmark it runs a
+//! warm-up pass, takes `sample_size` wall-clock samples (each batching
+//! enough iterations to be measurable), and prints the mean, minimum and
+//! maximum time per iteration.  No statistical analysis, plotting or
+//! baseline persistence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value hint, like `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost over routine calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many routine calls per setup.
+    SmallInput,
+    /// Large inputs: few routine calls per setup.
+    LargeInput,
+    /// One setup per routine call (for routines that consume their input
+    /// destructively and are expensive enough to time individually).
+    PerIteration,
+}
+
+/// Collected timings for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Default)]
+struct Samples {
+    ns_per_iter: Vec<f64>,
+}
+
+impl Samples {
+    fn record(&mut self, elapsed: Duration, iters: u64) {
+        if iters > 0 {
+            self.ns_per_iter
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.ns_per_iter.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let mean = self.ns_per_iter.iter().sum::<f64>() / self.ns_per_iter.len() as f64;
+        let min = self
+            .ns_per_iter
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .ns_per_iter
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{id:<48} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Timing configuration shared by [`Criterion`] and benchmark groups.
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The per-benchmark timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher<'a> {
+    config: &'a Config,
+    samples: Samples,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses, counting
+        // iterations to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.record(start.elapsed(), iters_per_sample);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only `routine` is
+    /// measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One warm-up call, then one timed routine call per sample: the
+        // workspace only uses batched mode for routines that are expensive
+        // enough (tree replication, VMA syscalls) to time individually.
+        black_box(routine(setup()));
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.record(start.elapsed(), 1);
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.config.sample_size = samples;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.config.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.config.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let mut bencher = Bencher {
+            config: &self.config,
+            samples: Samples::default(),
+        };
+        f(&mut bencher);
+        bencher.samples.report(&id);
+        self
+    }
+
+    /// Finishes the group (reporting happens per benchmark; this exists for
+    /// API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: &self.config,
+            samples: Samples::default(),
+        };
+        f(&mut bencher);
+        bencher.samples.report(&id.into());
+        self
+    }
+}
+
+/// Bundles benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_the_configured_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        group.bench_function("counts", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 5, "routine ran during warm-up and sampling");
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut criterion = Criterion::default();
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        criterion.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 16]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(setups, runs);
+        assert!(runs > 1);
+    }
+
+    #[test]
+    fn nanosecond_formatting_picks_sane_units() {
+        assert!(format_ns(12.3).ends_with("ns"));
+        assert!(format_ns(12_300.0).ends_with("µs"));
+        assert!(format_ns(12_300_000.0).ends_with("ms"));
+        assert!(format_ns(2_300_000_000.0).ends_with('s'));
+    }
+}

@@ -215,34 +215,21 @@ mod tests {
     fn install_uses_the_mitosis_backend_and_fills_the_reserve() {
         let mitosis = Mitosis::new();
         let system = mitosis.install(MachineConfig::two_socket_small().build());
-        assert!(
-            system
-                .pt_env()
-                .page_cache
-                .reserved(SocketId::new(0))
-                > 0
-        );
+        assert!(system.pt_env().page_cache.reserved(SocketId::new(0)) > 0);
     }
 
     #[test]
     fn enable_creates_per_socket_roots_and_future_mappings_replicate() {
         let (mut mitosis, mut system, pid) = setup();
-        let summary = mitosis
-            .enable_for_process(&mut system, pid, None)
-            .unwrap();
+        let summary = mitosis.enable_for_process(&mut system, pid, None).unwrap();
         assert!(summary.replica_tables_created > 0);
         let cr3_0 = system.cr3_for(pid, SocketId::new(0)).unwrap();
         let cr3_1 = system.cr3_for(pid, SocketId::new(1)).unwrap();
         assert_ne!(cr3_0, cr3_1);
-        assert_eq!(
-            system.pt_env().frames.socket_of(cr3_1),
-            SocketId::new(1)
-        );
+        assert_eq!(system.pt_env().frames.socket_of(cr3_1), SocketId::new(1));
 
         // New mappings are reflected in both replicas.
-        let addr = system
-            .mmap(pid, 64 * 4096, MmapFlags::populate())
-            .unwrap();
+        let addr = system.mmap(pid, 64 * 4096, MmapFlags::populate()).unwrap();
         let env = system.pt_env();
         let t0 = mitosis_pt::translate(&env.store, cr3_0, addr).unwrap();
         let t1 = mitosis_pt::translate(&env.store, cr3_1, addr).unwrap();

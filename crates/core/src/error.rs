@@ -89,7 +89,9 @@ mod tests {
         let err: MitosisError = PtError::Mem(MemError::MachineOutOfMemory).into();
         assert!(matches!(err, MitosisError::Mem(_)));
         assert!(MitosisError::EmptyMask.source().is_none());
-        assert!(MitosisError::PolicyDisabled.to_string().contains("disabled"));
+        assert!(MitosisError::PolicyDisabled
+            .to_string()
+            .contains("disabled"));
     }
 
     #[test]

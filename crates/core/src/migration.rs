@@ -37,8 +37,7 @@ pub fn migrate_page_table(
     free_source: bool,
 ) -> Result<(PtRoots, PageTableMigration), MitosisError> {
     // Step 1: build (or reuse) a complete replica on the target socket.
-    let (mut new_roots, summary) =
-        replicate_tree(ctx, roots, NodeMask::single(target))?;
+    let (mut new_roots, summary) = replicate_tree(ctx, roots, NodeMask::single(target))?;
     let mut migration = PageTableMigration {
         tables_created: summary.replica_tables_created,
         tables_freed: 0,
@@ -94,18 +93,20 @@ mod tests {
     use super::*;
     use mitosis_mem::FrameKind;
     use mitosis_numa::MachineConfig;
-    use mitosis_pt::{
-        Mapper, NativePvOps, PageSize, PtEnv, PteFlags, ReplicationSpec, VirtAddr,
-    };
+    use mitosis_pt::{Mapper, NativePvOps, PageSize, PtEnv, PteFlags, ReplicationSpec, VirtAddr};
 
     fn build(pages: u64) -> (PtEnv, PtRoots, Vec<VirtAddr>) {
         let machine = MachineConfig::two_socket_small().build();
         let mut env = PtEnv::new(&machine);
         let mut ops = NativePvOps::new();
         let mut ctx = env.context();
-        let roots =
-            Mapper::create_roots(&mut ops, &mut ctx, SocketId::new(0), ReplicationSpec::none())
-                .unwrap();
+        let roots = Mapper::create_roots(
+            &mut ops,
+            &mut ctx,
+            SocketId::new(0),
+            ReplicationSpec::none(),
+        )
+        .unwrap();
         let mapper = Mapper::new(&roots);
         let mut addrs = Vec::new();
         for i in 0..pages {
@@ -126,7 +127,6 @@ mod tests {
                 .unwrap();
             addrs.push(addr);
         }
-        drop(ctx);
         (env, roots, addrs)
     }
 
@@ -147,11 +147,14 @@ mod tests {
         // Translations survive the migration.
         for addr in addrs {
             let t = mitosis_pt::translate(ctx.store, new_roots.base(), addr).unwrap();
-            assert_eq!(ctx.frames.socket_of(t.frame), SocketId::new(0), "data did not move");
+            assert_eq!(
+                ctx.frames.socket_of(t.frame),
+                SocketId::new(0),
+                "data did not move"
+            );
         }
         // No page-table pages remain on socket 0.
-        let dump =
-            mitosis_pt::PageTableDump::capture(ctx.store, ctx.frames, new_roots.base());
+        let dump = mitosis_pt::PageTableDump::capture(ctx.store, ctx.frames, new_roots.base());
         for cell in dump.cells() {
             if cell.table_pages > 0 {
                 assert_eq!(cell.socket, SocketId::new(1));
@@ -170,17 +173,15 @@ mod tests {
         assert_eq!(ctx.frames.socket_of(new_roots.base()), SocketId::new(1));
         // The socket-0 root still exists and translates identically.
         assert_eq!(
-            ctx.frames.socket_of(new_roots.root_for_socket(SocketId::new(0))),
+            ctx.frames
+                .socket_of(new_roots.root_for_socket(SocketId::new(0))),
             SocketId::new(0)
         );
         for addr in addrs {
             let a = mitosis_pt::translate(ctx.store, new_roots.base(), addr).unwrap();
-            let b = mitosis_pt::translate(
-                ctx.store,
-                new_roots.root_for_socket(SocketId::new(0)),
-                addr,
-            )
-            .unwrap();
+            let b =
+                mitosis_pt::translate(ctx.store, new_roots.root_for_socket(SocketId::new(0)), addr)
+                    .unwrap();
             assert_eq!(a.frame, b.frame);
         }
     }

@@ -10,7 +10,7 @@ use mitosis_numa::{GIB, KIB, MIB, TIB};
 const PAGE_TABLE_PAGE_BYTES: u64 = 4096;
 /// Bytes of virtual address space covered by one page of each level's tables.
 const L1_COVERAGE: u64 = 2 * MIB; // 512 x 4 KiB
-const L2_COVERAGE: u64 = 1 * GIB; // 512 x 2 MiB
+const L2_COVERAGE: u64 = GIB; // 512 x 2 MiB
 const L3_COVERAGE: u64 = 512 * GIB; // 512 x 1 GiB
 
 /// Size in bytes of the 4-level page table needed to map a compact address
@@ -67,7 +67,7 @@ impl OverheadEntry {
     /// The footprints used in the paper's Table 4 (1 MiB, 1 GiB, 1 TiB,
     /// 16 TiB).
     pub fn paper_footprints() -> [u64; 4] {
-        [1 * MIB, 1 * GIB, 1 * TIB, 16 * TIB]
+        [MIB, GIB, TIB, 16 * TIB]
     }
 
     /// The replica counts used in the paper's Table 4.
@@ -97,10 +97,10 @@ mod tests {
     fn page_table_size_matches_paper_column() {
         // Table 4: 1 MB -> 0.02 MB, 1 GB -> 2.01 MB, 1 TB -> 2.00 GB,
         // 16 TB -> 32 GB (to the printed precision).
-        assert_eq!(page_table_bytes(1 * MIB), 4 * 4096); // 16 KiB ≈ 0.02 MB
-        let gb = page_table_bytes(1 * GIB);
+        assert_eq!(page_table_bytes(MIB), 4 * 4096); // 16 KiB ≈ 0.02 MB
+        let gb = page_table_bytes(GIB);
         assert!((gb as f64 / MIB as f64 - 2.01).abs() < 0.01);
-        let tb = page_table_bytes(1 * TIB);
+        let tb = page_table_bytes(TIB);
         assert!((tb as f64 / GIB as f64 - 2.00).abs() < 0.01);
         let tb16 = page_table_bytes(16 * TIB);
         assert!((tb16 as f64 / GIB as f64 - 32.0).abs() < 0.1);
@@ -111,7 +111,7 @@ mod tests {
         // Table 4 row "1 GB": 1.0, 1.002, 1.006, 1.014, 1.029.
         let expect = [1.0, 1.002, 1.006, 1.014, 1.029];
         for (replicas, expected) in [1u64, 2, 4, 8, 16].iter().zip(expect) {
-            let got = memory_overhead(1 * GIB, *replicas);
+            let got = memory_overhead(GIB, *replicas);
             assert!(
                 (got - expected).abs() < 0.002,
                 "1 GiB x{replicas}: got {got}, expected {expected}"
@@ -120,7 +120,7 @@ mod tests {
         // Table 4 row "1 MB": 1.0, 1.015, 1.046, 1.108, 1.231.
         let expect = [1.0, 1.015, 1.046, 1.108, 1.231];
         for (replicas, expected) in [1u64, 2, 4, 8, 16].iter().zip(expect) {
-            let got = memory_overhead(1 * MIB, *replicas);
+            let got = memory_overhead(MIB, *replicas);
             assert!(
                 (got - expected).abs() < 0.01,
                 "1 MiB x{replicas}: got {got}, expected {expected}"
@@ -131,21 +131,21 @@ mod tests {
     #[test]
     fn four_socket_machine_overhead_is_fraction_of_a_percent() {
         // The paper quotes 0.6 % extra memory for the 4-socket machine.
-        let overhead = memory_overhead(1 * TIB, 4) - 1.0;
+        let overhead = memory_overhead(TIB, 4) - 1.0;
         assert!(overhead < 0.01, "got {overhead}");
         assert!(overhead > 0.001);
     }
 
     #[test]
     fn entry_helpers_and_formatting() {
-        let entry = OverheadEntry::compute(1 * GIB, 4);
+        let entry = OverheadEntry::compute(GIB, 4);
         assert_eq!(entry.replicas, 4);
         assert!(entry.overhead_factor > 1.0);
         assert_eq!(OverheadEntry::paper_footprints().len(), 4);
         assert_eq!(OverheadEntry::paper_replica_counts().len(), 5);
         assert_eq!(format_footprint(16 * TIB), "16 TB");
-        assert_eq!(format_footprint(1 * GIB), "1 GB");
-        assert_eq!(format_footprint(1 * MIB), "1 MB");
+        assert_eq!(format_footprint(GIB), "1 GB");
+        assert_eq!(format_footprint(MIB), "1 MB");
         assert_eq!(format_footprint(512), "0 KB");
     }
 

@@ -19,7 +19,7 @@
 
 use mitosis_mem::{FrameId, FrameKind};
 use mitosis_numa::SocketId;
-use mitosis_pt::{Level, PtContext, PtError, Pte, PtOpStats, PvOps, ReplicationSpec};
+use mitosis_pt::{Level, PtContext, PtError, PtOpStats, Pte, PvOps, ReplicationSpec};
 
 /// The replicating PV-Ops backend.
 ///
@@ -60,12 +60,7 @@ impl MitosisPvOps {
     /// Translates `pte` for the replica living on `replica_socket`: entries
     /// pointing at page-table pages are redirected to the same-socket child
     /// replica (when one exists); leaf/data entries are copied verbatim.
-    fn pte_for_replica(
-        &mut self,
-        ctx: &PtContext<'_>,
-        pte: Pte,
-        replica_socket: SocketId,
-    ) -> Pte {
+    fn pte_for_replica(&mut self, ctx: &PtContext<'_>, pte: Pte, replica_socket: SocketId) -> Pte {
         if !pte.is_present() || pte.is_huge() {
             return pte;
         }
@@ -212,7 +207,10 @@ mod tests {
         assert_eq!(ctx.frames.socket_of(primary), SocketId::new(1));
         let ring = ctx.frames.replicas_of(primary);
         assert_eq!(ring.len(), 2);
-        let sockets: Vec<usize> = ring.iter().map(|f| ctx.frames.socket_of(*f).index()).collect();
+        let sockets: Vec<usize> = ring
+            .iter()
+            .map(|f| ctx.frames.socket_of(*f).index())
+            .collect();
         assert!(sockets.contains(&0) && sockets.contains(&1));
         assert_eq!(ops.stats().tables_allocated, 2);
     }
@@ -223,7 +221,12 @@ mod tests {
         let mut ops = MitosisPvOps::new();
         let mut ctx = env.context();
         let frame = ops
-            .alloc_table(&mut ctx, Level::L1, SocketId::new(0), &ReplicationSpec::none())
+            .alloc_table(
+                &mut ctx,
+                Level::L1,
+                SocketId::new(0),
+                &ReplicationSpec::none(),
+            )
             .unwrap();
         assert_eq!(ctx.frames.replicas_of(frame).len(), 1);
         assert!(!ctx.frames.is_replicated(frame));
@@ -258,7 +261,12 @@ mod tests {
         let child = ops
             .alloc_table(&mut ctx, Level::L1, SocketId::new(0), &all_sockets())
             .unwrap();
-        ops.set_pte(&mut ctx, parent, 3, Pte::new(child, PteFlags::table_pointer()));
+        ops.set_pte(
+            &mut ctx,
+            parent,
+            3,
+            Pte::new(child, PteFlags::table_pointer()),
+        );
         for replica in ctx.frames.replicas_of(parent) {
             let socket = ctx.frames.socket_of(replica);
             let entry = ctx.store.read(replica, 3);
@@ -348,7 +356,7 @@ mod tests {
             roots.root_for_socket(SocketId::new(1))
         );
         let mapper = Mapper::new(&roots);
-        let addr = VirtAddr::new(0x5555_0000_0000 % (1 << 47));
+        let addr = VirtAddr::new(0x5555_0000_0000);
         let data = ctx.alloc.alloc_on(SocketId::new(1)).unwrap();
         ctx.frames.insert(data, FrameKind::Data);
         mapper

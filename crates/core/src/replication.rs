@@ -204,9 +204,13 @@ mod tests {
         let mut env = PtEnv::new(&machine);
         let mut ops = NativePvOps::new();
         let mut ctx = env.context();
-        let roots =
-            Mapper::create_roots(&mut ops, &mut ctx, SocketId::new(0), ReplicationSpec::none())
-                .unwrap();
+        let roots = Mapper::create_roots(
+            &mut ops,
+            &mut ctx,
+            SocketId::new(0),
+            ReplicationSpec::none(),
+        )
+        .unwrap();
         let mapper = Mapper::new(&roots);
         let mut addrs = Vec::new();
         for i in 0..pages {
@@ -227,7 +231,6 @@ mod tests {
                 .unwrap();
             addrs.push(addr);
         }
-        drop(ctx);
         (env, roots, addrs)
     }
 
@@ -235,8 +238,7 @@ mod tests {
     fn replication_creates_a_full_tree_per_socket() {
         let (mut env, roots, addrs) = build(16);
         let mut ctx = env.context();
-        let (new_roots, summary) =
-            replicate_tree(&mut ctx, &roots, NodeMask::all(2)).unwrap();
+        let (new_roots, summary) = replicate_tree(&mut ctx, &roots, NodeMask::all(2)).unwrap();
         assert_eq!(summary.original_tables, 4);
         // Socket 0 already holds the originals, socket 1 gets 4 new tables.
         assert_eq!(summary.replica_tables_created, 4);
@@ -315,10 +317,7 @@ mod tests {
         let (restored, freed) = tear_down_replicas(&mut ctx, &replicated).unwrap();
         assert_eq!(freed, 4);
         assert_eq!(ctx.store.table_count(), tables_before);
-        assert_eq!(
-            restored.root_for_socket(SocketId::new(1)),
-            restored.base()
-        );
+        assert_eq!(restored.root_for_socket(SocketId::new(1)), restored.base());
         // Original mappings still valid.
         for addr in addrs {
             assert!(mitosis_pt::translate(ctx.store, restored.base(), addr).is_some());
@@ -331,9 +330,13 @@ mod tests {
         let mut env = PtEnv::new(&machine);
         let mut ops = NativePvOps::new();
         let mut ctx = env.context();
-        let roots =
-            Mapper::create_roots(&mut ops, &mut ctx, SocketId::new(0), ReplicationSpec::none())
-                .unwrap();
+        let roots = Mapper::create_roots(
+            &mut ops,
+            &mut ctx,
+            SocketId::new(0),
+            ReplicationSpec::none(),
+        )
+        .unwrap();
         let (roots, first) =
             replicate_tree(&mut ctx, &roots, NodeMask::single(SocketId::new(1))).unwrap();
         assert_eq!(first.replica_tables_created, 1);

@@ -263,8 +263,7 @@ mod tests {
 
     #[test]
     fn strict_allocation_fails_when_socket_is_full() {
-        let mut alloc =
-            FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(2, 4));
+        let mut alloc = FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(2, 4));
         for _ in 0..4 {
             alloc.alloc_on(SocketId::new(0)).unwrap();
         }

@@ -109,8 +109,13 @@ mod tests {
     #[test]
     fn heavy_fragmentation_fails_mostly() {
         let mut model = FragmentationModel::heavy();
-        let failures = (0..10_000).filter(|_| model.huge_allocation_fails()).count();
-        assert!((9_000..=10_000).contains(&failures), "failures = {failures}");
+        let failures = (0..10_000)
+            .filter(|_| model.huge_allocation_fails())
+            .count();
+        assert!(
+            (9_000..=10_000).contains(&failures),
+            "failures = {failures}"
+        );
     }
 
     #[test]

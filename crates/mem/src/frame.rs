@@ -40,7 +40,7 @@ impl FrameId {
 
     /// Returns `true` if this frame is aligned to a huge-page boundary.
     pub const fn is_huge_aligned(self) -> bool {
-        self.0 % FRAMES_PER_HUGE_PAGE == 0
+        self.0.is_multiple_of(FRAMES_PER_HUGE_PAGE)
     }
 }
 
@@ -66,7 +66,10 @@ impl FrameRange {
     ///
     /// Panics if `start > end`.
     pub fn new(start: FrameId, end: FrameId) -> Self {
-        assert!(start.pfn() <= end.pfn(), "frame range start must not exceed end");
+        assert!(
+            start.pfn() <= end.pfn(),
+            "frame range start must not exceed end"
+        );
         FrameRange { start, end }
     }
 
@@ -149,7 +152,10 @@ impl FrameSpace {
     /// Returns the frame range owned by `socket`.
     pub fn range_of(&self, socket: SocketId) -> FrameRange {
         let start = socket.index() as u64 * self.frames_per_socket;
-        FrameRange::new(FrameId::new(start), FrameId::new(start + self.frames_per_socket))
+        FrameRange::new(
+            FrameId::new(start),
+            FrameId::new(start + self.frames_per_socket),
+        )
     }
 
     /// Returns `true` if `frame` is a valid frame of this machine.

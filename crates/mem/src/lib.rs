@@ -36,16 +36,18 @@
 
 mod alloc;
 mod error;
-mod frame;
 mod fragmentation;
+mod frame;
 mod meta;
 mod page_cache;
 mod policy;
 
 pub use alloc::{AllocStats, FrameAllocator};
 pub use error::MemError;
-pub use frame::{FrameId, FrameRange, FrameSpace, BASE_PAGE_SIZE, FRAMES_PER_HUGE_PAGE, HUGE_PAGE_SIZE};
 pub use fragmentation::FragmentationModel;
+pub use frame::{
+    FrameId, FrameRange, FrameSpace, BASE_PAGE_SIZE, FRAMES_PER_HUGE_PAGE, HUGE_PAGE_SIZE,
+};
 pub use meta::{FrameKind, FrameTable, PageMeta};
 pub use page_cache::PageCache;
 pub use policy::{InterleaveState, PlacementPolicy, PolicyEngine};

@@ -171,11 +171,7 @@ impl FrameTable {
     pub fn replicas_of(&self, frame: FrameId) -> Vec<FrameId> {
         let mut out = vec![frame];
         let mut cursor = frame;
-        loop {
-            let next = match self.entries.get(&cursor).and_then(|m| m.replica_next) {
-                Some(next) => next,
-                None => break,
-            };
+        while let Some(next) = self.entries.get(&cursor).and_then(|m| m.replica_next) {
             if next == frame {
                 break;
             }

@@ -134,8 +134,7 @@ mod tests {
 
     #[test]
     fn refill_reaches_the_target_on_every_socket() {
-        let mut alloc =
-            FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(2, 64));
+        let mut alloc = FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(2, 64));
         let mut cache = PageCache::new(2, 8);
         cache.refill(&mut alloc).unwrap();
         assert_eq!(cache.reserved(SocketId::new(0)), 8);
@@ -145,8 +144,7 @@ mod tests {
 
     #[test]
     fn reserve_absorbs_strict_allocation_failure() {
-        let mut alloc =
-            FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(1, 4));
+        let mut alloc = FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(1, 4));
         let mut cache = PageCache::new(1, 2);
         cache.refill(&mut alloc).unwrap();
         // Exhaust the socket.
@@ -171,8 +169,7 @@ mod tests {
 
     #[test]
     fn released_frames_top_up_the_reserve_then_go_back_to_the_allocator() {
-        let mut alloc =
-            FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(1, 64));
+        let mut alloc = FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(1, 64));
         let mut cache = PageCache::new(1, 1);
         let a = cache
             .alloc_pagetable_frame(&mut alloc, SocketId::new(0))
@@ -190,8 +187,7 @@ mod tests {
 
     #[test]
     fn set_target_changes_refill_behaviour() {
-        let mut alloc =
-            FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(1, 64));
+        let mut alloc = FrameAllocator::with_frame_space(FrameSpace::with_frames_per_socket(1, 64));
         let mut cache = PageCache::new(1, 0);
         cache.refill(&mut alloc).unwrap();
         assert_eq!(cache.reserved(SocketId::new(0)), 0);

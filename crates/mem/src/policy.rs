@@ -12,10 +12,11 @@ use crate::frame::FrameId;
 use mitosis_numa::{NodeMask, SocketId};
 
 /// A data-page placement policy, as selectable through `numactl` / `mbind`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PlacementPolicy {
     /// Allocate on the socket of the thread that first touches the page
     /// (Linux's default policy).
+    #[default]
     FirstTouch,
     /// Round-robin pages across the sockets of the mask
     /// (`numactl --interleave`).
@@ -32,12 +33,6 @@ impl PlacementPolicy {
     /// `n`-socket machine.
     pub fn interleave_all(sockets: usize) -> Self {
         PlacementPolicy::Interleave(NodeMask::all(sockets))
-    }
-}
-
-impl Default for PlacementPolicy {
-    fn default() -> Self {
-        PlacementPolicy::FirstTouch
     }
 }
 

@@ -198,10 +198,26 @@ mod tests {
         frames.insert(data, FrameKind::Data);
         let addr = VirtAddr::new(0x7f00_0000_0000 & ((1 << 48) - 1));
         let addr = VirtAddr::new(addr.as_u64() % (1 << 47));
-        store.write(root, addr.index_at(Level::L4), Pte::new(l3, PteFlags::table_pointer()));
-        store.write(l3, addr.index_at(Level::L3), Pte::new(l2, PteFlags::table_pointer()));
-        store.write(l2, addr.index_at(Level::L2), Pte::new(l1, PteFlags::table_pointer()));
-        store.write(l1, addr.index_at(Level::L1), Pte::new(data, PteFlags::user_data()));
+        store.write(
+            root,
+            addr.index_at(Level::L4),
+            Pte::new(l3, PteFlags::table_pointer()),
+        );
+        store.write(
+            l3,
+            addr.index_at(Level::L3),
+            Pte::new(l2, PteFlags::table_pointer()),
+        );
+        store.write(
+            l2,
+            addr.index_at(Level::L2),
+            Pte::new(l1, PteFlags::table_pointer()),
+        );
+        store.write(
+            l1,
+            addr.index_at(Level::L1),
+            Pte::new(data, PteFlags::user_data()),
+        );
         (store, frames, root, addr)
     }
 
@@ -214,13 +230,29 @@ mod tests {
         let (mut store, frames, root, addr) = build();
         let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(0));
         let mut pte_cache = PteCache::new(1024);
-        let first = mmu.access(addr, false, root, &mut store, &frames, &cost(), &mut pte_cache);
+        let first = mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
         assert!(first.tlb_hit.is_none());
         assert!(!first.fault);
         assert_eq!(first.frame, Some(FrameId::new(600)));
         assert!(first.translation_cycles > 0);
 
-        let second = mmu.access(addr, false, root, &mut store, &frames, &cost(), &mut pte_cache);
+        let second = mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
         assert_eq!(second.tlb_hit, Some(TlbLevel::L1));
         assert_eq!(second.translation_cycles, 0);
         assert_eq!(mmu.stats().tlb_misses, 1);
@@ -233,9 +265,25 @@ mod tests {
         let (mut store, frames, root, addr) = build();
         let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(0));
         let mut pte_cache = PteCache::new(1024);
-        mmu.access(addr, false, root, &mut store, &frames, &cost(), &mut pte_cache);
+        mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
         mmu.context_switch();
-        let after = mmu.access(addr, false, root, &mut store, &frames, &cost(), &mut pte_cache);
+        let after = mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
         assert!(after.tlb_hit.is_none());
         assert_eq!(mmu.stats().tlb_misses, 2);
     }
@@ -245,9 +293,25 @@ mod tests {
         let (mut store, frames, root, addr) = build();
         let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(0));
         let mut pte_cache = PteCache::new(1024);
-        mmu.access(addr, false, root, &mut store, &frames, &cost(), &mut pte_cache);
+        mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
         mmu.shootdown_page(addr, PageSize::Base4K);
-        let after = mmu.access(addr, false, root, &mut store, &frames, &cost(), &mut pte_cache);
+        let after = mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
         assert!(after.tlb_hit.is_none());
     }
 
@@ -275,7 +339,15 @@ mod tests {
         let (mut store, frames, root, addr) = build();
         let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(0));
         let mut pte_cache = PteCache::new(1024);
-        mmu.access(addr, true, root, &mut store, &frames, &cost(), &mut pte_cache);
+        mmu.access(
+            addr,
+            true,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
         assert!(mmu.stats().accesses > 0);
         mmu.reset_stats();
         assert_eq!(mmu.stats().accesses, 0);

@@ -116,14 +116,18 @@ impl PteCacheSet {
         );
         let lines = ((machine.l3_bytes_per_socket() as f64 * fraction) / 64.0) as usize;
         PteCacheSet {
-            caches: (0..machine.sockets()).map(|_| PteCache::new(lines)).collect(),
+            caches: (0..machine.sockets())
+                .map(|_| PteCache::new(lines))
+                .collect(),
         }
     }
 
     /// Creates per-socket caches with an explicit line capacity (tests).
     pub fn with_capacity(sockets: usize, capacity_lines: usize) -> Self {
         PteCacheSet {
-            caches: (0..sockets).map(|_| PteCache::new(capacity_lines)).collect(),
+            caches: (0..sockets)
+                .map(|_| PteCache::new(capacity_lines))
+                .collect(),
         }
     }
 

@@ -43,7 +43,10 @@ impl Tlb {
     /// Panics if `entries` is not a multiple of `ways` or either is zero.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(entries > 0 && ways > 0, "TLB dimensions must be positive");
-        assert!(entries % ways == 0, "entries must be a multiple of ways");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries must be a multiple of ways"
+        );
         let sets = entries / ways;
         Tlb {
             sets: vec![Vec::with_capacity(ways); sets],
@@ -299,7 +302,8 @@ mod tests {
         h.insert(va(3), PageSize::Base4K, FrameId::new(30));
         // Evict from tiny L1 by filling it with other pages mapping to all sets.
         for page in 100..116 {
-            h.l1_4k.insert(va(page), PageSize::Base4K, FrameId::new(page));
+            h.l1_4k
+                .insert(va(page), PageSize::Base4K, FrameId::new(page));
         }
         let (level, frame, penalty) = h.lookup(va(3), PageSize::Base4K).unwrap();
         assert_eq!(level, TlbLevel::L2);

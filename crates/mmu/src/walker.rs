@@ -106,7 +106,8 @@ impl HardwareWalker {
                 cycles += cost.llc_hit().cycles;
                 stats.pte_cache_hits += 1;
             } else {
-                let access = cost.dram_access(socket, frames.socket_of(table), AccessKind::PageWalk);
+                let access =
+                    cost.dram_access(socket, frames.socket_of(table), AccessKind::PageWalk);
                 cycles += access.cycles;
                 if access.local {
                     stats.local_dram_accesses += 1;
@@ -209,10 +210,26 @@ mod tests {
         let data = FrameId::new(500);
         frames.insert(data, FrameKind::Data);
         let addr = VirtAddr::new(0x4000_0000);
-        store.write(root, addr.index_at(Level::L4), Pte::new(l3, PteFlags::table_pointer()));
-        store.write(l3, addr.index_at(Level::L3), Pte::new(l2, PteFlags::table_pointer()));
-        store.write(l2, addr.index_at(Level::L2), Pte::new(l1, PteFlags::table_pointer()));
-        store.write(l1, addr.index_at(Level::L1), Pte::new(data, PteFlags::user_data()));
+        store.write(
+            root,
+            addr.index_at(Level::L4),
+            Pte::new(l3, PteFlags::table_pointer()),
+        );
+        store.write(
+            l3,
+            addr.index_at(Level::L3),
+            Pte::new(l2, PteFlags::table_pointer()),
+        );
+        store.write(
+            l2,
+            addr.index_at(Level::L2),
+            Pte::new(l1, PteFlags::table_pointer()),
+        );
+        store.write(
+            l1,
+            addr.index_at(Level::L1),
+            Pte::new(data, PteFlags::user_data()),
+        );
         (store, frames, root, addr)
     }
 

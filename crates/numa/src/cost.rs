@@ -214,9 +214,10 @@ impl CostModel {
     /// recently written by another socket, for example).  Costs roughly the
     /// interconnect round-trip but avoids DRAM.
     pub fn remote_llc_hit(&self) -> MemoryAccessCost {
-        let cycles = self
-            .l3_hit_latency
-            .saturating_add(self.remote_dram_latency.saturating_sub(self.local_dram_latency));
+        let cycles = self.l3_hit_latency.saturating_add(
+            self.remote_dram_latency
+                .saturating_sub(self.local_dram_latency),
+        );
         MemoryAccessCost {
             cycles,
             local: false,
@@ -275,8 +276,16 @@ mod tests {
     #[test]
     fn llc_hits_are_cheap() {
         let m = model();
-        assert!(m.llc_hit().cycles < m.dram_access(SocketId::new(0), SocketId::new(0), AccessKind::Data).cycles);
-        assert!(m.remote_llc_hit().cycles < m.dram_access(SocketId::new(0), SocketId::new(1), AccessKind::Data).cycles);
+        assert!(
+            m.llc_hit().cycles
+                < m.dram_access(SocketId::new(0), SocketId::new(0), AccessKind::Data)
+                    .cycles
+        );
+        assert!(
+            m.remote_llc_hit().cycles
+                < m.dram_access(SocketId::new(0), SocketId::new(1), AccessKind::Data)
+                    .cycles
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl VirtAddr {
 
     /// Returns `true` if the address is aligned to the given page size.
     pub const fn is_aligned(self, size: PageSize) -> bool {
-        self.0 % size.bytes() == 0
+        self.0.is_multiple_of(size.bytes())
     }
 
     /// Returns the page-table index used at `level` when translating this

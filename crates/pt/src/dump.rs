@@ -322,7 +322,11 @@ mod tests {
         frames.insert(huge_data, FrameKind::Data);
         store.write(root, 0, Pte::new(l3, PteFlags::table_pointer()));
         store.write(l3, 0, Pte::new(l2, PteFlags::table_pointer()));
-        store.write(l2, 0, Pte::new(huge_data, PteFlags::user_data().huge_page()));
+        store.write(
+            l2,
+            0,
+            Pte::new(huge_data, PteFlags::user_data().huge_page()),
+        );
         let dump = PageTableDump::capture(&store, &frames, root);
         assert_eq!(dump.total_leaf_ptes(), 1);
         assert_eq!(dump.pages_at_level(Level::L1), 0);

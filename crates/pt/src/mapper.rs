@@ -151,9 +151,15 @@ impl<'a> Mapper<'a> {
             return Err(PtError::AlreadyMapped { addr });
         }
         let flags = if size == PageSize::Base4K {
-            PteFlags { huge: false, ..flags }
+            PteFlags {
+                huge: false,
+                ..flags
+            }
         } else {
-            PteFlags { huge: true, ..flags }
+            PteFlags {
+                huge: true,
+                ..flags
+            }
         };
         ops.set_pte(ctx, table, index, Pte::new(frame, flags));
         Ok(())
@@ -287,7 +293,12 @@ impl<'a> Mapper<'a> {
                 entry.frame().expect("present table entry has a frame")
             } else {
                 let child = ops.alloc_table(ctx, next_level, pt_socket, repl)?;
-                ops.set_pte(ctx, table, index, Pte::new(child, PteFlags::table_pointer()));
+                ops.set_pte(
+                    ctx,
+                    table,
+                    index,
+                    Pte::new(child, PteFlags::table_pointer()),
+                );
                 child
             };
             table = child;
@@ -494,7 +505,12 @@ mod tests {
         assert!(!t.pte.flags().writable);
         // Protect on an unmapped address errors.
         assert!(mapper
-            .protect(&mut ops, &mut ctx, VirtAddr::new(0x9000_0000), PteFlags::user_readonly())
+            .protect(
+                &mut ops,
+                &mut ctx,
+                VirtAddr::new(0x9000_0000),
+                PteFlags::user_readonly()
+            )
             .is_err());
     }
 
@@ -518,9 +534,13 @@ mod tests {
     fn roots_without_replication_all_point_to_base() {
         let (mut env, mut ops) = setup();
         let mut ctx = env.context();
-        let roots =
-            Mapper::create_roots(&mut ops, &mut ctx, SocketId::new(1), ReplicationSpec::none())
-                .unwrap();
+        let roots = Mapper::create_roots(
+            &mut ops,
+            &mut ctx,
+            SocketId::new(1),
+            ReplicationSpec::none(),
+        )
+        .unwrap();
         assert_eq!(roots.root_for_socket(SocketId::new(0)), roots.base());
         assert_eq!(roots.root_for_socket(SocketId::new(1)), roots.base());
         assert_eq!(roots.distinct_roots().len(), 1);

@@ -293,7 +293,12 @@ mod tests {
         let mut ops = NativePvOps::new();
         let mut ctx = env.context();
         let frame = ops
-            .alloc_table(&mut ctx, Level::L4, SocketId::new(1), &ReplicationSpec::none())
+            .alloc_table(
+                &mut ctx,
+                Level::L4,
+                SocketId::new(1),
+                &ReplicationSpec::none(),
+            )
             .unwrap();
         assert_eq!(ctx.frames.socket_of(frame), SocketId::new(1));
         assert_eq!(
@@ -310,15 +315,15 @@ mod tests {
         let mut ops = NativePvOps::new();
         let mut ctx = env.context();
         let table = ops
-            .alloc_table(&mut ctx, Level::L1, SocketId::new(0), &ReplicationSpec::none())
+            .alloc_table(
+                &mut ctx,
+                Level::L1,
+                SocketId::new(0),
+                &ReplicationSpec::none(),
+            )
             .unwrap();
         let data = ctx.alloc.alloc_on(SocketId::new(0)).unwrap();
-        ops.set_pte(
-            &mut ctx,
-            table,
-            7,
-            Pte::new(data, PteFlags::user_data()),
-        );
+        ops.set_pte(&mut ctx, table, 7, Pte::new(data, PteFlags::user_data()));
         assert_eq!(ops.read_pte(&ctx, table, 7).frame(), Some(data));
         assert_eq!(ops.stats().pte_writes, 1);
         assert_eq!(ops.stats().replica_pte_writes, 0);
@@ -330,14 +335,21 @@ mod tests {
         let mut ops = NativePvOps::new();
         let mut ctx = env.context();
         let table = ops
-            .alloc_table(&mut ctx, Level::L1, SocketId::new(0), &ReplicationSpec::none())
+            .alloc_table(
+                &mut ctx,
+                Level::L1,
+                SocketId::new(0),
+                &ReplicationSpec::none(),
+            )
             .unwrap();
         let data = ctx.alloc.alloc_on(SocketId::new(0)).unwrap();
         ops.set_pte(
             &mut ctx,
             table,
             0,
-            Pte::new(data, PteFlags::user_data()).with_accessed().with_dirty(),
+            Pte::new(data, PteFlags::user_data())
+                .with_accessed()
+                .with_dirty(),
         );
         ops.clear_accessed_dirty(&mut ctx, table, 0);
         let pte = ops.read_pte(&ctx, table, 0);
@@ -353,7 +365,12 @@ mod tests {
         let mut ops = NativePvOps::new();
         let mut ctx = env.context();
         let table = ops
-            .alloc_table(&mut ctx, Level::L2, SocketId::new(0), &ReplicationSpec::none())
+            .alloc_table(
+                &mut ctx,
+                Level::L2,
+                SocketId::new(0),
+                &ReplicationSpec::none(),
+            )
             .unwrap();
         ops.release_table(&mut ctx, table).unwrap();
         assert!(!ctx.store.contains(table));

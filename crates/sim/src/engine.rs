@@ -7,7 +7,7 @@ use mitosis_mmu::{Mmu, MmuStats, PteCacheSet};
 use mitosis_numa::{AccessKind, CoreId, CostModel, Cycles, SocketId};
 use mitosis_pt::{PageSize, VirtAddr};
 use mitosis_vmm::{Pid, System, VmError};
-use mitosis_workloads::{AccessStream, InitPattern, WorkloadSpec};
+use mitosis_workloads::{AccessSource, AccessStream, InitPattern, WorkloadSpec};
 
 /// Placement of one simulated thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,9 +84,7 @@ impl ExecutionEngine {
     ) -> Result<(), VmError> {
         assert!(!sockets.is_empty(), "populate needs at least one socket");
         match init {
-            InitPattern::SingleThread => {
-                system.populate_region(pid, region, footprint, sockets[0])
-            }
+            InitPattern::SingleThread => system.populate_region(pid, region, footprint, sockets[0]),
             InitPattern::Parallel => {
                 let chunk = (footprint / sockets.len() as u64)
                     .max(PageSize::Base4K.bytes())
@@ -130,21 +128,77 @@ impl ExecutionEngine {
         threads: &[ThreadPlacement],
         params: &SimParams,
     ) -> Result<RunMetrics, VmError> {
+        let mut streams = Self::thread_streams(spec, params, threads.len());
+        self.run_with_sources(
+            system,
+            pid,
+            spec,
+            region,
+            threads,
+            params.accesses_per_thread,
+            &mut streams,
+        )
+    }
+
+    /// The live access streams [`ExecutionEngine::run`] feeds its threads:
+    /// thread `i` gets a stream seeded with `params.seed + i`.
+    ///
+    /// Trace capture wraps these same streams, which is what makes a
+    /// captured lane reproduce an independent live run exactly — keep any
+    /// change to the per-thread seed derivation here.
+    pub fn thread_streams(
+        spec: &WorkloadSpec,
+        params: &SimParams,
+        threads: usize,
+    ) -> Vec<AccessStream> {
+        (0..threads)
+            .map(|index| AccessStream::new(spec, params.seed.wrapping_add(index as u64)))
+            .collect()
+    }
+
+    /// Runs the measured phase feeding each thread from its own
+    /// [`AccessSource`] instead of a live [`AccessStream`].
+    ///
+    /// This is the entry point trace replay uses: a captured trace lane fed
+    /// through here reproduces the metrics of the live run that generated
+    /// it bit-for-bit.  `sources` must contain exactly one source per entry
+    /// in `threads`; each source must yield at least `accesses_per_thread`
+    /// accesses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-fault handling errors (demand paging during the
+    /// measured phase is allowed and counted).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_sources<S: AccessSource>(
+        &mut self,
+        system: &mut System,
+        pid: Pid,
+        spec: &WorkloadSpec,
+        region: VirtAddr,
+        threads: &[ThreadPlacement],
+        accesses_per_thread: u64,
+        sources: &mut [S],
+    ) -> Result<RunMetrics, VmError> {
+        assert_eq!(
+            threads.len(),
+            sources.len(),
+            "one access source per thread placement"
+        );
         let cost = system.machine().cost_model().clone();
         let frame_space = system.pt_env().alloc.frame_space().clone();
         let mut metrics = RunMetrics::default();
 
-        for (index, placement) in threads.iter().enumerate() {
+        for (placement, source) in threads.iter().zip(sources.iter_mut()) {
             let cr3 = system.cr3_for(pid, placement.socket)?;
             let mut mmu = Mmu::new(placement.core, placement.socket);
-            let mut stream = AccessStream::new(spec, params.seed.wrapping_add(index as u64));
             let mut compute: Cycles = 0;
             let mut data: Cycles = 0;
             let mut translation: Cycles = 0;
             let mut demand_faults = 0u64;
 
-            for _ in 0..params.accesses_per_thread {
-                let access = stream.next_access();
+            for _ in 0..accesses_per_thread {
+                let access = source.next_access();
                 // Accesses are 8-byte word granular within the footprint.
                 let addr = VirtAddr::new(region.as_u64() + (access.offset & !0x7));
                 compute += spec.compute_cycles_per_access();
@@ -200,7 +254,7 @@ impl ExecutionEngine {
                 compute,
                 data,
                 translation,
-                params.accesses_per_thread,
+                accesses_per_thread,
                 mmu.stats(),
                 demand_faults,
             );
@@ -266,10 +320,8 @@ mod tests {
         let mut engine = ExecutionEngine::new(&system);
         // Same page table, but run the thread from socket 1: data and page
         // tables are now remote.
-        let local_threads =
-            ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
-        let remote_threads =
-            ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(1)]);
+        let local_threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+        let remote_threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(1)]);
         let local = engine
             .run(&mut system, pid, &spec, region, &local_threads, &params)
             .unwrap();

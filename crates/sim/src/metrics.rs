@@ -65,6 +65,7 @@ impl RunMetrics {
     }
 
     /// Merges a per-thread contribution into the aggregate.
+    #[allow(clippy::too_many_arguments)]
     pub fn absorb_thread(
         &mut self,
         thread_cycles: Cycles,

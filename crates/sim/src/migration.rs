@@ -136,7 +136,10 @@ mod tests {
         let spec = suite::gups();
         let baseline = run(&spec, MigrationRun::new(MigrationConfig::LpLd));
         let remote_pt = run(&spec, MigrationRun::new(MigrationConfig::RpiLd));
-        let repaired = run(&spec, MigrationRun::new(MigrationConfig::RpiLd).with_mitosis());
+        let repaired = run(
+            &spec,
+            MigrationRun::new(MigrationConfig::RpiLd).with_mitosis(),
+        );
 
         let slowdown = remote_pt.metrics.normalized_to(&baseline.metrics);
         assert!(slowdown > 1.5, "RPI-LD slowdown = {slowdown}");
@@ -176,7 +179,10 @@ mod tests {
     #[test]
     fn mitosis_migration_moves_page_tables_to_the_run_socket() {
         let spec = suite::hashjoin().with_footprint(17 * mitosis_numa::GIB);
-        let repaired = run(&spec, MigrationRun::new(MigrationConfig::RpiLd).with_mitosis());
+        let repaired = run(
+            &spec,
+            MigrationRun::new(MigrationConfig::RpiLd).with_mitosis(),
+        );
         let a = WorkloadMigrationScenario::RUN_SOCKET.index();
         let b = WorkloadMigrationScenario::REMOTE_SOCKET.index();
         assert!(repaired.footprint.pagetable_bytes[a] > 0);

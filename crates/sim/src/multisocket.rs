@@ -119,8 +119,8 @@ mod tests {
     #[test]
     fn first_touch_sees_remote_leaf_ptes_and_mitosis_makes_them_local() {
         let spec = suite::xsbench();
-        let base = MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &params())
-            .unwrap();
+        let base =
+            MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &params()).unwrap();
         // With parallel first-touch init, roughly 3/4 of leaf PTEs are
         // remote from any socket.
         let avg_remote: f64 = base.remote_leaf_fractions.iter().sum::<f64>()
@@ -145,14 +145,10 @@ mod tests {
     fn mitosis_does_not_slow_the_workload_down() {
         let spec = suite::canneal();
         let p = params();
-        let base =
-            MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &p).unwrap();
-        let with_mitosis = MultiSocketScenario::run(
-            &spec,
-            MultiSocketConfig::first_touch().with_mitosis(),
-            &p,
-        )
-        .unwrap();
+        let base = MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &p).unwrap();
+        let with_mitosis =
+            MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch().with_mitosis(), &p)
+                .unwrap();
         assert!(
             with_mitosis.metrics.total_cycles <= base.metrics.total_cycles,
             "Mitosis regressed the multi-socket run: {} vs {}",

@@ -42,12 +42,7 @@ pub fn format_normalized_table(
         .iter()
         .find(|r| r.label == baseline_label)
         .map(|r| r.metrics)
-        .unwrap_or_else(|| {
-            results
-                .first()
-                .map(|r| r.metrics)
-                .unwrap_or_default()
-        });
+        .unwrap_or_else(|| results.first().map(|r| r.metrics).unwrap_or_default());
     results
         .iter()
         .map(|r| NormalizedRow {

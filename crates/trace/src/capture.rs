@@ -1,0 +1,328 @@
+//! Trace capture: turning live access streams and scenario setups into
+//! replayable [`Trace`] artifacts.
+//!
+//! Two capture granularities are provided:
+//!
+//! * [`RecordingSource`] wraps any [`AccessSource`] and tees every access it
+//!   hands out into a buffer — the building block for capturing whatever
+//!   actually fed the engine;
+//! * [`capture_engine_run`] and [`capture_migration_scenario`] run a full
+//!   experiment (the latter mirroring the paper's workload-migration
+//!   scenario from `mitosis-sim`, including its setup events) while
+//!   recording it, returning both the live metrics and the trace whose
+//!   replay reproduces them bit-for-bit.
+
+use crate::format::{Trace, TraceEvent, TraceLane, TraceMeta};
+use crate::replay::ReplayError;
+use mitosis::Mitosis;
+use mitosis_mem::{FragmentationModel, PlacementPolicy};
+use mitosis_numa::{Interference, NodeMask, SocketId};
+use mitosis_sim::{ExecutionEngine, MigrationRun, RunMetrics, SimParams, ThreadPlacement};
+use mitosis_vmm::{MmapFlags, PtPlacement, System, ThpMode};
+use mitosis_workloads::{Access, AccessSource, AccessStream, InitPattern, WorkloadSpec};
+
+/// An [`AccessSource`] adaptor that records every access it forwards.
+#[derive(Debug, Clone)]
+pub struct RecordingSource<S> {
+    inner: S,
+    recorded: Vec<Access>,
+}
+
+impl<S: AccessSource> RecordingSource<S> {
+    /// Wraps `inner`, recording everything it produces.
+    pub fn new(inner: S) -> Self {
+        RecordingSource {
+            inner,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// The accesses forwarded so far.
+    pub fn recorded(&self) -> &[Access] {
+        &self.recorded
+    }
+
+    /// Consumes the adaptor, returning the recorded accesses.
+    pub fn into_recorded(self) -> Vec<Access> {
+        self.recorded
+    }
+}
+
+impl<S: AccessSource> AccessSource for RecordingSource<S> {
+    fn next_access(&mut self) -> Access {
+        let access = self.inner.next_access();
+        self.recorded.push(access);
+        access
+    }
+}
+
+/// Captures `accesses` accesses of `spec`'s deterministic stream under
+/// `seed` into a lane for a thread on `socket`, without running the engine.
+pub fn capture_stream(spec: &WorkloadSpec, seed: u64, socket: u16, accesses: u64) -> TraceLane {
+    let mut stream = AccessStream::new(spec, seed);
+    let mut lane = TraceLane::new(socket);
+    lane.accesses = (0..accesses).map(|_| stream.next_access()).collect();
+    lane
+}
+
+/// A capture that also ran the experiment live.
+#[derive(Debug, Clone)]
+pub struct CapturedRun {
+    /// The replayable trace.
+    pub trace: Trace,
+    /// Metrics of the live run that produced the trace; replaying the trace
+    /// reproduces exactly these.
+    pub live_metrics: RunMetrics,
+}
+
+fn socket_mask(sockets: &[SocketId]) -> u64 {
+    sockets.iter().fold(0u64, |mask, s| mask | 1 << s.index())
+}
+
+fn run_and_record(
+    system: &mut System,
+    pid: mitosis_vmm::Pid,
+    spec: &WorkloadSpec,
+    region: mitosis_pt::VirtAddr,
+    threads: &[ThreadPlacement],
+    params: &SimParams,
+) -> Result<(RunMetrics, Vec<TraceLane>), ReplayError> {
+    let mut sources: Vec<RecordingSource<AccessStream>> =
+        ExecutionEngine::thread_streams(spec, params, threads.len())
+            .into_iter()
+            .map(RecordingSource::new)
+            .collect();
+    let mut engine = ExecutionEngine::new(system);
+    let metrics = engine.run_with_sources(
+        system,
+        pid,
+        spec,
+        region,
+        threads,
+        params.accesses_per_thread,
+        &mut sources,
+    )?;
+    let lanes = threads
+        .iter()
+        .zip(sources)
+        .map(|(placement, source)| TraceLane {
+            socket: placement.socket.index() as u16,
+            accesses: source.into_recorded(),
+            events: Vec::new(),
+        })
+        .collect();
+    Ok((metrics, lanes))
+}
+
+/// Runs `spec` live with one thread per socket in `sockets` (the
+/// engine-level experiment shape) while capturing it.
+///
+/// The returned trace records the full setup — process creation, the lazy
+/// mmap, first-touch population — so [`replay_trace`](crate::replay_trace)
+/// can reconstruct the run from nothing but the trace and `params`.
+///
+/// # Errors
+///
+/// Propagates VM errors from setup and the measured run.
+pub fn capture_engine_run(
+    spec: &WorkloadSpec,
+    params: &SimParams,
+    sockets: &[SocketId],
+) -> Result<CapturedRun, ReplayError> {
+    assert!(!sockets.is_empty(), "capture needs at least one socket");
+    let scaled = params.scale_workload(spec);
+    let mut system = System::new(params.machine());
+    if let Some(probability) = params.fragmentation {
+        system
+            .pt_env_mut()
+            .alloc
+            .set_fragmentation(FragmentationModel::with_probability(probability));
+    }
+    let mut events = Vec::new();
+
+    let home = sockets[0];
+    let pid = system.create_process(home)?;
+    events.push(TraceEvent::CreateProcess {
+        socket: home.index() as u16,
+    });
+
+    let region = system.mmap(pid, scaled.footprint(), MmapFlags::lazy().without_thp())?;
+    events.push(TraceEvent::Mmap {
+        len: scaled.footprint(),
+        populate: false,
+        thp: false,
+    });
+
+    ExecutionEngine::populate(
+        &mut system,
+        pid,
+        region,
+        scaled.footprint(),
+        scaled.init(),
+        sockets,
+    )?;
+    events.push(TraceEvent::Populate {
+        len: scaled.footprint(),
+        parallel: scaled.init() == InitPattern::Parallel,
+        sockets: socket_mask(sockets),
+    });
+
+    let threads = ExecutionEngine::one_thread_per_socket(&system, sockets);
+    let (live_metrics, lanes) =
+        run_and_record(&mut system, pid, &scaled, region, &threads, params)?;
+    Ok(CapturedRun {
+        trace: Trace {
+            meta: TraceMeta::for_spec(&scaled, params.seed),
+            setup_events: events,
+            lanes,
+        },
+        live_metrics,
+    })
+}
+
+/// Runs the paper's workload-migration scenario (`mitosis-sim`'s
+/// `WorkloadMigrationScenario`) while capturing its setup events and access
+/// stream.
+///
+/// The trace records the scenario's placement dance — remote page tables,
+/// data binding, the optional Mitosis page-table migration and interference
+/// — as setup events, so the replay reconstructs the exact same system
+/// state the live run measured.
+///
+/// # Errors
+///
+/// Propagates VM and Mitosis errors from setup and the measured run.
+pub fn capture_migration_scenario(
+    spec: &WorkloadSpec,
+    run: MigrationRun,
+    params: &SimParams,
+) -> Result<CapturedRun, ReplayError> {
+    let machine = params.machine();
+    let mitosis = Mitosis::new();
+    let mut events = Vec::new();
+    let mut system = if run.mitosis {
+        events.push(TraceEvent::InstallMitosis);
+        mitosis.install(machine)
+    } else {
+        System::new(machine)
+    };
+    if run.thp {
+        system.set_thp(ThpMode::Always);
+        events.push(TraceEvent::SetThp(true));
+    }
+    if let Some(probability) = params.fragmentation {
+        system
+            .pt_env_mut()
+            .alloc
+            .set_fragmentation(FragmentationModel::with_probability(probability));
+    }
+
+    // Mirrors WorkloadMigrationScenario: the workload runs on socket 0
+    // ("A"), everything left behind lives on socket 1 ("B").
+    let a = SocketId::new(0);
+    let b = SocketId::new(1);
+
+    if run.config.pt_remote() {
+        system.set_pt_placement(PtPlacement::Fixed(b));
+        events.push(TraceEvent::PtPlacement {
+            socket: b.index() as u16,
+        });
+    }
+    let pid = system.create_process(a)?;
+    events.push(TraceEvent::CreateProcess {
+        socket: a.index() as u16,
+    });
+    let data_socket = if run.config.data_remote() { b } else { a };
+    system
+        .process_mut(pid)?
+        .set_data_policy(PlacementPolicy::Bind(data_socket));
+    events.push(TraceEvent::BindData {
+        socket: data_socket.index() as u16,
+    });
+
+    let scaled = params.scale_workload(spec);
+    let region = system.mmap(pid, scaled.footprint(), MmapFlags::lazy())?;
+    events.push(TraceEvent::Mmap {
+        len: scaled.footprint(),
+        populate: false,
+        thp: true,
+    });
+    ExecutionEngine::populate(
+        &mut system,
+        pid,
+        region,
+        scaled.footprint(),
+        InitPattern::SingleThread,
+        &[a],
+    )?;
+    events.push(TraceEvent::Populate {
+        len: scaled.footprint(),
+        parallel: false,
+        sockets: socket_mask(&[a]),
+    });
+
+    if run.mitosis {
+        mitosis.migrate_page_table(&mut system, pid, a, true)?;
+        events.push(TraceEvent::MigratePageTable {
+            socket: a.index() as u16,
+        });
+    }
+    if run.config.interference() {
+        system
+            .machine_mut()
+            .cost_model_mut()
+            .set_interference(Interference::on([b]));
+        events.push(TraceEvent::Interference {
+            sockets: NodeMask::from_bits(1 << b.index()).bits(),
+        });
+    }
+
+    let threads = ExecutionEngine::one_thread_per_socket(&system, &[a]);
+    let (live_metrics, lanes) =
+        run_and_record(&mut system, pid, &scaled, region, &threads, params)?;
+    Ok(CapturedRun {
+        trace: Trace {
+            meta: TraceMeta::for_spec(&scaled, params.seed),
+            setup_events: events,
+            lanes,
+        },
+        live_metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mitosis_workloads::suite;
+
+    #[test]
+    fn recording_source_is_transparent() {
+        let spec = suite::gups().with_footprint(1 << 26);
+        let reference: Vec<Access> = AccessStream::new(&spec, 3).take(100).collect();
+        let mut recording = RecordingSource::new(AccessStream::new(&spec, 3));
+        let forwarded: Vec<Access> = (0..100).map(|_| recording.next_access()).collect();
+        assert_eq!(forwarded, reference);
+        assert_eq!(recording.recorded(), &reference[..]);
+        assert_eq!(recording.into_recorded(), reference);
+    }
+
+    #[test]
+    fn capture_stream_matches_live_streams() {
+        let spec = suite::btree().with_footprint(1 << 26);
+        let lane = capture_stream(&spec, 9, 2, 64);
+        assert_eq!(lane.socket, 2);
+        let reference: Vec<Access> = AccessStream::new(&spec, 9).take(64).collect();
+        assert_eq!(lane.accesses, reference);
+    }
+
+    #[test]
+    fn captured_engine_run_records_full_setup() {
+        let params = SimParams::quick_test().with_accesses(200);
+        let captured = capture_engine_run(&suite::gups(), &params, &[SocketId::new(0)]).unwrap();
+        assert_eq!(captured.trace.lanes.len(), 1);
+        assert_eq!(captured.trace.accesses(), 200);
+        assert_eq!(captured.trace.setup_events.len(), 3);
+        assert_eq!(captured.live_metrics.accesses, 200);
+        assert_eq!(captured.trace.meta.workload, "GUPS");
+    }
+}

@@ -1,0 +1,935 @@
+//! The compact binary trace format.
+//!
+//! A trace file is a versioned header followed by a stream of varint-encoded
+//! items and a trailing checksum:
+//!
+//! ```text
+//! magic  "MTRC"                      4 bytes
+//! version u32 little-endian          4 bytes
+//! meta    workload name (varint length + UTF-8 bytes),
+//!         footprint, seed, write_fraction bits,
+//!         compute_cycles_per_access, bandwidth_intensity bits
+//! items   each item is one varint v whose low two bits are a tag:
+//!           00 ACCESS  payload = (zigzag(offset delta) << 1) | is_write
+//!           01 EVENT   payload = event code; then argc + argc varint args
+//!           10 LANE    payload = socket index; starts a new access lane
+//!           11 END     payload = total access count (integrity check)
+//! check   FNV-1a 64 of every preceding byte, u64 little-endian
+//! ```
+//!
+//! Access records are delta-encoded against the previous offset in the same
+//! lane (starting from zero), so the hot encoding path is "zigzag the delta,
+//! fold in the write bit, LEB128 it" — sequential and windowed patterns
+//! compress to one or two bytes per access.  Events before the first lane
+//! describe experiment setup (process creation, mmap, placement, migration)
+//! and are replayed against a fresh [`System`](mitosis_vmm::System) by the
+//! [`replay`](crate::replay) module; events inside a lane are positional
+//! markers.
+
+use mitosis_workloads::{suite, Access, WorkloadSpec};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Current format version written by [`TraceWriter`].
+pub const TRACE_VERSION: u32 = 1;
+
+/// File magic, `b"MTRC"`.
+pub const TRACE_MAGIC: [u8; 4] = *b"MTRC";
+
+const TAG_ACCESS: u64 = 0b00;
+const TAG_EVENT: u64 = 0b01;
+const TAG_LANE: u64 = 0b10;
+const TAG_END: u64 = 0b11;
+
+/// Errors produced while encoding or decoding a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input does not start with the trace magic.
+    BadMagic,
+    /// The trace was written by an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The trailing checksum does not match the stream contents.
+    ChecksumMismatch {
+        /// Checksum stored in the trace.
+        stored: u64,
+        /// Checksum computed over the bytes actually read.
+        computed: u64,
+    },
+    /// Structurally invalid trace data.
+    Corrupt(&'static str),
+    /// An event with an unknown code (written by a newer version).
+    UnknownEvent(u64),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a mitosis trace (bad magic)"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace version {v} (supported: {TRACE_VERSION})"
+                )
+            }
+            TraceError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "trace checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+            TraceError::UnknownEvent(code) => write!(f, "unknown trace event code {code}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Incremental FNV-1a 64 checksum.
+#[derive(Debug, Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf29ce484222325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+}
+
+/// Write half: counts bytes through the checksum.
+struct HashingWriter<W: Write> {
+    inner: W,
+    hash: Fnv64,
+}
+
+impl<W: Write> HashingWriter<W> {
+    fn write_all(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.hash.update(bytes);
+        self.inner.write_all(bytes)
+    }
+
+    fn varint(&mut self, mut v: u64) -> io::Result<()> {
+        let mut buf = [0u8; 10];
+        let mut n = 0;
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            buf[n] = if v == 0 { byte } else { byte | 0x80 };
+            n += 1;
+            if v == 0 {
+                break;
+            }
+        }
+        self.write_all(&buf[..n])
+    }
+}
+
+/// Read half: counts bytes through the checksum.
+struct HashingReader<R: Read> {
+    inner: R,
+    hash: Fnv64,
+}
+
+impl<R: Read> HashingReader<R> {
+    fn read_exact(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.inner.read_exact(buf)?;
+        self.hash.update(buf);
+        Ok(())
+    }
+
+    fn byte(&mut self) -> io::Result<u8> {
+        let mut b = [0u8; 1];
+        self.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+
+    fn varint(&mut self) -> Result<u64, TraceError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(TraceError::Corrupt("varint longer than 64 bits"))
+    }
+}
+
+/// Identifying metadata of a captured run, stored in the trace header.
+///
+/// A trace is self-describing: `workload` plus the spec parameters below
+/// are enough to rebuild the exact [`WorkloadSpec`] the capture ran (via
+/// [`TraceMeta::resolve_spec`]) and to refuse replay against a mismatched
+/// one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Paper name of the captured workload (e.g. `"GUPS"`).
+    pub workload: String,
+    /// Footprint in bytes the capture actually used (after scaling).
+    pub footprint: u64,
+    /// Base seed of the captured access streams (lane `i` used `seed + i`).
+    pub seed: u64,
+    /// The spec's write fraction, for validation at replay time.
+    pub write_fraction: f64,
+    /// The spec's compute cycles per access, for validation.
+    pub compute_cycles_per_access: u64,
+    /// The spec's bandwidth intensity, for validation.
+    pub bandwidth_intensity: f64,
+}
+
+impl TraceMeta {
+    /// Captures the identifying parameters of `spec`.
+    pub fn for_spec(spec: &WorkloadSpec, seed: u64) -> Self {
+        TraceMeta {
+            workload: spec.name().to_string(),
+            footprint: spec.footprint(),
+            seed,
+            write_fraction: spec.write_fraction(),
+            compute_cycles_per_access: spec.compute_cycles_per_access(),
+            bandwidth_intensity: spec.bandwidth_intensity(),
+        }
+    }
+
+    /// Rebuilds the captured workload spec from the paper suite, applying
+    /// the captured footprint.  Returns `None` for workloads not in the
+    /// suite or whose suite parameters no longer match the trace.
+    pub fn resolve_spec(&self) -> Option<WorkloadSpec> {
+        let spec = suite::by_name(&self.workload)?.with_footprint(self.footprint);
+        self.matches_spec(&spec).then_some(spec)
+    }
+
+    /// Whether `spec` is the workload this trace was captured from.
+    pub fn matches_spec(&self, spec: &WorkloadSpec) -> bool {
+        spec.name() == self.workload
+            && spec.footprint() == self.footprint
+            && spec.write_fraction() == self.write_fraction
+            && spec.compute_cycles_per_access() == self.compute_cycles_per_access
+            && spec.bandwidth_intensity() == self.bandwidth_intensity
+    }
+}
+
+/// A setup or marker event recorded alongside the access stream.
+///
+/// Events before the first lane describe the experiment setup in execution
+/// order; the replay interpreter applies them to a fresh system to
+/// reconstruct the captured placement (page tables, data, interference)
+/// before feeding the lanes to the execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The Mitosis PV-Ops backend was installed before process creation.
+    InstallMitosis,
+    /// Transparent huge pages were switched on (`true`) or off.
+    SetThp(bool),
+    /// Page-table allocation was pinned to a socket (the "left behind"
+    /// placement of the migration scenario).
+    PtPlacement {
+        /// Socket page tables are allocated on.
+        socket: u16,
+    },
+    /// The workload process was created with the given home socket.
+    CreateProcess {
+        /// Home socket of the process.
+        socket: u16,
+    },
+    /// Data placement was bound to a socket.
+    BindData {
+        /// Socket data pages are bound to.
+        socket: u16,
+    },
+    /// The workload region was mmapped.
+    Mmap {
+        /// Length of the region in bytes.
+        len: u64,
+        /// Whether the mapping was eagerly populated (`MAP_POPULATE`).
+        populate: bool,
+        /// Whether the area was THP-eligible.
+        thp: bool,
+    },
+    /// The region was populated (first-touch initialisation).
+    Populate {
+        /// Number of bytes populated from the region start.
+        len: u64,
+        /// `true` for parallel per-socket initialisation, `false` for
+        /// single-threaded.
+        parallel: bool,
+        /// Bit mask of participating sockets (bit *i* = socket *i*).
+        sockets: u64,
+    },
+    /// Mitosis migrated the process's page tables to a socket.
+    MigratePageTable {
+        /// Destination socket.
+        socket: u16,
+    },
+    /// An interfering memory hog loads the masked sockets.
+    Interference {
+        /// Bit mask of interfered sockets.
+        sockets: u64,
+    },
+    /// Free-form positional marker (also usable inside lanes).
+    Marker(u64),
+}
+
+impl TraceEvent {
+    fn encode(self) -> (u64, [u64; 3], usize) {
+        match self {
+            TraceEvent::InstallMitosis => (1, [0; 3], 0),
+            TraceEvent::SetThp(always) => (2, [always as u64, 0, 0], 1),
+            TraceEvent::PtPlacement { socket } => (3, [socket as u64, 0, 0], 1),
+            TraceEvent::CreateProcess { socket } => (4, [socket as u64, 0, 0], 1),
+            TraceEvent::BindData { socket } => (5, [socket as u64, 0, 0], 1),
+            TraceEvent::Mmap { len, populate, thp } => (6, [len, populate as u64, thp as u64], 3),
+            TraceEvent::Populate {
+                len,
+                parallel,
+                sockets,
+            } => (7, [len, parallel as u64, sockets], 3),
+            TraceEvent::MigratePageTable { socket } => (8, [socket as u64, 0, 0], 1),
+            TraceEvent::Interference { sockets } => (9, [sockets, 0, 0], 1),
+            TraceEvent::Marker(value) => (10, [value, 0, 0], 1),
+        }
+    }
+
+    fn decode(code: u64, args: &[u64]) -> Result<TraceEvent, TraceError> {
+        let arg = |i: usize| -> Result<u64, TraceError> {
+            args.get(i)
+                .copied()
+                .ok_or(TraceError::Corrupt("event is missing arguments"))
+        };
+        let socket = |i: usize| -> Result<u16, TraceError> {
+            u16::try_from(arg(i)?).map_err(|_| TraceError::Corrupt("socket index overflows u16"))
+        };
+        Ok(match code {
+            1 => TraceEvent::InstallMitosis,
+            2 => TraceEvent::SetThp(arg(0)? != 0),
+            3 => TraceEvent::PtPlacement { socket: socket(0)? },
+            4 => TraceEvent::CreateProcess { socket: socket(0)? },
+            5 => TraceEvent::BindData { socket: socket(0)? },
+            6 => TraceEvent::Mmap {
+                len: arg(0)?,
+                populate: arg(1)? != 0,
+                thp: arg(2)? != 0,
+            },
+            7 => TraceEvent::Populate {
+                len: arg(0)?,
+                parallel: arg(1)? != 0,
+                sockets: arg(2)?,
+            },
+            8 => TraceEvent::MigratePageTable { socket: socket(0)? },
+            9 => TraceEvent::Interference { sockets: arg(0)? },
+            10 => TraceEvent::Marker(arg(0)?),
+            other => return Err(TraceError::UnknownEvent(other)),
+        })
+    }
+}
+
+/// Streaming trace encoder.
+///
+/// Wrap the sink in a `BufWriter` for file output; every record is written
+/// through individually.
+pub struct TraceWriter<W: Write> {
+    sink: HashingWriter<W>,
+    prev_offset: u64,
+    in_lane: bool,
+    total_accesses: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace on `sink`, writing the header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn new(sink: W, meta: &TraceMeta) -> Result<Self, TraceError> {
+        let mut sink = HashingWriter {
+            inner: sink,
+            hash: Fnv64::new(),
+        };
+        sink.write_all(&TRACE_MAGIC)?;
+        sink.write_all(&TRACE_VERSION.to_le_bytes())?;
+        sink.varint(meta.workload.len() as u64)?;
+        sink.write_all(meta.workload.as_bytes())?;
+        sink.varint(meta.footprint)?;
+        sink.varint(meta.seed)?;
+        sink.varint(meta.write_fraction.to_bits())?;
+        sink.varint(meta.compute_cycles_per_access)?;
+        sink.varint(meta.bandwidth_intensity.to_bits())?;
+        Ok(TraceWriter {
+            sink,
+            prev_offset: 0,
+            in_lane: false,
+            total_accesses: 0,
+        })
+    }
+
+    /// Records an event: a setup step before the first lane, a positional
+    /// marker inside one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn event(&mut self, event: TraceEvent) -> Result<(), TraceError> {
+        let (code, args, argc) = event.encode();
+        self.sink.varint((code << 2) | TAG_EVENT)?;
+        self.sink.varint(argc as u64)?;
+        for arg in &args[..argc] {
+            self.sink.varint(*arg)?;
+        }
+        Ok(())
+    }
+
+    /// Starts a new access lane for a thread pinned to `socket`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn begin_lane(&mut self, socket: u16) -> Result<(), TraceError> {
+        self.sink.varint(((socket as u64) << 2) | TAG_LANE)?;
+        self.prev_offset = 0;
+        self.in_lane = true;
+        Ok(())
+    }
+
+    /// Appends one access to the current lane.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; fails if no lane has been started.
+    pub fn access(&mut self, access: Access) -> Result<(), TraceError> {
+        if !self.in_lane {
+            return Err(TraceError::Corrupt("access recorded outside a lane"));
+        }
+        let delta = access.offset.wrapping_sub(self.prev_offset) as i64;
+        self.prev_offset = access.offset;
+        let payload = (zigzag(delta) << 1) | access.is_write as u64;
+        self.sink.varint((payload << 2) | TAG_ACCESS)?;
+        self.total_accesses += 1;
+        Ok(())
+    }
+
+    /// Terminates the trace, writing the end marker and checksum, and
+    /// returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.sink.varint((self.total_accesses << 2) | TAG_END)?;
+        let checksum = self.sink.hash.0;
+        self.sink.inner.write_all(&checksum.to_le_bytes())?;
+        Ok(self.sink.inner)
+    }
+}
+
+/// One decoded item from a trace body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceItem {
+    /// An event record.
+    Event(TraceEvent),
+    /// Start of a new lane for a thread on `socket`.
+    LaneStart {
+        /// Socket the lane's thread was pinned to.
+        socket: u16,
+    },
+    /// One access in the current lane.
+    Access(Access),
+    /// End of the trace (checksum verified).
+    End,
+}
+
+/// Streaming trace decoder.
+///
+/// Wrap the source in a `BufReader` for file input; bytes are consumed
+/// record by record and the checksum is verified when [`TraceItem::End`] is
+/// reached.
+pub struct TraceReader<R: Read> {
+    source: HashingReader<R>,
+    meta: TraceMeta,
+    prev_offset: u64,
+    accesses_seen: u64,
+    finished: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace, parsing and validating the header.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a bad magic or an unsupported version.
+    pub fn new(source: R) -> Result<Self, TraceError> {
+        let mut source = HashingReader {
+            inner: source,
+            hash: Fnv64::new(),
+        };
+        let mut magic = [0u8; 4];
+        source.read_exact(&mut magic)?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut version = [0u8; 4];
+        source.read_exact(&mut version)?;
+        let version = u32::from_le_bytes(version);
+        if version != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let name_len = source.varint()? as usize;
+        if name_len > 4096 {
+            return Err(TraceError::Corrupt("implausible workload name length"));
+        }
+        let mut name = vec![0u8; name_len];
+        source.read_exact(&mut name)?;
+        let workload = String::from_utf8(name)
+            .map_err(|_| TraceError::Corrupt("workload name is not UTF-8"))?;
+        let footprint = source.varint()?;
+        let seed = source.varint()?;
+        let write_fraction = f64::from_bits(source.varint()?);
+        let compute_cycles_per_access = source.varint()?;
+        let bandwidth_intensity = f64::from_bits(source.varint()?);
+        Ok(TraceReader {
+            source,
+            meta: TraceMeta {
+                workload,
+                footprint,
+                seed,
+                write_fraction,
+                compute_cycles_per_access,
+                bandwidth_intensity,
+            },
+            prev_offset: 0,
+            accesses_seen: 0,
+            finished: false,
+        })
+    }
+
+    /// The trace header metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Decodes the next item; [`TraceItem::End`] is returned exactly once,
+    /// after which further calls fail.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, corrupt records or a checksum mismatch.
+    pub fn next_item(&mut self) -> Result<TraceItem, TraceError> {
+        if self.finished {
+            return Err(TraceError::Corrupt("read past end of trace"));
+        }
+        let v = self.source.varint()?;
+        let payload = v >> 2;
+        match v & 0b11 {
+            TAG_ACCESS => {
+                let is_write = payload & 1 == 1;
+                let delta = unzigzag(payload >> 1);
+                self.prev_offset = self.prev_offset.wrapping_add(delta as u64);
+                self.accesses_seen += 1;
+                Ok(TraceItem::Access(Access {
+                    offset: self.prev_offset,
+                    is_write,
+                }))
+            }
+            TAG_EVENT => {
+                let argc = self.source.varint()? as usize;
+                if argc > 16 {
+                    return Err(TraceError::Corrupt("implausible event argument count"));
+                }
+                let mut args = [0u64; 16];
+                for slot in args.iter_mut().take(argc) {
+                    *slot = self.source.varint()?;
+                }
+                Ok(TraceItem::Event(TraceEvent::decode(
+                    payload,
+                    &args[..argc],
+                )?))
+            }
+            TAG_LANE => {
+                let socket = u16::try_from(payload)
+                    .map_err(|_| TraceError::Corrupt("lane socket overflows u16"))?;
+                self.prev_offset = 0;
+                Ok(TraceItem::LaneStart { socket })
+            }
+            _ => {
+                if payload != self.accesses_seen {
+                    return Err(TraceError::Corrupt("access count mismatch at end marker"));
+                }
+                let computed = self.source.hash.0;
+                let mut stored = [0u8; 8];
+                self.source.inner.read_exact(&mut stored)?;
+                let stored = u64::from_le_bytes(stored);
+                if stored != computed {
+                    return Err(TraceError::ChecksumMismatch { stored, computed });
+                }
+                self.finished = true;
+                Ok(TraceItem::End)
+            }
+        }
+    }
+}
+
+/// One thread's captured access sequence plus its positional markers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLane {
+    /// Socket the captured thread was pinned to.
+    pub socket: u16,
+    /// The access sequence, in execution order.
+    pub accesses: Vec<Access>,
+    /// Markers recorded inside the lane, as `(position, event)` where
+    /// `position` is the number of accesses preceding the marker.
+    pub events: Vec<(u64, TraceEvent)>,
+}
+
+impl TraceLane {
+    /// An empty lane for a thread on `socket`.
+    pub fn new(socket: u16) -> Self {
+        TraceLane {
+            socket,
+            accesses: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+}
+
+/// A fully decoded, in-memory trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Header metadata identifying the captured workload.
+    pub meta: TraceMeta,
+    /// Setup events recorded before the first lane, in execution order.
+    pub setup_events: Vec<TraceEvent>,
+    /// Per-thread access lanes.
+    pub lanes: Vec<TraceLane>,
+}
+
+impl Trace {
+    /// Total number of accesses across all lanes.
+    pub fn accesses(&self) -> u64 {
+        self.lanes.iter().map(|l| l.accesses.len() as u64).sum()
+    }
+
+    /// Serialises the trace to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink; fails if a lane's markers are
+    /// out of order or positioned beyond the lane's access count (such
+    /// positions cannot be represented and would not round-trip).
+    pub fn write_to<W: Write>(&self, sink: W) -> Result<W, TraceError> {
+        let mut writer = TraceWriter::new(sink, &self.meta)?;
+        for event in &self.setup_events {
+            writer.event(*event)?;
+        }
+        for lane in &self.lanes {
+            if lane.events.windows(2).any(|pair| pair[0].0 > pair[1].0) {
+                return Err(TraceError::Corrupt("lane markers are out of order"));
+            }
+            if lane
+                .events
+                .last()
+                .is_some_and(|&(pos, _)| pos > lane.accesses.len() as u64)
+            {
+                return Err(TraceError::Corrupt(
+                    "lane marker position beyond the lane's access count",
+                ));
+            }
+            writer.begin_lane(lane.socket)?;
+            let mut markers = lane.events.iter().peekable();
+            for (i, access) in lane.accesses.iter().enumerate() {
+                while markers.peek().is_some_and(|&&(pos, _)| pos == i as u64) {
+                    writer.event(markers.next().unwrap().1)?;
+                }
+                writer.access(*access)?;
+            }
+            for (_, event) in markers {
+                writer.event(*event)?;
+            }
+        }
+        writer.finish()
+    }
+
+    /// Deserialises a trace from `source`, verifying the checksum.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, corrupt or truncated data, an unsupported
+    /// version or a checksum mismatch.
+    pub fn read_from<R: Read>(source: R) -> Result<Trace, TraceError> {
+        let mut reader = TraceReader::new(source)?;
+        let mut trace = Trace {
+            meta: reader.meta().clone(),
+            setup_events: Vec::new(),
+            lanes: Vec::new(),
+        };
+        loop {
+            match reader.next_item()? {
+                TraceItem::Event(event) => match trace.lanes.last_mut() {
+                    Some(lane) => lane.events.push((lane.accesses.len() as u64, event)),
+                    None => trace.setup_events.push(event),
+                },
+                TraceItem::LaneStart { socket } => trace.lanes.push(TraceLane::new(socket)),
+                TraceItem::Access(access) => trace
+                    .lanes
+                    .last_mut()
+                    .ok_or(TraceError::Corrupt("access before first lane"))?
+                    .accesses
+                    .push(access),
+                TraceItem::End => return Ok(trace),
+            }
+        }
+    }
+
+    /// Serialises to an in-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the `Vec` sink in practice; returns encoding errors.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, TraceError> {
+        self.write_to(Vec::new())
+    }
+
+    /// Deserialises from an in-memory buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Trace::read_from`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
+        Trace::read_from(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            workload: "GUPS".into(),
+            footprint: 1 << 27,
+            seed: 7,
+            write_fraction: 0.5,
+            compute_cycles_per_access: 5,
+            bandwidth_intensity: 0.9,
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1 << 47, -(1 << 47)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![],
+            lanes: vec![],
+        };
+        let bytes = trace.to_bytes().unwrap();
+        assert_eq!(Trace::from_bytes(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn events_and_lanes_roundtrip() {
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![
+                TraceEvent::InstallMitosis,
+                TraceEvent::SetThp(true),
+                TraceEvent::PtPlacement { socket: 1 },
+                TraceEvent::CreateProcess { socket: 0 },
+                TraceEvent::BindData { socket: 1 },
+                TraceEvent::Mmap {
+                    len: 1 << 27,
+                    populate: false,
+                    thp: true,
+                },
+                TraceEvent::Populate {
+                    len: 1 << 27,
+                    parallel: true,
+                    sockets: 0b1111,
+                },
+                TraceEvent::MigratePageTable { socket: 0 },
+                TraceEvent::Interference { sockets: 0b10 },
+            ],
+            lanes: vec![
+                TraceLane {
+                    socket: 0,
+                    accesses: vec![
+                        Access {
+                            offset: 4096,
+                            is_write: false,
+                        },
+                        Access {
+                            offset: 0,
+                            is_write: true,
+                        },
+                    ],
+                    events: vec![(1, TraceEvent::Marker(42)), (2, TraceEvent::Marker(43))],
+                },
+                TraceLane {
+                    socket: 3,
+                    accesses: vec![Access {
+                        offset: (1 << 27) - 8,
+                        is_write: true,
+                    }],
+                    events: vec![],
+                },
+            ],
+        };
+        let bytes = trace.to_bytes().unwrap();
+        assert_eq!(Trace::from_bytes(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![TraceEvent::CreateProcess { socket: 0 }],
+            lanes: vec![TraceLane {
+                socket: 0,
+                accesses: vec![Access {
+                    offset: 123456,
+                    is_write: false,
+                }],
+                events: vec![],
+            }],
+        };
+        let good = trace.to_bytes().unwrap();
+        // Flip one bit in the body (after the 8-byte magic+version prefix,
+        // before the 8-byte checksum suffix).
+        for position in [8, good.len() / 2, good.len() - 9] {
+            let mut bad = good.clone();
+            bad[position] ^= 0x40;
+            assert!(
+                Trace::from_bytes(&bad).is_err(),
+                "flip at {position} went undetected"
+            );
+        }
+        // Truncation is detected too.
+        assert!(Trace::from_bytes(&good[..good.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn unrepresentable_marker_positions_are_rejected() {
+        let lane = |events: Vec<(u64, TraceEvent)>| TraceLane {
+            socket: 0,
+            accesses: vec![
+                Access {
+                    offset: 0,
+                    is_write: false,
+                },
+                Access {
+                    offset: 8,
+                    is_write: false,
+                },
+            ],
+            events,
+        };
+        // A marker *at* the end of the lane is fine...
+        let ok = Trace {
+            meta: meta(),
+            setup_events: vec![],
+            lanes: vec![lane(vec![(2, TraceEvent::Marker(1))])],
+        };
+        let decoded = Trace::from_bytes(&ok.to_bytes().unwrap()).unwrap();
+        assert_eq!(decoded, ok);
+        // ...but beyond it cannot round-trip, and out-of-order markers
+        // would be silently reordered: both must be refused.
+        for events in [
+            vec![(5, TraceEvent::Marker(1))],
+            vec![(2, TraceEvent::Marker(1)), (1, TraceEvent::Marker(2))],
+        ] {
+            let bad = Trace {
+                meta: meta(),
+                setup_events: vec![],
+                lanes: vec![lane(events)],
+            };
+            assert!(matches!(bad.to_bytes(), Err(TraceError::Corrupt(_))));
+        }
+    }
+
+    #[test]
+    fn header_validation_rejects_garbage() {
+        assert!(matches!(
+            Trace::from_bytes(b"NOPE"),
+            Err(TraceError::BadMagic) | Err(TraceError::Io(_))
+        ));
+        let mut future = Trace {
+            meta: meta(),
+            setup_events: vec![],
+            lanes: vec![],
+        }
+        .to_bytes()
+        .unwrap();
+        future[4] = 99; // bump version
+        assert!(matches!(
+            Trace::from_bytes(&future),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn sequential_accesses_encode_compactly() {
+        // 64-byte strides: one byte of tag+payload each after the first.
+        let accesses: Vec<Access> = (0..1000)
+            .map(|i| Access {
+                offset: i * 64,
+                is_write: false,
+            })
+            .collect();
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![],
+            lanes: vec![TraceLane {
+                socket: 0,
+                accesses,
+                events: vec![],
+            }],
+        };
+        let bytes = trace.to_bytes().unwrap();
+        let overhead = 64; // header + end marker + checksum, roughly
+        assert!(
+            bytes.len() < 2 * 1000 + overhead,
+            "sequential encoding too large: {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn meta_resolves_the_suite_spec() {
+        let spec = suite::gups().with_footprint(1 << 27);
+        let m = TraceMeta::for_spec(&spec, 7);
+        assert_eq!(m, meta());
+        let resolved = m.resolve_spec().unwrap();
+        assert!(m.matches_spec(&resolved));
+        assert_eq!(resolved.footprint(), 1 << 27);
+        let unknown = TraceMeta {
+            workload: "doom".into(),
+            ..m
+        };
+        assert!(unknown.resolve_spec().is_none());
+    }
+}

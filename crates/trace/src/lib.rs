@@ -1,0 +1,54 @@
+//! Trace capture, deterministic replay and parallel replay for the Mitosis
+//! simulator.
+//!
+//! The evaluation loop of the paper — run a memory-intensive workload,
+//! measure runtime and page-walk cycles — regenerates every access stream
+//! live.  This crate turns those streams into first-class artifacts:
+//!
+//! * [`format`] defines a compact binary trace format: varint-delta encoded
+//!   [`Access`](mitosis_workloads::Access) records plus VMA/migration event
+//!   markers, behind a versioned header and a trailing checksum, with
+//!   streaming [`TraceWriter`]/[`TraceReader`] codecs;
+//! * [`capture`] records any [`AccessStream`](mitosis_workloads::AccessStream)
+//!   — and the setup events of `mitosis-sim` scenarios — into a [`Trace`];
+//! * [`replay`] feeds a captured trace back through the existing
+//!   [`ExecutionEngine`](mitosis_sim::ExecutionEngine), reproducing the
+//!   live run's [`RunMetrics`](mitosis_sim::RunMetrics) bit-for-bit;
+//! * [`parallel`] shards N traces across worker threads — each replay owns
+//!   its own system and per-core MMU models — and merges the metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use mitosis_numa::SocketId;
+//! use mitosis_sim::SimParams;
+//! use mitosis_trace::{capture_engine_run, replay_trace, Trace};
+//! use mitosis_workloads::suite;
+//!
+//! let params = SimParams::quick_test().with_accesses(300);
+//! let captured = capture_engine_run(&suite::gups(), &params, &[SocketId::new(0)]).unwrap();
+//!
+//! // The trace survives serialisation and reproduces the live run exactly.
+//! let bytes = captured.trace.to_bytes().unwrap();
+//! let trace = Trace::from_bytes(&bytes).unwrap();
+//! let replayed = replay_trace(&trace, &params).unwrap();
+//! assert_eq!(replayed.metrics, captured.live_metrics);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod format;
+pub mod parallel;
+pub mod replay;
+
+pub use capture::{
+    capture_engine_run, capture_migration_scenario, capture_stream, CapturedRun, RecordingSource,
+};
+pub use format::{
+    Trace, TraceError, TraceEvent, TraceItem, TraceLane, TraceMeta, TraceReader, TraceWriter,
+    TRACE_MAGIC, TRACE_VERSION,
+};
+pub use parallel::{replay_parallel, replay_sequential, ReplayAggregate, ReplayReport};
+pub use replay::{replay_trace, LaneCursor, ReplayError, ReplayOutcome};

@@ -1,0 +1,195 @@
+//! Parallel multi-process trace replay.
+//!
+//! Each trace in a batch describes one captured process (workload), and
+//! replaying it is embarrassingly parallel: every replay builds its own
+//! fresh [`System`](mitosis_vmm::System) and [`ExecutionEngine`] — hence
+//! its own per-core MMU models, page tables and allocator — so N traces
+//! shard cleanly across worker threads with no shared mutable state.  The
+//! per-trace metrics are bit-identical to sequential replay (and to the
+//! live runs); only wall-clock time changes.
+
+use crate::format::Trace;
+use crate::replay::{replay_trace, ReplayError, ReplayOutcome};
+use mitosis_sim::{RunMetrics, SimParams};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Cross-trace aggregate of a batch replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplayAggregate {
+    /// Number of traces replayed.
+    pub traces: usize,
+    /// Total accesses replayed across all traces and threads.
+    pub accesses: u64,
+    /// Sum of per-trace runtimes (total simulated work).
+    pub total_cycles_sum: u64,
+    /// Slowest per-trace runtime (simulated makespan if the simulated
+    /// processes ran concurrently on disjoint machines).
+    pub total_cycles_max: u64,
+    /// Summed translation cycles.
+    pub translation_cycles: u64,
+    /// Summed demand faults taken during the measured phases.
+    pub demand_faults: u64,
+}
+
+impl ReplayAggregate {
+    fn absorb(&mut self, metrics: &RunMetrics) {
+        self.traces += 1;
+        self.accesses += metrics.accesses;
+        self.total_cycles_sum += metrics.total_cycles;
+        self.total_cycles_max = self.total_cycles_max.max(metrics.total_cycles);
+        self.translation_cycles += metrics.translation_cycles;
+        self.demand_faults += metrics.demand_faults;
+    }
+}
+
+/// Result of replaying a batch of traces.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Per-trace outcomes, in input order.
+    pub outcomes: Vec<ReplayOutcome>,
+    /// Cross-trace aggregate.
+    pub aggregate: ReplayAggregate,
+    /// Wall-clock time the batch took on the host.
+    pub wall: Duration,
+}
+
+impl ReplayReport {
+    /// Replayed accesses per host second — the headline throughput number
+    /// the parallel driver improves.
+    pub fn accesses_per_second(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.aggregate.accesses as f64 / self.wall.as_secs_f64()
+    }
+
+    fn collect(
+        results: Vec<Option<Result<ReplayOutcome, ReplayError>>>,
+        wall: Duration,
+    ) -> Result<ReplayReport, ReplayError> {
+        let mut outcomes = Vec::with_capacity(results.len());
+        for result in results {
+            outcomes.push(result.expect("every trace index was claimed by a worker")?);
+        }
+        let mut aggregate = ReplayAggregate::default();
+        for outcome in &outcomes {
+            aggregate.absorb(&outcome.metrics);
+        }
+        Ok(ReplayReport {
+            outcomes,
+            aggregate,
+            wall,
+        })
+    }
+}
+
+/// Replays `traces` one after another on the calling thread.
+///
+/// # Errors
+///
+/// Fails on the first trace that does not replay (see
+/// [`replay_trace`]).
+pub fn replay_sequential(
+    traces: &[Trace],
+    params: &SimParams,
+) -> Result<ReplayReport, ReplayError> {
+    let start = Instant::now();
+    let results = traces
+        .iter()
+        .map(|trace| Some(replay_trace(trace, params)))
+        .collect();
+    ReplayReport::collect(results, start.elapsed())
+}
+
+/// Replays `traces` sharded across up to `workers` host threads, merging
+/// the metrics at the end.
+///
+/// Work is distributed dynamically (an atomic cursor over the batch), so a
+/// mix of long and short traces still load-balances.  Per-trace results are
+/// identical to [`replay_sequential`]; with enough host cores the batch
+/// completes in roughly `1/min(workers, len)` of the sequential wall time.
+///
+/// # Errors
+///
+/// Fails if any trace does not replay; the first error in input order is
+/// returned.
+pub fn replay_parallel(
+    traces: &[Trace],
+    params: &SimParams,
+    workers: usize,
+) -> Result<ReplayReport, ReplayError> {
+    assert!(workers > 0, "parallel replay needs at least one worker");
+    let workers = workers.min(traces.len()).max(1);
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<ReplayOutcome, ReplayError>>>> =
+        Mutex::new((0..traces.len()).map(|_| None).collect());
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= traces.len() {
+                    break;
+                }
+                let outcome = replay_trace(&traces[index], params);
+                results.lock().expect("replay worker poisoned the results")[index] = Some(outcome);
+            });
+        }
+    });
+
+    let results = results
+        .into_inner()
+        .expect("replay worker poisoned the results");
+    ReplayReport::collect(results, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::capture_engine_run;
+    use mitosis_numa::SocketId;
+    use mitosis_workloads::suite;
+
+    fn small_traces(n: usize) -> (Vec<Trace>, SimParams) {
+        let params = SimParams::quick_test().with_accesses(300);
+        let traces = (0..n)
+            .map(|i| {
+                let spec = if i % 2 == 0 {
+                    suite::gups()
+                } else {
+                    suite::btree()
+                };
+                capture_engine_run(&spec, &params, &[SocketId::new((i % 4) as u16)])
+                    .unwrap()
+                    .trace
+            })
+            .collect();
+        (traces, params)
+    }
+
+    #[test]
+    fn parallel_matches_sequential_per_trace() {
+        let (traces, params) = small_traces(5);
+        let sequential = replay_sequential(&traces, &params).unwrap();
+        let parallel = replay_parallel(&traces, &params, 4).unwrap();
+        assert_eq!(sequential.outcomes.len(), 5);
+        for (s, p) in sequential.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(s.metrics, p.metrics);
+        }
+        assert_eq!(sequential.aggregate, parallel.aggregate);
+        assert_eq!(parallel.aggregate.traces, 5);
+        assert_eq!(parallel.aggregate.accesses, 5 * 300);
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_the_batch() {
+        let (traces, params) = small_traces(2);
+        let report = replay_parallel(&traces, &params, 64).unwrap();
+        assert_eq!(report.aggregate.traces, 2);
+        assert!(report.accesses_per_second() > 0.0);
+    }
+}

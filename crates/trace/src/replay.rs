@@ -1,0 +1,381 @@
+//! Deterministic trace replay.
+//!
+//! [`replay_trace`] rebuilds the captured experiment from scratch — a fresh
+//! [`System`], the recorded setup events applied in order, one
+//! [`LaneCursor`] per captured thread — and drives the existing
+//! [`ExecutionEngine`] with it.  Because the engine is fed the exact access
+//! sequence the capture recorded (and the substrate is fully deterministic),
+//! the replayed [`RunMetrics`] are bit-identical to the live run's.
+
+use crate::format::{Trace, TraceError, TraceEvent};
+use mitosis::{Mitosis, MitosisError};
+use mitosis_mem::{FragmentationModel, PlacementPolicy};
+use mitosis_numa::{Interference, SocketId};
+use mitosis_sim::{ExecutionEngine, RunMetrics, SimParams, ThreadPlacement};
+use mitosis_vmm::{MmapFlags, PtPlacement, System, ThpMode, VmError};
+use mitosis_workloads::{Access, AccessSource, InitPattern, WorkloadSpec};
+use std::fmt;
+
+/// Errors produced while replaying a trace.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// The trace itself could not be decoded.
+    Trace(TraceError),
+    /// A virtual-memory operation failed during event replay.
+    Vm(VmError),
+    /// A Mitosis operation failed during event replay.
+    Mitosis(MitosisError),
+    /// The trace is inconsistent with the replay request (unknown workload,
+    /// missing events, mismatched lane lengths, ...).
+    Mismatch(String),
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Trace(e) => write!(f, "replay failed to decode trace: {e}"),
+            ReplayError::Vm(e) => write!(f, "replay VM operation failed: {e}"),
+            ReplayError::Mitosis(e) => write!(f, "replay Mitosis operation failed: {e}"),
+            ReplayError::Mismatch(what) => write!(f, "trace/replay mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<TraceError> for ReplayError {
+    fn from(e: TraceError) -> Self {
+        ReplayError::Trace(e)
+    }
+}
+
+impl From<VmError> for ReplayError {
+    fn from(e: VmError) -> Self {
+        ReplayError::Vm(e)
+    }
+}
+
+impl From<MitosisError> for ReplayError {
+    fn from(e: MitosisError) -> Self {
+        ReplayError::Mitosis(e)
+    }
+}
+
+/// An [`AccessSource`] feeding a captured lane to the execution engine.
+#[derive(Debug, Clone)]
+pub struct LaneCursor<'a> {
+    accesses: &'a [Access],
+    position: usize,
+}
+
+impl<'a> LaneCursor<'a> {
+    /// A cursor over `accesses`, starting at the beginning.
+    pub fn new(accesses: &'a [Access]) -> Self {
+        LaneCursor {
+            accesses,
+            position: 0,
+        }
+    }
+
+    /// Accesses not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.accesses.len() - self.position
+    }
+}
+
+impl AccessSource for LaneCursor<'_> {
+    fn next_access(&mut self) -> Access {
+        let access = self.accesses[self.position];
+        self.position += 1;
+        access
+    }
+}
+
+/// Result of replaying one trace.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Metrics of the replayed run — bit-identical to the live run the
+    /// trace was captured from.
+    pub metrics: RunMetrics,
+    /// The workload spec the replay resolved from the trace header.
+    pub spec: WorkloadSpec,
+}
+
+fn sockets_of_mask(mask: u64) -> Vec<SocketId> {
+    (0..64)
+        .filter(|bit| mask & (1 << bit) != 0)
+        .map(|bit| SocketId::new(bit as u16))
+        .collect()
+}
+
+/// Replays `trace` on a fresh system built from `params` and returns the
+/// reproduced metrics.
+///
+/// `params` must describe the same machine the capture ran on (the machine
+/// scale and fragmentation setting are not part of the trace); the access
+/// count and seed are taken from the trace itself.
+///
+/// # Errors
+///
+/// Fails if the trace references an unknown workload, its events cannot be
+/// applied (e.g. an access lane precedes process creation), or a VM /
+/// Mitosis operation fails.
+pub fn replay_trace(trace: &Trace, params: &SimParams) -> Result<ReplayOutcome, ReplayError> {
+    let spec = trace.meta.resolve_spec().ok_or_else(|| {
+        ReplayError::Mismatch(format!(
+            "trace workload {:?} does not resolve to a suite spec",
+            trace.meta.workload
+        ))
+    })?;
+
+    let machine = params.machine();
+    let mitosis = Mitosis::new();
+    let install = trace.setup_events.contains(&TraceEvent::InstallMitosis);
+    let mut system = if install {
+        mitosis.install(machine)
+    } else {
+        System::new(machine)
+    };
+    if let Some(probability) = params.fragmentation {
+        system
+            .pt_env_mut()
+            .alloc
+            .set_fragmentation(FragmentationModel::with_probability(probability));
+    }
+
+    let mut pid = None;
+    let mut region = None;
+    for event in &trace.setup_events {
+        match *event {
+            TraceEvent::InstallMitosis => {
+                if pid.is_some() {
+                    return Err(ReplayError::Mismatch(
+                        "InstallMitosis recorded after process creation".into(),
+                    ));
+                }
+            }
+            TraceEvent::SetThp(always) => {
+                system.set_thp(if always {
+                    ThpMode::Always
+                } else {
+                    ThpMode::Never
+                });
+            }
+            TraceEvent::PtPlacement { socket } => {
+                system.set_pt_placement(PtPlacement::Fixed(SocketId::new(socket)));
+            }
+            TraceEvent::CreateProcess { socket } => {
+                pid = Some(system.create_process(SocketId::new(socket))?);
+            }
+            TraceEvent::BindData { socket } => {
+                let pid = pid
+                    .ok_or_else(|| ReplayError::Mismatch("BindData before CreateProcess".into()))?;
+                system
+                    .process_mut(pid)?
+                    .set_data_policy(PlacementPolicy::Bind(SocketId::new(socket)));
+            }
+            TraceEvent::Mmap { len, populate, thp } => {
+                let pid =
+                    pid.ok_or_else(|| ReplayError::Mismatch("Mmap before CreateProcess".into()))?;
+                let mut flags = if populate {
+                    MmapFlags::populate()
+                } else {
+                    MmapFlags::lazy()
+                };
+                if !thp {
+                    flags = flags.without_thp();
+                }
+                region = Some(system.mmap(pid, len, flags)?);
+            }
+            TraceEvent::Populate {
+                len,
+                parallel,
+                sockets,
+            } => {
+                let pid = pid
+                    .ok_or_else(|| ReplayError::Mismatch("Populate before CreateProcess".into()))?;
+                let region =
+                    region.ok_or_else(|| ReplayError::Mismatch("Populate before Mmap".into()))?;
+                let init = if parallel {
+                    InitPattern::Parallel
+                } else {
+                    InitPattern::SingleThread
+                };
+                ExecutionEngine::populate(
+                    &mut system,
+                    pid,
+                    region,
+                    len,
+                    init,
+                    &sockets_of_mask(sockets),
+                )?;
+            }
+            TraceEvent::MigratePageTable { socket } => {
+                let pid = pid.ok_or_else(|| {
+                    ReplayError::Mismatch("MigratePageTable before CreateProcess".into())
+                })?;
+                if !install {
+                    return Err(ReplayError::Mismatch(
+                        "MigratePageTable without InstallMitosis".into(),
+                    ));
+                }
+                mitosis.migrate_page_table(&mut system, pid, SocketId::new(socket), true)?;
+            }
+            TraceEvent::Interference { sockets } => {
+                system
+                    .machine_mut()
+                    .cost_model_mut()
+                    .set_interference(Interference::on(sockets_of_mask(sockets)));
+            }
+            TraceEvent::Marker(_) => {}
+        }
+    }
+
+    let pid =
+        pid.ok_or_else(|| ReplayError::Mismatch("trace has no CreateProcess setup event".into()))?;
+    let region =
+        region.ok_or_else(|| ReplayError::Mismatch("trace has no Mmap setup event".into()))?;
+    if trace.lanes.is_empty() {
+        return Err(ReplayError::Mismatch("trace has no access lanes".into()));
+    }
+    let accesses_per_thread = trace.lanes[0].accesses.len() as u64;
+    if trace
+        .lanes
+        .iter()
+        .any(|l| l.accesses.len() as u64 != accesses_per_thread)
+    {
+        return Err(ReplayError::Mismatch(
+            "trace lanes have unequal lengths".into(),
+        ));
+    }
+
+    let threads: Vec<ThreadPlacement> = trace
+        .lanes
+        .iter()
+        .map(|lane| {
+            let socket = SocketId::new(lane.socket);
+            ThreadPlacement {
+                core: system.machine().first_core_of_socket(socket),
+                socket,
+            }
+        })
+        .collect();
+    let mut cursors: Vec<LaneCursor> = trace
+        .lanes
+        .iter()
+        .map(|lane| LaneCursor::new(&lane.accesses))
+        .collect();
+
+    let mut engine = ExecutionEngine::new(&system);
+    let metrics = engine.run_with_sources(
+        &mut system,
+        pid,
+        &spec,
+        region,
+        &threads,
+        accesses_per_thread,
+        &mut cursors,
+    )?;
+    Ok(ReplayOutcome { metrics, spec })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{TraceLane, TraceMeta};
+    use mitosis_workloads::suite;
+
+    #[test]
+    fn lane_cursor_yields_in_order() {
+        let accesses = [
+            Access {
+                offset: 8,
+                is_write: false,
+            },
+            Access {
+                offset: 16,
+                is_write: true,
+            },
+        ];
+        let mut cursor = LaneCursor::new(&accesses);
+        assert_eq!(cursor.remaining(), 2);
+        assert_eq!(cursor.next_access(), accesses[0]);
+        assert_eq!(cursor.next_access(), accesses[1]);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn replay_rejects_traces_without_setup() {
+        let params = SimParams::quick_test();
+        let spec = params.scale_workload(&suite::gups());
+        let trace = Trace {
+            meta: TraceMeta::for_spec(&spec, 7),
+            setup_events: vec![],
+            lanes: vec![TraceLane::new(0)],
+        };
+        let err = replay_trace(&trace, &params).unwrap_err();
+        assert!(matches!(err, ReplayError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn install_mitosis_is_honored_anywhere_before_process_creation() {
+        // InstallMitosis need not be the very first event (e.g. SetThp may
+        // precede it); the replay must still install the Mitosis backend,
+        // observable through MigratePageTable succeeding.
+        let params = SimParams::quick_test().with_accesses(50);
+        let spec = params.scale_workload(&suite::gups());
+        let mut trace = Trace {
+            meta: TraceMeta::for_spec(&spec, params.seed),
+            setup_events: vec![
+                TraceEvent::SetThp(false),
+                TraceEvent::InstallMitosis,
+                TraceEvent::CreateProcess { socket: 0 },
+                TraceEvent::Mmap {
+                    len: spec.footprint(),
+                    populate: false,
+                    thp: true,
+                },
+                TraceEvent::Populate {
+                    len: spec.footprint(),
+                    parallel: false,
+                    sockets: 0b1,
+                },
+                TraceEvent::MigratePageTable { socket: 0 },
+            ],
+            lanes: vec![crate::capture::capture_stream(&spec, params.seed, 0, 50)],
+        };
+        replay_trace(&trace, &params).expect("non-first InstallMitosis must be honored");
+
+        // But after process creation it is an error, not a silent no-op.
+        trace.setup_events = vec![
+            TraceEvent::CreateProcess { socket: 0 },
+            TraceEvent::InstallMitosis,
+            TraceEvent::Mmap {
+                len: spec.footprint(),
+                populate: false,
+                thp: true,
+            },
+        ];
+        let err = replay_trace(&trace, &params).unwrap_err();
+        assert!(matches!(err, ReplayError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn replay_rejects_unknown_workloads() {
+        let params = SimParams::quick_test();
+        let trace = Trace {
+            meta: TraceMeta {
+                workload: "doom".into(),
+                footprint: 1 << 26,
+                seed: 7,
+                write_fraction: 0.0,
+                compute_cycles_per_access: 1,
+                bandwidth_intensity: 0.0,
+            },
+            setup_events: vec![TraceEvent::CreateProcess { socket: 0 }],
+            lanes: vec![],
+        };
+        let err = replay_trace(&trace, &params).unwrap_err();
+        assert!(matches!(err, ReplayError::Mismatch(_)), "{err}");
+    }
+}

@@ -109,8 +109,8 @@ impl AutoNuma {
             if budget == 0 {
                 break;
             }
-            let over_full = sockets.contains(&current)
-                && count[current.index()] > target_per_socket;
+            let over_full =
+                sockets.contains(&current) && count[current.index()] > target_per_socket;
             let outside = !sockets.contains(&current);
             if !(over_full || outside) {
                 continue;
@@ -186,7 +186,9 @@ mod tests {
         let moved = AutoNuma::new().scan_toward_home(&mut system, pid).unwrap();
         assert_eq!(moved, 0);
         // After the scheduler moves the process, data follows.
-        system.migrate_process(pid, SocketId::new(1), false).unwrap();
+        system
+            .migrate_process(pid, SocketId::new(1), false)
+            .unwrap();
         let moved = AutoNuma::new().scan_toward_home(&mut system, pid).unwrap();
         assert_eq!(moved, 32);
         let footprint = system.footprint(pid).unwrap();
@@ -199,7 +201,9 @@ mod tests {
     #[test]
     fn scan_budget_limits_migration_rate() {
         let (mut system, pid, _) = populated_system();
-        system.migrate_process(pid, SocketId::new(1), false).unwrap();
+        system
+            .migrate_process(pid, SocketId::new(1), false)
+            .unwrap();
         let daemon = AutoNuma::new().with_scan_budget(10);
         assert_eq!(daemon.scan_toward_home(&mut system, pid).unwrap(), 10);
         assert_eq!(daemon.scan_toward_home(&mut system, pid).unwrap(), 10);
@@ -224,9 +228,6 @@ mod tests {
     #[test]
     fn rebalance_with_no_sockets_is_a_no_op() {
         let (mut system, pid, _) = populated_system();
-        assert_eq!(
-            AutoNuma::new().rebalance(&mut system, pid, &[]).unwrap(),
-            0
-        );
+        assert_eq!(AutoNuma::new().rebalance(&mut system, pid, &[]).unwrap(), 0);
     }
 }

@@ -186,10 +186,7 @@ mod tests {
         p.set_replication(ReplicationSpec::on(NodeMask::all(2)));
         assert!(p.replication().is_enabled());
         p.set_data_policy(PlacementPolicy::interleave_all(2));
-        assert_eq!(
-            p.data_policy().policy(),
-            PlacementPolicy::interleave_all(2)
-        );
+        assert_eq!(p.data_policy().policy(), PlacementPolicy::interleave_all(2));
     }
 
     #[test]

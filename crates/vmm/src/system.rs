@@ -4,7 +4,7 @@ use crate::config::{PtPlacement, ThpMode, VmmConfig};
 use crate::error::VmError;
 use crate::process::{AddressSpace, Pid, Process};
 use crate::vma::{Protection, Vma};
-use mitosis_mem::{FrameKind, FrameId};
+use mitosis_mem::{FrameId, FrameKind};
 use mitosis_numa::{Machine, SocketId};
 use mitosis_pt::{
     Mapper, NativePvOps, PageSize, PageTableDump, PtEnv, PteFlags, PvOps, Translation, VirtAddr,
@@ -254,7 +254,7 @@ impl System {
     /// Returns an error for a zero/unaligned length, an unknown process, or
     /// (with `populate`) an allocation failure.
     pub fn mmap(&mut self, pid: Pid, length: u64, flags: MmapFlags) -> Result<VirtAddr, VmError> {
-        if length == 0 || length % PageSize::Base4K.bytes() != 0 {
+        if length == 0 || !length.is_multiple_of(PageSize::Base4K.bytes()) {
             return Err(VmError::InvalidArgument);
         }
         let home = self.process(pid)?.home_socket();
@@ -743,7 +743,9 @@ mod tests {
         let pid = sys.create_process(SocketId::new(0)).unwrap();
         let addr = sys.mmap(pid, 16 * 4096, MmapFlags::lazy()).unwrap();
         assert!(sys.translate(pid, addr).unwrap().is_none());
-        let outcome = sys.handle_fault(pid, addr.add(4096), SocketId::new(1)).unwrap();
+        let outcome = sys
+            .handle_fault(pid, addr.add(4096), SocketId::new(1))
+            .unwrap();
         assert!(!outcome.already_mapped);
         assert_eq!(outcome.size, PageSize::Base4K);
         assert_eq!(
@@ -751,7 +753,9 @@ mod tests {
             SocketId::new(1)
         );
         // Faulting again on the same page is spurious.
-        let again = sys.handle_fault(pid, addr.add(4096), SocketId::new(0)).unwrap();
+        let again = sys
+            .handle_fault(pid, addr.add(4096), SocketId::new(0))
+            .unwrap();
         assert!(again.already_mapped);
     }
 
@@ -770,7 +774,9 @@ mod tests {
         let mut sys = system();
         sys.set_thp(ThpMode::Always);
         let pid = sys.create_process(SocketId::new(0)).unwrap();
-        let addr = sys.mmap(pid, 4 * 1024 * 1024, MmapFlags::populate()).unwrap();
+        let addr = sys
+            .mmap(pid, 4 * 1024 * 1024, MmapFlags::populate())
+            .unwrap();
         let t = sys.translate(pid, addr).unwrap().unwrap();
         assert_eq!(t.size, PageSize::Huge2M);
         // The whole region needed only two huge mappings.
@@ -786,7 +792,9 @@ mod tests {
             .alloc
             .set_fragmentation(mitosis_mem::FragmentationModel::with_probability(1.0));
         let pid = sys.create_process(SocketId::new(0)).unwrap();
-        let addr = sys.mmap(pid, 2 * 1024 * 1024, MmapFlags::populate()).unwrap();
+        let addr = sys
+            .mmap(pid, 2 * 1024 * 1024, MmapFlags::populate())
+            .unwrap();
         let t = sys.translate(pid, addr).unwrap().unwrap();
         assert_eq!(t.size, PageSize::Base4K);
     }
@@ -831,18 +839,10 @@ mod tests {
         sys.munmap(pid, addr, len).unwrap();
         assert!(sys.translate(pid, addr).unwrap().is_none());
         assert!(sys.pt_env().alloc.total_allocated() < allocated_before);
-        assert!(sys
-            .process(pid)
-            .unwrap()
-            .address_space()
-            .vmas()
-            .is_empty());
+        assert!(sys.process(pid).unwrap().address_space().vmas().is_empty());
         // Partial munmap is rejected.
         let addr2 = sys.mmap(pid, len, MmapFlags::lazy()).unwrap();
-        assert_eq!(
-            sys.munmap(pid, addr2, 4096),
-            Err(VmError::InvalidArgument)
-        );
+        assert_eq!(sys.munmap(pid, addr2, 4096), Err(VmError::InvalidArgument));
     }
 
     #[test]

@@ -47,8 +47,14 @@ impl Vma {
     /// Panics if `start` or `length` is not 4 KiB-aligned or `length` is 0.
     pub fn new(start: VirtAddr, length: u64, protection: Protection) -> Self {
         assert!(length > 0, "a VMA cannot be empty");
-        assert!(start.is_aligned(PageSize::Base4K), "VMA start must be page-aligned");
-        assert!(length % PageSize::Base4K.bytes() == 0, "VMA length must be page-aligned");
+        assert!(
+            start.is_aligned(PageSize::Base4K),
+            "VMA start must be page-aligned"
+        );
+        assert!(
+            length.is_multiple_of(PageSize::Base4K.bytes()),
+            "VMA length must be page-aligned"
+        );
         Vma {
             start,
             length,
@@ -188,11 +194,7 @@ impl VmaSet {
     pub fn find_free_region(&self, hint: VirtAddr, length: u64) -> VirtAddr {
         let mut candidate = hint;
         loop {
-            match self
-                .areas
-                .iter()
-                .find(|v| v.overlaps(candidate, length))
-            {
+            match self.areas.iter().find(|v| v.overlaps(candidate, length)) {
                 Some(blocking) => candidate = blocking.end(),
                 None => return candidate,
             }
@@ -263,7 +265,11 @@ mod tests {
 
     #[test]
     fn huge_page_fit() {
-        let aligned = Vma::new(VirtAddr::new(0x4000_0000), 4 * 1024 * 1024, Protection::ReadWrite);
+        let aligned = Vma::new(
+            VirtAddr::new(0x4000_0000),
+            4 * 1024 * 1024,
+            Protection::ReadWrite,
+        );
         assert!(aligned.fits_huge_page(VirtAddr::new(0x4000_0000)));
         assert!(aligned.fits_huge_page(VirtAddr::new(0x401f_f000)));
         let small = vma(0x4000_0000, 0x10_0000); // 1 MiB: no huge page fits

@@ -36,4 +36,4 @@ pub mod suite;
 
 pub use pattern::AccessPattern;
 pub use spec::{InitPattern, Scenario, WorkloadSpec};
-pub use stream::{Access, AccessStream};
+pub use stream::{Access, AccessSource, AccessStream};

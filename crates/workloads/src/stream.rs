@@ -13,6 +13,24 @@ pub struct Access {
     pub is_write: bool,
 }
 
+/// Anything that can feed a sequence of [`Access`]es to the execution
+/// engine.
+///
+/// Live generation ([`AccessStream`]) and trace replay (the `mitosis-trace`
+/// crate) both implement this, which is what lets a captured trace
+/// reproduce a live run bit-for-bit: the engine is oblivious to where its
+/// accesses come from.
+pub trait AccessSource {
+    /// Produces the next access.
+    fn next_access(&mut self) -> Access;
+}
+
+impl AccessSource for AccessStream {
+    fn next_access(&mut self) -> Access {
+        AccessStream::next_access(self)
+    }
+}
+
 /// A deterministic, seedable stream of accesses generated from a
 /// [`WorkloadSpec`].
 ///

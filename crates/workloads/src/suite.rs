@@ -265,15 +265,34 @@ mod tests {
         let ms: Vec<&str> = multi_socket_suite().iter().map(|w| w.name()).collect();
         assert_eq!(
             ms,
-            ["Canneal", "Memcached", "XSBench", "Graph500", "HashJoin", "BTree"]
+            [
+                "Canneal",
+                "Memcached",
+                "XSBench",
+                "Graph500",
+                "HashJoin",
+                "BTree"
+            ]
         );
         let wm: Vec<&str> = migration_suite().iter().map(|w| w.name()).collect();
         assert_eq!(
             wm,
-            ["GUPS", "BTree", "HashJoin", "Redis", "XSBench", "PageRank", "LibLinear", "Canneal"]
+            [
+                "GUPS",
+                "BTree",
+                "HashJoin",
+                "Redis",
+                "XSBench",
+                "PageRank",
+                "LibLinear",
+                "Canneal"
+            ]
         );
         // Migration-scenario footprints from Table 1.
-        let wm_fp: Vec<u64> = migration_suite().iter().map(|w| w.footprint_gib()).collect();
+        let wm_fp: Vec<u64> = migration_suite()
+            .iter()
+            .map(|w| w.footprint_gib())
+            .collect();
         assert_eq!(wm_fp, [64, 35, 17, 75, 85, 69, 67, 32]);
     }
 

@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.machine_scale
     );
 
-    let first_touch =
-        MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &params)?;
+    let first_touch = MultiSocketScenario::run(&spec, MultiSocketConfig::first_touch(), &params)?;
     println!("\nfirst-touch placement (stock Linux):");
     for (socket, fraction) in first_touch.remote_leaf_fractions.iter().enumerate() {
         println!(

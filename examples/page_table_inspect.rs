@@ -17,7 +17,9 @@ use mitosis_vmm::{MmapFlags, System};
 use mitosis_workloads::InitPattern;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mode = std::env::args().nth(1).unwrap_or_else(|| "first-touch".into());
+    let mode = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "first-touch".into());
     let machine = MachineConfig::paper_testbed_scaled().build();
     let sockets: Vec<SocketId> = machine.socket_ids().collect();
 
@@ -37,7 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 256 MiB shared region touched by threads on every socket.
     let len = 256 * 1024 * 1024;
     let region = system.mmap(pid, len, MmapFlags::lazy())?;
-    ExecutionEngine::populate(&mut system, pid, region, len, InitPattern::Parallel, &sockets)?;
+    ExecutionEngine::populate(
+        &mut system,
+        pid,
+        region,
+        len,
+        InitPattern::Parallel,
+        &sockets,
+    )?;
     if mode == "replicated" {
         mitosis.enable_for_process(&mut system, pid, None)?;
     }

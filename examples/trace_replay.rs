@@ -1,0 +1,98 @@
+//! Capture, archive, replay: the `mitosis-trace` quickstart.
+//!
+//! Captures a handful of paper workloads into binary trace files, replays
+//! one deterministically (verifying the metrics are bit-identical to the
+//! live run), then replays the whole batch through the parallel driver.
+//!
+//! ```text
+//! cargo run --release --example trace_replay
+//! ```
+
+use mitosis_numa::SocketId;
+use mitosis_sim::SimParams;
+use mitosis_trace::{capture_engine_run, replay_parallel, replay_sequential, replay_trace, Trace};
+use mitosis_workloads::suite;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let params = SimParams::quick_test().with_accesses(20_000);
+    let specs = [
+        suite::gups(),
+        suite::btree(),
+        suite::memcached(),
+        suite::redis(),
+    ];
+    let dir = std::env::temp_dir().join("mitosis-traces");
+    std::fs::create_dir_all(&dir).expect("create trace directory");
+
+    // 1. Capture: run each workload live, recording setup events and the
+    //    per-thread access lanes into a trace file.
+    println!("capturing {} workloads to {}", specs.len(), dir.display());
+    let mut traces = Vec::new();
+    for spec in &specs {
+        let captured = capture_engine_run(spec, &params, &[SocketId::new(0)]).expect("capture run");
+        let path = dir.join(format!("{}.mtrc", spec.name().to_lowercase()));
+        let file = BufWriter::new(File::create(&path).expect("create trace file"));
+        captured.trace.write_to(file).expect("write trace");
+        let size = std::fs::metadata(&path).expect("trace metadata").len();
+        println!(
+            "  {:<10} {:>8} accesses  {:>9} bytes on disk  live runtime {:>12} cycles",
+            spec.name(),
+            captured.trace.accesses(),
+            size,
+            captured.live_metrics.total_cycles
+        );
+        traces.push((path, captured.live_metrics));
+    }
+
+    // 2. Replay one trace from disk and verify determinism.
+    let (path, live) = &traces[0];
+    let file = BufReader::new(File::open(path).expect("open trace file"));
+    let trace = Trace::read_from(file).expect("read trace");
+    let replayed = replay_trace(&trace, &params).expect("replay trace");
+    assert_eq!(
+        replayed.metrics, *live,
+        "replay must reproduce the live run bit-for-bit"
+    );
+    println!(
+        "\nreplayed {} from disk: {} cycles (identical to live run: {})",
+        trace.meta.workload,
+        replayed.metrics.total_cycles,
+        replayed.metrics == *live
+    );
+
+    // 3. Parallel replay of the whole batch.
+    let batch: Vec<Trace> = traces
+        .iter()
+        .map(|(path, _)| {
+            Trace::read_from(BufReader::new(File::open(path).expect("open trace")))
+                .expect("read trace")
+        })
+        .collect();
+    let sequential = replay_sequential(&batch, &params).expect("sequential replay");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let parallel = replay_parallel(&batch, &params, workers).expect("parallel replay");
+    for (s, p) in sequential.outcomes.iter().zip(&parallel.outcomes) {
+        assert_eq!(
+            s.metrics, p.metrics,
+            "parallel replay must match sequential"
+        );
+    }
+    println!(
+        "\nbatch of {} traces ({} accesses total):",
+        parallel.aggregate.traces, parallel.aggregate.accesses
+    );
+    println!(
+        "  sequential: {:>7.1} ms  ({:>9.0} accesses/s)",
+        sequential.wall.as_secs_f64() * 1e3,
+        sequential.accesses_per_second()
+    );
+    println!(
+        "  parallel ({workers} workers): {:>7.1} ms  ({:>9.0} accesses/s)",
+        parallel.wall.as_secs_f64() * 1e3,
+        parallel.accesses_per_second()
+    );
+}

@@ -8,7 +8,9 @@
 //! * [`mitosis_vmm`] / [`mitosis_pt`] / [`mitosis_mmu`] / [`mitosis_mem`] /
 //!   [`mitosis_numa`] — the simulated OS and hardware substrates,
 //! * [`mitosis_workloads`] / [`mitosis_sim`] — workload generators and the
-//!   evaluation scenario runners.
+//!   evaluation scenario runners,
+//! * [`mitosis_trace`] — trace capture, deterministic replay and the
+//!   parallel replay driver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,5 +21,6 @@ pub use mitosis_mmu;
 pub use mitosis_numa;
 pub use mitosis_pt;
 pub use mitosis_sim;
+pub use mitosis_trace;
 pub use mitosis_vmm;
 pub use mitosis_workloads;

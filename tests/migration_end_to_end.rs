@@ -17,10 +17,14 @@ fn stock_linux_leaves_page_tables_behind_and_mitosis_fixes_it() {
     let mitosis = Mitosis::new();
     let mut system = mitosis.install(machine);
     let pid = system.create_process(SocketId::new(0)).unwrap();
-    let _ = system.mmap(pid, 16 * 1024 * 1024, MmapFlags::populate()).unwrap();
+    let _ = system
+        .mmap(pid, 16 * 1024 * 1024, MmapFlags::populate())
+        .unwrap();
 
     // The NUMA scheduler moves the process; AutoNUMA moves the data.
-    system.migrate_process(pid, SocketId::new(1), false).unwrap();
+    system
+        .migrate_process(pid, SocketId::new(1), false)
+        .unwrap();
     AutoNuma::new().scan_toward_home(&mut system, pid).unwrap();
     let stock = system.footprint(pid).unwrap();
     assert_eq!(stock.data_bytes[0], 0, "data followed the process");
@@ -55,12 +59,13 @@ fn scenario_shapes_match_the_paper() {
     let baseline = results[0].metrics;
     let broken = results[1].metrics.normalized_to(&baseline);
     let repaired = results[2].metrics.normalized_to(&baseline);
-    assert!(broken > 1.5, "RPI-LD must be substantially slower, got {broken}");
+    assert!(
+        broken > 1.5,
+        "RPI-LD must be substantially slower, got {broken}"
+    );
     assert!(repaired < 1.15, "RPI-LD+M must match LP-LD, got {repaired}");
     // The broken configuration spends most of its extra time in page walks.
-    assert!(
-        results[1].metrics.walk_cycle_fraction() > results[0].metrics.walk_cycle_fraction()
-    );
+    assert!(results[1].metrics.walk_cycle_fraction() > results[0].metrics.walk_cycle_fraction());
 }
 
 #[test]
@@ -111,9 +116,8 @@ fn migration_scenario_runs_on_every_paper_workload() {
     let params = SimParams::quick_test().with_accesses(500);
     for spec in suite::migration_suite() {
         for config in MigrationConfig::all() {
-            let result =
-                WorkloadMigrationScenario::run(&spec, MigrationRun::new(config), &params)
-                    .unwrap_or_else(|e| panic!("{} {config} failed: {e}", spec.name()));
+            let result = WorkloadMigrationScenario::run(&spec, MigrationRun::new(config), &params)
+                .unwrap_or_else(|e| panic!("{} {config} failed: {e}", spec.name()));
             assert!(result.metrics.total_cycles > 0);
         }
     }
@@ -125,7 +129,9 @@ fn engine_populate_then_run_reports_no_demand_faults() {
     let mut system = System::new(params.machine());
     let pid = system.create_process(SocketId::new(0)).unwrap();
     let spec = params.scale_workload(&suite::redis());
-    let region = system.mmap(pid, spec.footprint(), MmapFlags::lazy()).unwrap();
+    let region = system
+        .mmap(pid, spec.footprint(), MmapFlags::lazy())
+        .unwrap();
     ExecutionEngine::populate(
         &mut system,
         pid,

@@ -5,7 +5,7 @@
 
 use mitosis::Mitosis;
 use mitosis_numa::{MachineConfig, NodeMask, SocketId};
-use mitosis_pt::{PageTableDump, PageSize, VirtAddr};
+use mitosis_pt::{PageSize, PageTableDump, VirtAddr};
 use mitosis_vmm::{MmapFlags, Pid, Protection, System, ThpMode};
 use proptest::prelude::*;
 
@@ -31,7 +31,8 @@ fn assert_replicas_consistent(system: &System, pid: Pid, sample_addrs: &[VirtAdd
     }
     if process.replication().is_enabled() {
         for socket in process.replication().sockets() {
-            let dump = PageTableDump::capture(&env.store, &env.frames, roots.root_for_socket(socket));
+            let dump =
+                PageTableDump::capture(&env.store, &env.frames, roots.root_for_socket(socket));
             for cell in dump.cells() {
                 assert!(
                     cell.table_pages == 0 || cell.socket == socket,
@@ -50,12 +51,16 @@ fn replication_survives_mmap_munmap_mprotect_and_faults() {
     let mut system = mitosis.install(machine);
     let pid = system.create_process(SocketId::new(0)).unwrap();
 
-    let a = system.mmap(pid, 4 * 1024 * 1024, MmapFlags::populate()).unwrap();
+    let a = system
+        .mmap(pid, 4 * 1024 * 1024, MmapFlags::populate())
+        .unwrap();
     mitosis.enable_for_process(&mut system, pid, None).unwrap();
 
     // New mapping after replication, demand faults from the remote socket,
     // protection changes and an unmap.
-    let b = system.mmap(pid, 2 * 1024 * 1024, MmapFlags::lazy()).unwrap();
+    let b = system
+        .mmap(pid, 2 * 1024 * 1024, MmapFlags::lazy())
+        .unwrap();
     for page in 0..256u64 {
         system
             .handle_fault(pid, b.add(page * 4096), SocketId::new(1))
@@ -79,7 +84,9 @@ fn replication_coexists_with_transparent_huge_pages() {
     let mut system = mitosis.install(machine);
     system.set_thp(ThpMode::Always);
     let pid = system.create_process(SocketId::new(1)).unwrap();
-    let addr = system.mmap(pid, 8 * 1024 * 1024, MmapFlags::populate()).unwrap();
+    let addr = system
+        .mmap(pid, 8 * 1024 * 1024, MmapFlags::populate())
+        .unwrap();
     mitosis.enable_for_process(&mut system, pid, None).unwrap();
 
     let t = system.translate(pid, addr).unwrap().unwrap();
