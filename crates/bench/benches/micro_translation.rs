@@ -162,6 +162,81 @@ fn bench_pte_updates(c: &mut Criterion) {
     group.finish();
 }
 
+/// Translation throughput under a GUPS-like uniform-random pattern with an
+/// L3-sized PTE-line cache — the miss-heavy case the O(1) eviction rewrite
+/// targets (the old implementation scanned the whole cache per miss).
+/// Reports both ns/access (Criterion) and accesses/second (println).
+fn bench_translation_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/translation_throughput");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let machine = MachineConfig::paper_testbed_scaled().build();
+    let cost = machine.cost_model().clone();
+    // Enough mappings that the page-table-line working set (~25 000 lines)
+    // exceeds the L3-sized cache (~18 000 lines): uniform-random access
+    // then evicts on most walks, exactly the GUPS regime where the old
+    // full-scan eviction collapsed.  The CI smoke step (quick mode) only
+    // needs the path exercised, not the full-size working set.
+    let quick = std::env::var("MITOSIS_BENCH_QUICK").is_ok_and(|v| !v.is_empty());
+    let (mut env, roots, addrs) = build_tree(if quick { 20_000 } else { 200_000 });
+
+    group.bench_function("random_4k_walks", |b| {
+        let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(0));
+        // L3-sized cache, as the execution engine uses it.
+        let mut caches = PteCacheSet::for_machine(&machine);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        b.iter(|| {
+            // xorshift64: deterministic uniform-random page selection.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let addr = addrs[(state % addrs.len() as u64) as usize];
+            mmu.access(
+                addr,
+                false,
+                roots.base(),
+                &mut env.store,
+                &env.frames,
+                &cost,
+                caches.socket(SocketId::new(0)),
+            )
+        });
+    });
+    group.finish();
+
+    // Plain accesses/second figure for the README "Performance" table.
+    // In quick (CI smoke) mode the sample is shrunk to match the clamped
+    // criterion budgets — the step exists to catch breakage, not to time.
+    let accesses: u64 = if quick { 100_000 } else { 2_000_000 };
+    let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(0));
+    let mut caches = PteCacheSet::for_machine(&machine);
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let start = std::time::Instant::now();
+    for _ in 0..accesses {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let addr = addrs[(state % addrs.len() as u64) as usize];
+        criterion::black_box(mmu.access(
+            addr,
+            false,
+            roots.base(),
+            &mut env.store,
+            &env.frames,
+            &cost,
+            caches.socket(SocketId::new(0)),
+        ));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "micro/translation_throughput/random_4k_walks     {:.2} M accesses/s",
+        accesses as f64 / elapsed / 1e6
+    );
+}
+
 fn bench_tree_replication(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/replicate_tree");
     group
@@ -186,6 +261,7 @@ fn bench_tree_replication(c: &mut Criterion) {
 criterion_group!(
     micro,
     bench_walks,
+    bench_translation_throughput,
     bench_pte_updates,
     bench_tree_replication
 );

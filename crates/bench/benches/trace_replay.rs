@@ -104,5 +104,57 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(trace_replay, bench_single, bench_batch);
+/// Plain translation-throughput figures — accesses/second for live
+/// generation vs. trace replay — for the README "Performance" table.
+fn report_throughput(_c: &mut Criterion) {
+    let params = params();
+    let spec = suite::gups();
+    let scaled = params.scale_workload(&spec);
+    let captured = capture_engine_run(&spec, &params, &[SocketId::new(0)]).expect("capture gups");
+
+    let run_live = || {
+        let mut system = System::new(params.machine());
+        let pid = system.create_process(SocketId::new(0)).expect("process");
+        let region = system
+            .mmap(pid, scaled.footprint(), MmapFlags::lazy().without_thp())
+            .expect("mmap");
+        ExecutionEngine::populate(
+            &mut system,
+            pid,
+            region,
+            scaled.footprint(),
+            scaled.init(),
+            &[SocketId::new(0)],
+        )
+        .expect("populate");
+        let mut engine = ExecutionEngine::new(&system);
+        let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+        engine
+            .run(&mut system, pid, &scaled, region, &threads, &params)
+            .expect("run")
+    };
+
+    // One round suffices for the CI smoke step; five for quotable numbers.
+    let quick = std::env::var("MITOSIS_BENCH_QUICK").is_ok_and(|v| !v.is_empty());
+    let rounds: u32 = if quick { 1 } else { 5 };
+    let start = std::time::Instant::now();
+    for _ in 0..rounds {
+        criterion::black_box(run_live());
+    }
+    let live = (rounds as u64 * ACCESSES) as f64 / start.elapsed().as_secs_f64();
+
+    let start = std::time::Instant::now();
+    for _ in 0..rounds {
+        criterion::black_box(replay_trace(&captured.trace, &params).expect("replay"));
+    }
+    let replay = (rounds as u64 * ACCESSES) as f64 / start.elapsed().as_secs_f64();
+
+    println!(
+        "trace_replay/throughput    live: {:.2} M accesses/s    replay: {:.2} M accesses/s",
+        live / 1e6,
+        replay / 1e6
+    );
+}
+
+criterion_group!(trace_replay, bench_single, bench_batch, report_throughput);
 criterion_main!(trace_replay);

@@ -7,9 +7,14 @@
 //! `iter_batched`, the [`criterion_group!`] / [`criterion_main!`] macros —
 //! and implements a straightforward timing loop: per benchmark it runs a
 //! warm-up pass, takes `sample_size` wall-clock samples (each batching
-//! enough iterations to be measurable), and prints the mean, minimum and
-//! maximum time per iteration.  No statistical analysis, plotting or
+//! enough iterations to be measurable), rejects outlier samples using the
+//! median-absolute-deviation rule, and prints the minimum, **median** and
+//! maximum time per iteration of the retained samples.  No plotting or
 //! baseline persistence.
+//!
+//! Setting the `MITOSIS_BENCH_QUICK` environment variable clamps sample
+//! counts and time budgets to small values, turning every benchmark into a
+//! smoke test (used by CI to catch hot-path regressions cheaply).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,24 +55,66 @@ impl Samples {
             println!("{id:<48} (no samples)");
             return;
         }
-        let mean = self.ns_per_iter.iter().sum::<f64>() / self.ns_per_iter.len() as f64;
-        let min = self
-            .ns_per_iter
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
-        let max = self
-            .ns_per_iter
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let retained = reject_outliers(&self.ns_per_iter);
+        let rejected = self.ns_per_iter.len() - retained.len();
+        let med = median(&retained);
+        let min = retained.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = retained.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let note = if rejected > 0 {
+            format!("  ({rejected} outliers rejected)")
+        } else {
+            String::new()
+        };
         println!(
-            "{id:<48} time: [{} {} {}]",
+            "{id:<48} time: [{} {} {}]{note}",
             format_ns(min),
-            format_ns(mean),
+            format_ns(med),
             format_ns(max)
         );
     }
+}
+
+/// Median of a non-empty sample set.
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Scale factor turning a median absolute deviation into a consistent
+/// estimator of the standard deviation for normally distributed data.
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Samples farther than this many (MAD-estimated) standard deviations from
+/// the median are considered outliers (scheduler preemptions, page-cache
+/// hiccups) and excluded from the report.
+const OUTLIER_SIGMAS: f64 = 3.0;
+
+/// Returns the samples that survive MAD-based outlier rejection.
+///
+/// With fewer than three samples, or a zero MAD (at least half the samples
+/// identical), every sample is retained.
+fn reject_outliers(samples: &[f64]) -> Vec<f64> {
+    if samples.len() < 3 {
+        return samples.to_vec();
+    }
+    let med = median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|s| (s - med).abs()).collect();
+    let mad = median(&deviations);
+    if mad == 0.0 {
+        return samples.to_vec();
+    }
+    let cutoff = OUTLIER_SIGMAS * MAD_TO_SIGMA * mad;
+    samples
+        .iter()
+        .cloned()
+        .filter(|s| (s - med).abs() <= cutoff)
+        .collect()
 }
 
 fn format_ns(ns: f64) -> String {
@@ -100,14 +147,34 @@ impl Default for Config {
     }
 }
 
+impl Config {
+    /// Environment variable that turns every benchmark into a smoke test.
+    pub(crate) const QUICK_ENV: &'static str = "MITOSIS_BENCH_QUICK";
+
+    /// The configuration actually used for timing: in quick mode
+    /// (`MITOSIS_BENCH_QUICK` set and non-empty), sample counts and budgets
+    /// are clamped down regardless of what the benchmark requested.
+    fn effective(&self) -> Config {
+        if std::env::var(Self::QUICK_ENV).is_ok_and(|v| !v.is_empty()) {
+            Config {
+                sample_size: self.sample_size.min(5),
+                warm_up_time: self.warm_up_time.min(Duration::from_millis(20)),
+                measurement_time: self.measurement_time.min(Duration::from_millis(100)),
+            }
+        } else {
+            self.clone()
+        }
+    }
+}
+
 /// The per-benchmark timing driver handed to benchmark closures.
 #[derive(Debug)]
-pub struct Bencher<'a> {
-    config: &'a Config,
+pub struct Bencher {
+    config: Config,
     samples: Samples,
 }
 
-impl Bencher<'_> {
+impl Bencher {
     /// Times `routine` called in a loop.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up: run until the warm-up budget elapses, counting
@@ -190,7 +257,7 @@ impl BenchmarkGroup<'_> {
     {
         let id = format!("{}/{}", self.name, id.into());
         let mut bencher = Bencher {
-            config: &self.config,
+            config: self.config.effective(),
             samples: Samples::default(),
         };
         f(&mut bencher);
@@ -226,7 +293,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let mut bencher = Bencher {
-            config: &self.config,
+            config: self.config.effective(),
             samples: Samples::default(),
         };
         f(&mut bencher);
@@ -299,6 +366,56 @@ mod tests {
         });
         assert_eq!(setups, runs);
         assert!(runs > 1);
+    }
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mad_rejection_drops_only_the_outlier() {
+        // Nine tight samples and one 100x scheduler hiccup.
+        let mut samples = vec![10.0, 10.1, 9.9, 10.2, 9.8, 10.0, 10.1, 9.9, 10.0];
+        samples.push(1000.0);
+        let retained = reject_outliers(&samples);
+        assert_eq!(retained.len(), 9);
+        assert!(retained.iter().all(|s| *s < 11.0));
+        // The reported median is unaffected by the hiccup.
+        assert!((median(&retained) - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn mad_rejection_keeps_everything_when_spread_is_zero_or_tiny() {
+        // Identical samples: MAD is zero, nothing can be judged an outlier.
+        let flat = vec![5.0; 8];
+        assert_eq!(reject_outliers(&flat).len(), 8);
+        // Too few samples for a meaningful MAD.
+        assert_eq!(reject_outliers(&[1.0, 100.0]).len(), 2);
+    }
+
+    #[test]
+    fn quick_mode_clamps_the_config() {
+        let config = Config {
+            sample_size: 50,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        };
+        // This test manipulates the environment; the var name is process
+        // global, so restore it before returning.
+        let saved = std::env::var(Config::QUICK_ENV).ok();
+        std::env::set_var(Config::QUICK_ENV, "1");
+        let quick = config.effective();
+        assert!(quick.sample_size <= 5);
+        assert!(quick.measurement_time <= Duration::from_millis(100));
+        std::env::remove_var(Config::QUICK_ENV);
+        let full = config.effective();
+        assert_eq!(full.sample_size, 50);
+        if let Some(v) = saved {
+            std::env::set_var(Config::QUICK_ENV, v);
+        }
     }
 
     #[test]

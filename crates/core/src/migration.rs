@@ -9,7 +9,7 @@
 use crate::error::MitosisError;
 use crate::replication::replicate_tree;
 use mitosis_numa::{NodeMask, SocketId};
-use mitosis_pt::{Level, PtContext, PtRoots, ENTRIES_PER_TABLE};
+use mitosis_pt::{Level, PtContext, PtRoots};
 
 /// Result of a page-table migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,9 +57,8 @@ pub fn migrate_page_table(
         while let Some((table, level)) = queue.pop() {
             visited.push((table, level));
             if let Some(next) = level.next_lower() {
-                for index in 0..ENTRIES_PER_TABLE {
-                    let pte = ctx.store.read(table, index);
-                    if pte.is_present() && !pte.is_huge() {
+                for (_, pte) in ctx.store.present_at(ctx.store.slot(table)) {
+                    if !pte.is_huge() {
                         queue.push((pte.frame().expect("present entry has a frame"), next));
                     }
                 }

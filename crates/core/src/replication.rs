@@ -10,7 +10,7 @@
 use crate::error::MitosisError;
 use mitosis_mem::{FrameId, FrameKind};
 use mitosis_numa::{NodeMask, SocketId};
-use mitosis_pt::{Level, PtContext, PtRoots, Pte, ENTRIES_PER_TABLE};
+use mitosis_pt::{Level, PtContext, PtRoots, Pte};
 
 /// Result of a tree replication.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -31,9 +31,8 @@ fn collect_tree(ctx: &PtContext<'_>, root: FrameId) -> Vec<(FrameId, Level)> {
     while let Some((table, level)) = queue.pop() {
         out.push((table, level));
         if let Some(next) = level.next_lower() {
-            for index in 0..ENTRIES_PER_TABLE {
-                let pte = ctx.store.read(table, index);
-                if pte.is_present() && !pte.is_huge() {
+            for (_, pte) in ctx.store.present_at(ctx.store.slot(table)) {
+                if !pte.is_huge() {
                     queue.push((pte.frame().expect("present entry has a frame"), next));
                 }
             }
@@ -131,11 +130,10 @@ pub fn replicate_tree(
     // socket's tree — including the one holding the original pages — walks
     // only local page-table pages.
     for (table, _) in &tree {
-        for index in 0..ENTRIES_PER_TABLE {
-            let pte = ctx.store.read(*table, index);
-            if !pte.is_present() {
-                continue;
-            }
+        // Snapshot the present entries (bitmap-driven) before writing: the
+        // ring may include the table itself, whose child pointers get
+        // localised in place.
+        for (index, pte) in ctx.store.present_entries(*table) {
             for replica in ctx.frames.replicas_of(*table) {
                 let socket = ctx.frames.socket_of(replica);
                 let translated = pte_for_socket(ctx, pte, socket);

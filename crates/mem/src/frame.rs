@@ -99,15 +99,19 @@ impl FrameRange {
 pub struct FrameSpace {
     frames_per_socket: u64,
     sockets: usize,
+    /// `log2(frames_per_socket)` when that count is a power of two (every
+    /// machine with power-of-two memory sizes): `socket_of` — on the
+    /// per-access simulator path — becomes a shift instead of a division.
+    socket_shift: Option<u32>,
 }
 
 impl FrameSpace {
     /// Derives the frame space from a machine description.
     pub fn new(machine: &Machine) -> Self {
-        FrameSpace {
-            frames_per_socket: machine.memory_per_socket() / BASE_PAGE_SIZE,
-            sockets: machine.sockets(),
-        }
+        FrameSpace::with_frames_per_socket(
+            machine.sockets(),
+            machine.memory_per_socket() / BASE_PAGE_SIZE,
+        )
     }
 
     /// Creates a frame space with an explicit per-socket frame count
@@ -117,6 +121,9 @@ impl FrameSpace {
         FrameSpace {
             frames_per_socket,
             sockets,
+            socket_shift: frames_per_socket
+                .is_power_of_two()
+                .then(|| frames_per_socket.trailing_zeros()),
         }
     }
 
@@ -140,8 +147,12 @@ impl FrameSpace {
     /// # Panics
     ///
     /// Panics if `frame` lies outside the frame space.
+    #[inline]
     pub fn socket_of(&self, frame: FrameId) -> SocketId {
-        let socket = frame.pfn() / self.frames_per_socket;
+        let socket = match self.socket_shift {
+            Some(shift) => frame.pfn() >> shift,
+            None => frame.pfn() / self.frames_per_socket,
+        };
         assert!(
             (socket as usize) < self.sockets,
             "frame {frame} outside of physical memory"

@@ -7,23 +7,30 @@
 //! module models the page-table-line footprint in each socket's L3 as an LRU
 //! set of lines with a capacity derived from the machine's L3 size.
 
+use crate::lru::LruMap;
 use mitosis_mem::FrameId;
 use mitosis_numa::{Machine, SocketId};
-use std::collections::HashMap;
 
 /// Number of page-table entries per 64-byte cache line.
 const PTES_PER_LINE: u64 = 8;
+
+/// Number of cache lines covering one 4 KiB page-table page.
+const LINES_PER_TABLE: u64 = 512 / PTES_PER_LINE;
 
 /// Fraction of the L3 a socket realistically devotes to page-table lines in
 /// a big-memory workload (the rest is data).  Configurable per cache.
 const DEFAULT_L3_PT_FRACTION: f64 = 0.5;
 
 /// One socket's LRU cache of page-table lines.
+///
+/// Backed by [`LruMap`], so the hot call — [`PteCache::access`], once per
+/// page-table level per TLB miss — is O(1) for hits *and* misses.  The old
+/// implementation scanned the whole map for the LRU victim on every miss,
+/// which made miss-heavy workloads (GUPS thrashing an L3-sized cache)
+/// quadratic-ish in the line capacity.
 #[derive(Debug, Clone)]
 pub struct PteCache {
-    lines: HashMap<(u64, u64), u64>,
-    capacity_lines: usize,
-    tick: u64,
+    lines: LruMap<()>,
     hits: u64,
     misses: u64,
 }
@@ -32,41 +39,34 @@ impl PteCache {
     /// Creates a cache holding `capacity_lines` page-table lines.
     pub fn new(capacity_lines: usize) -> Self {
         PteCache {
-            lines: HashMap::new(),
-            capacity_lines: capacity_lines.max(1),
-            tick: 0,
+            lines: LruMap::new(capacity_lines.max(1)),
             hits: 0,
             misses: 0,
         }
     }
 
-    fn line_of(table: FrameId, index: usize) -> (u64, u64) {
-        (table.pfn(), index as u64 / PTES_PER_LINE)
+    /// Global line number of entry `index` of page-table page `table`.
+    fn line_of(table: FrameId, index: usize) -> u64 {
+        table.pfn() * LINES_PER_TABLE + index as u64 / PTES_PER_LINE
     }
 
     /// Records an access to entry `index` of page-table page `table`;
     /// returns `true` if the line was already cached.
+    #[inline]
     pub fn access(&mut self, table: FrameId, index: usize) -> bool {
-        self.tick += 1;
-        let key = Self::line_of(table, index);
-        if self.lines.contains_key(&key) {
-            self.lines.insert(key, self.tick);
+        let hit = self.lines.touch_or_insert(Self::line_of(table, index), ());
+        if hit {
             self.hits += 1;
-            return true;
+        } else {
+            self.misses += 1;
         }
-        self.misses += 1;
-        if self.lines.len() >= self.capacity_lines {
-            if let Some((&lru, _)) = self.lines.iter().min_by_key(|(_, t)| **t) {
-                self.lines.remove(&lru);
-            }
-        }
-        self.lines.insert(key, self.tick);
-        false
+        hit
     }
 
     /// Invalidates every line belonging to `table` (table freed or migrated).
     pub fn invalidate_table(&mut self, table: FrameId) {
-        self.lines.retain(|(pfn, _), _| *pfn != table.pfn());
+        let pfn = table.pfn();
+        self.lines.retain(|line, _| line / LINES_PER_TABLE != pfn);
     }
 
     /// Number of line hits so far.
@@ -86,7 +86,7 @@ impl PteCache {
 
     /// Configured capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.capacity_lines
+        self.lines.capacity()
     }
 }
 

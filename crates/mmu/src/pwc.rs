@@ -6,47 +6,32 @@
 //! fetched.  The paper leans on this ("at least leaf-level PTEs have to be
 //! accessed", §3.1), so the walker model includes it.
 
+use crate::lru::LruMap;
 use mitosis_mem::FrameId;
 use mitosis_pt::{Level, VirtAddr};
-use std::collections::HashMap;
 
-/// One LRU cache of upper-level entries, keyed by the virtual-address bits
-/// that select the entry.
+/// One exact-LRU cache of upper-level entries, keyed by the virtual-address
+/// bits that select the entry.  Lookup, insert and eviction are all O(1)
+/// ([`LruMap`]); these caches sit on every page walk, and the old
+/// `min_by_key` eviction scanned the whole cache on each conflict miss.
 #[derive(Debug, Clone)]
 struct LevelCache {
-    entries: HashMap<u64, (FrameId, u64)>,
-    capacity: usize,
-    tick: u64,
+    entries: LruMap<FrameId>,
 }
 
 impl LevelCache {
     fn new(capacity: usize) -> Self {
         LevelCache {
-            entries: HashMap::new(),
-            capacity,
-            tick: 0,
+            entries: LruMap::new(capacity),
         }
     }
 
     fn lookup(&mut self, key: u64) -> Option<FrameId> {
-        self.tick += 1;
-        let tick = self.tick;
-        if let Some((frame, last_used)) = self.entries.get_mut(&key) {
-            *last_used = tick;
-            Some(*frame)
-        } else {
-            None
-        }
+        self.entries.get(key).copied()
     }
 
     fn insert(&mut self, key: u64, frame: FrameId) {
-        self.tick += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some((&lru_key, _)) = self.entries.iter().min_by_key(|(_, (_, t))| *t) {
-                self.entries.remove(&lru_key);
-            }
-        }
-        self.entries.insert(key, (frame, self.tick));
+        self.entries.insert(key, frame);
     }
 
     fn flush(&mut self) {

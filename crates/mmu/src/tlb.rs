@@ -17,22 +17,47 @@ pub enum TlbLevel {
 /// Entries are tagged by virtual page number and store the translation's
 /// first frame; the page size is a property of the TLB instance (the split
 /// L1 design) or recorded per entry (unified L2).
+///
+/// Storage is struct-of-arrays with the ways of each set inline
+/// (set-major): a probe scans a contiguous run of `u64` tags — one or two
+/// cache lines — and touches the frame/recency payload only on a hit.  The
+/// tag folds the virtual page number and page size together
+/// (`vpn << 2 | size code`, codes 1-3) with tag 0 meaning "invalid", so a
+/// probe is a single word comparison per way.
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    sets: Vec<Vec<TlbEntry>>,
+    /// `sets * ways` tags; set `s` occupies `[s * ways, (s + 1) * ways)`.
+    tags: Box<[u64]>,
+    /// Frame payload, same layout as `tags`.
+    frames: Box<[FrameId]>,
+    /// LRU recency payload, same layout as `tags`.
+    last_used: Box<[u64]>,
+    sets: usize,
     ways: usize,
+    /// `sets - 1` when the set count is a power of two (every real TLB
+    /// geometry), letting the set index be a mask instead of a division.
+    set_mask: Option<u64>,
     /// Monotonic counter used for LRU ordering.
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Resident entries per size code (index = code - 1).  A probe for a
+    /// size with zero resident entries cannot hit, so the hierarchy skips
+    /// it — the common pure-4K access then pays two probes, not six.
+    per_size: [usize; 3],
 }
 
-#[derive(Debug, Clone, Copy)]
-struct TlbEntry {
-    vpn: u64,
-    size: PageSize,
-    frame: FrameId,
-    last_used: u64,
+/// Tag 0 marks an invalid way (real tags carry a non-zero size code).
+const INVALID_TAG: u64 = 0;
+
+#[inline]
+fn tag_of(vpn: u64, size: PageSize) -> u64 {
+    let code = match size {
+        PageSize::Base4K => 1,
+        PageSize::Huge2M => 2,
+        PageSize::Giant1G => 3,
+    };
+    (vpn << 2) | code
 }
 
 impl Tlb {
@@ -49,36 +74,51 @@ impl Tlb {
         );
         let sets = entries / ways;
         Tlb {
-            sets: vec![Vec::with_capacity(ways); sets],
+            tags: vec![INVALID_TAG; entries].into_boxed_slice(),
+            frames: vec![FrameId::new(0); entries].into_boxed_slice(),
+            last_used: vec![0; entries].into_boxed_slice(),
+            sets,
             ways,
+            set_mask: sets.is_power_of_two().then_some(sets as u64 - 1),
             tick: 0,
             hits: 0,
             misses: 0,
+            per_size: [0; 3],
         }
+    }
+
+    /// Returns `true` if any entry of `size` is resident.
+    #[inline]
+    pub fn holds(&self, size: PageSize) -> bool {
+        self.per_size[tag_of(0, size) as usize - 1] > 0
     }
 
     /// Total capacity in entries.
     pub fn capacity(&self) -> usize {
-        self.sets.len() * self.ways
+        self.tags.len()
     }
 
-    fn set_index(&self, vpn: u64) -> usize {
-        (vpn % self.sets.len() as u64) as usize
+    #[inline]
+    fn set_start(&self, vpn: u64) -> usize {
+        let set = match self.set_mask {
+            Some(mask) => (vpn & mask) as usize,
+            None => (vpn % self.sets as u64) as usize,
+        };
+        set * self.ways
     }
 
     /// Looks up the translation of `addr` at page size `size`.
+    #[inline]
     pub fn lookup(&mut self, addr: VirtAddr, size: PageSize) -> Option<FrameId> {
         self.tick += 1;
         let vpn = addr.page_number(size);
-        let set = self.set_index(vpn);
-        let tick = self.tick;
-        if let Some(entry) = self.sets[set]
-            .iter_mut()
-            .find(|e| e.vpn == vpn && e.size == size)
-        {
-            entry.last_used = tick;
+        let tag = tag_of(vpn, size);
+        let start = self.set_start(vpn);
+        let set_tags = &self.tags[start..start + self.ways];
+        if let Some(way) = set_tags.iter().position(|&t| t == tag) {
+            self.last_used[start + way] = self.tick;
             self.hits += 1;
-            return Some(entry.frame);
+            return Some(self.frames[start + way]);
         }
         self.misses += 1;
         None
@@ -88,45 +128,61 @@ impl Tlb {
     pub fn insert(&mut self, addr: VirtAddr, size: PageSize, frame: FrameId) {
         self.tick += 1;
         let vpn = addr.page_number(size);
-        let set = self.set_index(vpn);
-        let ways = self.ways;
-        let tick = self.tick;
-        let entries = &mut self.sets[set];
-        if let Some(entry) = entries.iter_mut().find(|e| e.vpn == vpn && e.size == size) {
-            entry.frame = frame;
-            entry.last_used = tick;
-            return;
+        let tag = tag_of(vpn, size);
+        let start = self.set_start(vpn);
+        // Refresh an existing entry, else fill the first invalid way, else
+        // evict the least recently used way — one pass over the set (ticks
+        // are unique, so the victim is the same one a full tick-scan picks;
+        // an existing tag is unique in its set, so breaking early is safe).
+        let mut matched = None;
+        let mut first_invalid = None;
+        let mut lru = 0;
+        let mut lru_tick = u64::MAX;
+        for (i, &t) in self.tags[start..start + self.ways].iter().enumerate() {
+            if t == tag {
+                matched = Some(i);
+                break;
+            }
+            if t == INVALID_TAG {
+                if first_invalid.is_none() {
+                    first_invalid = Some(i);
+                }
+            } else if self.last_used[start + i] < lru_tick {
+                lru_tick = self.last_used[start + i];
+                lru = i;
+            }
         }
-        if entries.len() >= ways {
-            let lru = entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i)
-                .expect("set is non-empty");
-            entries.swap_remove(lru);
+        let way = start + matched.or(first_invalid).unwrap_or(lru);
+        let old = self.tags[way];
+        if old != INVALID_TAG {
+            self.per_size[(old & 3) as usize - 1] -= 1;
         }
-        entries.push(TlbEntry {
-            vpn,
-            size,
-            frame,
-            last_used: tick,
-        });
+        self.per_size[(tag & 3) as usize - 1] += 1;
+        self.tags[way] = tag;
+        self.frames[way] = frame;
+        self.last_used[way] = self.tick;
     }
 
     /// Invalidates every entry (a full TLB flush, e.g. on CR3 write).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
-        }
+        self.tags.fill(INVALID_TAG);
+        self.last_used.fill(0);
+        self.per_size = [0; 3];
     }
 
     /// Invalidates the entry covering `addr` at `size`, if present
     /// (`invlpg`).
     pub fn flush_page(&mut self, addr: VirtAddr, size: PageSize) {
         let vpn = addr.page_number(size);
-        let set = self.set_index(vpn);
-        self.sets[set].retain(|e| !(e.vpn == vpn && e.size == size));
+        let tag = tag_of(vpn, size);
+        let start = self.set_start(vpn);
+        for way in start..start + self.ways {
+            if self.tags[way] == tag {
+                self.tags[way] = INVALID_TAG;
+                self.last_used[way] = 0;
+                self.per_size[(tag & 3) as usize - 1] -= 1;
+            }
+        }
     }
 
     /// Number of lookups that hit.
@@ -141,7 +197,7 @@ impl Tlb {
 
     /// Number of currently valid entries.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 }
 
@@ -173,22 +229,30 @@ impl TlbHierarchy {
     }
 
     /// Looks up `addr`; returns the serving level, frame and extra cycles.
+    ///
+    /// Levels holding no entry of `size` are skipped without probing (a
+    /// probe of an empty size class can never hit, so residency and
+    /// promotion behaviour are unchanged).
     pub fn lookup(&mut self, addr: VirtAddr, size: PageSize) -> Option<(TlbLevel, FrameId, u64)> {
         let l1 = match size {
             PageSize::Base4K => &mut self.l1_4k,
             PageSize::Huge2M | PageSize::Giant1G => &mut self.l1_2m,
         };
-        if let Some(frame) = l1.lookup(addr, size) {
-            return Some((TlbLevel::L1, frame, 0));
+        if l1.holds(size) {
+            if let Some(frame) = l1.lookup(addr, size) {
+                return Some((TlbLevel::L1, frame, 0));
+            }
         }
-        if let Some(frame) = self.l2.lookup(addr, size) {
-            // Promote into L1.
-            let l1 = match size {
-                PageSize::Base4K => &mut self.l1_4k,
-                PageSize::Huge2M | PageSize::Giant1G => &mut self.l1_2m,
-            };
-            l1.insert(addr, size, frame);
-            return Some((TlbLevel::L2, frame, self.l2_hit_penalty));
+        if self.l2.holds(size) {
+            if let Some(frame) = self.l2.lookup(addr, size) {
+                // Promote into L1.
+                let l1 = match size {
+                    PageSize::Base4K => &mut self.l1_4k,
+                    PageSize::Huge2M | PageSize::Giant1G => &mut self.l1_2m,
+                };
+                l1.insert(addr, size, frame);
+                return Some((TlbLevel::L2, frame, self.l2_hit_penalty));
+            }
         }
         None
     }
@@ -335,5 +399,49 @@ mod tests {
     #[should_panic(expected = "multiple of ways")]
     fn invalid_geometry_panics() {
         let _ = Tlb::new(10, 4);
+    }
+
+    #[test]
+    fn per_size_residency_tracks_inserts_evictions_and_flushes() {
+        let mut tlb = Tlb::new(4, 4);
+        assert!(!tlb.holds(PageSize::Base4K));
+        tlb.insert(va(1), PageSize::Base4K, FrameId::new(1));
+        tlb.insert(
+            VirtAddr::new(0x4000_0000),
+            PageSize::Huge2M,
+            FrameId::new(2),
+        );
+        assert!(tlb.holds(PageSize::Base4K));
+        assert!(tlb.holds(PageSize::Huge2M));
+        assert!(!tlb.holds(PageSize::Giant1G));
+        // Evicting the 4 KiB entry by filling the set with huge entries.
+        for i in 1..4u64 {
+            tlb.insert(
+                VirtAddr::new(0x4000_0000 + (i << 21)),
+                PageSize::Huge2M,
+                FrameId::new(2 + i),
+            );
+        }
+        tlb.insert(
+            VirtAddr::new(0x4000_0000 + (4u64 << 21)),
+            PageSize::Huge2M,
+            FrameId::new(9),
+        );
+        assert!(!tlb.holds(PageSize::Base4K), "4 KiB entry was evicted");
+        tlb.flush_page(VirtAddr::new(0x4000_0000 + (4u64 << 21)), PageSize::Huge2M);
+        assert_eq!(tlb.occupancy(), 3);
+        tlb.flush();
+        assert!(!tlb.holds(PageSize::Huge2M));
+    }
+
+    #[test]
+    fn empty_size_classes_are_skipped_without_changing_outcomes() {
+        let mut h = TlbHierarchy::paper_testbed();
+        // Pure 4 KiB content: 2 MiB/1 GiB lookups return None without
+        // probing (observable only through the result, which must match).
+        h.insert(va(3), PageSize::Base4K, FrameId::new(30));
+        assert!(h.lookup(va(3), PageSize::Huge2M).is_none());
+        assert!(h.lookup(va(3), PageSize::Giant1G).is_none());
+        assert!(h.lookup(va(3), PageSize::Base4K).is_some());
     }
 }

@@ -100,6 +100,9 @@ impl HardwareWalker {
 
         loop {
             let index = addr.index_at(level);
+            // One directory resolution per level; the slot handle serves
+            // both the entry read and the accessed/dirty write below.
+            let slot = store.slot(table);
             // Charge the memory access for reading this entry.
             let cached = pte_cache.access(table, index);
             if cached {
@@ -121,7 +124,7 @@ impl HardwareWalker {
             levels_read += 1;
             stats.levels_accessed += 1;
 
-            let pte = store.read(table, index);
+            let pte = store.read_at(slot, index);
             if !pte.is_present() {
                 stats.faults += 1;
                 stats.walk_cycles += cycles;
@@ -156,7 +159,7 @@ impl HardwareWalker {
                         updated = updated.with_dirty();
                     }
                     if updated != pte {
-                        store.write(table, index, updated);
+                        store.write_at(slot, index, updated);
                     }
                 }
                 stats.walk_cycles += cycles;

@@ -102,6 +102,22 @@ pub struct CostModel {
     local_bandwidth_gbps: f64,
     remote_bandwidth_gbps: f64,
     interference: Interference,
+    /// Dense `[from][to][kind]` matrix of precomputed access costs, rebuilt
+    /// whenever the interference description changes.  `dram_access` — called
+    /// once per page-walk level and once per data access, the hottest lookup
+    /// in the simulator — reduces to one indexed load from this table.
+    matrix: Vec<MemoryAccessCost>,
+}
+
+/// Number of [`AccessKind`] variants (the `kind` stride of the matrix).
+const KINDS: usize = 2;
+
+#[inline]
+fn kind_index(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::Data => 0,
+        AccessKind::PageWalk => 1,
+    }
 }
 
 impl CostModel {
@@ -116,7 +132,7 @@ impl CostModel {
     ) -> Self {
         assert!(sockets > 0);
         assert!(remote_dram_latency >= local_dram_latency);
-        CostModel {
+        let mut model = CostModel {
             sockets,
             local_dram_latency,
             remote_dram_latency,
@@ -125,7 +141,52 @@ impl CostModel {
             local_bandwidth_gbps,
             remote_bandwidth_gbps,
             interference: Interference::none(),
+            matrix: Vec::new(),
+        };
+        model.rebuild_matrix();
+        model
+    }
+
+    /// Computes one cell of the access-cost matrix from first principles
+    /// (the arithmetic that used to run on every access).
+    fn compute_dram_access(&self, from: SocketId, target: SocketId) -> MemoryAccessCost {
+        let local = from == target;
+        let base = if local {
+            self.local_dram_latency
+        } else {
+            self.remote_dram_latency
+        };
+        let interfered = self.interference.is_loaded(target);
+        let cycles = if interfered {
+            (base as f64 * self.interference.latency_factor).round() as Cycles
+        } else {
+            base
+        };
+        MemoryAccessCost {
+            cycles,
+            local,
+            interfered,
         }
+    }
+
+    /// Rebuilds the dense `[from][to][kind]` cost matrix.
+    fn rebuild_matrix(&mut self) {
+        let sockets = self.sockets;
+        let mut matrix = Vec::with_capacity(sockets * sockets * KINDS);
+        for from in 0..sockets {
+            for to in 0..sockets {
+                let cost =
+                    self.compute_dram_access(SocketId::new(from as u16), SocketId::new(to as u16));
+                // The raw latency is currently kind-independent; the matrix
+                // still carries the kind axis so a future asymmetry (e.g.
+                // cache-line vs. full-line transfers) stays a table rebuild
+                // rather than a hot-path change.
+                for _ in 0..KINDS {
+                    matrix.push(cost);
+                }
+            }
+        }
+        self.matrix = matrix;
     }
 
     /// Cost model matching the paper's Xeon E7-4850v3 testbed.
@@ -133,9 +194,11 @@ impl CostModel {
         CostModel::new(topology.sockets(), 280, 580, 42, 28.0, 11.0)
     }
 
-    /// Installs (or replaces) the interference description.
+    /// Installs (or replaces) the interference description and rebuilds the
+    /// precomputed cost matrix to match.
     pub fn set_interference(&mut self, interference: Interference) {
         self.interference = interference;
+        self.rebuild_matrix();
     }
 
     /// Returns the current interference description.
@@ -172,33 +235,15 @@ impl CostModel {
     }
 
     /// Charges a DRAM access issued by a core on `from` to memory attached to
-    /// `target`.
-    ///
-    /// `_kind` participates in statistics only; the raw latency is the same
-    /// for a page-walk read and a data read.
+    /// `target`: one indexed load from the precomputed cost matrix.
+    #[inline]
     pub fn dram_access(
         &self,
         from: SocketId,
         target: SocketId,
-        _kind: AccessKind,
+        kind: AccessKind,
     ) -> MemoryAccessCost {
-        let local = from == target;
-        let base = if local {
-            self.local_dram_latency
-        } else {
-            self.remote_dram_latency
-        };
-        let interfered = self.interference.is_loaded(target);
-        let cycles = if interfered {
-            (base as f64 * self.interference.latency_factor).round() as Cycles
-        } else {
-            base
-        };
-        MemoryAccessCost {
-            cycles,
-            local,
-            interfered,
-        }
+        self.matrix[(from.index() * self.sockets + target.index()) * KINDS + kind_index(kind)]
     }
 
     /// Charges a last-level-cache hit on the issuing socket.

@@ -59,7 +59,7 @@ impl VirtAddr {
 
     /// Returns the virtual page number at the given page size.
     pub const fn page_number(self, size: PageSize) -> u64 {
-        self.0 / size.bytes()
+        self.0 >> size.shift()
     }
 }
 
@@ -89,10 +89,16 @@ pub enum PageSize {
 impl PageSize {
     /// The page size in bytes.
     pub const fn bytes(self) -> u64 {
+        1 << self.shift()
+    }
+
+    /// log2 of the page size (page sizes are powers of two, so address
+    /// arithmetic is shifts and masks, never division).
+    pub const fn shift(self) -> u32 {
         match self {
-            PageSize::Base4K => 4096,
-            PageSize::Huge2M => 2 * 1024 * 1024,
-            PageSize::Giant1G => 1024 * 1024 * 1024,
+            PageSize::Base4K => 12,
+            PageSize::Huge2M => 21,
+            PageSize::Giant1G => 30,
         }
     }
 

@@ -5,7 +5,7 @@
 //! level and socket, how many page-table pages exist and which sockets their
 //! valid entries point to.  [`PageTableDump`] is that module.
 
-use crate::addr::{Level, ENTRIES_PER_TABLE};
+use crate::addr::Level;
 use crate::store::PtStore;
 use mitosis_mem::{FrameId, FrameTable};
 use mitosis_numa::SocketId;
@@ -118,11 +118,9 @@ impl PageTableDump {
         let table_socket = frames.socket_of(table);
         let idx = self.cell_index(level, table_socket);
         self.cells[idx].table_pages += 1;
-        for index in 0..ENTRIES_PER_TABLE {
-            let pte = store.read(table, index);
-            if !pte.is_present() {
-                continue;
-            }
+        // Present entries come straight off the occupancy bitmap; sparse
+        // upper-level tables cost popcounts instead of 512 entry reads.
+        for (_, pte) in store.present_at(store.slot(table)) {
             let target = pte.frame().expect("present entry has a frame");
             let target_socket = frames.socket_of(target);
             self.cells[idx].pointers_to_socket[target_socket.index()] += 1;

@@ -69,5 +69,5 @@ pub use mapper::{Mapper, PtRoots};
 pub use ops::{
     NativePvOps, PtContext, PtEnv, PtOpStats, PvOps, ReplicationSpec, DEFAULT_PAGE_CACHE_TARGET,
 };
-pub use store::PtStore;
+pub use store::{PtSlot, PtStore};
 pub use walk::{iter_leaf_mappings, translate, LeafMapping, Translation};

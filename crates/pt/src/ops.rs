@@ -261,9 +261,10 @@ impl PvOps for NativePvOps {
     }
 
     fn clear_accessed_dirty(&mut self, ctx: &mut PtContext<'_>, table: FrameId, index: usize) {
-        let pte = ctx.store.read(table, index);
+        let slot = ctx.store.slot(table);
+        let pte = ctx.store.read_at(slot, index);
         if pte.is_present() {
-            ctx.store.write(table, index, pte.with_ad_cleared());
+            ctx.store.write_at(slot, index, pte.with_ad_cleared());
             self.stats.pte_writes += 1;
         }
     }

@@ -4,7 +4,7 @@
 //! [`PtStore`], the way the OS inspects its own page tables (the hardware
 //! walker with its cost model lives in `mitosis-mmu`).
 
-use crate::addr::{Level, PageSize, VirtAddr, ENTRIES_PER_TABLE};
+use crate::addr::{Level, PageSize, VirtAddr};
 use crate::entry::Pte;
 use crate::store::PtStore;
 use mitosis_mem::FrameId;
@@ -50,7 +50,7 @@ pub struct LeafMapping {
 pub fn translate(store: &PtStore, root: FrameId, addr: VirtAddr) -> Option<Translation> {
     let mut table = root;
     for level in Level::WALK_ORDER {
-        let pte = store.read(table, addr.index_at(level));
+        let pte = store.read_at(store.slot(table), addr.index_at(level));
         if !pte.is_present() {
             return None;
         }
@@ -82,11 +82,9 @@ pub fn iter_leaf_mappings(store: &PtStore, root: FrameId) -> Vec<LeafMapping> {
 }
 
 fn collect(store: &PtStore, table: FrameId, level: Level, base: u64, out: &mut Vec<LeafMapping>) {
-    for index in 0..ENTRIES_PER_TABLE {
-        let pte = store.read(table, index);
-        if !pte.is_present() {
-            continue;
-        }
+    // The occupancy bitmap yields present entries directly; sparse tables
+    // (the common case above the leaf level) cost popcounts, not 512 reads.
+    for (index, pte) in store.present_at(store.slot(table)) {
         let entry_base = base + (index as u64) * level.entry_coverage();
         let is_leaf = level == Level::L1 || pte.is_huge();
         if is_leaf {

@@ -187,9 +187,24 @@ impl ExecutionEngine {
         );
         let cost = system.machine().cost_model().clone();
         let frame_space = system.pt_env().alloc.frame_space().clone();
+        let sockets = system.machine().sockets();
         let mut metrics = RunMetrics::default();
 
         for (placement, source) in threads.iter().zip(sources.iter_mut()) {
+            // Data-access cost depends only on (thread socket, data socket,
+            // workload bandwidth intensity), all fixed for the thread:
+            // precompute the per-target-socket cycle table once so the inner
+            // loop charges data accesses with a single indexed load.
+            let data_cost: Vec<Cycles> = (0..sockets)
+                .map(|to| {
+                    data_access_cycles(
+                        &cost,
+                        placement.socket,
+                        SocketId::new(to as u16),
+                        spec.bandwidth_intensity(),
+                    )
+                })
+                .collect();
             let cr3 = system.cr3_for(pid, placement.socket)?;
             let mut mmu = Mmu::new(placement.core, placement.socket);
             let mut compute: Cycles = 0;
@@ -240,12 +255,7 @@ impl ExecutionEngine {
                 };
 
                 let data_socket = frame_space.socket_of(frame);
-                data += data_access_cycles(
-                    &cost,
-                    placement.socket,
-                    data_socket,
-                    spec.bandwidth_intensity(),
-                );
+                data += data_cost[data_socket.index()];
             }
 
             let thread_cycles = compute + data + translation;

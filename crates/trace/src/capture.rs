@@ -172,7 +172,7 @@ pub fn capture_engine_run(
         run_and_record(&mut system, pid, &scaled, region, &threads, params)?;
     Ok(CapturedRun {
         trace: Trace {
-            meta: TraceMeta::for_spec(&scaled, params.seed),
+            meta: TraceMeta::for_spec(&scaled, params),
             setup_events: events,
             lanes,
         },
@@ -282,7 +282,7 @@ pub fn capture_migration_scenario(
         run_and_record(&mut system, pid, &scaled, region, &threads, params)?;
     Ok(CapturedRun {
         trace: Trace {
-            meta: TraceMeta::for_spec(&scaled, params.seed),
+            meta: TraceMeta::for_spec(&scaled, params),
             setup_events: events,
             lanes,
         },

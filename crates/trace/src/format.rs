@@ -26,12 +26,26 @@
 //! [`replay`](crate::replay) module; events inside a lane are positional
 //! markers.
 
+use mitosis_mem::FrameSpace;
+use mitosis_sim::SimParams;
 use mitosis_workloads::{suite, Access, WorkloadSpec};
 use std::fmt;
 use std::io::{self, Read, Write};
 
 /// Current format version written by [`TraceWriter`].
-pub const TRACE_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — initial format (workload spec + seed in the header).  Still
+///   readable: the machine fingerprint decodes as
+///   [`MachineFingerprint::UNKNOWN`], which replay treats as a mismatch
+///   (forcible, since it cannot be verified).
+/// * 2 — header additionally records the [`MachineFingerprint`], so replay
+///   can refuse a trace captured on a differently sized machine instead of
+///   silently producing different metrics.
+pub const TRACE_VERSION: u32 = 2;
+
+/// Oldest format version [`TraceReader`] still accepts.
+pub const TRACE_MIN_VERSION: u32 = 1;
 
 /// File magic, `b"MTRC"`.
 pub const TRACE_MAGIC: [u8; 4] = *b"MTRC";
@@ -177,12 +191,63 @@ impl<R: Read> HashingReader<R> {
     }
 }
 
+/// The machine a trace was captured on, as far as metrics depend on it.
+///
+/// Replaying on a machine with a different scale, socket count or
+/// frames-per-socket layout silently yields different metrics (frame
+/// numbers map to different sockets, cache capacities differ), so the
+/// fingerprint is recorded in the header and checked at replay time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineFingerprint {
+    /// Capacity scale factor the machine was built with.
+    pub machine_scale: u64,
+    /// Number of sockets.
+    pub sockets: u16,
+    /// Number of 4 KiB frames attached to each socket.
+    pub frames_per_socket: u64,
+}
+
+impl MachineFingerprint {
+    /// Placeholder for traces that predate machine fingerprinting
+    /// (format v1).  Never matches a real machine, so strict replay of a
+    /// v1 trace is refused with an explanation rather than trusted blindly.
+    pub const UNKNOWN: MachineFingerprint = MachineFingerprint {
+        machine_scale: 0,
+        sockets: 0,
+        frames_per_socket: 0,
+    };
+
+    /// The fingerprint of the machine `params` builds.
+    pub fn for_params(params: &SimParams) -> Self {
+        let machine = params.machine();
+        let space = FrameSpace::new(&machine);
+        MachineFingerprint {
+            machine_scale: params.machine_scale,
+            sockets: machine.sockets() as u16,
+            frames_per_socket: space.frames_per_socket(),
+        }
+    }
+}
+
+impl fmt::Display for MachineFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == MachineFingerprint::UNKNOWN {
+            return write!(f, "unknown (format v1 trace)");
+        }
+        write!(
+            f,
+            "scale {}, {} sockets, {} frames/socket",
+            self.machine_scale, self.sockets, self.frames_per_socket
+        )
+    }
+}
+
 /// Identifying metadata of a captured run, stored in the trace header.
 ///
 /// A trace is self-describing: `workload` plus the spec parameters below
 /// are enough to rebuild the exact [`WorkloadSpec`] the capture ran (via
 /// [`TraceMeta::resolve_spec`]) and to refuse replay against a mismatched
-/// one.
+/// one; `machine` identifies the captured machine the same way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
     /// Paper name of the captured workload (e.g. `"GUPS"`).
@@ -197,18 +262,22 @@ pub struct TraceMeta {
     pub compute_cycles_per_access: u64,
     /// The spec's bandwidth intensity, for validation.
     pub bandwidth_intensity: f64,
+    /// The machine the capture ran on.
+    pub machine: MachineFingerprint,
 }
 
 impl TraceMeta {
-    /// Captures the identifying parameters of `spec`.
-    pub fn for_spec(spec: &WorkloadSpec, seed: u64) -> Self {
+    /// Captures the identifying parameters of `spec` and the machine built
+    /// from `params`.
+    pub fn for_spec(spec: &WorkloadSpec, params: &SimParams) -> Self {
         TraceMeta {
             workload: spec.name().to_string(),
             footprint: spec.footprint(),
-            seed,
+            seed: params.seed,
             write_fraction: spec.write_fraction(),
             compute_cycles_per_access: spec.compute_cycles_per_access(),
             bandwidth_intensity: spec.bandwidth_intensity(),
+            machine: MachineFingerprint::for_params(params),
         }
     }
 
@@ -375,6 +444,9 @@ impl<W: Write> TraceWriter<W> {
         sink.varint(meta.write_fraction.to_bits())?;
         sink.varint(meta.compute_cycles_per_access)?;
         sink.varint(meta.bandwidth_intensity.to_bits())?;
+        sink.varint(meta.machine.machine_scale)?;
+        sink.varint(meta.machine.sockets as u64)?;
+        sink.varint(meta.machine.frames_per_socket)?;
         Ok(TraceWriter {
             sink,
             prev_offset: 0,
@@ -490,7 +562,7 @@ impl<R: Read> TraceReader<R> {
         let mut version = [0u8; 4];
         source.read_exact(&mut version)?;
         let version = u32::from_le_bytes(version);
-        if version != TRACE_VERSION {
+        if !(TRACE_MIN_VERSION..=TRACE_VERSION).contains(&version) {
             return Err(TraceError::UnsupportedVersion(version));
         }
         let name_len = source.varint()? as usize;
@@ -506,6 +578,18 @@ impl<R: Read> TraceReader<R> {
         let write_fraction = f64::from_bits(source.varint()?);
         let compute_cycles_per_access = source.varint()?;
         let bandwidth_intensity = f64::from_bits(source.varint()?);
+        let machine = if version >= 2 {
+            MachineFingerprint {
+                machine_scale: source.varint()?,
+                sockets: u16::try_from(source.varint()?)
+                    .map_err(|_| TraceError::Corrupt("socket count overflows u16"))?,
+                frames_per_socket: source.varint()?,
+            }
+        } else {
+            // v1 traces carry no fingerprint; replay treats this as an
+            // unverifiable mismatch (forcible).
+            MachineFingerprint::UNKNOWN
+        };
         Ok(TraceReader {
             source,
             meta: TraceMeta {
@@ -515,6 +599,7 @@ impl<R: Read> TraceReader<R> {
                 write_fraction,
                 compute_cycles_per_access,
                 bandwidth_intensity,
+                machine,
             },
             prev_offset: 0,
             accesses_seen: 0,
@@ -722,6 +807,14 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn machine() -> MachineFingerprint {
+        MachineFingerprint {
+            machine_scale: 512,
+            sockets: 4,
+            frames_per_socket: 65_536,
+        }
+    }
+
     fn meta() -> TraceMeta {
         TraceMeta {
             workload: "GUPS".into(),
@@ -730,6 +823,7 @@ mod tests {
             write_fraction: 0.5,
             compute_cycles_per_access: 5,
             bandwidth_intensity: 0.9,
+            machine: machine(),
         }
     }
 
@@ -872,6 +966,44 @@ mod tests {
     }
 
     #[test]
+    fn v1_traces_decode_with_an_unknown_fingerprint() {
+        // Hand-encode a minimal format-v1 trace (header without the
+        // machine fingerprint, one empty body, FNV-64 checksum): archived
+        // PR 1 artifacts must stay readable.
+        fn varint(out: &mut Vec<u8>, mut v: u64) {
+            loop {
+                let byte = (v & 0x7f) as u8;
+                v >>= 7;
+                out.push(if v == 0 { byte } else { byte | 0x80 });
+                if v == 0 {
+                    break;
+                }
+            }
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TRACE_MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        let m = meta();
+        varint(&mut bytes, m.workload.len() as u64);
+        bytes.extend_from_slice(m.workload.as_bytes());
+        varint(&mut bytes, m.footprint);
+        varint(&mut bytes, m.seed);
+        varint(&mut bytes, m.write_fraction.to_bits());
+        varint(&mut bytes, m.compute_cycles_per_access);
+        varint(&mut bytes, m.bandwidth_intensity.to_bits());
+        varint(&mut bytes, TAG_END); // END marker with zero accesses
+        let mut hash = Fnv64::new();
+        hash.update(&bytes);
+        bytes.extend_from_slice(&hash.0.to_le_bytes());
+
+        let decoded = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded.meta.machine, MachineFingerprint::UNKNOWN);
+        assert_eq!(decoded.meta.workload, m.workload);
+        assert_eq!(decoded.meta.seed, m.seed);
+        assert!(decoded.meta.machine.to_string().contains("format v1"));
+    }
+
+    #[test]
     fn header_validation_rejects_garbage() {
         assert!(matches!(
             Trace::from_bytes(b"NOPE"),
@@ -921,7 +1053,9 @@ mod tests {
     #[test]
     fn meta_resolves_the_suite_spec() {
         let spec = suite::gups().with_footprint(1 << 27);
-        let m = TraceMeta::for_spec(&spec, 7);
+        let params = SimParams::quick_test();
+        let m = TraceMeta::for_spec(&spec, &params);
+        assert_eq!(m.machine, MachineFingerprint::for_params(&params));
         assert_eq!(m, meta());
         let resolved = m.resolve_spec().unwrap();
         assert!(m.matches_spec(&resolved));

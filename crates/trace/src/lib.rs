@@ -47,8 +47,10 @@ pub use capture::{
     capture_engine_run, capture_migration_scenario, capture_stream, CapturedRun, RecordingSource,
 };
 pub use format::{
-    Trace, TraceError, TraceEvent, TraceItem, TraceLane, TraceMeta, TraceReader, TraceWriter,
-    TRACE_MAGIC, TRACE_VERSION,
+    MachineFingerprint, Trace, TraceError, TraceEvent, TraceItem, TraceLane, TraceMeta,
+    TraceReader, TraceWriter, TRACE_MAGIC, TRACE_MIN_VERSION, TRACE_VERSION,
 };
 pub use parallel::{replay_parallel, replay_sequential, ReplayAggregate, ReplayReport};
-pub use replay::{replay_trace, LaneCursor, ReplayError, ReplayOutcome};
+pub use replay::{
+    replay_trace, replay_trace_with, LaneCursor, ReplayError, ReplayOptions, ReplayOutcome,
+};

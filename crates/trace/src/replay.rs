@@ -7,7 +7,7 @@
 //! sequence the capture recorded (and the substrate is fully deterministic),
 //! the replayed [`RunMetrics`] are bit-identical to the live run's.
 
-use crate::format::{Trace, TraceError, TraceEvent};
+use crate::format::{MachineFingerprint, Trace, TraceError, TraceEvent};
 use mitosis::{Mitosis, MitosisError};
 use mitosis_mem::{FragmentationModel, PlacementPolicy};
 use mitosis_numa::{Interference, SocketId};
@@ -91,6 +91,28 @@ impl AccessSource for LaneCursor<'_> {
     }
 }
 
+/// Knobs for [`replay_trace_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayOptions {
+    /// Proceed (with a warning on stderr) when the trace's recorded machine
+    /// fingerprint does not match the replay machine.  The replayed metrics
+    /// are then **not** comparable to the capture's.
+    pub force_machine: bool,
+}
+
+impl ReplayOptions {
+    /// Default options: machine mismatches are rejected.
+    pub fn new() -> Self {
+        ReplayOptions::default()
+    }
+
+    /// Allows replaying on a machine that differs from the captured one.
+    pub fn force_machine(mut self) -> Self {
+        self.force_machine = true;
+        self
+    }
+}
+
 /// Result of replaying one trace.
 #[derive(Debug, Clone)]
 pub struct ReplayOutcome {
@@ -111,16 +133,50 @@ fn sockets_of_mask(mask: u64) -> Vec<SocketId> {
 /// Replays `trace` on a fresh system built from `params` and returns the
 /// reproduced metrics.
 ///
-/// `params` must describe the same machine the capture ran on (the machine
-/// scale and fragmentation setting are not part of the trace); the access
-/// count and seed are taken from the trace itself.
+/// `params` must describe the same machine the capture ran on: the machine
+/// fingerprint recorded in the trace header is checked against the one
+/// `params` builds, and a mismatch is rejected (a mismatched machine would
+/// silently produce different metrics).  Use [`replay_trace_with`] and
+/// [`ReplayOptions::force_machine`] to override.  The access count and seed
+/// are taken from the trace itself.
 ///
 /// # Errors
 ///
-/// Fails if the trace references an unknown workload, its events cannot be
-/// applied (e.g. an access lane precedes process creation), or a VM /
-/// Mitosis operation fails.
+/// Fails if the machine fingerprint does not match, the trace references an
+/// unknown workload, its events cannot be applied (e.g. an access lane
+/// precedes process creation), or a VM / Mitosis operation fails.
 pub fn replay_trace(trace: &Trace, params: &SimParams) -> Result<ReplayOutcome, ReplayError> {
+    replay_trace_with(trace, params, ReplayOptions::default())
+}
+
+/// [`replay_trace`] with explicit [`ReplayOptions`].
+///
+/// # Errors
+///
+/// Same conditions as [`replay_trace`]; the machine-fingerprint check is
+/// downgraded to a stderr warning when `options.force_machine` is set.
+pub fn replay_trace_with(
+    trace: &Trace,
+    params: &SimParams,
+    options: ReplayOptions,
+) -> Result<ReplayOutcome, ReplayError> {
+    let expected = MachineFingerprint::for_params(params);
+    if trace.meta.machine != expected {
+        if options.force_machine {
+            eprintln!(
+                "warning: replaying a trace captured on a different machine \
+                 (trace: {}; replay: {}); metrics will not match the capture",
+                trace.meta.machine, expected
+            );
+        } else {
+            return Err(ReplayError::Mismatch(format!(
+                "trace was captured on a different machine (trace: {}; replay: {}); \
+                 replay would silently produce different metrics — use the same \
+                 machine parameters or force the replay",
+                trace.meta.machine, expected
+            )));
+        }
+    }
     let spec = trace.meta.resolve_spec().ok_or_else(|| {
         ReplayError::Mismatch(format!(
             "trace workload {:?} does not resolve to a suite spec",
@@ -309,7 +365,7 @@ mod tests {
         let params = SimParams::quick_test();
         let spec = params.scale_workload(&suite::gups());
         let trace = Trace {
-            meta: TraceMeta::for_spec(&spec, 7),
+            meta: TraceMeta::for_spec(&spec, &params),
             setup_events: vec![],
             lanes: vec![TraceLane::new(0)],
         };
@@ -325,7 +381,7 @@ mod tests {
         let params = SimParams::quick_test().with_accesses(50);
         let spec = params.scale_workload(&suite::gups());
         let mut trace = Trace {
-            meta: TraceMeta::for_spec(&spec, params.seed),
+            meta: TraceMeta::for_spec(&spec, &params),
             setup_events: vec![
                 TraceEvent::SetThp(false),
                 TraceEvent::InstallMitosis,
@@ -371,6 +427,8 @@ mod tests {
                 write_fraction: 0.0,
                 compute_cycles_per_access: 1,
                 bandwidth_intensity: 0.0,
+                // Matching machine, so the failure is the unknown workload.
+                machine: MachineFingerprint::for_params(&params),
             },
             setup_events: vec![TraceEvent::CreateProcess { socket: 0 }],
             lanes: vec![],

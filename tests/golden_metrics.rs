@@ -1,0 +1,164 @@
+//! Golden-metrics regression test.
+//!
+//! The translation hot path is performance-critical and periodically
+//! rebuilt (slab page-table storage, O(1) cache eviction, precomputed cost
+//! matrices...).  Every rebuild must change *speed only*: for a fixed seed
+//! the simulated model has to produce bit-identical [`RunMetrics`].  This
+//! test pins the full metrics of nine fixed-seed runs — three workloads
+//! (GUPS, BTree, Memcached) under three placements (local, remote
+//! page-tables + data, Mitosis-replicated page tables) — as snapshot
+//! strings asserted byte-for-byte.
+//!
+//! The snapshots were captured from the tree *before* the hot-path overhaul
+//! (PR 2) and must never be edited to make a refactor pass; a mismatch
+//! means the model changed, not the snapshot.
+
+use mitosis::Mitosis;
+use mitosis_numa::SocketId;
+use mitosis_sim::{ExecutionEngine, RunMetrics, SimParams};
+use mitosis_vmm::{MmapFlags, PtPlacement, System};
+use mitosis_workloads::{suite, InitPattern, WorkloadSpec};
+
+fn params() -> SimParams {
+    SimParams::quick_test()
+}
+
+/// Renders metrics as the canonical snapshot string.  `Debug` for
+/// `RunMetrics` prints every field (including the nested MMU and walk
+/// statistics), so two equal strings mean bit-identical metrics.
+fn snapshot(metrics: &RunMetrics) -> String {
+    format!("{metrics:?}")
+}
+
+/// Local baseline: process, page tables and data all on socket 0.
+fn run_local(spec: &WorkloadSpec) -> RunMetrics {
+    let params = params();
+    let scaled = params.scale_workload(spec);
+    let mut system = System::new(params.machine());
+    let s0 = SocketId::new(0);
+    let pid = system.create_process(s0).expect("create process");
+    let region = system
+        .mmap(pid, scaled.footprint(), MmapFlags::lazy().without_thp())
+        .expect("mmap");
+    ExecutionEngine::populate(
+        &mut system,
+        pid,
+        region,
+        scaled.footprint(),
+        InitPattern::SingleThread,
+        &[s0],
+    )
+    .expect("populate");
+    let threads = ExecutionEngine::one_thread_per_socket(&system, &[s0]);
+    ExecutionEngine::new(&system)
+        .run(&mut system, pid, &scaled, region, &threads, &params)
+        .expect("run")
+}
+
+/// Remote page tables: the thread runs on socket 0 while every page-table
+/// page is allocated on socket 1 (the placement Mitosis exists to fix).
+fn run_remote(spec: &WorkloadSpec) -> RunMetrics {
+    let params = params();
+    let scaled = params.scale_workload(spec);
+    let mut system = System::new(params.machine());
+    let (s0, s1) = (SocketId::new(0), SocketId::new(1));
+    system.set_pt_placement(PtPlacement::Fixed(s1));
+    let pid = system.create_process(s0).expect("create process");
+    let region = system
+        .mmap(pid, scaled.footprint(), MmapFlags::lazy().without_thp())
+        .expect("mmap");
+    ExecutionEngine::populate(
+        &mut system,
+        pid,
+        region,
+        scaled.footprint(),
+        InitPattern::SingleThread,
+        &[s0],
+    )
+    .expect("populate");
+    let threads = ExecutionEngine::one_thread_per_socket(&system, &[s0]);
+    ExecutionEngine::new(&system)
+        .run(&mut system, pid, &scaled, region, &threads, &params)
+        .expect("run")
+}
+
+/// Mitosis: page tables replicated on every socket, one thread per socket.
+fn run_replicated(spec: &WorkloadSpec) -> RunMetrics {
+    let params = params();
+    let scaled = params.scale_workload(spec);
+    let mut mitosis = Mitosis::new();
+    let mut system = mitosis.install(params.machine());
+    let s0 = SocketId::new(0);
+    let pid = system.create_process(s0).expect("create process");
+    let region = system
+        .mmap(pid, scaled.footprint(), MmapFlags::lazy().without_thp())
+        .expect("mmap");
+    ExecutionEngine::populate(
+        &mut system,
+        pid,
+        region,
+        scaled.footprint(),
+        InitPattern::SingleThread,
+        &[s0],
+    )
+    .expect("populate");
+    mitosis
+        .enable_for_process(&mut system, pid, None)
+        .expect("replicate page tables");
+    let sockets: Vec<SocketId> = system.machine().socket_ids().collect();
+    let threads = ExecutionEngine::one_thread_per_socket(&system, &sockets);
+    ExecutionEngine::new(&system)
+        .run(&mut system, pid, &scaled, region, &threads, &params)
+        .expect("run")
+}
+
+fn check(label: &str, expected: &str, metrics: RunMetrics) {
+    let actual = snapshot(&metrics);
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!("GOLD {label} {actual}");
+        return;
+    }
+    assert_eq!(
+        actual, expected,
+        "golden metrics changed for {label}: the refactor altered the model, \
+         not just its speed.\nactual:   {actual}\nexpected: {expected}"
+    );
+}
+
+const GOLD_GUPS_LOCAL: &str = "RunMetrics { total_cycles: 1152590, compute_cycles: 10000, data_cycles: 560000, translation_cycles: 582590, threads: 1, accesses: 2000, mmu: MmuStats { accesses: 2000, tlb_l1_hits: 8, tlb_l2_hits: 40, tlb_misses: 1952, translation_cycles: 582590, walk: WalkStats { walks: 1952, faults: 0, walk_cycles: 582310, levels_accessed: 2956, local_dram_accesses: 1761, remote_dram_accesses: 0, pte_cache_hits: 1195, interfered_accesses: 0 } }, demand_faults: 0 }";
+const GOLD_GUPS_REMOTE: &str = "RunMetrics { total_cycles: 1680890, compute_cycles: 10000, data_cycles: 560000, translation_cycles: 1110890, threads: 1, accesses: 2000, mmu: MmuStats { accesses: 2000, tlb_l1_hits: 8, tlb_l2_hits: 40, tlb_misses: 1952, translation_cycles: 1110890, walk: WalkStats { walks: 1952, faults: 0, walk_cycles: 1110610, levels_accessed: 2956, local_dram_accesses: 0, remote_dram_accesses: 1761, pte_cache_hits: 1195, interfered_accesses: 0 } }, demand_faults: 0 }";
+const GOLD_GUPS_REPL: &str = "RunMetrics { total_cycles: 3369924, compute_cycles: 40000, data_cycles: 8882000, translation_cycles: 2335935, threads: 4, accesses: 8000, mmu: MmuStats { accesses: 8000, tlb_l1_hits: 21, tlb_l2_hits: 167, tlb_misses: 7812, translation_cycles: 2335935, walk: WalkStats { walks: 7812, faults: 0, walk_cycles: 2334766, levels_accessed: 11761, local_dram_accesses: 7078, remote_dram_accesses: 0, pte_cache_hits: 4683, interfered_accesses: 0 } }, demand_faults: 0 }";
+const GOLD_BTREE_LOCAL: &str = "RunMetrics { total_cycles: 1172857, compute_cycles: 50000, data_cycles: 629987, translation_cycles: 492870, threads: 1, accesses: 2000, mmu: MmuStats { accesses: 2000, tlb_l1_hits: 15, tlb_l2_hits: 170, tlb_misses: 1815, translation_cycles: 492870, walk: WalkStats { walks: 1815, faults: 0, walk_cycles: 491680, levels_accessed: 2657, local_dram_accesses: 1180, remote_dram_accesses: 117, pte_cache_hits: 1360, interfered_accesses: 0 } }, demand_faults: 0 }";
+const GOLD_BTREE_REMOTE: &str = "RunMetrics { total_cycles: 1525719, compute_cycles: 50000, data_cycles: 628849, translation_cycles: 846870, threads: 1, accesses: 2000, mmu: MmuStats { accesses: 2000, tlb_l1_hits: 15, tlb_l2_hits: 170, tlb_misses: 1815, translation_cycles: 846870, walk: WalkStats { walks: 1815, faults: 0, walk_cycles: 845680, levels_accessed: 2657, local_dram_accesses: 0, remote_dram_accesses: 1297, pte_cache_hits: 1360, interfered_accesses: 0 } }, demand_faults: 0 }";
+const GOLD_BTREE_REPL: &str = "RunMetrics { total_cycles: 2196402, compute_cycles: 200000, data_cycles: 5647172, translation_cycles: 1793215, threads: 4, accesses: 8000, mmu: MmuStats { accesses: 8000, tlb_l1_hits: 70, tlb_l2_hits: 759, tlb_misses: 7171, translation_cycles: 1793215, walk: WalkStats { walks: 7171, faults: 0, walk_cycles: 1787902, levels_accessed: 10464, local_dram_accesses: 5063, remote_dram_accesses: 0, pte_cache_hits: 5401, interfered_accesses: 0 } }, demand_faults: 0 }";
+const GOLD_MEMCACHED_LOCAL: &str = "RunMetrics { total_cycles: 1862712, compute_cycles: 60000, data_cycles: 996084, translation_cycles: 806628, threads: 1, accesses: 2000, mmu: MmuStats { accesses: 2000, tlb_l1_hits: 0, tlb_l2_hits: 28, tlb_misses: 1972, translation_cycles: 806628, walk: WalkStats { walks: 1972, faults: 0, walk_cycles: 806432, levels_accessed: 3382, local_dram_accesses: 1317, remote_dram_accesses: 579, pte_cache_hits: 1486, interfered_accesses: 0 } }, demand_faults: 0 }";
+const GOLD_MEMCACHED_REMOTE: &str = "RunMetrics { total_cycles: 2257812, compute_cycles: 60000, data_cycles: 996084, translation_cycles: 1201728, threads: 1, accesses: 2000, mmu: MmuStats { accesses: 2000, tlb_l1_hits: 0, tlb_l2_hits: 28, tlb_misses: 1972, translation_cycles: 1201728, walk: WalkStats { walks: 1972, faults: 0, walk_cycles: 1201532, levels_accessed: 3382, local_dram_accesses: 0, remote_dram_accesses: 1896, pte_cache_hits: 1486, interfered_accesses: 0 } }, demand_faults: 0 }";
+const GOLD_MEMCACHED_REPL: &str = "RunMetrics { total_cycles: 2963541, compute_cycles: 240000, data_cycles: 6742212, translation_cycles: 3102745, threads: 4, accesses: 8000, mmu: MmuStats { accesses: 8000, tlb_l1_hits: 10, tlb_l2_hits: 119, tlb_misses: 7871, translation_cycles: 3102745, walk: WalkStats { walks: 7871, faults: 0, walk_cycles: 3101912, levels_accessed: 13396, local_dram_accesses: 5636, remote_dram_accesses: 1934, pte_cache_hits: 5826, interfered_accesses: 0 } }, demand_faults: 0 }";
+
+#[test]
+fn gups_metrics_are_bit_identical() {
+    let spec = suite::gups();
+    check("GUPS/local", GOLD_GUPS_LOCAL, run_local(&spec));
+    check("GUPS/remote", GOLD_GUPS_REMOTE, run_remote(&spec));
+    check("GUPS/replicated", GOLD_GUPS_REPL, run_replicated(&spec));
+}
+
+#[test]
+fn btree_metrics_are_bit_identical() {
+    let spec = suite::btree();
+    check("BTree/local", GOLD_BTREE_LOCAL, run_local(&spec));
+    check("BTree/remote", GOLD_BTREE_REMOTE, run_remote(&spec));
+    check("BTree/replicated", GOLD_BTREE_REPL, run_replicated(&spec));
+}
+
+#[test]
+fn memcached_metrics_are_bit_identical() {
+    let spec = suite::memcached();
+    check("Memcached/local", GOLD_MEMCACHED_LOCAL, run_local(&spec));
+    check("Memcached/remote", GOLD_MEMCACHED_REMOTE, run_remote(&spec));
+    check(
+        "Memcached/replicated",
+        GOLD_MEMCACHED_REPL,
+        run_replicated(&spec),
+    );
+}

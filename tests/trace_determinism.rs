@@ -7,7 +7,8 @@ use mitosis_numa::SocketId;
 use mitosis_sim::{ExecutionEngine, MigrationConfig, MigrationRun, SimParams};
 use mitosis_trace::{
     capture_engine_run, capture_migration_scenario, replay_parallel, replay_sequential,
-    replay_trace, Trace, TraceLane, TraceMeta,
+    replay_trace, replay_trace_with, MachineFingerprint, ReplayError, ReplayOptions, Trace,
+    TraceLane, TraceMeta,
 };
 use mitosis_vmm::{MmapFlags, System};
 use mitosis_workloads::{suite, Access, AccessStream, InitPattern, WorkloadSpec};
@@ -205,7 +206,7 @@ proptest! {
             [workload]
             .with_footprint(1 << 26);
         let trace = Trace {
-            meta: TraceMeta::for_spec(&spec, seed),
+            meta: TraceMeta::for_spec(&spec, &SimParams::quick_test().with_seed(seed)),
             setup_events: vec![],
             lanes: (0..lanes)
                 .map(|lane| {
@@ -234,7 +235,10 @@ proptest! {
             .map(|(offset, is_write)| Access { offset, is_write })
             .collect();
         let trace = Trace {
-            meta: TraceMeta::for_spec(&suite::gups().with_footprint(1 << 47), 0),
+            meta: TraceMeta::for_spec(
+                &suite::gups().with_footprint(1 << 47),
+                &SimParams::quick_test(),
+            ),
             setup_events: vec![],
             lanes: vec![TraceLane { socket: 0, accesses, events: vec![] }],
         };
@@ -255,6 +259,43 @@ proptest! {
         let replayed = replay_trace(&captured.trace, &params).unwrap();
         prop_assert_eq!(replayed.metrics, captured.live_metrics);
     }
+}
+
+#[test]
+fn replay_on_a_different_machine_is_rejected_unless_forced() {
+    let captured_params = quick(200);
+    let captured =
+        capture_engine_run(&suite::gups(), &captured_params, &[SocketId::new(0)]).expect("capture");
+    assert_eq!(
+        captured.trace.meta.machine,
+        MachineFingerprint::for_params(&captured_params),
+        "capture records the machine fingerprint"
+    );
+
+    // Same trace, differently scaled machine: strict replay must refuse —
+    // before the fingerprint existed this silently produced different
+    // metrics (the ROADMAP footgun).
+    let other_params = captured_params.clone().with_machine_scale(256);
+    let err = replay_trace(&captured.trace, &other_params).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Mismatch(message) if message.contains("different machine")),
+        "unexpected error: {err}"
+    );
+
+    // Forcing proceeds (warning only).  The replayed metrics are no longer
+    // guaranteed to match the capture — the footgun the strict default
+    // exists to prevent — but the replay itself must complete.
+    let forced = replay_trace_with(
+        &captured.trace,
+        &other_params,
+        ReplayOptions::new().force_machine(),
+    )
+    .expect("forced replay runs");
+    assert_eq!(forced.metrics.accesses, captured.live_metrics.accesses);
+
+    // The matching machine still replays bit-identically, forced or not.
+    let strict = replay_trace(&captured.trace, &captured_params).expect("strict replay");
+    assert_eq!(strict.metrics, captured.live_metrics);
 }
 
 #[test]
