@@ -9,7 +9,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mitosis_numa::SocketId;
 use mitosis_sim::{ExecutionEngine, SimParams};
-use mitosis_trace::{capture_engine_run, replay_parallel, replay_sequential, replay_trace, Trace};
+use mitosis_trace::{
+    capture_engine_run, replay_parallel, replay_parallel_lanes, replay_sequential, replay_trace,
+    Trace,
+};
 use mitosis_vmm::{MmapFlags, System};
 use mitosis_workloads::suite;
 use std::time::Duration;
@@ -104,6 +107,35 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Lane-granular sharding of a single 4-lane trace: the remaining lever
+/// for single-trace replay latency on many-core hosts.
+fn bench_lane_parallel(c: &mut Criterion) {
+    let params = params();
+    let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
+    let trace = capture_engine_run(&suite::memcached(), &params, &sockets)
+        .expect("capture 4-lane memcached")
+        .trace;
+
+    let mut group = c.benchmark_group("trace_replay/lane4");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("serial", |b| {
+        b.iter(|| replay_trace(&trace, &params).expect("serial replay"));
+    });
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    group.bench_function(format!("lane_parallel_{workers}_workers"), |b| {
+        b.iter(|| replay_parallel_lanes(&trace, &params, workers).expect("lane-parallel replay"));
+    });
+    group.finish();
+}
+
 /// Plain translation-throughput figures — accesses/second for live
 /// generation vs. trace replay — for the README "Performance" table.
 fn report_throughput(_c: &mut Criterion) {
@@ -156,5 +188,11 @@ fn report_throughput(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(trace_replay, bench_single, bench_batch, report_throughput);
+criterion_group!(
+    trace_replay,
+    bench_single,
+    bench_batch,
+    bench_lane_parallel,
+    report_throughput
+);
 criterion_main!(trace_replay);

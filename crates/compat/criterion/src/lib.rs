@@ -15,10 +15,17 @@
 //! Setting the `MITOSIS_BENCH_QUICK` environment variable clamps sample
 //! counts and time budgets to small values, turning every benchmark into a
 //! smoke test (used by CI to catch hot-path regressions cheaply).
+//!
+//! Setting `MITOSIS_BENCH_JSON` to a file path additionally appends one
+//! JSON line per benchmark — `{"bench":"<id>","median_ns":<median>}` — so
+//! CI can diff the results against a committed baseline
+//! (`scripts/bench_gate`).  The file is appended to, not truncated:
+//! several bench binaries of one job write into the same results file.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard opaque-value hint, like `criterion::black_box`.
@@ -71,6 +78,31 @@ impl Samples {
             format_ns(med),
             format_ns(max)
         );
+        append_json_result(id, med);
+    }
+}
+
+/// Environment variable naming the machine-readable results file.
+const JSON_ENV: &str = "MITOSIS_BENCH_JSON";
+
+/// Appends `{"bench":"<id>","median_ns":<median>}` to the file named by
+/// `MITOSIS_BENCH_JSON`, if set.  Best effort: a benchmark run never fails
+/// because the results file is unwritable (a warning is printed instead).
+fn append_json_result(id: &str, median_ns: f64) {
+    let Ok(path) = std::env::var(JSON_ENV) else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let entry = format!("{{\"bench\":{:?},\"median_ns\":{median_ns:.1}}}\n", id);
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(entry.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("warning: could not append bench result to {path}: {error}");
     }
 }
 
@@ -396,8 +428,14 @@ mod tests {
         assert_eq!(reject_outliers(&[1.0, 100.0]).len(), 2);
     }
 
+    /// Serialises the tests that mutate process-global environment
+    /// variables: `set_var` concurrent with `var` reads from other test
+    /// threads is undefined behaviour on glibc.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn quick_mode_clamps_the_config() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let config = Config {
             sample_size: 50,
             warm_up_time: Duration::from_secs(3),
@@ -416,6 +454,40 @@ mod tests {
         if let Some(v) = saved {
             std::env::set_var(Config::QUICK_ENV, v);
         }
+    }
+
+    #[test]
+    fn json_results_are_appended_when_requested() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join(format!("mitosis_bench_json_{}", std::process::id()));
+        let saved = std::env::var(JSON_ENV).ok();
+        std::env::set_var(JSON_ENV, &path);
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("gate");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        group.bench_function("example", |b| b.iter(|| 2 + 2));
+        group.bench_function("second", |b| b.iter(|| 3 + 3));
+        group.finish();
+        match saved {
+            Some(v) => std::env::set_var(JSON_ENV, v),
+            None => std::env::remove_var(JSON_ENV),
+        }
+        let contents = std::fs::read_to_string(&path).expect("results file was written");
+        std::fs::remove_file(&path).ok();
+        // One JSON line per benchmark, appended in run order.  (Filter to
+        // this test's group: concurrently running shim tests may also have
+        // reported while the env var was set.)
+        let lines: Vec<&str> = contents
+            .lines()
+            .filter(|line| line.contains("\"gate/"))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"bench\":\"gate/example\""));
+        assert!(lines[0].contains("\"median_ns\":"));
+        assert!(lines[1].contains("\"bench\":\"gate/second\""));
     }
 
     #[test]

@@ -129,6 +129,37 @@ impl Mitosis {
         Ok(freed)
     }
 
+    /// Sets the replica set of `pid` to exactly `mask`: a non-empty mask
+    /// (re)replicates onto those sockets, an empty mask tears every replica
+    /// down.
+    ///
+    /// This is the entry point mid-run phase-change events use to add or
+    /// drop page-table replicas while a workload executes: one call, one
+    /// deterministic outcome, regardless of the previous replica set.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mitosis::enable_for_process`] /
+    /// [`Mitosis::disable_for_process`].
+    pub fn resize_replicas(
+        &mut self,
+        system: &mut System,
+        pid: Pid,
+        mask: NodeMask,
+    ) -> Result<Option<ReplicaSummary>, MitosisError> {
+        if mask.is_empty() {
+            self.disable_for_process(system, pid)?;
+            Ok(None)
+        } else {
+            // Drop any existing replicas first so the new set is exactly
+            // `mask` (enable replicates the *base* tree onto each socket).
+            if system.process(pid)?.replication().is_enabled() {
+                self.disable_for_process(system, pid)?;
+            }
+            Ok(Some(self.enable_for_process(system, pid, Some(mask))?))
+        }
+    }
+
     /// Migrates the page tables of `pid` to `target`, optionally freeing the
     /// source copy (paper §5.5).
     ///

@@ -148,6 +148,20 @@ impl Mmu {
         self.pwc.flush();
     }
 
+    /// Prepares a pooled MMU for a fresh run: flushes every cached
+    /// translation and zeroes the statistics.
+    ///
+    /// A reset MMU is behaviourally indistinguishable from a newly
+    /// constructed one (flushed TLBs probe and evict identically to empty
+    /// ones), so the execution engine can reuse MMUs across runs instead of
+    /// reallocating the TLB arrays each time — the win is per-run setup
+    /// cost for short traces.
+    pub fn reset_for_run(&mut self) {
+        self.tlb.flush();
+        self.pwc.flush();
+        self.stats = MmuStats::default();
+    }
+
     /// Models a TLB shootdown of a single page.
     pub fn shootdown_page(&mut self, addr: VirtAddr, size: PageSize) {
         self.tlb.flush_page(addr.align_down(size), size);

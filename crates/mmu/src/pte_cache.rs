@@ -23,7 +23,8 @@ const DEFAULT_L3_PT_FRACTION: f64 = 0.5;
 
 /// One socket's LRU cache of page-table lines.
 ///
-/// Backed by [`LruMap`], so the hot call — [`PteCache::access`], once per
+/// Backed by the crate-private `LruMap`, so the hot call —
+/// [`PteCache::access`], once per
 /// page-table level per TLB miss — is O(1) for hits *and* misses.  The old
 /// implementation scanned the whole map for the LRU victim on every miss,
 /// which made miss-heavy workloads (GUPS thrashing an L3-sized cache)
@@ -67,6 +68,15 @@ impl PteCache {
     pub fn invalidate_table(&mut self, table: FrameId) {
         let pfn = table.pfn();
         self.lines.retain(|line, _| line / LINES_PER_TABLE != pfn);
+    }
+
+    /// Drops every resident line (hit/miss counters are preserved).
+    ///
+    /// Used when a phase-change event rewrites page tables wholesale
+    /// (migration, replica add/drop): the freed table pages may be
+    /// recycled, so keeping their lines would alias new tables.
+    pub fn flush(&mut self) {
+        self.lines.clear();
     }
 
     /// Number of line hits so far.
@@ -150,6 +160,13 @@ impl PteCacheSet {
     pub fn invalidate_table_everywhere(&mut self, table: FrameId) {
         for cache in &mut self.caches {
             cache.invalidate_table(table);
+        }
+    }
+
+    /// Flushes every socket's cache (page tables rewritten wholesale).
+    pub fn flush_all(&mut self) {
+        for cache in &mut self.caches {
+            cache.flush();
         }
     }
 }

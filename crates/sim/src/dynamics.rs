@@ -1,0 +1,262 @@
+//! Mid-run scenario mutation: phase-change events fired at access-count
+//! boundaries during the measured phase.
+//!
+//! The paper's most interesting experiments are about what happens *while*
+//! a workload runs — the NUMA scheduler migrates a process and its page
+//! tables are left behind (§3.2), AutoNUMA rebalances data mid-execution,
+//! Mitosis adds or drops page-table replicas in reaction (§5, Figures 9 and
+//! 10).  A [`PhaseSchedule`] describes such a run: a sorted list of
+//! [`PhaseEvent`]s, each firing after every simulated thread has executed
+//! `at_access` accesses.  The execution engine runs the measured phase in
+//! segments between consecutive boundaries, applies the due events to the
+//! [`System`] exactly once, and continues — deterministically, so a
+//! captured trace of a dynamic run replays bit-identically.
+
+use mitosis::{Mitosis, MitosisError};
+use mitosis_numa::{Interference, NodeMask, SocketId};
+use mitosis_vmm::{AutoNuma, Pid, System};
+
+/// One kind of mid-run scenario mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseChange {
+    /// Migrate every data page of the process to `target` (the NUMA
+    /// balancer following a scheduler migration).
+    MigrateData {
+        /// Destination socket of the data pages.
+        target: SocketId,
+    },
+    /// Mitosis migrates the page tables to `target`, freeing the source
+    /// copy (paper §5.5).
+    MigratePageTable {
+        /// Destination socket of the page tables.
+        target: SocketId,
+    },
+    /// Set the page-table replica set to exactly `sockets`; an empty mask
+    /// drops every replica (the `numactl --pgtablerepl=` dance, mid-run).
+    SetReplicas {
+        /// Sockets that hold a replica afterwards.
+        sockets: NodeMask,
+    },
+    /// AutoNUMA rebalances data pages across `sockets`.
+    AutoNumaRebalance {
+        /// Sockets participating in the rebalance.
+        sockets: NodeMask,
+    },
+    /// Toggle the interfering memory hog: loads the masked sockets, or
+    /// stops interfering entirely when the mask is empty.
+    SetInterference {
+        /// Sockets hosting an interfering process afterwards.
+        sockets: NodeMask,
+    },
+}
+
+impl PhaseChange {
+    /// Whether applying this change rewrites page tables or moves pages —
+    /// i.e. whether the hardware would see TLB shootdowns.  The engine
+    /// flushes every thread's MMU (and the per-socket page-table-line
+    /// caches) after such an event; interference toggles only change the
+    /// cost model and flush nothing.
+    pub fn mutates_mappings(&self) -> bool {
+        !matches!(self, PhaseChange::SetInterference { .. })
+    }
+}
+
+/// A [`PhaseChange`] scheduled at an access-count boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseEvent {
+    /// Number of accesses every thread has executed when the change fires
+    /// (0 = before the first access).
+    pub at_access: u64,
+    /// The mutation to apply.
+    pub change: PhaseChange,
+}
+
+/// A sorted schedule of phase-change events for one measured run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    events: Vec<PhaseEvent>,
+}
+
+impl PhaseSchedule {
+    /// An empty schedule (a plain static run).
+    pub fn new() -> Self {
+        PhaseSchedule::default()
+    }
+
+    /// Builds a schedule from events in any order; events are sorted by
+    /// boundary, preserving the given order within a boundary.
+    pub fn from_events<I: IntoIterator<Item = PhaseEvent>>(events: I) -> Self {
+        let mut events: Vec<PhaseEvent> = events.into_iter().collect();
+        events.sort_by_key(|e| e.at_access);
+        PhaseSchedule { events }
+    }
+
+    /// Appends a change firing once every thread has executed `at_access`
+    /// accesses (builder style).
+    pub fn at(mut self, at_access: u64, change: PhaseChange) -> Self {
+        self.events.push(PhaseEvent { at_access, change });
+        self.events.sort_by_key(|e| e.at_access);
+        self
+    }
+
+    /// The scheduled events, sorted by boundary.
+    pub fn events(&self) -> &[PhaseEvent] {
+        &self.events
+    }
+
+    /// `true` if no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The largest scheduled boundary, or 0 for an empty schedule.
+    pub fn last_boundary(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.at_access)
+    }
+
+    /// The segment boundaries of a run of `accesses_per_thread` accesses:
+    /// every distinct event boundary inside the run, in ascending order,
+    /// terminated by `accesses_per_thread` itself.  Events scheduled at or
+    /// beyond the end of the run fire after its last access.
+    pub fn boundaries(&self, accesses_per_thread: u64) -> Vec<u64> {
+        let mut boundaries: Vec<u64> = self
+            .events
+            .iter()
+            .map(|e| e.at_access.min(accesses_per_thread))
+            .collect();
+        boundaries.push(accesses_per_thread);
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        boundaries
+    }
+
+    /// The changes firing at boundary `at` of a run of
+    /// `accesses_per_thread` accesses, in schedule order.
+    pub fn changes_at(
+        &self,
+        at: u64,
+        accesses_per_thread: u64,
+    ) -> impl Iterator<Item = PhaseChange> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.at_access.min(accesses_per_thread) == at)
+            .map(|e| e.change)
+    }
+}
+
+/// Applies one phase change to a live system.
+///
+/// This is the single point both the live engine and trace replay funnel
+/// through, which is what makes a dynamic run reproducible: the same
+/// change applied to the same system state yields the same system state.
+///
+/// # Errors
+///
+/// Propagates VM, allocation and Mitosis policy errors.
+pub fn apply_phase_change(
+    system: &mut System,
+    mitosis: &mut Mitosis,
+    pid: Pid,
+    change: PhaseChange,
+) -> Result<(), MitosisError> {
+    match change {
+        PhaseChange::MigrateData { target } => {
+            system.migrate_data(pid, target)?;
+        }
+        PhaseChange::MigratePageTable { target } => {
+            mitosis.migrate_page_table(system, pid, target, true)?;
+        }
+        PhaseChange::SetReplicas { sockets } => {
+            mitosis.resize_replicas(system, pid, sockets)?;
+        }
+        PhaseChange::AutoNumaRebalance { sockets } => {
+            let sockets: Vec<SocketId> = sockets.iter().collect();
+            AutoNuma::new().rebalance(system, pid, &sockets)?;
+        }
+        PhaseChange::SetInterference { sockets } => {
+            let interference = if sockets.is_empty() {
+                Interference::none()
+            } else {
+                Interference::on(sockets.iter())
+            };
+            system
+                .machine_mut()
+                .cost_model_mut()
+                .set_interference(interference);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_and_deduplicates_boundaries() {
+        let schedule = PhaseSchedule::new()
+            .at(
+                500,
+                PhaseChange::MigrateData {
+                    target: SocketId::new(1),
+                },
+            )
+            .at(
+                100,
+                PhaseChange::SetInterference {
+                    sockets: NodeMask::single(SocketId::new(1)),
+                },
+            )
+            .at(
+                500,
+                PhaseChange::SetReplicas {
+                    sockets: NodeMask::all(2),
+                },
+            );
+        assert_eq!(schedule.events().len(), 3);
+        assert_eq!(schedule.boundaries(1000), vec![100, 500, 1000]);
+        // Two events fire at 500, in insertion order.
+        let at_500: Vec<PhaseChange> = schedule.changes_at(500, 1000).collect();
+        assert_eq!(at_500.len(), 2);
+        assert!(matches!(at_500[0], PhaseChange::MigrateData { .. }));
+        assert!(matches!(at_500[1], PhaseChange::SetReplicas { .. }));
+    }
+
+    #[test]
+    fn boundaries_clamp_to_the_run_length() {
+        let schedule = PhaseSchedule::new().at(
+            5_000,
+            PhaseChange::MigrateData {
+                target: SocketId::new(1),
+            },
+        );
+        // Event beyond the run fires at its end.
+        assert_eq!(schedule.boundaries(1000), vec![1000]);
+        assert_eq!(schedule.changes_at(1000, 1000).count(), 1);
+        assert_eq!(schedule.last_boundary(), 5_000);
+    }
+
+    #[test]
+    fn empty_schedule_has_one_segment() {
+        let schedule = PhaseSchedule::new();
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.boundaries(700), vec![700]);
+        assert_eq!(schedule.changes_at(700, 700).count(), 0);
+    }
+
+    #[test]
+    fn interference_toggle_does_not_flush_mappings() {
+        assert!(!PhaseChange::SetInterference {
+            sockets: NodeMask::EMPTY
+        }
+        .mutates_mappings());
+        assert!(PhaseChange::SetReplicas {
+            sockets: NodeMask::all(2)
+        }
+        .mutates_mappings());
+        assert!(PhaseChange::MigrateData {
+            target: SocketId::new(0)
+        }
+        .mutates_mappings());
+    }
+}

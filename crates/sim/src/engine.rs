@@ -1,8 +1,10 @@
 //! The execution engine: replays workload access streams through the MMU
 //! model against the system's real page tables.
 
+use crate::dynamics::{apply_phase_change, PhaseSchedule};
 use crate::metrics::RunMetrics;
 use crate::params::SimParams;
+use mitosis::{Mitosis, MitosisError};
 use mitosis_mmu::{Mmu, MmuStats, PteCacheSet};
 use mitosis_numa::{AccessKind, CoreId, CostModel, Cycles, SocketId};
 use mitosis_pt::{PageSize, VirtAddr};
@@ -40,10 +42,23 @@ pub fn data_access_cycles(
     (access.cycles as f64 * queueing).round() as Cycles
 }
 
+/// Per-thread cycle accumulators, carried across run segments.
+#[derive(Debug, Default, Clone, Copy)]
+struct ThreadTotals {
+    compute: Cycles,
+    data: Cycles,
+    translation: Cycles,
+    demand_faults: u64,
+}
+
 /// Replays workload access streams against a [`System`].
 #[derive(Debug)]
 pub struct ExecutionEngine {
     pte_caches: PteCacheSet,
+    /// MMUs recycled across runs: a flushed MMU behaves exactly like a
+    /// fresh one, so pooling shaves the per-run TLB/PWC allocation cost —
+    /// which dominates for short traces.
+    mmu_pool: Vec<Mmu>,
 }
 
 impl ExecutionEngine {
@@ -52,7 +67,41 @@ impl ExecutionEngine {
     pub fn new(system: &System) -> Self {
         ExecutionEngine {
             pte_caches: PteCacheSet::for_machine(system.machine()),
+            mmu_pool: Vec::new(),
         }
+    }
+
+    /// Resets machine-level cache state so the next run behaves exactly as
+    /// on a freshly built engine: the per-socket page-table-line caches are
+    /// flushed (pooled MMUs are always reset at checkout).
+    ///
+    /// Reusing a reset engine instead of building a new one skips the
+    /// TLB/PWC/cache allocations — per-run setup cost that dominates for
+    /// short traces — without perturbing bit-identical metrics.
+    pub fn reset(&mut self) {
+        self.pte_caches.flush_all();
+    }
+
+    /// One MMU per thread placement: reuse a pooled MMU of the same core
+    /// and socket (reset for the run) or build a fresh one.
+    fn checkout_mmus(&mut self, threads: &[ThreadPlacement]) -> Vec<Mmu> {
+        let mut pool = std::mem::take(&mut self.mmu_pool);
+        threads
+            .iter()
+            .map(|placement| {
+                match pool
+                    .iter()
+                    .position(|m| m.core() == placement.core && m.socket() == placement.socket)
+                {
+                    Some(index) => {
+                        let mut mmu = pool.swap_remove(index);
+                        mmu.reset_for_run();
+                        mmu
+                    }
+                    None => Mmu::new(placement.core, placement.socket),
+                }
+            })
+            .collect()
     }
 
     /// One thread pinned to the first core of each socket in `sockets`.
@@ -180,95 +229,209 @@ impl ExecutionEngine {
         accesses_per_thread: u64,
         sources: &mut [S],
     ) -> Result<RunMetrics, VmError> {
+        let mut mitosis = Mitosis::new();
+        self.run_with_sources_dynamic(
+            system,
+            &mut mitosis,
+            pid,
+            spec,
+            region,
+            threads,
+            accesses_per_thread,
+            sources,
+            &PhaseSchedule::new(),
+        )
+        .map_err(|err| match err {
+            MitosisError::Vm(vm) => vm,
+            other => unreachable!("empty schedule cannot raise a Mitosis error: {other}"),
+        })
+    }
+
+    /// Runs the measured phase with live per-thread streams and a schedule
+    /// of mid-run phase-change events (the dynamic counterpart of
+    /// [`ExecutionEngine::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-fault handling errors and phase-change application
+    /// errors (allocation, Mitosis policy).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_dynamic(
+        &mut self,
+        system: &mut System,
+        mitosis: &mut Mitosis,
+        pid: Pid,
+        spec: &WorkloadSpec,
+        region: VirtAddr,
+        threads: &[ThreadPlacement],
+        params: &SimParams,
+        schedule: &PhaseSchedule,
+    ) -> Result<RunMetrics, MitosisError> {
+        let mut streams = Self::thread_streams(spec, params, threads.len());
+        self.run_with_sources_dynamic(
+            system,
+            mitosis,
+            pid,
+            spec,
+            region,
+            threads,
+            params.accesses_per_thread,
+            &mut streams,
+            schedule,
+        )
+    }
+
+    /// The generic measured phase: every thread replays its source, and the
+    /// schedule's phase-change events fire at their access-count boundaries.
+    ///
+    /// The run is split into segments between consecutive boundaries.
+    /// Within a segment every thread executes the same number of accesses
+    /// (thread 0 first — simulated threads are deterministic, not
+    /// preemptive), then the due events mutate the [`System`] exactly once,
+    /// every thread's MMU takes the resulting TLB shootdown (for
+    /// mapping-mutating events), per-thread CR3 and data-cost tables are
+    /// re-derived, and the next segment starts.  With an empty schedule
+    /// this degenerates to exactly the static run — same order of
+    /// operations, bit-identical metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates page-fault handling errors (demand paging during the
+    /// measured phase is allowed and counted) and event application errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with_sources_dynamic<S: AccessSource>(
+        &mut self,
+        system: &mut System,
+        mitosis: &mut Mitosis,
+        pid: Pid,
+        spec: &WorkloadSpec,
+        region: VirtAddr,
+        threads: &[ThreadPlacement],
+        accesses_per_thread: u64,
+        sources: &mut [S],
+        schedule: &PhaseSchedule,
+    ) -> Result<RunMetrics, MitosisError> {
         assert_eq!(
             threads.len(),
             sources.len(),
             "one access source per thread placement"
         );
-        let cost = system.machine().cost_model().clone();
         let frame_space = system.pt_env().alloc.frame_space().clone();
         let sockets = system.machine().sockets();
-        let mut metrics = RunMetrics::default();
+        let mut mmus = self.checkout_mmus(threads);
+        let mut totals = vec![ThreadTotals::default(); threads.len()];
 
-        for (placement, source) in threads.iter().zip(sources.iter_mut()) {
-            // Data-access cost depends only on (thread socket, data socket,
-            // workload bandwidth intensity), all fixed for the thread:
-            // precompute the per-target-socket cycle table once so the inner
-            // loop charges data accesses with a single indexed load.
-            let data_cost: Vec<Cycles> = (0..sockets)
-                .map(|to| {
-                    data_access_cycles(
-                        &cost,
-                        placement.socket,
-                        SocketId::new(to as u16),
-                        spec.bandwidth_intensity(),
-                    )
-                })
-                .collect();
-            let cr3 = system.cr3_for(pid, placement.socket)?;
-            let mut mmu = Mmu::new(placement.core, placement.socket);
-            let mut compute: Cycles = 0;
-            let mut data: Cycles = 0;
-            let mut translation: Cycles = 0;
-            let mut demand_faults = 0u64;
+        let mut segment_start = 0u64;
+        for boundary in schedule.boundaries(accesses_per_thread) {
+            if boundary > segment_start {
+                // The cost model may have been rewritten by an interference
+                // event: re-clone it (and re-derive the per-thread tables
+                // below) at every segment start.
+                let cost = system.machine().cost_model().clone();
+                for (index, (placement, source)) in
+                    threads.iter().zip(sources.iter_mut()).enumerate()
+                {
+                    // Data-access cost depends only on (thread socket, data
+                    // socket, workload bandwidth intensity), all fixed for
+                    // the segment: precompute the per-target-socket cycle
+                    // table once so the inner loop charges data accesses
+                    // with a single indexed load.
+                    let data_cost: Vec<Cycles> = (0..sockets)
+                        .map(|to| {
+                            data_access_cycles(
+                                &cost,
+                                placement.socket,
+                                SocketId::new(to as u16),
+                                spec.bandwidth_intensity(),
+                            )
+                        })
+                        .collect();
+                    // Replica add/drop and page-table migration change the
+                    // root a core must load: re-resolve CR3 per segment.
+                    let cr3 = system.cr3_for(pid, placement.socket)?;
+                    let mmu = &mut mmus[index];
+                    let totals = &mut totals[index];
 
-            for _ in 0..accesses_per_thread {
-                let access = source.next_access();
-                // Accesses are 8-byte word granular within the footprint.
-                let addr = VirtAddr::new(region.as_u64() + (access.offset & !0x7));
-                compute += spec.compute_cycles_per_access();
+                    for _ in segment_start..boundary {
+                        let access = source.next_access();
+                        // Accesses are 8-byte word granular within the
+                        // footprint.
+                        let addr = VirtAddr::new(region.as_u64() + (access.offset & !0x7));
+                        totals.compute += spec.compute_cycles_per_access();
 
-                let outcome = {
-                    let env = system.pt_env_mut();
-                    mmu.access(
-                        addr,
-                        access.is_write,
-                        cr3,
-                        &mut env.store,
-                        &env.frames,
-                        &cost,
-                        self.pte_caches.socket(placement.socket),
-                    )
-                };
-                translation += outcome.translation_cycles;
+                        let outcome = {
+                            let env = system.pt_env_mut();
+                            mmu.access(
+                                addr,
+                                access.is_write,
+                                cr3,
+                                &mut env.store,
+                                &env.frames,
+                                &cost,
+                                self.pte_caches.socket(placement.socket),
+                            )
+                        };
+                        totals.translation += outcome.translation_cycles;
 
-                let frame = if outcome.fault {
-                    // Demand paging: fault into the kernel, then retry.
-                    demand_faults += 1;
-                    let fault = system.handle_fault(pid, addr, placement.socket)?;
-                    let retry = {
-                        let env = system.pt_env_mut();
-                        mmu.access(
-                            addr,
-                            access.is_write,
-                            cr3,
-                            &mut env.store,
-                            &env.frames,
-                            &cost,
-                            self.pte_caches.socket(placement.socket),
-                        )
-                    };
-                    translation += retry.translation_cycles;
-                    retry.frame.unwrap_or(fault.frame)
-                } else {
-                    outcome.frame.expect("non-faulting access yields a frame")
-                };
+                        let frame = if outcome.fault {
+                            // Demand paging: fault into the kernel, then
+                            // retry.
+                            totals.demand_faults += 1;
+                            let fault = system.handle_fault(pid, addr, placement.socket)?;
+                            let retry = {
+                                let env = system.pt_env_mut();
+                                mmu.access(
+                                    addr,
+                                    access.is_write,
+                                    cr3,
+                                    &mut env.store,
+                                    &env.frames,
+                                    &cost,
+                                    self.pte_caches.socket(placement.socket),
+                                )
+                            };
+                            totals.translation += retry.translation_cycles;
+                            retry.frame.unwrap_or(fault.frame)
+                        } else {
+                            outcome.frame.expect("non-faulting access yields a frame")
+                        };
 
-                let data_socket = frame_space.socket_of(frame);
-                data += data_cost[data_socket.index()];
+                        let data_socket = frame_space.socket_of(frame);
+                        totals.data += data_cost[data_socket.index()];
+                    }
+                }
             }
 
-            let thread_cycles = compute + data + translation;
+            let mut flush = false;
+            for change in schedule.changes_at(boundary, accesses_per_thread) {
+                apply_phase_change(system, mitosis, pid, change)?;
+                flush |= change.mutates_mappings();
+            }
+            if flush {
+                // Page tables were rewritten wholesale: every core takes a
+                // broadcast shootdown, and the per-socket page-table-line
+                // caches drop lines of tables that may have been freed.
+                for mmu in &mut mmus {
+                    mmu.shootdown_all();
+                }
+                self.pte_caches.flush_all();
+            }
+            segment_start = boundary;
+        }
+
+        let mut metrics = RunMetrics::default();
+        for (totals, mmu) in totals.iter().zip(&mmus) {
             metrics.absorb_thread(
-                thread_cycles,
-                compute,
-                data,
-                translation,
+                totals.compute + totals.data + totals.translation,
+                totals.compute,
+                totals.data,
+                totals.translation,
                 accesses_per_thread,
                 mmu.stats(),
-                demand_faults,
+                totals.demand_faults,
             );
         }
+        self.mmu_pool = mmus;
         Ok(metrics)
     }
 
@@ -372,6 +535,98 @@ mod tests {
             .run(&mut system, pid, &spec, region, &threads, &params)
             .unwrap();
         assert!(metrics.demand_faults > 0);
+    }
+
+    #[test]
+    fn pooled_mmus_reproduce_fresh_engine_metrics() {
+        // The engine recycles MMUs across runs; a reset MMU must behave
+        // exactly like a fresh one, so re-running on a reused engine gives
+        // bit-identical metrics to a fresh engine.
+        let params = quick();
+        let (mut system, pid, region, spec) = setup(&params);
+        let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+        let fresh = ExecutionEngine::new(&system)
+            .run(&mut system, pid, &spec, region, &threads, &params)
+            .unwrap();
+        let mut reused = ExecutionEngine::new(&system);
+        let first = reused
+            .run(&mut system, pid, &spec, region, &threads, &params)
+            .unwrap();
+        assert_eq!(first, fresh, "pooled MMU checkout changed the metrics");
+        // Without a reset the warm per-socket page-table-line caches carry
+        // over (the L3 is machine state, deliberately); a reset engine is
+        // indistinguishable from a fresh one.
+        reused.reset();
+        let after_reset = reused
+            .run(&mut system, pid, &spec, region, &threads, &params)
+            .unwrap();
+        assert_eq!(after_reset, fresh, "pooled MMU state leaked across runs");
+    }
+
+    #[test]
+    fn empty_schedule_matches_the_static_run() {
+        let params = quick();
+        let (mut system, pid, region, spec) = setup(&params);
+        let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+        let static_run = ExecutionEngine::new(&system)
+            .run(&mut system, pid, &spec, region, &threads, &params)
+            .unwrap();
+        let mut mitosis = Mitosis::new();
+        let dynamic_run = ExecutionEngine::new(&system)
+            .run_dynamic(
+                &mut system,
+                &mut mitosis,
+                pid,
+                &spec,
+                region,
+                &threads,
+                &params,
+                &PhaseSchedule::new(),
+            )
+            .unwrap();
+        assert_eq!(dynamic_run, static_run);
+    }
+
+    #[test]
+    fn mid_run_data_migration_changes_the_outcome_deterministically() {
+        let params = quick();
+        let schedule = PhaseSchedule::new().at(
+            params.accesses_per_thread / 2,
+            crate::dynamics::PhaseChange::MigrateData {
+                target: SocketId::new(1),
+            },
+        );
+        let run = |schedule: &PhaseSchedule| {
+            let (mut system, pid, region, spec) = setup(&params);
+            let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+            let mut mitosis = Mitosis::new();
+            ExecutionEngine::new(&system)
+                .run_dynamic(
+                    &mut system,
+                    &mut mitosis,
+                    pid,
+                    &spec,
+                    region,
+                    &threads,
+                    &params,
+                    schedule,
+                )
+                .unwrap()
+        };
+        let baseline = run(&PhaseSchedule::new());
+        let migrated = run(&schedule);
+        let migrated_again = run(&schedule);
+        assert_eq!(
+            migrated, migrated_again,
+            "dynamic runs must be deterministic"
+        );
+        assert!(
+            migrated.total_cycles > baseline.total_cycles,
+            "migrating the data away mid-run must slow the thread down: {} vs {}",
+            migrated.total_cycles,
+            baseline.total_cycles
+        );
+        assert!(migrated.data_cycles > baseline.data_cycles);
     }
 
     #[test]

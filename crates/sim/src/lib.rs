@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 mod configs;
+mod dynamics;
 mod engine;
 mod metrics;
 mod migration;
@@ -51,6 +52,7 @@ mod params;
 mod report;
 
 pub use configs::{DataPolicyChoice, MigrationConfig, MigrationRun, MultiSocketConfig};
+pub use dynamics::{apply_phase_change, PhaseChange, PhaseEvent, PhaseSchedule};
 pub use engine::{data_access_cycles, ExecutionEngine, ThreadPlacement};
 pub use metrics::RunMetrics;
 pub use migration::WorkloadMigrationScenario;

@@ -64,6 +64,25 @@ impl RunMetrics {
         other.total_cycles as f64 / self.total_cycles as f64
     }
 
+    /// Merges the metrics of a disjoint set of threads (e.g. one replayed
+    /// lane) into `self`.
+    ///
+    /// Every field of [`RunMetrics`] aggregates threads with an
+    /// order-independent operation (`max` for the wall-clock proxy, sums
+    /// elsewhere), so merging per-lane metrics in any order reproduces the
+    /// metrics of a single run over all the threads — the property the
+    /// lane-granular parallel replay driver relies on.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.total_cycles = self.total_cycles.max(other.total_cycles);
+        self.compute_cycles += other.compute_cycles;
+        self.data_cycles += other.data_cycles;
+        self.translation_cycles += other.translation_cycles;
+        self.threads += other.threads;
+        self.accesses += other.accesses;
+        self.mmu.merge(&other.mmu);
+        self.demand_faults += other.demand_faults;
+    }
+
     /// Merges a per-thread contribution into the aggregate.
     #[allow(clippy::too_many_arguments)]
     pub fn absorb_thread(

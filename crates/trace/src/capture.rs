@@ -1,24 +1,31 @@
 //! Trace capture: turning live access streams and scenario setups into
 //! replayable [`Trace`] artifacts.
 //!
-//! Two capture granularities are provided:
+//! Three capture granularities are provided:
 //!
 //! * [`RecordingSource`] wraps any [`AccessSource`] and tees every access it
 //!   hands out into a buffer — the building block for capturing whatever
 //!   actually fed the engine;
-//! * [`capture_engine_run`] and [`capture_migration_scenario`] run a full
-//!   experiment (the latter mirroring the paper's workload-migration
-//!   scenario from `mitosis-sim`, including its setup events) while
-//!   recording it, returning both the live metrics and the trace whose
-//!   replay reproduces them bit-for-bit.
+//! * [`capture_engine_run`], [`capture_migration_scenario`] and
+//!   [`capture_multisocket_scenario`] run a full experiment (the scenario
+//!   captures mirror `mitosis-sim`'s runners, including their setup events)
+//!   while recording it, returning both the live metrics and the trace
+//!   whose replay reproduces them bit-for-bit;
+//! * [`capture_engine_run_dynamic`] additionally threads a
+//!   [`PhaseSchedule`] of mid-run phase-change events through the run and
+//!   records each fired event as a mid-lane marker at the exact access
+//!   index, so the dynamic run replays bit-identically too.
 
 use crate::format::{Trace, TraceEvent, TraceLane, TraceMeta};
 use crate::replay::ReplayError;
 use mitosis::Mitosis;
 use mitosis_mem::{FragmentationModel, PlacementPolicy};
 use mitosis_numa::{Interference, NodeMask, SocketId};
-use mitosis_sim::{ExecutionEngine, MigrationRun, RunMetrics, SimParams, ThreadPlacement};
-use mitosis_vmm::{MmapFlags, PtPlacement, System, ThpMode};
+use mitosis_sim::{
+    ExecutionEngine, MigrationRun, MultiSocketConfig, PhaseChange, PhaseSchedule, RunMetrics,
+    SimParams, ThreadPlacement,
+};
+use mitosis_vmm::{AutoNuma, MmapFlags, PtPlacement, System, ThpMode};
 use mitosis_workloads::{Access, AccessSource, AccessStream, InitPattern, WorkloadSpec};
 
 /// An [`AccessSource`] adaptor that records every access it forwards.
@@ -79,13 +86,40 @@ fn socket_mask(sockets: &[SocketId]) -> u64 {
     sockets.iter().fold(0u64, |mask, s| mask | 1 << s.index())
 }
 
+/// The mid-lane marker a fired phase change is recorded as.
+///
+/// [`crate::replay`] inverts this mapping to rebuild the
+/// [`PhaseSchedule`] from a decoded lane.
+pub fn trace_event_of_change(change: PhaseChange) -> TraceEvent {
+    match change {
+        PhaseChange::MigrateData { target } => TraceEvent::MigrateData {
+            socket: target.index() as u16,
+        },
+        PhaseChange::MigratePageTable { target } => TraceEvent::MigratePageTable {
+            socket: target.index() as u16,
+        },
+        PhaseChange::SetReplicas { sockets } => TraceEvent::Replicate {
+            sockets: sockets.bits(),
+        },
+        PhaseChange::AutoNumaRebalance { sockets } => TraceEvent::AutoNumaRebalance {
+            sockets: sockets.bits(),
+        },
+        PhaseChange::SetInterference { sockets } => TraceEvent::Interference {
+            sockets: sockets.bits(),
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_and_record(
     system: &mut System,
+    mitosis: &mut Mitosis,
     pid: mitosis_vmm::Pid,
     spec: &WorkloadSpec,
     region: mitosis_pt::VirtAddr,
     threads: &[ThreadPlacement],
     params: &SimParams,
+    schedule: &PhaseSchedule,
 ) -> Result<(RunMetrics, Vec<TraceLane>), ReplayError> {
     let mut sources: Vec<RecordingSource<AccessStream>> =
         ExecutionEngine::thread_streams(spec, params, threads.len())
@@ -93,22 +127,38 @@ fn run_and_record(
             .map(RecordingSource::new)
             .collect();
     let mut engine = ExecutionEngine::new(system);
-    let metrics = engine.run_with_sources(
+    let metrics = engine.run_with_sources_dynamic(
         system,
+        mitosis,
         pid,
         spec,
         region,
         threads,
         params.accesses_per_thread,
         &mut sources,
+        schedule,
     )?;
+    // Phase changes fire at the same access boundary on every thread, so
+    // every lane carries the same markers — replay cross-checks them as an
+    // integrity guard.  Events scheduled beyond the run clamp to its end,
+    // exactly as the engine fired them.
+    let markers: Vec<(u64, TraceEvent)> = schedule
+        .events()
+        .iter()
+        .map(|event| {
+            (
+                event.at_access.min(params.accesses_per_thread),
+                trace_event_of_change(event.change),
+            )
+        })
+        .collect();
     let lanes = threads
         .iter()
         .zip(sources)
         .map(|(placement, source)| TraceLane {
             socket: placement.socket.index() as u16,
             accesses: source.into_recorded(),
-            events: Vec::new(),
+            events: markers.clone(),
         })
         .collect();
     Ok((metrics, lanes))
@@ -129,16 +179,51 @@ pub fn capture_engine_run(
     params: &SimParams,
     sockets: &[SocketId],
 ) -> Result<CapturedRun, ReplayError> {
+    capture_engine_run_dynamic(spec, params, sockets, &PhaseSchedule::new())
+}
+
+/// [`capture_engine_run`] with a schedule of mid-run phase-change events.
+///
+/// The engine applies the schedule at its access-count boundaries during
+/// the measured phase; every fired event lands in each lane as a mid-lane
+/// marker at the exact access index, so
+/// [`replay_trace`](crate::replay_trace) re-applies it at the same boundary
+/// and the replayed metrics stay bit-identical.  When the schedule contains
+/// page-table operations (replica add/drop, page-table migration), the
+/// capture installs the Mitosis backend and records that as a setup event.
+///
+/// # Errors
+///
+/// Propagates VM and Mitosis errors from setup, the measured run and event
+/// application.
+pub fn capture_engine_run_dynamic(
+    spec: &WorkloadSpec,
+    params: &SimParams,
+    sockets: &[SocketId],
+    schedule: &PhaseSchedule,
+) -> Result<CapturedRun, ReplayError> {
     assert!(!sockets.is_empty(), "capture needs at least one socket");
     let scaled = params.scale_workload(spec);
-    let mut system = System::new(params.machine());
+    let needs_mitosis = schedule.events().iter().any(|event| {
+        matches!(
+            event.change,
+            PhaseChange::MigratePageTable { .. } | PhaseChange::SetReplicas { .. }
+        )
+    });
+    let mut mitosis = Mitosis::new();
+    let mut events = Vec::new();
+    let mut system = if needs_mitosis {
+        events.push(TraceEvent::InstallMitosis);
+        mitosis.install(params.machine())
+    } else {
+        System::new(params.machine())
+    };
     if let Some(probability) = params.fragmentation {
         system
             .pt_env_mut()
             .alloc
             .set_fragmentation(FragmentationModel::with_probability(probability));
     }
-    let mut events = Vec::new();
 
     let home = sockets[0];
     let pid = system.create_process(home)?;
@@ -168,8 +253,125 @@ pub fn capture_engine_run(
     });
 
     let threads = ExecutionEngine::one_thread_per_socket(&system, sockets);
-    let (live_metrics, lanes) =
-        run_and_record(&mut system, pid, &scaled, region, &threads, params)?;
+    let (live_metrics, lanes) = run_and_record(
+        &mut system,
+        &mut mitosis,
+        pid,
+        &scaled,
+        region,
+        &threads,
+        params,
+        schedule,
+    )?;
+    Ok(CapturedRun {
+        trace: Trace {
+            meta: TraceMeta::for_spec(&scaled, params),
+            setup_events: events,
+            lanes,
+        },
+        live_metrics,
+    })
+}
+
+/// Runs the paper's multi-socket scenario (`mitosis-sim`'s
+/// `MultiSocketScenario`: one thread per socket over a shared region, with
+/// first-touch or interleaved data placement, optionally AutoNUMA data
+/// rebalancing and optionally Mitosis page-table replication) while
+/// capturing its setup events and access streams.
+///
+/// This closes the last uncapturable scenario: the AutoNUMA and interleave
+/// placement steps are recorded as [`TraceEvent::AutoNumaRebalance`] and
+/// [`TraceEvent::InterleaveData`] setup events, replication as
+/// [`TraceEvent::Replicate`], so replay reconstructs the exact Figure 9
+/// system state before feeding the lanes back.
+///
+/// # Errors
+///
+/// Propagates VM and Mitosis errors from setup and the measured run.
+pub fn capture_multisocket_scenario(
+    spec: &WorkloadSpec,
+    config: MultiSocketConfig,
+    params: &SimParams,
+) -> Result<CapturedRun, ReplayError> {
+    let machine = params.machine();
+    let sockets: Vec<SocketId> = machine.socket_ids().collect();
+    let mut mitosis = Mitosis::new();
+    let mut events = Vec::new();
+    let mut system = if config.mitosis {
+        events.push(TraceEvent::InstallMitosis);
+        mitosis.install(machine)
+    } else {
+        System::new(machine)
+    };
+    if config.thp {
+        system.set_thp(ThpMode::Always);
+        events.push(TraceEvent::SetThp(true));
+    }
+    if let Some(probability) = params.fragmentation {
+        system
+            .pt_env_mut()
+            .alloc
+            .set_fragmentation(FragmentationModel::with_probability(probability));
+    }
+
+    let pid = system.create_process(sockets[0])?;
+    events.push(TraceEvent::CreateProcess {
+        socket: sockets[0].index() as u16,
+    });
+    if config.data_policy == mitosis_sim::DataPolicyChoice::Interleave {
+        system
+            .process_mut(pid)?
+            .set_data_policy(PlacementPolicy::interleave_all(sockets.len()));
+        events.push(TraceEvent::InterleaveData {
+            sockets: socket_mask(&sockets),
+        });
+    }
+
+    let scaled = params.scale_workload(spec);
+    let region = system.mmap(pid, scaled.footprint(), MmapFlags::lazy())?;
+    events.push(TraceEvent::Mmap {
+        len: scaled.footprint(),
+        populate: false,
+        thp: true,
+    });
+    ExecutionEngine::populate(
+        &mut system,
+        pid,
+        region,
+        scaled.footprint(),
+        scaled.init(),
+        &sockets,
+    )?;
+    events.push(TraceEvent::Populate {
+        len: scaled.footprint(),
+        parallel: scaled.init() == InitPattern::Parallel,
+        sockets: socket_mask(&sockets),
+    });
+
+    if config.autonuma {
+        AutoNuma::new().rebalance(&mut system, pid, &sockets)?;
+        events.push(TraceEvent::AutoNumaRebalance {
+            sockets: socket_mask(&sockets),
+        });
+    }
+    if config.mitosis {
+        mitosis.enable_for_process(&mut system, pid, None)?;
+        events.push(TraceEvent::Replicate {
+            sockets: system.machine().all_sockets().bits(),
+        });
+    }
+
+    let threads = ExecutionEngine::one_thread_per_socket(&system, &sockets);
+    let (live_metrics, lanes) = run_and_record(
+        &mut system,
+        &mut mitosis,
+        pid,
+        &scaled,
+        region,
+        &threads,
+        params,
+        &PhaseSchedule::new(),
+    )?;
     Ok(CapturedRun {
         trace: Trace {
             meta: TraceMeta::for_spec(&scaled, params),
@@ -198,7 +400,7 @@ pub fn capture_migration_scenario(
     params: &SimParams,
 ) -> Result<CapturedRun, ReplayError> {
     let machine = params.machine();
-    let mitosis = Mitosis::new();
+    let mut mitosis = Mitosis::new();
     let mut events = Vec::new();
     let mut system = if run.mitosis {
         events.push(TraceEvent::InstallMitosis);
@@ -278,8 +480,16 @@ pub fn capture_migration_scenario(
     }
 
     let threads = ExecutionEngine::one_thread_per_socket(&system, &[a]);
-    let (live_metrics, lanes) =
-        run_and_record(&mut system, pid, &scaled, region, &threads, params)?;
+    let (live_metrics, lanes) = run_and_record(
+        &mut system,
+        &mut mitosis,
+        pid,
+        &scaled,
+        region,
+        &threads,
+        params,
+        &PhaseSchedule::new(),
+    )?;
     Ok(CapturedRun {
         trace: Trace {
             meta: TraceMeta::for_spec(&scaled, params),

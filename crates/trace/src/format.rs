@@ -42,7 +42,15 @@ use std::io::{self, Read, Write};
 /// * 2 — header additionally records the [`MachineFingerprint`], so replay
 ///   can refuse a trace captured on a differently sized machine instead of
 ///   silently producing different metrics.
-pub const TRACE_VERSION: u32 = 2;
+/// * 3 — new event codes for dynamic scenarios: mid-lane phase-change
+///   markers ([`TraceEvent::MigrateData`], [`TraceEvent::Replicate`],
+///   [`TraceEvent::AutoNumaRebalance`], plus the pre-existing
+///   [`TraceEvent::MigratePageTable`] / [`TraceEvent::Interference`] now
+///   also valid inside lanes) and the multi-socket scenario setup event
+///   [`TraceEvent::InterleaveData`].  The wire format is unchanged — v1/v2
+///   readers would reject only the new codes, so the version bump marks
+///   traces that may carry them.
+pub const TRACE_VERSION: u32 = 3;
 
 /// Oldest format version [`TraceReader`] still accepts.
 pub const TRACE_MIN_VERSION: u32 = 1;
@@ -358,6 +366,33 @@ pub enum TraceEvent {
     },
     /// Free-form positional marker (also usable inside lanes).
     Marker(u64),
+    /// Every data page of the process was migrated to a socket (the NUMA
+    /// balancer following a scheduler migration).  Mid-lane phase-change
+    /// marker.
+    MigrateData {
+        /// Destination socket of the data pages.
+        socket: u16,
+    },
+    /// The page-table replica set was set to exactly the masked sockets
+    /// (empty mask = every replica dropped).  Setup event when Mitosis
+    /// replicates before the measured phase; mid-lane phase-change marker
+    /// when replicas are added or dropped during it.
+    Replicate {
+        /// Bit mask of sockets holding a replica afterwards.
+        sockets: u64,
+    },
+    /// AutoNUMA rebalanced data pages across the masked sockets.  Setup
+    /// event or mid-lane phase-change marker.
+    AutoNumaRebalance {
+        /// Bit mask of participating sockets.
+        sockets: u64,
+    },
+    /// Data placement was interleaved across the masked sockets (the
+    /// multi-socket scenario's `I` configurations).
+    InterleaveData {
+        /// Bit mask of sockets the interleave rotates over.
+        sockets: u64,
+    },
 }
 
 impl TraceEvent {
@@ -377,6 +412,10 @@ impl TraceEvent {
             TraceEvent::MigratePageTable { socket } => (8, [socket as u64, 0, 0], 1),
             TraceEvent::Interference { sockets } => (9, [sockets, 0, 0], 1),
             TraceEvent::Marker(value) => (10, [value, 0, 0], 1),
+            TraceEvent::MigrateData { socket } => (11, [socket as u64, 0, 0], 1),
+            TraceEvent::Replicate { sockets } => (12, [sockets, 0, 0], 1),
+            TraceEvent::AutoNumaRebalance { sockets } => (13, [sockets, 0, 0], 1),
+            TraceEvent::InterleaveData { sockets } => (14, [sockets, 0, 0], 1),
         }
     }
 
@@ -408,6 +447,10 @@ impl TraceEvent {
             8 => TraceEvent::MigratePageTable { socket: socket(0)? },
             9 => TraceEvent::Interference { sockets: arg(0)? },
             10 => TraceEvent::Marker(arg(0)?),
+            11 => TraceEvent::MigrateData { socket: socket(0)? },
+            12 => TraceEvent::Replicate { sockets: arg(0)? },
+            13 => TraceEvent::AutoNumaRebalance { sockets: arg(0)? },
+            14 => TraceEvent::InterleaveData { sockets: arg(0)? },
             other => return Err(TraceError::UnknownEvent(other)),
         })
     }
@@ -867,6 +910,7 @@ mod tests {
                 },
                 TraceEvent::MigratePageTable { socket: 0 },
                 TraceEvent::Interference { sockets: 0b10 },
+                TraceEvent::InterleaveData { sockets: 0b1111 },
             ],
             lanes: vec![
                 TraceLane {
@@ -881,7 +925,13 @@ mod tests {
                             is_write: true,
                         },
                     ],
-                    events: vec![(1, TraceEvent::Marker(42)), (2, TraceEvent::Marker(43))],
+                    events: vec![
+                        (1, TraceEvent::Marker(42)),
+                        (1, TraceEvent::MigrateData { socket: 1 }),
+                        (1, TraceEvent::Replicate { sockets: 0b11 }),
+                        (2, TraceEvent::Replicate { sockets: 0 }),
+                        (2, TraceEvent::AutoNumaRebalance { sockets: 0b1111 }),
+                    ],
                 },
                 TraceLane {
                     socket: 3,

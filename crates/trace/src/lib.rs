@@ -5,17 +5,23 @@
 //! measure runtime and page-walk cycles — regenerates every access stream
 //! live.  This crate turns those streams into first-class artifacts:
 //!
-//! * [`format`] defines a compact binary trace format: varint-delta encoded
+//! * [`format`](mod@format) defines a compact binary trace format: varint-delta encoded
 //!   [`Access`](mitosis_workloads::Access) records plus VMA/migration event
 //!   markers, behind a versioned header and a trailing checksum, with
 //!   streaming [`TraceWriter`]/[`TraceReader`] codecs;
 //! * [`capture`] records any [`AccessStream`](mitosis_workloads::AccessStream)
-//!   — and the setup events of `mitosis-sim` scenarios — into a [`Trace`];
+//!   — and the setup events of `mitosis-sim` scenarios (engine-level,
+//!   workload-migration and multi-socket) — into a [`Trace`]; dynamic runs
+//!   record their mid-run phase-change events as mid-lane markers at the
+//!   exact access index;
 //! * [`replay`] feeds a captured trace back through the existing
-//!   [`ExecutionEngine`](mitosis_sim::ExecutionEngine), reproducing the
+//!   [`ExecutionEngine`](mitosis_sim::ExecutionEngine), re-applying
+//!   mid-lane phase changes at the same boundaries and reproducing the
 //!   live run's [`RunMetrics`](mitosis_sim::RunMetrics) bit-for-bit;
 //! * [`parallel`] shards N traces across worker threads — each replay owns
-//!   its own system and per-core MMU models — and merges the metrics.
+//!   its own system and per-core MMU models — and merges the metrics;
+//!   [`replay_parallel_lanes`] shards the *lanes* of a single trace for
+//!   single-trace speedups on many-core hosts.
 //!
 //! # Example
 //!
@@ -44,13 +50,19 @@ pub mod parallel;
 pub mod replay;
 
 pub use capture::{
-    capture_engine_run, capture_migration_scenario, capture_stream, CapturedRun, RecordingSource,
+    capture_engine_run, capture_engine_run_dynamic, capture_migration_scenario,
+    capture_multisocket_scenario, capture_stream, trace_event_of_change, CapturedRun,
+    RecordingSource,
 };
 pub use format::{
     MachineFingerprint, Trace, TraceError, TraceEvent, TraceItem, TraceLane, TraceMeta,
     TraceReader, TraceWriter, TRACE_MAGIC, TRACE_MIN_VERSION, TRACE_VERSION,
 };
-pub use parallel::{replay_parallel, replay_sequential, ReplayAggregate, ReplayReport};
+pub use parallel::{
+    replay_parallel, replay_parallel_lanes, replay_sequential, LaneReplayReport, ReplayAggregate,
+    ReplayReport,
+};
 pub use replay::{
-    replay_trace, replay_trace_with, LaneCursor, ReplayError, ReplayOptions, ReplayOutcome,
+    replay_trace, replay_trace_lane, replay_trace_with, LaneCursor, ReplayError, ReplayOptions,
+    ReplayOutcome, TraceReplayer,
 };

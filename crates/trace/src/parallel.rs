@@ -1,15 +1,26 @@
-//! Parallel multi-process trace replay.
+//! Parallel trace replay: trace-granular and lane-granular sharding.
 //!
 //! Each trace in a batch describes one captured process (workload), and
 //! replaying it is embarrassingly parallel: every replay builds its own
-//! fresh [`System`](mitosis_vmm::System) and [`ExecutionEngine`] — hence
+//! fresh [`System`](mitosis_vmm::System) and
+//! [`ExecutionEngine`](mitosis_sim::ExecutionEngine) — hence
 //! its own per-core MMU models, page tables and allocator — so N traces
 //! shard cleanly across worker threads with no shared mutable state.  The
 //! per-trace metrics are bit-identical to sequential replay (and to the
 //! live runs); only wall-clock time changes.
+//!
+//! [`replay_parallel_lanes`] shards *within* one trace: each worker
+//! reconstructs the captured system independently and replays a disjoint
+//! subset of the lanes, and the per-lane metrics are merged in lane order.
+//! The merge is bit-identical to whole-trace replay when the lanes are
+//! independent — one thread per distinct socket (so per-socket cache state
+//! is disjoint) and no demand faults during the measured phase (so the
+//! allocator never arbitrates between lanes).  The driver verifies both
+//! conditions and falls back to serial whole-trace replay when sharding
+//! could diverge, so the result is *always* correct.
 
 use crate::format::Trace;
-use crate::replay::{replay_trace, ReplayError, ReplayOutcome};
+use crate::replay::{replay_trace, ReplayError, ReplayOptions, ReplayOutcome, TraceReplayer};
 use mitosis_sim::{RunMetrics, SimParams};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -130,13 +141,19 @@ pub fn replay_parallel(
 
     thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= traces.len() {
-                    break;
+            scope.spawn(|| {
+                // One pooled engine per worker: traces of a batch share the
+                // machine, so the engine is reset (not rebuilt) per trace.
+                let mut replayer = TraceReplayer::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= traces.len() {
+                        break;
+                    }
+                    let outcome = replayer.replay(&traces[index], params);
+                    results.lock().expect("replay worker poisoned the results")[index] =
+                        Some(outcome);
                 }
-                let outcome = replay_trace(&traces[index], params);
-                results.lock().expect("replay worker poisoned the results")[index] = Some(outcome);
             });
         }
     });
@@ -145,6 +162,141 @@ pub fn replay_parallel(
         .into_inner()
         .expect("replay worker poisoned the results");
     ReplayReport::collect(results, start.elapsed())
+}
+
+/// Result of a lane-granular parallel replay of one trace.
+#[derive(Debug, Clone)]
+pub struct LaneReplayReport {
+    /// The merged outcome — metrics bit-identical to [`replay_trace`] on
+    /// the same trace.
+    pub outcome: ReplayOutcome,
+    /// Number of lanes in the trace.
+    pub lanes: usize,
+    /// `true` if the lanes were actually sharded across workers; `false`
+    /// if the driver fell back to serial whole-trace replay (single lane,
+    /// one worker, duplicate sockets, or demand faults during the measured
+    /// phase).
+    pub sharded: bool,
+    /// Wall-clock time of the replay on the host.
+    pub wall: Duration,
+}
+
+impl LaneReplayReport {
+    /// Replayed accesses per host second.
+    pub fn accesses_per_second(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.outcome.metrics.accesses as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// Replays a single trace with its lanes sharded across up to `workers`
+/// host threads, merging the per-lane metrics deterministically.
+///
+/// Every worker reconstructs the captured system from the setup events (and
+/// re-applies the mid-lane phase-change schedule at the same boundaries),
+/// then replays a disjoint subset of lanes; the per-lane [`RunMetrics`] are
+/// merged in lane order.  Sharding requires independent lanes — each lane
+/// on a distinct socket and no demand faults in the measured phase; when
+/// either condition fails the driver transparently falls back to serial
+/// whole-trace replay, so the merged metrics are bit-identical to
+/// [`replay_trace`] in every case.
+///
+/// # Errors
+///
+/// Fails if any lane (or the fallback whole-trace replay) does not replay;
+/// the first error in lane order is returned.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn replay_parallel_lanes(
+    trace: &Trace,
+    params: &SimParams,
+    workers: usize,
+) -> Result<LaneReplayReport, ReplayError> {
+    assert!(
+        workers > 0,
+        "lane-granular replay needs at least one worker"
+    );
+    let start = Instant::now();
+    let lanes = trace.lanes.len();
+
+    let serial = |start: Instant| -> Result<LaneReplayReport, ReplayError> {
+        let outcome = replay_trace(trace, params)?;
+        Ok(LaneReplayReport {
+            outcome,
+            lanes,
+            sharded: false,
+            wall: start.elapsed(),
+        })
+    };
+
+    let mut seen_sockets = [false; 64];
+    let distinct_sockets = trace.lanes.iter().all(|lane| {
+        let index = lane.socket as usize;
+        index < 64 && !std::mem::replace(&mut seen_sockets[index], true)
+    });
+    if workers < 2 || lanes < 2 || !distinct_sockets {
+        return serial(start);
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<ReplayOutcome, ReplayError>>>> =
+        Mutex::new((0..lanes).map(|_| None).collect());
+    thread::scope(|scope| {
+        for _ in 0..workers.min(lanes) {
+            scope.spawn(|| {
+                let mut replayer = TraceReplayer::new();
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= lanes {
+                        break;
+                    }
+                    let outcome =
+                        replayer.replay_lane(trace, params, ReplayOptions::default(), index);
+                    results.lock().expect("lane worker poisoned the results")[index] =
+                        Some(outcome);
+                }
+            });
+        }
+    });
+
+    let results = results
+        .into_inner()
+        .expect("lane worker poisoned the results");
+    let mut outcomes = Vec::with_capacity(lanes);
+    for result in results {
+        outcomes.push(result.expect("every lane index was claimed by a worker")?);
+    }
+    if outcomes
+        .iter()
+        .any(|outcome| outcome.metrics.demand_faults > 0)
+    {
+        // Demand faults allocate frames: in a whole-trace replay earlier
+        // lanes' faults shape what later lanes see, which independent
+        // per-lane systems cannot reproduce.  Correctness over speed.
+        return serial(start);
+    }
+    let mut merged = RunMetrics::default();
+    for outcome in &outcomes {
+        merged.merge(&outcome.metrics);
+    }
+    let spec = outcomes
+        .into_iter()
+        .next()
+        .expect("at least two lanes were replayed")
+        .spec;
+    Ok(LaneReplayReport {
+        outcome: ReplayOutcome {
+            metrics: merged,
+            spec,
+        },
+        lanes,
+        sharded: true,
+        wall: start.elapsed(),
+    })
 }
 
 #[cfg(test)]

@@ -3,16 +3,29 @@
 //! [`replay_trace`] rebuilds the captured experiment from scratch — a fresh
 //! [`System`], the recorded setup events applied in order, one
 //! [`LaneCursor`] per captured thread — and drives the existing
-//! [`ExecutionEngine`] with it.  Because the engine is fed the exact access
-//! sequence the capture recorded (and the substrate is fully deterministic),
-//! the replayed [`RunMetrics`] are bit-identical to the live run's.
+//! [`ExecutionEngine`] with it.  Mid-lane phase-change markers are lifted
+//! back into a [`PhaseSchedule`] and re-applied at the same access-count
+//! boundaries.  Because the engine is fed the exact access sequence the
+//! capture recorded (and the substrate is fully deterministic), the
+//! replayed [`RunMetrics`] are bit-identical to the live run's — for
+//! static *and* dynamic captures.
+//!
+//! [`TraceReplayer`] is the reusable form: it keeps one [`ExecutionEngine`]
+//! (pooled MMUs, allocated caches) across replays, resetting it per trace,
+//! which shaves the per-run setup cost that dominates for short traces.
+//! [`replay_trace_lane`] replays a single lane of a trace against its own
+//! freshly reconstructed system — the building block of lane-granular
+//! parallel replay.
 
-use crate::format::{MachineFingerprint, Trace, TraceError, TraceEvent};
+use crate::format::{MachineFingerprint, Trace, TraceError, TraceEvent, TraceLane};
 use mitosis::{Mitosis, MitosisError};
 use mitosis_mem::{FragmentationModel, PlacementPolicy};
-use mitosis_numa::{Interference, SocketId};
-use mitosis_sim::{ExecutionEngine, RunMetrics, SimParams, ThreadPlacement};
-use mitosis_vmm::{MmapFlags, PtPlacement, System, ThpMode, VmError};
+use mitosis_numa::{Interference, NodeMask, SocketId};
+use mitosis_pt::VirtAddr;
+use mitosis_sim::{
+    ExecutionEngine, PhaseChange, PhaseEvent, PhaseSchedule, RunMetrics, SimParams, ThreadPlacement,
+};
+use mitosis_vmm::{AutoNuma, MmapFlags, Pid, PtPlacement, System, ThpMode, VmError};
 use mitosis_workloads::{Access, AccessSource, InitPattern, WorkloadSpec};
 use std::fmt;
 
@@ -130,6 +143,85 @@ fn sockets_of_mask(mask: u64) -> Vec<SocketId> {
         .collect()
 }
 
+/// The phase change a mid-lane marker stands for, or `None` for events
+/// that are only meaningful as setup (or the free-form [`TraceEvent::Marker`]).
+fn phase_change_of_event(event: TraceEvent) -> Option<PhaseChange> {
+    match event {
+        TraceEvent::MigrateData { socket } => Some(PhaseChange::MigrateData {
+            target: SocketId::new(socket),
+        }),
+        TraceEvent::MigratePageTable { socket } => Some(PhaseChange::MigratePageTable {
+            target: SocketId::new(socket),
+        }),
+        TraceEvent::Replicate { sockets } => Some(PhaseChange::SetReplicas {
+            sockets: NodeMask::from_bits(sockets),
+        }),
+        TraceEvent::AutoNumaRebalance { sockets } => Some(PhaseChange::AutoNumaRebalance {
+            sockets: NodeMask::from_bits(sockets),
+        }),
+        TraceEvent::Interference { sockets } => Some(PhaseChange::SetInterference {
+            sockets: NodeMask::from_bits(sockets),
+        }),
+        _ => None,
+    }
+}
+
+/// Rebuilds the phase-change schedule from the mid-lane markers.
+///
+/// The capture writes the same markers into every lane (events fire at one
+/// access boundary across all threads); the redundancy doubles as an
+/// integrity check here.  Free-form [`TraceEvent::Marker`]s are ignored.
+fn schedule_of_lanes(lanes: &[TraceLane]) -> Result<PhaseSchedule, ReplayError> {
+    // Free-form `Marker`s are not phase changes: they may legitimately
+    // differ between lanes (and did not constrain replay before dynamic
+    // scenarios existed), so they are filtered out before the cross-lane
+    // consistency check.
+    let phase_events = |lane: &TraceLane| -> Vec<(u64, TraceEvent)> {
+        lane.events
+            .iter()
+            .filter(|(_, event)| !matches!(event, TraceEvent::Marker(_)))
+            .copied()
+            .collect()
+    };
+    let reference = phase_events(&lanes[0]);
+    for (index, lane) in lanes.iter().enumerate().skip(1) {
+        if phase_events(lane) != reference {
+            return Err(ReplayError::Mismatch(format!(
+                "lane {index} disagrees with lane 0 on mid-lane phase events \
+                 (phase changes must fire at one boundary across all threads)"
+            )));
+        }
+    }
+    let mut events = Vec::new();
+    for (position, event) in reference {
+        match phase_change_of_event(event) {
+            Some(change) => events.push(PhaseEvent {
+                at_access: position,
+                change,
+            }),
+            None => {
+                return Err(ReplayError::Mismatch(format!(
+                    "setup-only event {event:?} recorded inside a lane"
+                )))
+            }
+        }
+    }
+    Ok(PhaseSchedule::from_events(events))
+}
+
+/// A captured experiment reconstructed up to the measured phase: the
+/// system with every setup event applied, ready to run lanes.
+struct PreparedReplay {
+    system: System,
+    mitosis: Mitosis,
+    pid: Pid,
+    region: VirtAddr,
+    spec: WorkloadSpec,
+    accesses_per_thread: u64,
+    schedule: PhaseSchedule,
+    machine: MachineFingerprint,
+}
+
 /// Replays `trace` on a fresh system built from `params` and returns the
 /// reproduced metrics.
 ///
@@ -160,6 +252,171 @@ pub fn replay_trace_with(
     params: &SimParams,
     options: ReplayOptions,
 ) -> Result<ReplayOutcome, ReplayError> {
+    TraceReplayer::new().replay_with(trace, params, options)
+}
+
+/// Replays a single lane of `trace` on its own freshly reconstructed
+/// system and returns that lane's per-thread metrics.
+///
+/// The full setup (and the mid-lane phase-change schedule) is replayed
+/// exactly as for a whole-trace replay; only the selected lane's accesses
+/// run.  When the trace's lanes are independent — distinct sockets, no
+/// demand faults — merging every lane's metrics with
+/// [`RunMetrics::merge`] reproduces the whole-trace replay bit-for-bit;
+/// the lane-granular parallel driver verifies those conditions.
+///
+/// # Errors
+///
+/// Same conditions as [`replay_trace`], plus a mismatch for an
+/// out-of-range lane index.
+pub fn replay_trace_lane(
+    trace: &Trace,
+    params: &SimParams,
+    options: ReplayOptions,
+    lane: usize,
+) -> Result<ReplayOutcome, ReplayError> {
+    TraceReplayer::new().replay_lane(trace, params, options, lane)
+}
+
+/// A reusable replay driver: keeps one [`ExecutionEngine`] (pooled MMUs,
+/// allocated per-socket caches) across replays and resets it per trace, so
+/// batch replay does not pay the engine construction cost per trace.
+///
+/// Metrics are bit-identical to one-shot [`replay_trace`] calls: a reset
+/// engine is indistinguishable from a fresh one.
+#[derive(Debug, Default)]
+pub struct TraceReplayer {
+    /// The pooled engine, tagged with the machine it was built for (an
+    /// engine's cache capacities are machine-derived, so a replayer used
+    /// across differently scaled machines rebuilds instead of reusing).
+    engine: Option<(MachineFingerprint, ExecutionEngine)>,
+}
+
+impl TraceReplayer {
+    /// Creates a replayer with no pooled engine yet.
+    pub fn new() -> Self {
+        TraceReplayer::default()
+    }
+
+    /// Replays `trace` (strict machine check); see [`replay_trace`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_trace`].
+    pub fn replay(
+        &mut self,
+        trace: &Trace,
+        params: &SimParams,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        self.replay_with(trace, params, ReplayOptions::default())
+    }
+
+    /// Replays `trace` with explicit options; see [`replay_trace_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_trace_with`].
+    pub fn replay_with(
+        &mut self,
+        trace: &Trace,
+        params: &SimParams,
+        options: ReplayOptions,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        let prepared = prepare_replay(trace, params, options)?;
+        self.run_lanes(prepared, trace, None)
+    }
+
+    /// Replays one lane of `trace`; see [`replay_trace_lane`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_trace_lane`].
+    pub fn replay_lane(
+        &mut self,
+        trace: &Trace,
+        params: &SimParams,
+        options: ReplayOptions,
+        lane: usize,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        if lane >= trace.lanes.len() {
+            return Err(ReplayError::Mismatch(format!(
+                "lane {lane} out of range: trace has {} lanes",
+                trace.lanes.len()
+            )));
+        }
+        let prepared = prepare_replay(trace, params, options)?;
+        self.run_lanes(prepared, trace, Some(lane))
+    }
+
+    /// Runs the measured phase of a prepared replay over all lanes
+    /// (`lane == None`) or a single one.
+    fn run_lanes(
+        &mut self,
+        prepared: PreparedReplay,
+        trace: &Trace,
+        lane: Option<usize>,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        let PreparedReplay {
+            mut system,
+            mut mitosis,
+            pid,
+            region,
+            spec,
+            accesses_per_thread,
+            schedule,
+            machine,
+        } = prepared;
+        let selected: Vec<&crate::format::TraceLane> = match lane {
+            Some(index) => vec![&trace.lanes[index]],
+            None => trace.lanes.iter().collect(),
+        };
+        let threads: Vec<ThreadPlacement> = selected
+            .iter()
+            .map(|lane| {
+                let socket = SocketId::new(lane.socket);
+                ThreadPlacement {
+                    core: system.machine().first_core_of_socket(socket),
+                    socket,
+                }
+            })
+            .collect();
+        let mut cursors: Vec<LaneCursor> = selected
+            .iter()
+            .map(|lane| LaneCursor::new(&lane.accesses))
+            .collect();
+
+        let engine = match &mut self.engine {
+            Some((pooled_machine, engine)) if *pooled_machine == machine => {
+                engine.reset();
+                engine
+            }
+            slot => {
+                *slot = Some((machine, ExecutionEngine::new(&system)));
+                &mut slot.as_mut().expect("just installed").1
+            }
+        };
+        let metrics = engine.run_with_sources_dynamic(
+            &mut system,
+            &mut mitosis,
+            pid,
+            &spec,
+            region,
+            &threads,
+            accesses_per_thread,
+            &mut cursors,
+            &schedule,
+        )?;
+        Ok(ReplayOutcome { metrics, spec })
+    }
+}
+
+/// Applies the header checks and setup events of `trace` to a fresh
+/// system, returning it ready for the measured phase.
+fn prepare_replay(
+    trace: &Trace,
+    params: &SimParams,
+    options: ReplayOptions,
+) -> Result<PreparedReplay, ReplayError> {
     let expected = MachineFingerprint::for_params(params);
     if trace.meta.machine != expected {
         if options.force_machine {
@@ -185,7 +442,7 @@ pub fn replay_trace_with(
     })?;
 
     let machine = params.machine();
-    let mitosis = Mitosis::new();
+    let mut mitosis = Mitosis::new();
     let install = trace.setup_events.contains(&TraceEvent::InstallMitosis);
     let mut system = if install {
         mitosis.install(machine)
@@ -278,10 +535,50 @@ pub fn replay_trace_with(
                 mitosis.migrate_page_table(&mut system, pid, SocketId::new(socket), true)?;
             }
             TraceEvent::Interference { sockets } => {
+                let interference = if sockets == 0 {
+                    Interference::none()
+                } else {
+                    Interference::on(sockets_of_mask(sockets))
+                };
                 system
                     .machine_mut()
                     .cost_model_mut()
-                    .set_interference(Interference::on(sockets_of_mask(sockets)));
+                    .set_interference(interference);
+            }
+            TraceEvent::MigrateData { socket } => {
+                let pid = pid.ok_or_else(|| {
+                    ReplayError::Mismatch("MigrateData before CreateProcess".into())
+                })?;
+                system.migrate_data(pid, SocketId::new(socket))?;
+            }
+            TraceEvent::Replicate { sockets } => {
+                let pid = pid.ok_or_else(|| {
+                    ReplayError::Mismatch("Replicate before CreateProcess".into())
+                })?;
+                if !install {
+                    // Without the Mitosis backend the replicas would exist
+                    // but never be selected (and the page-cache reserve
+                    // would be missing), so the replayed metrics could not
+                    // match any live capture: reject, like MigratePageTable.
+                    return Err(ReplayError::Mismatch(
+                        "Replicate without InstallMitosis".into(),
+                    ));
+                }
+                mitosis.resize_replicas(&mut system, pid, NodeMask::from_bits(sockets))?;
+            }
+            TraceEvent::AutoNumaRebalance { sockets } => {
+                let pid = pid.ok_or_else(|| {
+                    ReplayError::Mismatch("AutoNumaRebalance before CreateProcess".into())
+                })?;
+                AutoNuma::new().rebalance(&mut system, pid, &sockets_of_mask(sockets))?;
+            }
+            TraceEvent::InterleaveData { sockets } => {
+                let pid = pid.ok_or_else(|| {
+                    ReplayError::Mismatch("InterleaveData before CreateProcess".into())
+                })?;
+                system
+                    .process_mut(pid)?
+                    .set_data_policy(PlacementPolicy::Interleave(NodeMask::from_bits(sockets)));
             }
             TraceEvent::Marker(_) => {}
         }
@@ -305,34 +602,31 @@ pub fn replay_trace_with(
         ));
     }
 
-    let threads: Vec<ThreadPlacement> = trace
-        .lanes
-        .iter()
-        .map(|lane| {
-            let socket = SocketId::new(lane.socket);
-            ThreadPlacement {
-                core: system.machine().first_core_of_socket(socket),
-                socket,
-            }
-        })
-        .collect();
-    let mut cursors: Vec<LaneCursor> = trace
-        .lanes
-        .iter()
-        .map(|lane| LaneCursor::new(&lane.accesses))
-        .collect();
-
-    let mut engine = ExecutionEngine::new(&system);
-    let metrics = engine.run_with_sources(
-        &mut system,
+    let schedule = schedule_of_lanes(&trace.lanes)?;
+    let needs_mitosis = schedule.events().iter().any(|event| {
+        matches!(
+            event.change,
+            PhaseChange::MigratePageTable { .. } | PhaseChange::SetReplicas { .. }
+        )
+    });
+    if needs_mitosis && !install {
+        // The capture side always records InstallMitosis when the schedule
+        // carries page-table operations; a trace violating that cannot have
+        // come from a live run.
+        return Err(ReplayError::Mismatch(
+            "mid-lane page-table events without InstallMitosis".into(),
+        ));
+    }
+    Ok(PreparedReplay {
+        system,
+        mitosis,
         pid,
-        &spec,
         region,
-        &threads,
+        spec,
         accesses_per_thread,
-        &mut cursors,
-    )?;
-    Ok(ReplayOutcome { metrics, spec })
+        schedule,
+        machine: expected,
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,86 @@
+//! Dynamic mid-run scenario demo: a GUPS run whose placement changes
+//! *while* it executes — the NUMA balancer migrates the data away, Mitosis
+//! reacts by replicating the page tables, then the replicas are dropped
+//! again — captured to a trace, replayed bit-identically, and replayed
+//! again with lane-granular parallel sharding.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_scenario
+//! ```
+
+use mitosis_numa::{NodeMask, SocketId};
+use mitosis_sim::{PhaseChange, PhaseSchedule, SimParams};
+use mitosis_trace::{capture_engine_run_dynamic, replay_parallel_lanes, replay_trace};
+use mitosis_workloads::suite;
+
+fn main() {
+    let params = SimParams::quick_test().with_accesses(20_000);
+    let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
+    let accesses = params.accesses_per_thread;
+
+    // The phase-change script: migrate the data at 25 %, replicate page
+    // tables (and start an interfering hog) at 50 %, drop both at 75 %.
+    let schedule = PhaseSchedule::new()
+        .at(
+            accesses / 4,
+            PhaseChange::MigrateData {
+                target: SocketId::new(1),
+            },
+        )
+        .at(
+            accesses / 2,
+            PhaseChange::SetReplicas {
+                sockets: NodeMask::all(sockets.len()),
+            },
+        )
+        .at(
+            accesses / 2,
+            PhaseChange::SetInterference {
+                sockets: NodeMask::single(SocketId::new(1)),
+            },
+        )
+        .at(
+            3 * accesses / 4,
+            PhaseChange::SetReplicas {
+                sockets: NodeMask::EMPTY,
+            },
+        )
+        .at(
+            3 * accesses / 4,
+            PhaseChange::SetInterference {
+                sockets: NodeMask::EMPTY,
+            },
+        );
+
+    println!("capturing a dynamic GUPS run ({accesses} accesses/thread, 4 threads)...");
+    let captured = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule)
+        .expect("dynamic capture");
+    let bytes = captured.trace.to_bytes().expect("encode");
+    println!(
+        "  {} phase events/lane, trace is {} bytes ({:.2} B/access)",
+        captured.trace.lanes[0].events.len(),
+        bytes.len(),
+        bytes.len() as f64 / captured.trace.accesses() as f64,
+    );
+
+    let replayed = replay_trace(&captured.trace, &params).expect("replay");
+    assert_eq!(replayed.metrics, captured.live_metrics);
+    println!(
+        "  serial replay reproduces the live run bit-for-bit: {} total cycles",
+        replayed.metrics.total_cycles
+    );
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(4);
+    let report =
+        replay_parallel_lanes(&captured.trace, &params, workers).expect("lane-parallel replay");
+    assert_eq!(report.outcome.metrics, captured.live_metrics);
+    println!(
+        "  lane-granular replay ({} workers, sharded={}): identical metrics, {:.2} M accesses/s",
+        workers,
+        report.sharded,
+        report.accesses_per_second() / 1e6
+    );
+}

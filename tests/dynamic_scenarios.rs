@@ -1,0 +1,452 @@
+//! Integration tests for dynamic (mid-run) scenarios: phase-change events
+//! firing during the measured phase, their mid-lane trace markers, the
+//! multi-socket scenario capture, and lane-granular parallel replay.
+//!
+//! The headline guarantee under test: a fixed-seed run with mid-run
+//! migration and replica add/drop events captures to a trace, the trace
+//! round-trips through the binary format, replays bit-identically
+//! (`RunMetrics` equal), and lane-granular `replay_parallel_lanes` on that
+//! single trace produces identical merged metrics while sharding across
+//! host threads.
+
+use mitosis_numa::{NodeMask, SocketId};
+use mitosis_sim::{MultiSocketConfig, PhaseChange, PhaseSchedule, SimParams};
+use mitosis_trace::{
+    capture_engine_run, capture_engine_run_dynamic, capture_multisocket_scenario,
+    replay_parallel_lanes, replay_trace, replay_trace_lane, ReplayError, ReplayOptions, Trace,
+    TraceEvent, TraceLane, TraceMeta, TraceReplayer, TRACE_MAGIC,
+};
+use mitosis_workloads::{suite, Access};
+
+/// Parameters for the determinism tests: the access count follows
+/// `MITOSIS_SIM_ACCESSES` (the CI determinism job runs this file at two
+/// settings), the machine is scaled down so setup stays cheap.
+fn env_params() -> SimParams {
+    SimParams::new().with_machine_scale(512).with_seed(11)
+}
+
+/// The schedule the acceptance criteria call out: a mid-run data migration
+/// plus a replica add and a replica drop, with an interference toggle for
+/// good measure.
+fn acceptance_schedule(accesses: u64, sockets: usize) -> PhaseSchedule {
+    PhaseSchedule::new()
+        .at(
+            accesses / 4,
+            PhaseChange::MigrateData {
+                target: SocketId::new(1),
+            },
+        )
+        .at(
+            accesses / 2,
+            PhaseChange::SetReplicas {
+                sockets: NodeMask::all(sockets),
+            },
+        )
+        .at(
+            accesses / 2,
+            PhaseChange::SetInterference {
+                sockets: NodeMask::single(SocketId::new(1)),
+            },
+        )
+        .at(
+            3 * accesses / 4,
+            PhaseChange::SetReplicas {
+                sockets: NodeMask::EMPTY,
+            },
+        )
+        .at(
+            3 * accesses / 4,
+            PhaseChange::SetInterference {
+                sockets: NodeMask::EMPTY,
+            },
+        )
+}
+
+#[test]
+fn dynamic_run_with_migration_and_replica_events_replays_bit_identically() {
+    let params = env_params();
+    let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
+    let schedule = acceptance_schedule(params.accesses_per_thread, sockets.len());
+    let captured =
+        capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule).unwrap();
+
+    // Every lane carries the five phase-change markers at the exact access
+    // boundaries.
+    assert_eq!(captured.trace.lanes.len(), 4);
+    for lane in &captured.trace.lanes {
+        assert_eq!(lane.events.len(), 5);
+        assert_eq!(lane.events[0].0, params.accesses_per_thread / 4);
+        assert!(matches!(
+            lane.events[0].1,
+            TraceEvent::MigrateData { socket: 1 }
+        ));
+        assert!(matches!(lane.events[1].1, TraceEvent::Replicate { sockets } if sockets == 0b1111));
+        assert!(matches!(
+            lane.events[3].1,
+            TraceEvent::Replicate { sockets: 0 }
+        ));
+    }
+    // The capture installed the Mitosis backend for the replica events.
+    assert!(captured
+        .trace
+        .setup_events
+        .contains(&TraceEvent::InstallMitosis));
+
+    // The determinism guarantee must hold for the archived artifact.
+    let bytes = captured.trace.to_bytes().unwrap();
+    let trace = Trace::from_bytes(&bytes).unwrap();
+    assert_eq!(trace, captured.trace);
+    let replayed = replay_trace(&trace, &params).unwrap();
+    assert_eq!(
+        replayed.metrics, captured.live_metrics,
+        "dynamic replay diverged from the live run"
+    );
+}
+
+#[test]
+fn dynamic_events_actually_change_the_run() {
+    let params = SimParams::quick_test();
+    let sockets = [SocketId::new(0)];
+    let static_run = capture_engine_run(&suite::gups(), &params, &sockets).unwrap();
+    let schedule = PhaseSchedule::new().at(
+        params.accesses_per_thread / 2,
+        PhaseChange::MigrateData {
+            target: SocketId::new(1),
+        },
+    );
+    let dynamic_run =
+        capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule).unwrap();
+    assert!(
+        dynamic_run.live_metrics.total_cycles > static_run.live_metrics.total_cycles,
+        "migrating the data away mid-run must slow the workload down"
+    );
+    // And the slower run still replays exactly.
+    let replayed = replay_trace(&dynamic_run.trace, &params).unwrap();
+    assert_eq!(replayed.metrics, dynamic_run.live_metrics);
+}
+
+#[test]
+fn multisocket_scenario_captures_replay_identically() {
+    let params = SimParams::quick_test().with_accesses(300);
+    for config in [
+        MultiSocketConfig::first_touch(),
+        MultiSocketConfig::first_touch().with_mitosis(),
+        MultiSocketConfig::first_touch().with_autonuma(),
+        MultiSocketConfig::first_touch().with_interleave(),
+        MultiSocketConfig::first_touch()
+            .with_interleave()
+            .with_autonuma()
+            .with_mitosis(),
+    ] {
+        let captured = capture_multisocket_scenario(&suite::memcached(), config, &params).unwrap();
+        assert_eq!(captured.trace.lanes.len(), 4, "{config}");
+        let bytes = captured.trace.to_bytes().unwrap();
+        let trace = Trace::from_bytes(&bytes).unwrap();
+        let replayed = replay_trace(&trace, &params).unwrap();
+        assert_eq!(
+            replayed.metrics, captured.live_metrics,
+            "multi-socket scenario {config} diverged under replay"
+        );
+    }
+}
+
+#[test]
+fn lane_replay_composes_to_the_full_replay() {
+    let params = SimParams::quick_test().with_accesses(400);
+    let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
+    let schedule = acceptance_schedule(400, sockets.len());
+    // GUPS: its scaled footprint fits a single socket, which the mid-run
+    // migrate-everything-to-socket-1 event requires.
+    let trace = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule)
+        .unwrap()
+        .trace;
+    let full = replay_trace(&trace, &params).unwrap();
+    let mut merged = mitosis_sim::RunMetrics::default();
+    for lane in 0..trace.lanes.len() {
+        let outcome = replay_trace_lane(&trace, &params, ReplayOptions::default(), lane).unwrap();
+        assert_eq!(outcome.metrics.threads, 1);
+        merged.merge(&outcome.metrics);
+    }
+    assert_eq!(
+        merged, full.metrics,
+        "independently replayed lanes must merge to the whole-trace metrics"
+    );
+}
+
+#[test]
+fn lane_parallel_replay_matches_serial_and_shards() {
+    let params = SimParams::quick_test().with_accesses(30_000);
+    let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
+    let schedule = acceptance_schedule(30_000, sockets.len());
+    let trace = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule)
+        .unwrap()
+        .trace;
+
+    let serial = replay_trace(&trace, &params).unwrap();
+    let report = replay_parallel_lanes(&trace, &params, 4).unwrap();
+    assert_eq!(
+        report.outcome.metrics, serial.metrics,
+        "lane-granular parallel replay diverged from serial replay"
+    );
+    assert_eq!(report.lanes, 4);
+    assert!(report.sharded, "distinct-socket faultless lanes must shard");
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores < 4 {
+        eprintln!("skipping lane-replay speed comparison: only {cores} host cores");
+        return;
+    }
+    // Timing comparison: best-of-two on each side so a single scheduler
+    // hiccup on a loaded shared runner cannot flip the outcome.
+    let serial_wall = (0..2)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            let _ = replay_trace(&trace, &params).unwrap();
+            start.elapsed()
+        })
+        .min()
+        .unwrap();
+    let parallel_wall = (0..2)
+        .map(|_| replay_parallel_lanes(&trace, &params, 4).unwrap().wall)
+        .min()
+        .unwrap();
+    assert!(
+        parallel_wall < serial_wall,
+        "lane-granular replay should beat serial on {cores} cores: {parallel_wall:?} vs {serial_wall:?}"
+    );
+}
+
+#[test]
+fn single_lane_traces_fall_back_to_serial_replay() {
+    let params = SimParams::quick_test().with_accesses(200);
+    let trace = capture_engine_run(&suite::gups(), &params, &[SocketId::new(0)])
+        .unwrap()
+        .trace;
+    let report = replay_parallel_lanes(&trace, &params, 8).unwrap();
+    assert!(!report.sharded);
+    assert_eq!(
+        report.outcome.metrics,
+        replay_trace(&trace, &params).unwrap().metrics
+    );
+}
+
+#[test]
+fn trace_replayer_reuse_is_bit_identical_to_one_shot_replay() {
+    let params = SimParams::quick_test().with_accesses(250);
+    let traces: Vec<Trace> = [suite::gups(), suite::btree(), suite::memcached()]
+        .iter()
+        .map(|spec| {
+            capture_engine_run(spec, &params, &[SocketId::new(0)])
+                .unwrap()
+                .trace
+        })
+        .collect();
+    let mut replayer = TraceReplayer::new();
+    for trace in &traces {
+        let pooled = replayer.replay(trace, &params).unwrap();
+        let fresh = replay_trace(trace, &params).unwrap();
+        assert_eq!(
+            pooled.metrics, fresh.metrics,
+            "pooled engine replay diverged for {}",
+            trace.meta.workload
+        );
+    }
+}
+
+#[test]
+fn mismatched_lane_markers_are_rejected() {
+    let params = SimParams::quick_test().with_accesses(100);
+    let sockets: Vec<SocketId> = (0..2).map(SocketId::new).collect();
+    let schedule = PhaseSchedule::new().at(
+        50,
+        PhaseChange::MigrateData {
+            target: SocketId::new(1),
+        },
+    );
+    let mut trace = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule)
+        .unwrap()
+        .trace;
+    // Tamper with one lane's marker position: the phase change no longer
+    // fires at one boundary across all threads, which is unreplayable.
+    trace.lanes[1].events[0].0 = 60;
+    let err = replay_trace(&trace, &params).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Mismatch(message) if message.contains("mid-lane")),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn replica_events_without_install_mitosis_are_rejected() {
+    let params = SimParams::quick_test().with_accesses(100);
+    let sockets: Vec<SocketId> = (0..2).map(SocketId::new).collect();
+    let schedule = PhaseSchedule::new().at(
+        50,
+        PhaseChange::SetReplicas {
+            sockets: NodeMask::all(2),
+        },
+    );
+    let mut trace = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule)
+        .unwrap()
+        .trace;
+    // Strip the InstallMitosis record: the trace now claims replica events
+    // on a stock-kernel system, which no live run can produce.
+    trace
+        .setup_events
+        .retain(|event| *event != TraceEvent::InstallMitosis);
+    let err = replay_trace(&trace, &params).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Mismatch(message) if message.contains("InstallMitosis")),
+        "unexpected error: {err}"
+    );
+    // Same for a setup-level Replicate event.
+    let params = SimParams::quick_test().with_accesses(100);
+    let mut setup_trace = capture_multisocket_scenario(
+        &suite::memcached(),
+        MultiSocketConfig::first_touch().with_mitosis(),
+        &params,
+    )
+    .unwrap()
+    .trace;
+    setup_trace
+        .setup_events
+        .retain(|event| *event != TraceEvent::InstallMitosis);
+    let err = replay_trace(&setup_trace, &params).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Mismatch(message) if message.contains("InstallMitosis")),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn setup_only_events_inside_a_lane_are_rejected() {
+    let params = SimParams::quick_test().with_accesses(100);
+    let mut trace = capture_engine_run(&suite::gups(), &params, &[SocketId::new(0)])
+        .unwrap()
+        .trace;
+    for lane in &mut trace.lanes {
+        lane.events
+            .push((50, TraceEvent::CreateProcess { socket: 1 }));
+    }
+    let err = replay_trace(&trace, &params).unwrap_err();
+    assert!(
+        matches!(&err, ReplayError::Mismatch(message) if message.contains("setup-only")),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn free_form_markers_inside_lanes_are_ignored_by_replay() {
+    let params = SimParams::quick_test().with_accesses(120);
+    let sockets: Vec<SocketId> = (0..2).map(SocketId::new).collect();
+    let mut trace = capture_engine_run(&suite::gups(), &params, &sockets)
+        .unwrap()
+        .trace;
+    let reference = replay_trace(&trace, &params).unwrap();
+    // Free-form markers are positional annotations, not phase changes:
+    // they may differ per lane (pre-v3 traces could carry them in any
+    // shape) and must not perturb replay.
+    trace.lanes[0].events.push((60, TraceEvent::Marker(1234)));
+    trace.lanes[1].events.push((30, TraceEvent::Marker(9)));
+    trace.lanes[1].events.push((90, TraceEvent::Marker(10)));
+    let with_markers = replay_trace(&trace, &params).unwrap();
+    assert_eq!(with_markers.metrics, reference.metrics);
+}
+
+#[test]
+fn mid_lane_phase_markers_roundtrip_through_the_format() {
+    let params = SimParams::quick_test();
+    let spec = suite::gups().with_footprint(1 << 26);
+    let accesses: Vec<Access> = (0..8)
+        .map(|i| Access {
+            offset: i * 64,
+            is_write: i % 2 == 0,
+        })
+        .collect();
+    let events = vec![
+        (0, TraceEvent::Interference { sockets: 0b10 }),
+        (2, TraceEvent::MigrateData { socket: 3 }),
+        (2, TraceEvent::Replicate { sockets: 0b1111 }),
+        (5, TraceEvent::AutoNumaRebalance { sockets: 0b1111 }),
+        (8, TraceEvent::Replicate { sockets: 0 }),
+    ];
+    let trace = Trace {
+        meta: TraceMeta::for_spec(&spec, &params),
+        setup_events: vec![
+            TraceEvent::CreateProcess { socket: 0 },
+            TraceEvent::InterleaveData { sockets: 0b1111 },
+        ],
+        lanes: vec![
+            TraceLane {
+                socket: 0,
+                accesses: accesses.clone(),
+                events: events.clone(),
+            },
+            TraceLane {
+                socket: 1,
+                accesses,
+                events,
+            },
+        ],
+    };
+    let bytes = trace.to_bytes().unwrap();
+    assert_eq!(Trace::from_bytes(&bytes).unwrap(), trace);
+}
+
+#[test]
+fn v1_traces_with_mid_lane_markers_stay_readable() {
+    // Hand-encode a format-v1 trace whose lane carries a positional
+    // `Marker` event — the only mid-lane event v1 defined.  Archived PR 1
+    // artifacts with markers must decode (and replay ignores the marker).
+    fn varint(out: &mut Vec<u8>, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            out.push(if v == 0 { byte } else { byte | 0x80 });
+            if v == 0 {
+                break;
+            }
+        }
+    }
+    fn zigzag(v: i64) -> u64 {
+        ((v << 1) ^ (v >> 63)) as u64
+    }
+    let spec = suite::gups().with_footprint(1 << 26);
+    let meta = TraceMeta::for_spec(&spec, &SimParams::quick_test());
+
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&TRACE_MAGIC);
+    bytes.extend_from_slice(&1u32.to_le_bytes());
+    varint(&mut bytes, meta.workload.len() as u64);
+    bytes.extend_from_slice(meta.workload.as_bytes());
+    varint(&mut bytes, meta.footprint);
+    varint(&mut bytes, meta.seed);
+    varint(&mut bytes, meta.write_fraction.to_bits());
+    varint(&mut bytes, meta.compute_cycles_per_access);
+    varint(&mut bytes, meta.bandwidth_intensity.to_bits());
+    // LANE socket 0; one access at offset 8; a Marker(42) event; one more
+    // access at offset 16; END with 2 accesses.  Tags: ACCESS=0b00,
+    // EVENT=0b01, LANE=0b10, END=0b11 in the low two bits.
+    varint(&mut bytes, 0b10); // LANE, socket 0
+    varint(&mut bytes, (zigzag(8) << 1) << 2); // ACCESS, read
+    varint(&mut bytes, (10 << 2) | 0b01); // event code 10 = Marker
+    varint(&mut bytes, 1); // argc
+    varint(&mut bytes, 42); // marker value
+    varint(&mut bytes, ((zigzag(8) << 1) | 1) << 2); // ACCESS, write
+    varint(&mut bytes, (2 << 2) | 0b11); // END, 2 accesses
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in &bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    bytes.extend_from_slice(&hash.to_le_bytes());
+
+    let trace = Trace::from_bytes(&bytes).unwrap();
+    assert_eq!(trace.lanes.len(), 1);
+    assert_eq!(trace.lanes[0].accesses.len(), 2);
+    assert_eq!(trace.lanes[0].accesses[1].offset, 16);
+    assert!(trace.lanes[0].accesses[1].is_write);
+    assert_eq!(trace.lanes[0].events, vec![(1, TraceEvent::Marker(42))]);
+}

@@ -24,6 +24,25 @@ fn determinism_suite() -> [WorkloadSpec; 3] {
 }
 
 #[test]
+fn replay_determinism_holds_at_the_configured_access_count() {
+    // The CI determinism job runs this suite at two `MITOSIS_SIM_ACCESSES`
+    // settings; this test derives its access count from the environment
+    // (via `SimParams::new`) so the matrix genuinely varies the length of
+    // the measured phase — the other tests here pin small fixed counts for
+    // speed.
+    let params = SimParams::new().with_machine_scale(512).with_seed(3);
+    let sockets: Vec<SocketId> = (0..2).map(SocketId::new).collect();
+    let captured = capture_engine_run(&suite::gups(), &params, &sockets).unwrap();
+    assert_eq!(
+        captured.live_metrics.accesses,
+        2 * params.accesses_per_thread
+    );
+    let bytes = captured.trace.to_bytes().unwrap();
+    let replayed = replay_trace(&Trace::from_bytes(&bytes).unwrap(), &params).unwrap();
+    assert_eq!(replayed.metrics, captured.live_metrics);
+}
+
+#[test]
 fn replay_reproduces_live_metrics_for_paper_workloads() {
     let params = quick(500);
     for spec in determinism_suite() {
