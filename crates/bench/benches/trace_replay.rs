@@ -97,12 +97,11 @@ fn bench_batch(c: &mut Criterion) {
         b.iter(|| replay_sequential(&traces, &params).expect("sequential"));
     });
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4);
-    group.bench_function(format!("parallel_{workers}_workers"), |b| {
-        b.iter(|| replay_parallel(&traces, &params, workers).expect("parallel"));
+    // Fixed worker count: a host-core-derived count would change the bench
+    // id between runners (unbaselinable) and silently degrade to fewer
+    // workers on small hosts.
+    group.bench_function("parallel", |b| {
+        b.iter(|| replay_parallel(&traces, &params, 4).expect("parallel"));
     });
     group.finish();
 }
@@ -126,12 +125,50 @@ fn bench_lane_parallel(c: &mut Criterion) {
         b.iter(|| replay_trace(&trace, &params).expect("serial replay"));
     });
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4);
-    group.bench_function(format!("lane_parallel_{workers}_workers"), |b| {
-        b.iter(|| replay_parallel_lanes(&trace, &params, workers).expect("lane-parallel replay"));
+    // Fixed worker count, as in bench_lane_groups: keeps the bench id and
+    // the shard decision host-independent.
+    group.bench_function("lane_parallel", |b| {
+        b.iter(|| {
+            let report = replay_parallel_lanes(&trace, &params, 4).expect("lane-parallel replay");
+            assert!(report.sharded(), "4 distinct-socket premapped lanes shard");
+            report
+        });
+    });
+    group.finish();
+}
+
+/// Per-socket lane groups on a multi-thread-per-socket capture (8 lanes,
+/// 2 per socket): the shape the old per-lane driver always replayed
+/// serially.  Serial whole-trace replay vs. grouped parallel replay.
+fn bench_lane_groups(c: &mut Criterion) {
+    let params = params().with_threads_per_socket(2);
+    let captured = mitosis_trace::capture_multisocket_scenario(
+        &suite::memcached(),
+        mitosis_sim::MultiSocketConfig::first_touch(),
+        &params,
+    )
+    .expect("capture 8-lane multisocket memcached");
+    let trace = captured.trace;
+    assert_eq!(trace.lanes.len(), 8, "two lanes per socket");
+
+    let mut group = c.benchmark_group("trace_replay/lane_groups");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("serial", |b| {
+        b.iter(|| replay_trace(&trace, &params).expect("serial replay"));
+    });
+
+    // Fixed worker count: the shard decision (and the bench name the
+    // regression gate keys on) must not depend on the host's core count.
+    group.bench_function("grouped", |b| {
+        b.iter(|| {
+            let report = replay_parallel_lanes(&trace, &params, 4).expect("lane-group replay");
+            assert!(report.sharded(), "8-lane premapped capture must shard");
+            report
+        });
     });
     group.finish();
 }
@@ -193,6 +230,7 @@ criterion_group!(
     bench_single,
     bench_batch,
     bench_lane_parallel,
+    bench_lane_groups,
     report_throughput
 );
 criterion_main!(trace_replay);

@@ -11,6 +11,20 @@
 //! segments between consecutive boundaries, applies the due events to the
 //! [`System`] exactly once, and continues — deterministically, so a
 //! captured trace of a dynamic run replays bit-identically.
+//!
+//! An event may additionally carry a **thread filter**
+//! ([`PhaseEvent::thread`]): the system mutation still fires at the event's
+//! boundary, but only the targeted thread takes the resulting TLB
+//! invalidation and re-derives its translation root and cost tables — every
+//! other thread keeps translating through its warm (now stale) MMU state
+//! until a boundary of its own.  This models *staggered* phase changes: a
+//! migration lands at one instant, but threads observe it at different
+//! points of their own access streams, exactly like deferred per-CPU
+//! shootdowns on real hardware.  Only changes whose delayed observation is
+//! architecturally possible accept a filter (see
+//! [`PhaseChange::supports_thread_filter`]); operations that free page
+//! tables must broadcast — a core walking a freed table is a use-after-free,
+//! not a modelling choice.
 
 use mitosis::{Mitosis, MitosisError};
 use mitosis_numa::{Interference, NodeMask, SocketId};
@@ -59,6 +73,26 @@ impl PhaseChange {
     pub fn mutates_mappings(&self) -> bool {
         !matches!(self, PhaseChange::SetInterference { .. })
     }
+
+    /// Whether this change may be scheduled with a per-thread filter
+    /// (a staggered boundary).
+    ///
+    /// Data-page moves ([`PhaseChange::MigrateData`],
+    /// [`PhaseChange::AutoNumaRebalance`]) and interference toggles can be
+    /// observed late by a core — stale TLB entries still name valid frames,
+    /// they just live on the old socket.  Page-table migration and replica
+    /// resizing *free* page tables, so every core must take the broadcast
+    /// shootdown at once (a stale root or paging-structure-cache entry into
+    /// a freed table would be a use-after-free); those changes only fire
+    /// globally.
+    pub fn supports_thread_filter(&self) -> bool {
+        matches!(
+            self,
+            PhaseChange::MigrateData { .. }
+                | PhaseChange::AutoNumaRebalance { .. }
+                | PhaseChange::SetInterference { .. }
+        )
+    }
 }
 
 /// A [`PhaseChange`] scheduled at an access-count boundary.
@@ -69,6 +103,14 @@ pub struct PhaseEvent {
     pub at_access: u64,
     /// The mutation to apply.
     pub change: PhaseChange,
+    /// `None`: every thread observes the change at the boundary (the
+    /// classic all-threads-agree semantics).  `Some(t)`: only thread `t`
+    /// takes the TLB invalidation and state refresh — a staggered
+    /// boundary.  An index at or beyond the run's thread count means *no*
+    /// local thread observes the change (it still mutates the system);
+    /// lane-granular replay uses that to keep a lane subset's system
+    /// evolution in lockstep with the whole-trace replay.
+    pub thread: Option<usize>,
 }
 
 /// A sorted schedule of phase-change events for one measured run.
@@ -83,25 +125,102 @@ impl PhaseSchedule {
         PhaseSchedule::default()
     }
 
-    /// Builds a schedule from events in any order; events are sorted by
-    /// boundary, preserving the given order within a boundary.
+    /// Builds a schedule from events in any order; events are sorted into
+    /// the canonical firing order (see [`PhaseSchedule::at_thread`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread-filtered event carries a change that does not
+    /// support staggering (see [`PhaseChange::supports_thread_filter`]).
     pub fn from_events<I: IntoIterator<Item = PhaseEvent>>(events: I) -> Self {
         let mut events: Vec<PhaseEvent> = events.into_iter().collect();
-        events.sort_by_key(|e| e.at_access);
+        for event in &events {
+            assert!(
+                event.thread.is_none() || event.change.supports_thread_filter(),
+                "{:?} frees page tables and cannot be thread-filtered \
+                 (the shootdown is inherently broadcast)",
+                event.change
+            );
+        }
+        Self::sort_canonical(&mut events);
         PhaseSchedule { events }
+    }
+
+    /// The canonical firing order: ascending boundary; within a boundary,
+    /// global events first (in insertion order), then staggered events in
+    /// ascending thread order.  Capture records markers in firing order and
+    /// replay reconstructs the schedule from them, so a canonical order —
+    /// derivable from the markers alone — is what makes the round trip
+    /// exact.
+    fn sort_canonical(events: &mut [PhaseEvent]) {
+        events.sort_by_key(|e| (e.at_access, e.thread.is_some(), e.thread.unwrap_or(0)));
     }
 
     /// Appends a change firing once every thread has executed `at_access`
     /// accesses (builder style).
     pub fn at(mut self, at_access: u64, change: PhaseChange) -> Self {
-        self.events.push(PhaseEvent { at_access, change });
-        self.events.sort_by_key(|e| e.at_access);
+        self.events.push(PhaseEvent {
+            at_access,
+            change,
+            thread: None,
+        });
+        Self::sort_canonical(&mut self.events);
+        self
+    }
+
+    /// Appends a change observed only by thread `thread`, firing once every
+    /// thread has executed `at_access` accesses (a staggered boundary; see
+    /// the module docs for the exact semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `change` does not support a thread filter (see
+    /// [`PhaseChange::supports_thread_filter`]).
+    pub fn at_thread(mut self, at_access: u64, thread: usize, change: PhaseChange) -> Self {
+        assert!(
+            change.supports_thread_filter(),
+            "{change:?} frees page tables and cannot be thread-filtered \
+             (the shootdown is inherently broadcast)"
+        );
+        self.events.push(PhaseEvent {
+            at_access,
+            change,
+            thread: Some(thread),
+        });
+        Self::sort_canonical(&mut self.events);
         self
     }
 
     /// The scheduled events, sorted by boundary.
     pub fn events(&self) -> &[PhaseEvent] {
         &self.events
+    }
+
+    /// `true` if any event carries a thread filter.
+    pub fn is_staggered(&self) -> bool {
+        self.events.iter().any(|e| e.thread.is_some())
+    }
+
+    /// Re-indexes the thread filters through `map`, preserving the firing
+    /// order of every event.
+    ///
+    /// Lane-granular replay uses this when replaying a subset of a trace's
+    /// lanes: filters targeting a selected lane are remapped to the lane's
+    /// local thread index, filters targeting an absent lane map to an
+    /// out-of-range index (`map` returns `None`) so the change still
+    /// mutates the system — keeping the subset's system evolution identical
+    /// to the whole-trace replay — while no local thread observes it.
+    pub fn retarget_threads<F: Fn(usize) -> Option<usize>>(&self, map: F) -> PhaseSchedule {
+        PhaseSchedule {
+            events: self
+                .events
+                .iter()
+                .map(|event| PhaseEvent {
+                    thread: event.thread.map(|t| map(t).unwrap_or(usize::MAX)),
+                    ..*event
+                })
+                .collect(),
+        }
     }
 
     /// `true` if no events are scheduled.
@@ -130,6 +249,18 @@ impl PhaseSchedule {
         boundaries
     }
 
+    /// The events firing at boundary `at` of a run of
+    /// `accesses_per_thread` accesses, in schedule order.
+    pub fn events_at(
+        &self,
+        at: u64,
+        accesses_per_thread: u64,
+    ) -> impl Iterator<Item = &PhaseEvent> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.at_access.min(accesses_per_thread) == at)
+    }
+
     /// The changes firing at boundary `at` of a run of
     /// `accesses_per_thread` accesses, in schedule order.
     pub fn changes_at(
@@ -137,10 +268,7 @@ impl PhaseSchedule {
         at: u64,
         accesses_per_thread: u64,
     ) -> impl Iterator<Item = PhaseChange> + '_ {
-        self.events
-            .iter()
-            .filter(move |e| e.at_access.min(accesses_per_thread) == at)
-            .map(|e| e.change)
+        self.events_at(at, accesses_per_thread).map(|e| e.change)
     }
 }
 
@@ -242,6 +370,86 @@ mod tests {
         assert!(schedule.is_empty());
         assert_eq!(schedule.boundaries(700), vec![700]);
         assert_eq!(schedule.changes_at(700, 700).count(), 0);
+    }
+
+    #[test]
+    fn staggered_events_sort_after_globals_and_by_thread() {
+        let schedule = PhaseSchedule::new()
+            .at_thread(
+                100,
+                2,
+                PhaseChange::MigrateData {
+                    target: SocketId::new(1),
+                },
+            )
+            .at_thread(
+                100,
+                0,
+                PhaseChange::SetInterference {
+                    sockets: NodeMask::EMPTY,
+                },
+            )
+            .at(
+                100,
+                PhaseChange::MigrateData {
+                    target: SocketId::new(2),
+                },
+            );
+        let threads: Vec<Option<usize>> = schedule.events().iter().map(|e| e.thread).collect();
+        assert_eq!(threads, vec![None, Some(0), Some(2)]);
+        assert!(schedule.is_staggered());
+        assert!(!PhaseSchedule::new().is_staggered());
+
+        // from_events produces the same canonical order.
+        let rebuilt = PhaseSchedule::from_events(schedule.events().iter().rev().copied());
+        assert_eq!(rebuilt, schedule);
+    }
+
+    #[test]
+    fn retargeting_preserves_order_and_maps_absent_threads_out_of_range() {
+        let schedule = PhaseSchedule::new()
+            .at_thread(
+                50,
+                3,
+                PhaseChange::MigrateData {
+                    target: SocketId::new(1),
+                },
+            )
+            .at_thread(
+                50,
+                1,
+                PhaseChange::SetInterference {
+                    sockets: NodeMask::EMPTY,
+                },
+            );
+        // Replaying only lane 3: thread 3 becomes local thread 0, thread 1
+        // is absent.
+        let selected = [3usize];
+        let remapped = schedule.retarget_threads(|t| selected.iter().position(|&lane| lane == t));
+        let threads: Vec<Option<usize>> = remapped.events().iter().map(|e| e.thread).collect();
+        assert_eq!(threads, vec![Some(usize::MAX), Some(0)]);
+        // Firing order is preserved even though the remapped indices would
+        // sort differently.
+        assert!(matches!(
+            remapped.events()[0].change,
+            PhaseChange::SetInterference { .. }
+        ));
+        assert!(matches!(
+            remapped.events()[1].change,
+            PhaseChange::MigrateData { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be thread-filtered")]
+    fn page_table_freeing_changes_reject_thread_filters() {
+        let _ = PhaseSchedule::new().at_thread(
+            10,
+            0,
+            PhaseChange::SetReplicas {
+                sockets: NodeMask::EMPTY,
+            },
+        );
     }
 
     #[test]

@@ -106,11 +106,27 @@ impl ExecutionEngine {
 
     /// One thread pinned to the first core of each socket in `sockets`.
     pub fn one_thread_per_socket(system: &System, sockets: &[SocketId]) -> Vec<ThreadPlacement> {
+        Self::threads_for(system, sockets, 1)
+    }
+
+    /// `per_socket` threads pinned to each socket in `sockets`, grouped
+    /// contiguously per socket (the multi-thread-per-socket experiment
+    /// shape; `per_socket == 1` degenerates to
+    /// [`ExecutionEngine::one_thread_per_socket`]).
+    pub fn threads_for(
+        system: &System,
+        sockets: &[SocketId],
+        per_socket: usize,
+    ) -> Vec<ThreadPlacement> {
+        assert!(per_socket > 0, "each socket needs at least one thread");
         sockets
             .iter()
-            .map(|s| ThreadPlacement {
-                core: system.machine().first_core_of_socket(*s),
-                socket: *s,
+            .flat_map(|s| {
+                let placement = ThreadPlacement {
+                    core: system.machine().first_core_of_socket(*s),
+                    socket: *s,
+                };
+                std::iter::repeat_n(placement, per_socket)
             })
             .collect()
     }
@@ -288,11 +304,24 @@ impl ExecutionEngine {
     /// Within a segment every thread executes the same number of accesses
     /// (thread 0 first — simulated threads are deterministic, not
     /// preemptive), then the due events mutate the [`System`] exactly once,
-    /// every thread's MMU takes the resulting TLB shootdown (for
-    /// mapping-mutating events), per-thread CR3 and data-cost tables are
-    /// re-derived, and the next segment starts.  With an empty schedule
-    /// this degenerates to exactly the static run — same order of
-    /// operations, bit-identical metrics.
+    /// and the next segment starts.  Each thread carries its own
+    /// translation-state snapshot — CR3, cost-model view, per-target-socket
+    /// data-cost table — refreshed at the thread's *own* boundaries: every
+    /// global (unfiltered) event refreshes all threads (and, for
+    /// mapping-mutating changes, broadcasts a TLB shootdown to every MMU),
+    /// while a thread-filtered event refreshes and shoots down only its
+    /// target, leaving the other threads on their per-thread segment lists
+    /// with warm-but-stale MMU state (stale translations still name valid
+    /// frames — just on the pre-change socket, which is the staggered
+    /// effect being modelled).  The machine-level per-socket
+    /// page-table-line caches are physically coherent with the page tables
+    /// and flush on every mapping-mutating event regardless of filter.
+    /// With an empty schedule all of this degenerates to exactly the static
+    /// run — same order of operations, bit-identical metrics.
+    ///
+    /// A thread filter at or beyond `threads.len()` applies the change to
+    /// the system without any local thread observing it (see
+    /// [`PhaseEvent::thread`](crate::PhaseEvent)).
     ///
     /// # Errors
     ///
@@ -321,64 +350,80 @@ impl ExecutionEngine {
         let mut mmus = self.checkout_mmus(threads);
         let mut totals = vec![ThreadTotals::default(); threads.len()];
 
-        let mut segment_start = 0u64;
-        for boundary in schedule.boundaries(accesses_per_thread) {
-            if boundary > segment_start {
-                // The cost model may have been rewritten by an interference
-                // event: re-clone it (and re-derive the per-thread tables
-                // below) at every segment start.
-                let cost = system.machine().cost_model().clone();
-                for (index, (placement, source)) in
-                    threads.iter().zip(sources.iter_mut()).enumerate()
-                {
-                    // Data-access cost depends only on (thread socket, data
-                    // socket, workload bandwidth intensity), all fixed for
-                    // the segment: precompute the per-target-socket cycle
-                    // table once so the inner loop charges data accesses
-                    // with a single indexed load.
-                    let data_cost: Vec<Cycles> = (0..sockets)
-                        .map(|to| {
-                            data_access_cycles(
-                                &cost,
-                                placement.socket,
-                                SocketId::new(to as u16),
-                                spec.bandwidth_intensity(),
-                            )
-                        })
-                        .collect();
-                    // Replica add/drop and page-table migration change the
-                    // root a core must load: re-resolve CR3 per segment.
-                    let cr3 = system.cr3_for(pid, placement.socket)?;
-                    let mmu = &mut mmus[index];
-                    let totals = &mut totals[index];
+        // Per-thread translation state, refreshed lazily at each thread's
+        // own boundaries (its per-thread segment list): the cost-model view
+        // an interference toggle rewrites, the per-target-socket data-cost
+        // table derived from it, and the CR3 that replica add/drop or
+        // page-table migration retargets.
+        struct ThreadPhase {
+            cost: std::rc::Rc<CostModel>,
+            data_cost: Vec<Cycles>,
+            cr3: mitosis_mem::FrameId,
+        }
+        let mut states: Vec<Option<ThreadPhase>> = (0..threads.len()).map(|_| None).collect();
 
-                    for _ in segment_start..boundary {
-                        let access = source.next_access();
-                        // Accesses are 8-byte word granular within the
-                        // footprint.
-                        let addr = VirtAddr::new(region.as_u64() + (access.offset & !0x7));
-                        totals.compute += spec.compute_cycles_per_access();
-
-                        let outcome = {
-                            let env = system.pt_env_mut();
-                            mmu.access(
-                                addr,
-                                access.is_write,
+        // The fallible measured phase runs inside a closure so the
+        // checked-out MMUs return to the pool on *every* exit path — an
+        // error mid-run (a failing phase change, a fault-handling error)
+        // must not discard the pool and silently rebuild TLB/PWC arrays on
+        // each later run.  Checkout resets pooled MMUs, so returning dirty
+        // ones is safe.
+        let result = (|| -> Result<(), MitosisError> {
+            let mut segment_start = 0u64;
+            for boundary in schedule.boundaries(accesses_per_thread) {
+                if boundary > segment_start {
+                    // Threads refreshing at the same segment start snapshot
+                    // the same cost-model state: share one clone (it holds
+                    // the dense precomputed cycle matrix) instead of paying
+                    // one copy per thread.
+                    let mut shared_cost: Option<std::rc::Rc<CostModel>> = None;
+                    for (index, (placement, source)) in
+                        threads.iter().zip(sources.iter_mut()).enumerate()
+                    {
+                        if states[index].is_none() {
+                            let cost = shared_cost
+                                .get_or_insert_with(|| {
+                                    std::rc::Rc::new(system.machine().cost_model().clone())
+                                })
+                                .clone();
+                            // Data-access cost depends only on (thread socket,
+                            // data socket, workload bandwidth intensity), all
+                            // fixed until the thread's next boundary:
+                            // precompute the per-target-socket cycle table once
+                            // so the inner loop charges data accesses with a
+                            // single indexed load.
+                            let data_cost: Vec<Cycles> = (0..sockets)
+                                .map(|to| {
+                                    data_access_cycles(
+                                        &cost,
+                                        placement.socket,
+                                        SocketId::new(to as u16),
+                                        spec.bandwidth_intensity(),
+                                    )
+                                })
+                                .collect();
+                            let cr3 = system.cr3_for(pid, placement.socket)?;
+                            states[index] = Some(ThreadPhase {
+                                cost,
+                                data_cost,
                                 cr3,
-                                &mut env.store,
-                                &env.frames,
-                                &cost,
-                                self.pte_caches.socket(placement.socket),
-                            )
-                        };
-                        totals.translation += outcome.translation_cycles;
+                            });
+                        }
+                        let state = states[index].as_ref().expect("state derived above");
+                        let cost = &state.cost;
+                        let data_cost = &state.data_cost;
+                        let cr3 = state.cr3;
+                        let mmu = &mut mmus[index];
+                        let totals = &mut totals[index];
 
-                        let frame = if outcome.fault {
-                            // Demand paging: fault into the kernel, then
-                            // retry.
-                            totals.demand_faults += 1;
-                            let fault = system.handle_fault(pid, addr, placement.socket)?;
-                            let retry = {
+                        for _ in segment_start..boundary {
+                            let access = source.next_access();
+                            // Accesses are 8-byte word granular within the
+                            // footprint.
+                            let addr = VirtAddr::new(region.as_u64() + (access.offset & !0x7));
+                            totals.compute += spec.compute_cycles_per_access();
+
+                            let outcome = {
                                 let env = system.pt_env_mut();
                                 mmu.access(
                                     addr,
@@ -386,39 +431,95 @@ impl ExecutionEngine {
                                     cr3,
                                     &mut env.store,
                                     &env.frames,
-                                    &cost,
+                                    cost,
                                     self.pte_caches.socket(placement.socket),
                                 )
                             };
-                            totals.translation += retry.translation_cycles;
-                            retry.frame.unwrap_or(fault.frame)
-                        } else {
-                            outcome.frame.expect("non-faulting access yields a frame")
-                        };
+                            totals.translation += outcome.translation_cycles;
 
-                        let data_socket = frame_space.socket_of(frame);
-                        totals.data += data_cost[data_socket.index()];
+                            let frame = if outcome.fault {
+                                // Demand paging: fault into the kernel, then
+                                // retry.
+                                totals.demand_faults += 1;
+                                let fault = system.handle_fault(pid, addr, placement.socket)?;
+                                let retry = {
+                                    let env = system.pt_env_mut();
+                                    mmu.access(
+                                        addr,
+                                        access.is_write,
+                                        cr3,
+                                        &mut env.store,
+                                        &env.frames,
+                                        cost,
+                                        self.pte_caches.socket(placement.socket),
+                                    )
+                                };
+                                totals.translation += retry.translation_cycles;
+                                retry.frame.unwrap_or(fault.frame)
+                            } else {
+                                outcome.frame.expect("non-faulting access yields a frame")
+                            };
+
+                            let data_socket = frame_space.socket_of(frame);
+                            totals.data += data_cost[data_socket.index()];
+                        }
                     }
                 }
-            }
 
-            let mut flush = false;
-            for change in schedule.changes_at(boundary, accesses_per_thread) {
-                apply_phase_change(system, mitosis, pid, change)?;
-                flush |= change.mutates_mappings();
-            }
-            if flush {
-                // Page tables were rewritten wholesale: every core takes a
-                // broadcast shootdown, and the per-socket page-table-line
-                // caches drop lines of tables that may have been freed.
-                for mmu in &mut mmus {
-                    mmu.shootdown_all();
+                let mut broadcast_flush = false;
+                let mut cache_flush = false;
+                let mut targeted: Vec<usize> = Vec::new();
+                for event in schedule.events_at(boundary, accesses_per_thread) {
+                    apply_phase_change(system, mitosis, pid, event.change)?;
+                    let mutates = event.change.mutates_mappings();
+                    cache_flush |= mutates;
+                    match event.thread {
+                        None => {
+                            // All threads re-derive their state at the next
+                            // segment start.
+                            for state in &mut states {
+                                *state = None;
+                            }
+                            broadcast_flush |= mutates;
+                        }
+                        Some(thread) if thread < threads.len() => {
+                            states[thread] = None;
+                            if mutates {
+                                targeted.push(thread);
+                            }
+                        }
+                        // Out-of-range target: the system mutated, no local
+                        // thread observes it (lane-subset replay).
+                        Some(_) => {}
+                    }
                 }
-                self.pte_caches.flush_all();
+                if broadcast_flush {
+                    // Page tables were rewritten wholesale: every core takes a
+                    // broadcast shootdown.
+                    for mmu in &mut mmus {
+                        mmu.shootdown_all();
+                    }
+                } else {
+                    for thread in targeted {
+                        mmus[thread].shootdown_all();
+                    }
+                }
+                if cache_flush {
+                    // The per-socket page-table-line caches drop lines of
+                    // tables that may have been rewritten or freed; unlike the
+                    // per-core TLBs they are coherent with memory, so this is
+                    // not staggerable.
+                    self.pte_caches.flush_all();
+                }
+                segment_start = boundary;
             }
-            segment_start = boundary;
-        }
+            Ok(())
+        })();
 
+        if let Err(err) = result {
+            self.mmu_pool = mmus;
+            return Err(err);
+        }
         let mut metrics = RunMetrics::default();
         for (totals, mmu) in totals.iter().zip(&mmus) {
             metrics.absorb_thread(
@@ -561,6 +662,56 @@ mod tests {
             .run(&mut system, pid, &spec, region, &threads, &params)
             .unwrap();
         assert_eq!(after_reset, fresh, "pooled MMU state leaked across runs");
+    }
+
+    #[test]
+    fn mmu_pool_survives_a_failing_run() {
+        // A phase change that fails mid-run must not discard the pooled
+        // MMUs: the next run on the same engine still checks them out
+        // (reset) instead of rebuilding TLB/PWC arrays.
+        let params = quick();
+        let (mut system, pid, region, spec) = setup(&params);
+        let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+        let mut engine = ExecutionEngine::new(&system);
+        let baseline = engine
+            .run(&mut system, pid, &spec, region, &threads, &params)
+            .unwrap();
+        assert_eq!(engine.mmu_pool.len(), 1);
+
+        // Socket 99 does not exist: applying the change fails mid-run.
+        let bad = PhaseSchedule::new().at(
+            params.accesses_per_thread / 2,
+            crate::dynamics::PhaseChange::MigrateData {
+                target: SocketId::new(99),
+            },
+        );
+        let mut mitosis = Mitosis::new();
+        engine
+            .run_dynamic(
+                &mut system,
+                &mut mitosis,
+                pid,
+                &spec,
+                region,
+                &threads,
+                &params,
+                &bad,
+            )
+            .unwrap_err();
+        assert_eq!(
+            engine.mmu_pool.len(),
+            1,
+            "failed run must return the checked-out MMUs to the pool"
+        );
+
+        // And the reused pool still reproduces fresh-engine metrics (after
+        // a reset — the warm per-socket page-table-line caches are machine
+        // state, deliberately carried across runs).
+        engine.reset();
+        let after = engine
+            .run(&mut system, pid, &spec, region, &threads, &params)
+            .unwrap();
+        assert_eq!(after, baseline);
     }
 
     #[test]

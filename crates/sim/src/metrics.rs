@@ -65,13 +65,14 @@ impl RunMetrics {
     }
 
     /// Merges the metrics of a disjoint set of threads (e.g. one replayed
-    /// lane) into `self`.
+    /// lane, or one per-socket lane *group* of several lanes) into `self`.
     ///
     /// Every field of [`RunMetrics`] aggregates threads with an
-    /// order-independent operation (`max` for the wall-clock proxy, sums
-    /// elsewhere), so merging per-lane metrics in any order reproduces the
-    /// metrics of a single run over all the threads — the property the
-    /// lane-granular parallel replay driver relies on.
+    /// order-independent (commutative and associative) operation (`max` for
+    /// the wall-clock proxy, sums elsewhere), so merging per-lane or
+    /// per-group metrics in any order — and at any grouping granularity —
+    /// reproduces the metrics of a single run over all the threads: the
+    /// property the lane-granular parallel replay driver relies on.
     pub fn merge(&mut self, other: &RunMetrics) {
         self.total_cycles = self.total_cycles.max(other.total_cycles);
         self.compute_cycles += other.compute_cycles;
@@ -136,6 +137,34 @@ mod tests {
         assert_eq!(metrics.accesses, 20);
         assert_eq!(metrics.demand_faults, 1);
         assert_eq!(metrics.compute_cycles, 300);
+    }
+
+    #[test]
+    fn merge_is_grouping_independent() {
+        // Merging lanes one by one must equal merging pre-merged groups —
+        // the algebraic property per-socket lane groups rest on.
+        let mmu = MmuStats::default();
+        let lanes: Vec<RunMetrics> = (1..=4u64)
+            .map(|i| {
+                let mut m = RunMetrics::default();
+                m.absorb_thread(1_000 * i, 10 * i, 100 * i, 50 * i, 10, &mmu, 0);
+                m
+            })
+            .collect();
+        let mut flat = RunMetrics::default();
+        for lane in &lanes {
+            flat.merge(lane);
+        }
+        let mut group_a = RunMetrics::default();
+        group_a.merge(&lanes[0]);
+        group_a.merge(&lanes[2]);
+        let mut group_b = RunMetrics::default();
+        group_b.merge(&lanes[1]);
+        group_b.merge(&lanes[3]);
+        let mut grouped = RunMetrics::default();
+        grouped.merge(&group_a);
+        grouped.merge(&group_b);
+        assert_eq!(grouped, flat);
     }
 
     #[test]

@@ -64,6 +64,15 @@ impl SimParams {
         self
     }
 
+    /// Sets the number of simulated threads per participating socket
+    /// (multi-thread-per-socket captures exercise the lane-group parallel
+    /// replay path).
+    pub fn with_threads_per_socket(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "each socket needs at least one thread");
+        self.threads_per_socket = threads;
+        self
+    }
+
     /// Sets the capacity scale factor.
     pub fn with_machine_scale(mut self, scale: u64) -> Self {
         assert!(scale > 0);

@@ -22,8 +22,8 @@ use mitosis::Mitosis;
 use mitosis_mem::{FragmentationModel, PlacementPolicy};
 use mitosis_numa::{Interference, NodeMask, SocketId};
 use mitosis_sim::{
-    ExecutionEngine, MigrationRun, MultiSocketConfig, PhaseChange, PhaseSchedule, RunMetrics,
-    SimParams, ThreadPlacement,
+    ExecutionEngine, MigrationRun, MultiSocketConfig, PhaseChange, PhaseEvent, PhaseSchedule,
+    RunMetrics, SimParams, ThreadPlacement,
 };
 use mitosis_vmm::{AutoNuma, MmapFlags, PtPlacement, System, ThpMode};
 use mitosis_workloads::{Access, AccessSource, AccessStream, InitPattern, WorkloadSpec};
@@ -86,14 +86,29 @@ fn socket_mask(sockets: &[SocketId]) -> u64 {
     sockets.iter().fold(0u64, |mask, s| mask | 1 << s.index())
 }
 
-/// The mid-lane marker a fired phase change is recorded as.
+/// The mid-lane marker a fired phase change is recorded as; `staggered` is
+/// set when the change carried a per-thread filter (the marker then lands
+/// only in the targeted lane).
 ///
 /// [`crate::replay`] inverts this mapping to rebuild the
-/// [`PhaseSchedule`] from a decoded lane.
-pub fn trace_event_of_change(change: PhaseChange) -> TraceEvent {
+/// [`PhaseSchedule`] from the decoded lanes.
+///
+/// # Panics
+///
+/// Panics if `staggered` is requested for a change that does not support a
+/// thread filter (see
+/// [`PhaseChange::supports_thread_filter`]); [`PhaseSchedule`] makes such
+/// events unrepresentable, so a panic here means the schedule was built by
+/// other means.
+pub fn trace_event_of_change(change: PhaseChange, staggered: bool) -> TraceEvent {
+    assert!(
+        !staggered || change.supports_thread_filter(),
+        "{change:?} cannot be staggered"
+    );
     match change {
         PhaseChange::MigrateData { target } => TraceEvent::MigrateData {
             socket: target.index() as u16,
+            staggered,
         },
         PhaseChange::MigratePageTable { target } => TraceEvent::MigratePageTable {
             socket: target.index() as u16,
@@ -103,9 +118,11 @@ pub fn trace_event_of_change(change: PhaseChange) -> TraceEvent {
         },
         PhaseChange::AutoNumaRebalance { sockets } => TraceEvent::AutoNumaRebalance {
             sockets: sockets.bits(),
+            staggered,
         },
         PhaseChange::SetInterference { sockets } => TraceEvent::Interference {
             sockets: sockets.bits(),
+            staggered,
         },
     }
 }
@@ -121,6 +138,20 @@ fn run_and_record(
     params: &SimParams,
     schedule: &PhaseSchedule,
 ) -> Result<(RunMetrics, Vec<TraceLane>), ReplayError> {
+    if let Some(event) = schedule
+        .events()
+        .iter()
+        .find(|e| e.thread.is_some_and(|t| t >= threads.len()))
+    {
+        // An unobservable event cannot land in any lane, so the trace
+        // could not reproduce the run: reject the capture up front.
+        return Err(ReplayError::Mismatch(format!(
+            "phase event at access {} targets thread {} but the capture runs {} threads",
+            event.at_access,
+            event.thread.expect("filtered event"),
+            threads.len()
+        )));
+    }
     let mut sources: Vec<RecordingSource<AccessStream>> =
         ExecutionEngine::thread_streams(spec, params, threads.len())
             .into_iter()
@@ -138,27 +169,32 @@ fn run_and_record(
         &mut sources,
         schedule,
     )?;
-    // Phase changes fire at the same access boundary on every thread, so
-    // every lane carries the same markers — replay cross-checks them as an
-    // integrity guard.  Events scheduled beyond the run clamp to its end,
-    // exactly as the engine fired them.
-    let markers: Vec<(u64, TraceEvent)> = schedule
-        .events()
-        .iter()
-        .map(|event| {
-            (
-                event.at_access.min(params.accesses_per_thread),
-                trace_event_of_change(event.change),
-            )
-        })
-        .collect();
+    // Global phase changes fire at the same access boundary on every
+    // thread, so every lane carries their markers — replay cross-checks
+    // them as an integrity guard.  Staggered (thread-filtered) changes are
+    // observed by one thread only and land in that thread's lane alone;
+    // the lanes of a staggered capture legitimately disagree (format v4).
+    // Events scheduled beyond the run clamp to its end, exactly as the
+    // engine fired them.
+    let marker_of = |event: &PhaseEvent| {
+        (
+            event.at_access.min(params.accesses_per_thread),
+            trace_event_of_change(event.change, event.thread.is_some()),
+        )
+    };
     let lanes = threads
         .iter()
         .zip(sources)
-        .map(|(placement, source)| TraceLane {
+        .enumerate()
+        .map(|(index, (placement, source))| TraceLane {
             socket: placement.socket.index() as u16,
             accesses: source.into_recorded(),
-            events: markers.clone(),
+            events: schedule
+                .events()
+                .iter()
+                .filter(|event| event.thread.is_none() || event.thread == Some(index))
+                .map(marker_of)
+                .collect(),
         })
         .collect();
     Ok((metrics, lanes))
@@ -238,13 +274,23 @@ pub fn capture_engine_run_dynamic(
         thp: false,
     });
 
+    // The Populate event records a socket *bitmask*, which replay expands
+    // into the distinct sockets in ascending order — so the live populate
+    // must run in exactly that canonical order, or parallel first-touch
+    // chunking would land on different sockets than the replay reconstructs
+    // (duplicate or unsorted `sockets` lists would silently break
+    // bit-identical replay).  Thread placements below keep the caller's
+    // order and duplicates; only the one-off initialisation is canonical.
+    let mut populate_sockets = sockets.to_vec();
+    populate_sockets.sort_by_key(|socket| socket.index());
+    populate_sockets.dedup();
     ExecutionEngine::populate(
         &mut system,
         pid,
         region,
         scaled.footprint(),
         scaled.init(),
-        sockets,
+        &populate_sockets,
     )?;
     events.push(TraceEvent::Populate {
         len: scaled.footprint(),
@@ -284,6 +330,12 @@ pub fn capture_engine_run_dynamic(
 /// [`TraceEvent::InterleaveData`] setup events, replication as
 /// [`TraceEvent::Replicate`], so replay reconstructs the exact Figure 9
 /// system state before feeding the lanes back.
+///
+/// `params.threads_per_socket` threads run on every socket (the paper's
+/// machines run many threads per socket, not one), so the captured trace
+/// carries `sockets × threads_per_socket` lanes — the multi-lane-per-socket
+/// shape the per-socket lane groups of
+/// [`replay_parallel_lanes`](crate::replay_parallel_lanes) shard.
 ///
 /// # Errors
 ///
@@ -352,6 +404,7 @@ pub fn capture_multisocket_scenario(
         AutoNuma::new().rebalance(&mut system, pid, &sockets)?;
         events.push(TraceEvent::AutoNumaRebalance {
             sockets: socket_mask(&sockets),
+            staggered: false,
         });
     }
     if config.mitosis {
@@ -361,7 +414,7 @@ pub fn capture_multisocket_scenario(
         });
     }
 
-    let threads = ExecutionEngine::one_thread_per_socket(&system, &sockets);
+    let threads = ExecutionEngine::threads_for(&system, &sockets, params.threads_per_socket);
     let (live_metrics, lanes) = run_and_record(
         &mut system,
         &mut mitosis,
@@ -476,6 +529,7 @@ pub fn capture_migration_scenario(
             .set_interference(Interference::on([b]));
         events.push(TraceEvent::Interference {
             sockets: NodeMask::from_bits(1 << b.index()).bits(),
+            staggered: false,
         });
     }
 

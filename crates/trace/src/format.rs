@@ -50,7 +50,15 @@ use std::io::{self, Read, Write};
 ///   [`TraceEvent::InterleaveData`].  The wire format is unchanged — v1/v2
 ///   readers would reject only the new codes, so the version bump marks
 ///   traces that may carry them.
-pub const TRACE_VERSION: u32 = 3;
+/// * 4 — staggered (per-thread) phase boundaries: the mid-lane markers
+///   [`TraceEvent::MigrateData`], [`TraceEvent::AutoNumaRebalance`] and
+///   [`TraceEvent::Interference`] gain an optional trailing `staggered`
+///   argument.  A staggered marker applies only to the lane it is recorded
+///   in, so lanes of one trace may legitimately carry *different* markers
+///   (the pre-v4 invariant was all-lanes-agree).  Unstaggered events encode
+///   exactly as in v3 (the argument is simply absent), so v4 bodies without
+///   staggered markers are byte-identical to v3 bodies.
+pub const TRACE_VERSION: u32 = 4;
 
 /// Oldest format version [`TraceReader`] still accepts.
 pub const TRACE_MIN_VERSION: u32 = 1;
@@ -363,6 +371,10 @@ pub enum TraceEvent {
     Interference {
         /// Bit mask of interfered sockets.
         sockets: u64,
+        /// Mid-lane only (format v4): the toggle was observed only by the
+        /// lane carrying this marker (a staggered per-thread boundary).
+        /// Always `false` for setup events.
+        staggered: bool,
     },
     /// Free-form positional marker (also usable inside lanes).
     Marker(u64),
@@ -372,6 +384,11 @@ pub enum TraceEvent {
     MigrateData {
         /// Destination socket of the data pages.
         socket: u16,
+        /// Format v4: the migration was observed only by the lane carrying
+        /// this marker (a staggered per-thread boundary); the other lanes
+        /// kept translating through their warm TLBs until a boundary of
+        /// their own.
+        staggered: bool,
     },
     /// The page-table replica set was set to exactly the masked sockets
     /// (empty mask = every replica dropped).  Setup event when Mitosis
@@ -386,6 +403,10 @@ pub enum TraceEvent {
     AutoNumaRebalance {
         /// Bit mask of participating sockets.
         sockets: u64,
+        /// Format v4: the rebalance was observed only by the lane carrying
+        /// this marker (a staggered per-thread boundary).  Always `false`
+        /// for setup events.
+        staggered: bool,
     },
     /// Data placement was interleaved across the masked sockets (the
     /// multi-socket scenario's `I` configurations).
@@ -397,6 +418,16 @@ pub enum TraceEvent {
 
 impl TraceEvent {
     fn encode(self) -> (u64, [u64; 3], usize) {
+        // Staggerable markers append their flag as an optional trailing
+        // argument (format v4): unstaggered events omit it, which keeps
+        // their encoding byte-identical to v3.
+        let staggerable = |code: u64, first: u64, staggered: bool| {
+            if staggered {
+                (code, [first, 1, 0], 2)
+            } else {
+                (code, [first, 0, 0], 1)
+            }
+        };
         match self {
             TraceEvent::InstallMitosis => (1, [0; 3], 0),
             TraceEvent::SetThp(always) => (2, [always as u64, 0, 0], 1),
@@ -410,11 +441,15 @@ impl TraceEvent {
                 sockets,
             } => (7, [len, parallel as u64, sockets], 3),
             TraceEvent::MigratePageTable { socket } => (8, [socket as u64, 0, 0], 1),
-            TraceEvent::Interference { sockets } => (9, [sockets, 0, 0], 1),
+            TraceEvent::Interference { sockets, staggered } => staggerable(9, sockets, staggered),
             TraceEvent::Marker(value) => (10, [value, 0, 0], 1),
-            TraceEvent::MigrateData { socket } => (11, [socket as u64, 0, 0], 1),
+            TraceEvent::MigrateData { socket, staggered } => {
+                staggerable(11, socket as u64, staggered)
+            }
             TraceEvent::Replicate { sockets } => (12, [sockets, 0, 0], 1),
-            TraceEvent::AutoNumaRebalance { sockets } => (13, [sockets, 0, 0], 1),
+            TraceEvent::AutoNumaRebalance { sockets, staggered } => {
+                staggerable(13, sockets, staggered)
+            }
             TraceEvent::InterleaveData { sockets } => (14, [sockets, 0, 0], 1),
         }
     }
@@ -425,6 +460,10 @@ impl TraceEvent {
                 .copied()
                 .ok_or(TraceError::Corrupt("event is missing arguments"))
         };
+        // The staggered flag is an optional trailing argument: absent in
+        // v1–v3 traces (and in unstaggered v4 events), present only on the
+        // three staggerable mid-lane markers.
+        let staggered = |i: usize| args.get(i).copied().unwrap_or(0) != 0;
         let socket = |i: usize| -> Result<u16, TraceError> {
             u16::try_from(arg(i)?).map_err(|_| TraceError::Corrupt("socket index overflows u16"))
         };
@@ -445,14 +484,41 @@ impl TraceEvent {
                 sockets: arg(2)?,
             },
             8 => TraceEvent::MigratePageTable { socket: socket(0)? },
-            9 => TraceEvent::Interference { sockets: arg(0)? },
+            9 => TraceEvent::Interference {
+                sockets: arg(0)?,
+                staggered: staggered(1),
+            },
             10 => TraceEvent::Marker(arg(0)?),
-            11 => TraceEvent::MigrateData { socket: socket(0)? },
+            11 => TraceEvent::MigrateData {
+                socket: socket(0)?,
+                staggered: staggered(1),
+            },
             12 => TraceEvent::Replicate { sockets: arg(0)? },
-            13 => TraceEvent::AutoNumaRebalance { sockets: arg(0)? },
+            13 => TraceEvent::AutoNumaRebalance {
+                sockets: arg(0)?,
+                staggered: staggered(1),
+            },
             14 => TraceEvent::InterleaveData { sockets: arg(0)? },
             other => return Err(TraceError::UnknownEvent(other)),
         })
+    }
+
+    /// Whether this event is a staggered mid-lane marker — one that applies
+    /// only to the lane it is recorded in (format v4).
+    pub fn staggered(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Interference {
+                staggered: true,
+                ..
+            } | TraceEvent::MigrateData {
+                staggered: true,
+                ..
+            } | TraceEvent::AutoNumaRebalance {
+                staggered: true,
+                ..
+            }
+        )
     }
 }
 
@@ -909,7 +975,10 @@ mod tests {
                     sockets: 0b1111,
                 },
                 TraceEvent::MigratePageTable { socket: 0 },
-                TraceEvent::Interference { sockets: 0b10 },
+                TraceEvent::Interference {
+                    sockets: 0b10,
+                    staggered: false,
+                },
                 TraceEvent::InterleaveData { sockets: 0b1111 },
             ],
             lanes: vec![
@@ -927,10 +996,36 @@ mod tests {
                     ],
                     events: vec![
                         (1, TraceEvent::Marker(42)),
-                        (1, TraceEvent::MigrateData { socket: 1 }),
+                        (
+                            1,
+                            TraceEvent::MigrateData {
+                                socket: 1,
+                                staggered: false,
+                            },
+                        ),
                         (1, TraceEvent::Replicate { sockets: 0b11 }),
                         (2, TraceEvent::Replicate { sockets: 0 }),
-                        (2, TraceEvent::AutoNumaRebalance { sockets: 0b1111 }),
+                        (
+                            2,
+                            TraceEvent::AutoNumaRebalance {
+                                sockets: 0b1111,
+                                staggered: false,
+                            },
+                        ),
+                        (
+                            2,
+                            TraceEvent::MigrateData {
+                                socket: 2,
+                                staggered: true,
+                            },
+                        ),
+                        (
+                            2,
+                            TraceEvent::Interference {
+                                sockets: 0b1,
+                                staggered: true,
+                            },
+                        ),
                     ],
                 },
                 TraceLane {
@@ -945,6 +1040,75 @@ mod tests {
         };
         let bytes = trace.to_bytes().unwrap();
         assert_eq!(Trace::from_bytes(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn staggered_markers_flag_only_the_v4_variants() {
+        assert!(TraceEvent::MigrateData {
+            socket: 1,
+            staggered: true
+        }
+        .staggered());
+        assert!(TraceEvent::Interference {
+            sockets: 0b1,
+            staggered: true
+        }
+        .staggered());
+        assert!(TraceEvent::AutoNumaRebalance {
+            sockets: 0b11,
+            staggered: true
+        }
+        .staggered());
+        assert!(!TraceEvent::MigrateData {
+            socket: 1,
+            staggered: false
+        }
+        .staggered());
+        assert!(!TraceEvent::Replicate { sockets: 0b11 }.staggered());
+        assert!(!TraceEvent::Marker(7).staggered());
+    }
+
+    #[test]
+    fn unstaggered_v4_bodies_match_the_v3_encoding() {
+        // The staggered flag is an optional trailing argument: a trace
+        // without staggered markers must encode byte-identically to the v3
+        // writer, except for the version word in the header.
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![
+                TraceEvent::CreateProcess { socket: 0 },
+                TraceEvent::Interference {
+                    sockets: 0b10,
+                    staggered: false,
+                },
+            ],
+            lanes: vec![TraceLane {
+                socket: 0,
+                accesses: vec![Access {
+                    offset: 64,
+                    is_write: false,
+                }],
+                events: vec![(
+                    1,
+                    TraceEvent::MigrateData {
+                        socket: 1,
+                        staggered: false,
+                    },
+                )],
+            }],
+        };
+        let bytes = trace.to_bytes().unwrap();
+        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 4);
+        // Rewrite the version word to 3 and fix up the checksum: the body
+        // must decode identically, proving nothing else changed.
+        let mut v3 = bytes.clone();
+        v3[4..8].copy_from_slice(&3u32.to_le_bytes());
+        let body_end = v3.len() - 8;
+        let mut hash = Fnv64::new();
+        hash.update(&v3[..body_end]);
+        let checksum = hash.0;
+        v3[body_end..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(Trace::from_bytes(&v3).unwrap(), trace);
     }
 
     #[test]

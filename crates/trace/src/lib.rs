@@ -20,8 +20,9 @@
 //!   live run's [`RunMetrics`](mitosis_sim::RunMetrics) bit-for-bit;
 //! * [`parallel`] shards N traces across worker threads — each replay owns
 //!   its own system and per-core MMU models — and merges the metrics;
-//!   [`replay_parallel_lanes`] shards the *lanes* of a single trace for
-//!   single-trace speedups on many-core hosts.
+//!   [`replay_parallel_lanes`] shards the *lanes* of a single trace as
+//!   per-socket lane groups for single-trace speedups on many-core hosts,
+//!   deciding shardability up front from the trace's setup events.
 //!
 //! # Example
 //!
@@ -60,9 +61,9 @@ pub use format::{
 };
 pub use parallel::{
     replay_parallel, replay_parallel_lanes, replay_sequential, LaneReplayReport, ReplayAggregate,
-    ReplayReport,
+    ReplayReport, ShardDecision,
 };
 pub use replay::{
-    replay_trace, replay_trace_lane, replay_trace_with, LaneCursor, ReplayError, ReplayOptions,
-    ReplayOutcome, TraceReplayer,
+    replay_trace, replay_trace_lane, replay_trace_lanes, replay_trace_with, LaneCursor,
+    MachineMismatch, ReplayError, ReplayOptions, ReplayOutcome, TraceReplayer,
 };

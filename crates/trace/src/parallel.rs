@@ -9,19 +9,28 @@
 //! per-trace metrics are bit-identical to sequential replay (and to the
 //! live runs); only wall-clock time changes.
 //!
-//! [`replay_parallel_lanes`] shards *within* one trace: each worker
-//! reconstructs the captured system independently and replays a disjoint
-//! subset of the lanes, and the per-lane metrics are merged in lane order.
-//! The merge is bit-identical to whole-trace replay when the lanes are
-//! independent — one thread per distinct socket (so per-socket cache state
-//! is disjoint) and no demand faults during the measured phase (so the
-//! allocator never arbitrates between lanes).  The driver verifies both
-//! conditions and falls back to serial whole-trace replay when sharding
-//! could diverge, so the result is *always* correct.
+//! [`replay_parallel_lanes`] shards *within* one trace, at the granularity
+//! of **per-socket lane groups**: lanes are partitioned by the socket their
+//! thread ran on, each group replays its lanes in lane order against one
+//! independently reconstructed system, and the per-group metrics merge
+//! deterministically.  Grouping by socket is what makes the merge
+//! bit-identical to whole-trace replay — lanes sharing a socket interact
+//! through that socket's page-table-line cache and therefore stay
+//! together, while lanes on different sockets touch disjoint caches.  The
+//! one remaining cross-group channel is the frame allocator: a demand
+//! fault allocates, so earlier lanes' faults shape what later lanes see.
+//! Rather than replaying first and checking for faults afterwards (paying
+//! for a parallel *and* a serial replay on the fallback path), the driver
+//! performs an **up-front shardability analysis**: if the setup events
+//! premap every page the lanes touch, no demand fault is possible and the
+//! groups shard; otherwise the replay goes serial *before* any worker is
+//! spawned.  [`LaneReplayReport::decision`] records which way it went and
+//! why.
 
-use crate::format::Trace;
+use crate::format::{Trace, TraceEvent};
 use crate::replay::{replay_trace, ReplayError, ReplayOptions, ReplayOutcome, TraceReplayer};
 use mitosis_sim::{RunMetrics, SimParams};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -164,6 +173,56 @@ pub fn replay_parallel(
     ReplayReport::collect(results, start.elapsed())
 }
 
+/// Why [`replay_parallel_lanes`] did — or did not — shard a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardDecision {
+    /// The lanes were partitioned into per-socket groups and replayed in
+    /// parallel.
+    Sharded,
+    /// The trace has a single lane: nothing to shard.
+    SingleLane,
+    /// Fewer than two workers were requested.
+    SingleWorker,
+    /// Every lane runs on one socket, so all lanes share page-table-line
+    /// cache state and form a single group: no parallelism to win.
+    SingleSocketGroup,
+    /// The setup events do not premap every page the lanes touch, so
+    /// demand faults during the measured phase are possible; faulting
+    /// lanes interact through the frame allocator and cannot shard.  The
+    /// replay went serial *before* any worker was spawned.
+    DemandFaultRisk,
+    /// Defensive fallback: a group replay took a demand fault the up-front
+    /// analysis did not predict (this indicates an analysis bug and cannot
+    /// happen for captured traces); the driver re-ran serially so the
+    /// metrics stay bit-identical to [`replay_trace`].
+    DemandFaultsObserved,
+}
+
+impl ShardDecision {
+    /// `true` when the lanes were actually replayed in parallel.
+    pub fn sharded(&self) -> bool {
+        matches!(self, ShardDecision::Sharded)
+    }
+}
+
+impl fmt::Display for ShardDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            ShardDecision::Sharded => "sharded into per-socket lane groups",
+            ShardDecision::SingleLane => "serial: single-lane trace",
+            ShardDecision::SingleWorker => "serial: one worker requested",
+            ShardDecision::SingleSocketGroup => "serial: all lanes on one socket",
+            ShardDecision::DemandFaultRisk => {
+                "serial: premapped footprint does not cover the lanes (demand-fault risk)"
+            }
+            ShardDecision::DemandFaultsObserved => {
+                "serial: unpredicted demand faults observed during group replay"
+            }
+        };
+        f.write_str(what)
+    }
+}
+
 /// Result of a lane-granular parallel replay of one trace.
 #[derive(Debug, Clone)]
 pub struct LaneReplayReport {
@@ -172,16 +231,30 @@ pub struct LaneReplayReport {
     pub outcome: ReplayOutcome,
     /// Number of lanes in the trace.
     pub lanes: usize,
-    /// `true` if the lanes were actually sharded across workers; `false`
-    /// if the driver fell back to serial whole-trace replay (single lane,
-    /// one worker, duplicate sockets, or demand faults during the measured
-    /// phase).
-    pub sharded: bool,
-    /// Wall-clock time of the replay on the host.
+    /// Number of distinct per-socket lane groups the lanes partition into
+    /// (informative even when the replay went serial).
+    pub groups: usize,
+    /// Worker threads actually spawned (1 for a serial replay that never
+    /// spawned any).
+    pub workers: usize,
+    /// Whether the lanes sharded, and if not, why.
+    pub decision: ShardDecision,
+    /// Wall-clock time of the replay on the host.  On a serial fallback
+    /// this is the fallback's own cost: the shardability analysis runs
+    /// before any replay, so a declined shard never pays for a discarded
+    /// parallel attempt.  The one exception is the defensive
+    /// [`ShardDecision::DemandFaultsObserved`] path, where a parallel
+    /// replay really did run and really was discarded — its cost is
+    /// included, because it was paid.
     pub wall: Duration,
 }
 
 impl LaneReplayReport {
+    /// `true` if the lanes were actually sharded across workers.
+    pub fn sharded(&self) -> bool {
+        self.decision.sharded()
+    }
+
     /// Replayed accesses per host second.
     pub fn accesses_per_second(&self) -> f64 {
         if self.wall.is_zero() {
@@ -191,22 +264,96 @@ impl LaneReplayReport {
     }
 }
 
+/// Partitions the lanes of `trace` into per-socket groups: one group per
+/// distinct socket, each holding its lanes' indices in ascending lane
+/// order, groups ordered by first appearance.  Sized by the trace's
+/// machine fingerprint (not a hard-coded cap — a lane on socket 3000 of
+/// some future rack-scale fingerprint grouping works the same as socket 0),
+/// falling back to the maximum lane socket for fingerprint-less v1 traces.
+fn lane_groups(trace: &Trace) -> Vec<Vec<usize>> {
+    let sockets = (trace.meta.machine.sockets as usize).max(
+        trace
+            .lanes
+            .iter()
+            .map(|lane| lane.socket as usize + 1)
+            .max()
+            .unwrap_or(0),
+    );
+    let mut group_of_socket: Vec<Option<usize>> = vec![None; sockets];
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (index, lane) in trace.lanes.iter().enumerate() {
+        let socket = lane.socket as usize;
+        match group_of_socket[socket] {
+            Some(group) => groups[group].push(index),
+            None => {
+                group_of_socket[socket] = Some(groups.len());
+                groups.push(vec![index]);
+            }
+        }
+    }
+    groups
+}
+
+/// The number of bytes from the region start that the setup events premap
+/// (populate or `MAP_POPULATE`), or `None` when the setup is too unusual to
+/// analyse (no single mmap).  Every byte below the returned length is
+/// mapped before the measured phase begins — and no mid-lane phase change
+/// unmaps (migrations and replica changes remap pages, they never leave a
+/// hole) — so accesses within it can never demand-fault.
+fn premapped_bytes(trace: &Trace) -> Option<u64> {
+    let mut mmaps = 0usize;
+    let mut covered = 0u64;
+    for event in &trace.setup_events {
+        match *event {
+            TraceEvent::Mmap { len, populate, .. } => {
+                mmaps += 1;
+                if populate {
+                    covered = covered.max(len);
+                }
+            }
+            TraceEvent::Populate { len, .. } => covered = covered.max(len),
+            _ => {}
+        }
+    }
+    (mmaps == 1).then_some(covered)
+}
+
+/// Whether the premapped footprint covers every access of every lane — the
+/// up-front proof that the measured phase cannot demand-fault, and hence
+/// that the frame allocator (the one cross-group channel left after
+/// per-socket grouping) evolves identically in every group's reconstructed
+/// system.
+fn lanes_fully_premapped(trace: &Trace) -> bool {
+    let Some(covered) = premapped_bytes(trace) else {
+        return false;
+    };
+    trace.lanes.iter().all(|lane| {
+        lane.accesses
+            .iter()
+            // `| 7` is the last byte of the 8-byte word the engine reads.
+            .all(|access| (access.offset | 7) < covered)
+    })
+}
+
 /// Replays a single trace with its lanes sharded across up to `workers`
-/// host threads, merging the per-lane metrics deterministically.
+/// host threads as **per-socket lane groups**, merging the per-group
+/// metrics deterministically.
 ///
-/// Every worker reconstructs the captured system from the setup events (and
-/// re-applies the mid-lane phase-change schedule at the same boundaries),
-/// then replays a disjoint subset of lanes; the per-lane [`RunMetrics`] are
-/// merged in lane order.  Sharding requires independent lanes — each lane
-/// on a distinct socket and no demand faults in the measured phase; when
-/// either condition fails the driver transparently falls back to serial
-/// whole-trace replay, so the merged metrics are bit-identical to
-/// [`replay_trace`] in every case.
+/// Every worker reconstructs the captured system from the setup events
+/// (and re-applies the mid-lane phase-change schedule at the same
+/// boundaries), then replays whole lane groups — all lanes of one socket,
+/// in lane order — so multi-thread-per-socket captures still shard, one
+/// group per socket.  Sharding is decided *before* any worker is spawned
+/// by a static shardability analysis (see [`ShardDecision`]): the setup
+/// events must premap every page the lanes touch, which proves the
+/// measured phase cannot demand-fault.  When the analysis declines, the
+/// driver transparently replays serially, so the merged metrics are
+/// bit-identical to [`replay_trace`] in every case.
 ///
 /// # Errors
 ///
-/// Fails if any lane (or the fallback whole-trace replay) does not replay;
-/// the first error in lane order is returned.
+/// Fails if any lane group (or the serial whole-trace replay) does not
+/// replay; the first error in group order is returned.
 ///
 /// # Panics
 ///
@@ -222,41 +369,62 @@ pub fn replay_parallel_lanes(
     );
     let start = Instant::now();
     let lanes = trace.lanes.len();
+    let groups = lane_groups(trace);
 
-    let serial = |start: Instant| -> Result<LaneReplayReport, ReplayError> {
+    let serial = |decision: ShardDecision,
+                  groups: usize,
+                  workers: usize,
+                  start: Instant|
+     -> Result<LaneReplayReport, ReplayError> {
         let outcome = replay_trace(trace, params)?;
         Ok(LaneReplayReport {
             outcome,
             lanes,
-            sharded: false,
+            groups,
+            workers,
+            decision,
             wall: start.elapsed(),
         })
     };
 
-    let mut seen_sockets = [false; 64];
-    let distinct_sockets = trace.lanes.iter().all(|lane| {
-        let index = lane.socket as usize;
-        index < 64 && !std::mem::replace(&mut seen_sockets[index], true)
-    });
-    if workers < 2 || lanes < 2 || !distinct_sockets {
-        return serial(start);
+    // Up-front shardability analysis: every reason to go serial is known
+    // before the first worker spawns, so the serial path never pays for a
+    // discarded parallel replay.
+    let decision = if lanes < 2 {
+        Some(ShardDecision::SingleLane)
+    } else if workers < 2 {
+        Some(ShardDecision::SingleWorker)
+    } else if groups.len() < 2 {
+        Some(ShardDecision::SingleSocketGroup)
+    } else if !lanes_fully_premapped(trace) {
+        Some(ShardDecision::DemandFaultRisk)
+    } else {
+        None
+    };
+    if let Some(decision) = decision {
+        return serial(decision, groups.len(), 1, start);
     }
 
+    let spawned = workers.min(groups.len());
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<Result<ReplayOutcome, ReplayError>>>> =
-        Mutex::new((0..lanes).map(|_| None).collect());
+        Mutex::new((0..groups.len()).map(|_| None).collect());
     thread::scope(|scope| {
-        for _ in 0..workers.min(lanes) {
+        for _ in 0..spawned {
             scope.spawn(|| {
                 let mut replayer = TraceReplayer::new();
                 loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= lanes {
+                    if index >= groups.len() {
                         break;
                     }
-                    let outcome =
-                        replayer.replay_lane(trace, params, ReplayOptions::default(), index);
-                    results.lock().expect("lane worker poisoned the results")[index] =
+                    let outcome = replayer.replay_lanes(
+                        trace,
+                        params,
+                        ReplayOptions::default(),
+                        &groups[index],
+                    );
+                    results.lock().expect("group worker poisoned the results")[index] =
                         Some(outcome);
                 }
             });
@@ -265,36 +433,47 @@ pub fn replay_parallel_lanes(
 
     let results = results
         .into_inner()
-        .expect("lane worker poisoned the results");
-    let mut outcomes = Vec::with_capacity(lanes);
+        .expect("group worker poisoned the results");
+    let mut outcomes = Vec::with_capacity(groups.len());
     for result in results {
-        outcomes.push(result.expect("every lane index was claimed by a worker")?);
+        outcomes.push(result.expect("every group index was claimed by a worker")?);
     }
     if outcomes
         .iter()
         .any(|outcome| outcome.metrics.demand_faults > 0)
     {
-        // Demand faults allocate frames: in a whole-trace replay earlier
-        // lanes' faults shape what later lanes see, which independent
-        // per-lane systems cannot reproduce.  Correctness over speed.
-        return serial(start);
+        // The analysis proved this impossible; if it ever fires anyway,
+        // favour correctness and eat the extra serial replay.  The report
+        // stays honest: the spawned workers and the discarded parallel
+        // attempt's cost are both included.
+        return serial(
+            ShardDecision::DemandFaultsObserved,
+            groups.len(),
+            spawned,
+            start,
+        );
     }
     let mut merged = RunMetrics::default();
     for outcome in &outcomes {
         merged.merge(&outcome.metrics);
     }
-    let spec = outcomes
+    let first = outcomes
         .into_iter()
         .next()
-        .expect("at least two lanes were replayed")
-        .spec;
+        .expect("at least two groups were replayed");
     Ok(LaneReplayReport {
         outcome: ReplayOutcome {
             metrics: merged,
-            spec,
+            spec: first.spec,
+            // Lane-granular replay is always strict (no ReplayOptions
+            // plumbing): a fingerprint mismatch errors out before any
+            // outcome exists, so there is never a downgrade to record.
+            machine_mismatch: None,
         },
         lanes,
-        sharded: true,
+        groups: groups.len(),
+        workers: spawned,
+        decision: ShardDecision::Sharded,
         wall: start.elapsed(),
     })
 }
@@ -343,5 +522,123 @@ mod tests {
         let report = replay_parallel(&traces, &params, 64).unwrap();
         assert_eq!(report.aggregate.traces, 2);
         assert!(report.accesses_per_second() > 0.0);
+    }
+
+    fn synthetic_trace(fingerprint_sockets: u16, lane_sockets: &[u16]) -> Trace {
+        use crate::format::{MachineFingerprint, TraceLane, TraceMeta};
+        Trace {
+            meta: TraceMeta {
+                workload: "GUPS".into(),
+                footprint: 1 << 26,
+                seed: 1,
+                write_fraction: 0.5,
+                compute_cycles_per_access: 5,
+                bandwidth_intensity: 0.9,
+                machine: MachineFingerprint {
+                    machine_scale: 1,
+                    sockets: fingerprint_sockets,
+                    frames_per_socket: 1 << 14,
+                },
+            },
+            setup_events: vec![],
+            lanes: lane_sockets
+                .iter()
+                .map(|&socket| TraceLane::new(socket))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn lane_grouping_is_sized_by_the_machine_fingerprint() {
+        // The old driver kept a hard-coded `[bool; 64]` socket table, so a
+        // lane on socket >= 64 silently disabled sharding.  Grouping now
+        // follows the trace's fingerprint: sockets far beyond 64 partition
+        // like any others.
+        let trace = synthetic_trace(3000, &[2900, 70, 2900, 70, 0]);
+        let groups = lane_groups(&trace);
+        assert_eq!(groups, vec![vec![0, 2], vec![1, 3], vec![4]]);
+
+        // Fingerprint-less v1 traces (sockets == 0) size by the lanes
+        // themselves instead of panicking.
+        let v1 = synthetic_trace(0, &[90, 90, 1]);
+        assert_eq!(lane_groups(&v1), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn premapped_analysis_reads_the_setup_events() {
+        use crate::format::TraceEvent;
+        use mitosis_workloads::Access;
+        let mut trace = synthetic_trace(4, &[0, 1]);
+        for lane in &mut trace.lanes {
+            lane.accesses.push(Access {
+                offset: 512,
+                is_write: false,
+            });
+        }
+        // No mmap at all: unanalysable.
+        assert_eq!(premapped_bytes(&trace), None);
+        assert!(!lanes_fully_premapped(&trace));
+        // Lazy mmap without populate: nothing premapped.
+        trace.setup_events = vec![TraceEvent::Mmap {
+            len: 1 << 26,
+            populate: false,
+            thp: true,
+        }];
+        assert_eq!(premapped_bytes(&trace), Some(0));
+        assert!(!lanes_fully_premapped(&trace));
+        // A populate covers its length.
+        trace.setup_events.push(TraceEvent::Populate {
+            len: 1 << 20,
+            parallel: false,
+            sockets: 0b1,
+        });
+        assert_eq!(premapped_bytes(&trace), Some(1 << 20));
+        assert!(lanes_fully_premapped(&trace));
+        // MAP_POPULATE covers the whole mapping.
+        trace.setup_events[0] = TraceEvent::Mmap {
+            len: 1 << 26,
+            populate: true,
+            thp: true,
+        };
+        assert_eq!(premapped_bytes(&trace), Some(1 << 26));
+        // Two mmaps: conservatively unanalysable.
+        trace.setup_events.push(TraceEvent::Mmap {
+            len: 1 << 10,
+            populate: true,
+            thp: true,
+        });
+        assert_eq!(premapped_bytes(&trace), None);
+    }
+
+    #[test]
+    fn coverage_check_is_word_granular() {
+        use crate::format::TraceEvent;
+        use mitosis_workloads::Access;
+        let mut trace = synthetic_trace(4, &[0, 1]);
+        trace.setup_events = vec![
+            TraceEvent::Mmap {
+                len: 1 << 26,
+                populate: false,
+                thp: true,
+            },
+            TraceEvent::Populate {
+                len: 4096,
+                parallel: false,
+                sockets: 0b1,
+            },
+        ];
+        // Last fully covered word starts at 4088.
+        trace.lanes[0].accesses.push(Access {
+            offset: 4088,
+            is_write: false,
+        });
+        assert!(lanes_fully_premapped(&trace));
+        // An access whose 8-byte word crosses the premapped boundary is
+        // not covered.
+        trace.lanes[1].accesses.push(Access {
+            offset: 4096,
+            is_write: false,
+        });
+        assert!(!lanes_fully_premapped(&trace));
     }
 }

@@ -107,9 +107,10 @@ impl AccessSource for LaneCursor<'_> {
 /// Knobs for [`replay_trace_with`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReplayOptions {
-    /// Proceed (with a warning on stderr) when the trace's recorded machine
-    /// fingerprint does not match the replay machine.  The replayed metrics
-    /// are then **not** comparable to the capture's.
+    /// Proceed when the trace's recorded machine fingerprint does not match
+    /// the replay machine; the downgraded mismatch is recorded on
+    /// [`ReplayOutcome::machine_mismatch`].  The replayed metrics are then
+    /// **not** comparable to the capture's.
     pub force_machine: bool,
 }
 
@@ -126,6 +127,27 @@ impl ReplayOptions {
     }
 }
 
+/// A machine-fingerprint mismatch that was downgraded to a recorded
+/// warning by [`ReplayOptions::force_machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineMismatch {
+    /// The machine the trace was captured on.
+    pub captured: MachineFingerprint,
+    /// The machine the replay actually ran on.
+    pub replayed: MachineFingerprint,
+}
+
+impl fmt::Display for MachineMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace captured on a different machine (trace: {}; replay: {}); \
+             metrics will not match the capture",
+            self.captured, self.replayed
+        )
+    }
+}
+
 /// Result of replaying one trace.
 #[derive(Debug, Clone)]
 pub struct ReplayOutcome {
@@ -134,6 +156,11 @@ pub struct ReplayOutcome {
     pub metrics: RunMetrics,
     /// The workload spec the replay resolved from the trace header.
     pub spec: WorkloadSpec,
+    /// `Some` when [`ReplayOptions::force_machine`] downgraded a machine
+    /// fingerprint mismatch: the replay ran, but its metrics are not
+    /// comparable to the capture's.  Library callers (and tests) observe
+    /// the downgrade here instead of on stderr.
+    pub machine_mismatch: Option<MachineMismatch>,
 }
 
 fn sockets_of_mask(mask: u64) -> Vec<SocketId> {
@@ -147,7 +174,7 @@ fn sockets_of_mask(mask: u64) -> Vec<SocketId> {
 /// that are only meaningful as setup (or the free-form [`TraceEvent::Marker`]).
 fn phase_change_of_event(event: TraceEvent) -> Option<PhaseChange> {
     match event {
-        TraceEvent::MigrateData { socket } => Some(PhaseChange::MigrateData {
+        TraceEvent::MigrateData { socket, .. } => Some(PhaseChange::MigrateData {
             target: SocketId::new(socket),
         }),
         TraceEvent::MigratePageTable { socket } => Some(PhaseChange::MigratePageTable {
@@ -156,39 +183,46 @@ fn phase_change_of_event(event: TraceEvent) -> Option<PhaseChange> {
         TraceEvent::Replicate { sockets } => Some(PhaseChange::SetReplicas {
             sockets: NodeMask::from_bits(sockets),
         }),
-        TraceEvent::AutoNumaRebalance { sockets } => Some(PhaseChange::AutoNumaRebalance {
+        TraceEvent::AutoNumaRebalance { sockets, .. } => Some(PhaseChange::AutoNumaRebalance {
             sockets: NodeMask::from_bits(sockets),
         }),
-        TraceEvent::Interference { sockets } => Some(PhaseChange::SetInterference {
+        TraceEvent::Interference { sockets, .. } => Some(PhaseChange::SetInterference {
             sockets: NodeMask::from_bits(sockets),
         }),
         _ => None,
     }
 }
 
-/// Rebuilds the phase-change schedule from the mid-lane markers.
+/// Rebuilds the phase-change schedule from the mid-lane markers — a
+/// per-lane reconstruction.
 ///
-/// The capture writes the same markers into every lane (events fire at one
-/// access boundary across all threads); the redundancy doubles as an
-/// integrity check here.  Free-form [`TraceEvent::Marker`]s are ignored.
+/// Global phase changes fire at one boundary across all threads, so the
+/// capture writes their markers into every lane; those markers must agree
+/// across lanes, and the redundancy doubles as an integrity check here.
+/// *Staggered* markers (format v4) are observed by one thread only and
+/// live in that thread's lane alone: each lane's staggered markers are
+/// lifted back into thread-filtered [`PhaseEvent`]s targeting that lane's
+/// thread index, so the lanes of a staggered capture legitimately
+/// disagree.  Free-form [`TraceEvent::Marker`]s are ignored.
 fn schedule_of_lanes(lanes: &[TraceLane]) -> Result<PhaseSchedule, ReplayError> {
     // Free-form `Marker`s are not phase changes: they may legitimately
     // differ between lanes (and did not constrain replay before dynamic
     // scenarios existed), so they are filtered out before the cross-lane
-    // consistency check.
-    let phase_events = |lane: &TraceLane| -> Vec<(u64, TraceEvent)> {
+    // consistency check, as are the explicitly per-lane staggered markers.
+    let global_events = |lane: &TraceLane| -> Vec<(u64, TraceEvent)> {
         lane.events
             .iter()
-            .filter(|(_, event)| !matches!(event, TraceEvent::Marker(_)))
+            .filter(|(_, event)| !matches!(event, TraceEvent::Marker(_)) && !event.staggered())
             .copied()
             .collect()
     };
-    let reference = phase_events(&lanes[0]);
+    let reference = global_events(&lanes[0]);
     for (index, lane) in lanes.iter().enumerate().skip(1) {
-        if phase_events(lane) != reference {
+        if global_events(lane) != reference {
             return Err(ReplayError::Mismatch(format!(
                 "lane {index} disagrees with lane 0 on mid-lane phase events \
-                 (phase changes must fire at one boundary across all threads)"
+                 (unstaggered phase changes must fire at one boundary across \
+                 all threads)"
             )));
         }
     }
@@ -198,6 +232,7 @@ fn schedule_of_lanes(lanes: &[TraceLane]) -> Result<PhaseSchedule, ReplayError> 
             Some(change) => events.push(PhaseEvent {
                 at_access: position,
                 change,
+                thread: None,
             }),
             None => {
                 return Err(ReplayError::Mismatch(format!(
@@ -206,6 +241,20 @@ fn schedule_of_lanes(lanes: &[TraceLane]) -> Result<PhaseSchedule, ReplayError> 
             }
         }
     }
+    for (thread, lane) in lanes.iter().enumerate() {
+        for &(position, event) in lane.events.iter().filter(|(_, e)| e.staggered()) {
+            let change = phase_change_of_event(event)
+                .expect("staggered markers are phase changes by construction");
+            events.push(PhaseEvent {
+                at_access: position,
+                change,
+                thread: Some(thread),
+            });
+        }
+    }
+    // `from_events` re-sorts into the canonical firing order (globals
+    // before staggered, staggered by thread), which is exactly the order
+    // the capture fired and recorded them in — the round trip is exact.
     Ok(PhaseSchedule::from_events(events))
 }
 
@@ -220,6 +269,7 @@ struct PreparedReplay {
     accesses_per_thread: u64,
     schedule: PhaseSchedule,
     machine: MachineFingerprint,
+    machine_mismatch: Option<MachineMismatch>,
 }
 
 /// Replays `trace` on a fresh system built from `params` and returns the
@@ -276,6 +326,34 @@ pub fn replay_trace_lane(
     lane: usize,
 ) -> Result<ReplayOutcome, ReplayError> {
     TraceReplayer::new().replay_lane(trace, params, options, lane)
+}
+
+/// Replays a subset of `trace`'s lanes — in lane order, against one
+/// freshly reconstructed system — and returns their merged metrics.
+///
+/// This is the unit of work of the per-socket lane groups in
+/// [`replay_parallel_lanes`](crate::replay_parallel_lanes): lanes sharing
+/// a socket interact through that socket's page-table-line cache, so they
+/// must replay *together* and in lane order to reproduce the whole-trace
+/// replay; lanes on other sockets touch disjoint caches and may replay in
+/// other groups.  Mid-lane phase changes are re-applied at the same
+/// boundaries; changes staggered onto lanes outside `lanes` still mutate
+/// the system (keeping its evolution identical to the whole-trace replay)
+/// without any selected lane observing them.
+///
+/// # Errors
+///
+/// Same conditions as [`replay_trace`], plus a mismatch for an empty
+/// selection, an out-of-range lane index, or a selection that is not
+/// strictly increasing (group replay is order-sensitive, so a shuffled
+/// selection would silently diverge).
+pub fn replay_trace_lanes(
+    trace: &Trace,
+    params: &SimParams,
+    options: ReplayOptions,
+    lanes: &[usize],
+) -> Result<ReplayOutcome, ReplayError> {
+    TraceReplayer::new().replay_lanes(trace, params, options, lanes)
 }
 
 /// A reusable replay driver: keeps one [`ExecutionEngine`] (pooled MMUs,
@@ -338,23 +416,49 @@ impl TraceReplayer {
         options: ReplayOptions,
         lane: usize,
     ) -> Result<ReplayOutcome, ReplayError> {
-        if lane >= trace.lanes.len() {
+        self.replay_lanes(trace, params, options, &[lane])
+    }
+
+    /// Replays a subset of lanes in lane order against one reconstructed
+    /// system; see [`replay_trace_lanes`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_trace_lanes`].
+    pub fn replay_lanes(
+        &mut self,
+        trace: &Trace,
+        params: &SimParams,
+        options: ReplayOptions,
+        lanes: &[usize],
+    ) -> Result<ReplayOutcome, ReplayError> {
+        if lanes.is_empty() {
+            return Err(ReplayError::Mismatch("empty lane selection".into()));
+        }
+        if let Some(&lane) = lanes.iter().find(|&&lane| lane >= trace.lanes.len()) {
             return Err(ReplayError::Mismatch(format!(
                 "lane {lane} out of range: trace has {} lanes",
                 trace.lanes.len()
             )));
         }
+        if lanes.windows(2).any(|pair| pair[0] >= pair[1]) {
+            return Err(ReplayError::Mismatch(
+                "lane selection must be strictly increasing (lanes of a group \
+                 replay in lane order)"
+                    .into(),
+            ));
+        }
         let prepared = prepare_replay(trace, params, options)?;
-        self.run_lanes(prepared, trace, Some(lane))
+        self.run_lanes(prepared, trace, Some(lanes))
     }
 
     /// Runs the measured phase of a prepared replay over all lanes
-    /// (`lane == None`) or a single one.
+    /// (`selection == None`) or an ordered subset.
     fn run_lanes(
         &mut self,
         prepared: PreparedReplay,
         trace: &Trace,
-        lane: Option<usize>,
+        selection: Option<&[usize]>,
     ) -> Result<ReplayOutcome, ReplayError> {
         let PreparedReplay {
             mut system,
@@ -365,10 +469,22 @@ impl TraceReplayer {
             accesses_per_thread,
             schedule,
             machine,
+            machine_mismatch,
         } = prepared;
-        let selected: Vec<&crate::format::TraceLane> = match lane {
-            Some(index) => vec![&trace.lanes[index]],
+        let selected: Vec<&crate::format::TraceLane> = match selection {
+            Some(indices) => indices.iter().map(|&index| &trace.lanes[index]).collect(),
             None => trace.lanes.iter().collect(),
+        };
+        // Thread filters in the reconstructed schedule index the *trace's*
+        // lanes; the engine indexes the threads it actually runs.  Remap:
+        // a filter naming a selected lane becomes that lane's local index,
+        // one naming an absent lane goes out of range (the change still
+        // fires, no local thread observes it), keeping the system evolution
+        // of every lane subset identical to the whole-trace replay.
+        let schedule = match selection {
+            Some(indices) => schedule
+                .retarget_threads(|lane| indices.iter().position(|&selected| selected == lane)),
+            None => schedule,
         };
         let threads: Vec<ThreadPlacement> = selected
             .iter()
@@ -406,7 +522,11 @@ impl TraceReplayer {
             &mut cursors,
             &schedule,
         )?;
-        Ok(ReplayOutcome { metrics, spec })
+        Ok(ReplayOutcome {
+            metrics,
+            spec,
+            machine_mismatch,
+        })
     }
 }
 
@@ -418,13 +538,15 @@ fn prepare_replay(
     options: ReplayOptions,
 ) -> Result<PreparedReplay, ReplayError> {
     let expected = MachineFingerprint::for_params(params);
+    let mut machine_mismatch = None;
     if trace.meta.machine != expected {
         if options.force_machine {
-            eprintln!(
-                "warning: replaying a trace captured on a different machine \
-                 (trace: {}; replay: {}); metrics will not match the capture",
-                trace.meta.machine, expected
-            );
+            // Recorded on the outcome (not printed): library callers and
+            // tests observe the downgrade without capturing stderr.
+            machine_mismatch = Some(MachineMismatch {
+                captured: trace.meta.machine,
+                replayed: expected,
+            });
         } else {
             return Err(ReplayError::Mismatch(format!(
                 "trace was captured on a different machine (trace: {}; replay: {}); \
@@ -534,7 +656,12 @@ fn prepare_replay(
                 }
                 mitosis.migrate_page_table(&mut system, pid, SocketId::new(socket), true)?;
             }
-            TraceEvent::Interference { sockets } => {
+            TraceEvent::Interference { sockets, staggered } => {
+                if staggered {
+                    return Err(ReplayError::Mismatch(
+                        "staggered Interference recorded as a setup event".into(),
+                    ));
+                }
                 let interference = if sockets == 0 {
                     Interference::none()
                 } else {
@@ -545,7 +672,12 @@ fn prepare_replay(
                     .cost_model_mut()
                     .set_interference(interference);
             }
-            TraceEvent::MigrateData { socket } => {
+            TraceEvent::MigrateData { socket, staggered } => {
+                if staggered {
+                    return Err(ReplayError::Mismatch(
+                        "staggered MigrateData recorded as a setup event".into(),
+                    ));
+                }
                 let pid = pid.ok_or_else(|| {
                     ReplayError::Mismatch("MigrateData before CreateProcess".into())
                 })?;
@@ -566,7 +698,12 @@ fn prepare_replay(
                 }
                 mitosis.resize_replicas(&mut system, pid, NodeMask::from_bits(sockets))?;
             }
-            TraceEvent::AutoNumaRebalance { sockets } => {
+            TraceEvent::AutoNumaRebalance { sockets, staggered } => {
+                if staggered {
+                    return Err(ReplayError::Mismatch(
+                        "staggered AutoNumaRebalance recorded as a setup event".into(),
+                    ));
+                }
                 let pid = pid.ok_or_else(|| {
                     ReplayError::Mismatch("AutoNumaRebalance before CreateProcess".into())
                 })?;
@@ -626,6 +763,7 @@ fn prepare_replay(
         accesses_per_thread,
         schedule,
         machine: expected,
+        machine_mismatch,
     })
 }
 

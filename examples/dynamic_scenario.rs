@@ -78,9 +78,43 @@ fn main() {
         replay_parallel_lanes(&captured.trace, &params, workers).expect("lane-parallel replay");
     assert_eq!(report.outcome.metrics, captured.live_metrics);
     println!(
-        "  lane-granular replay ({} workers, sharded={}): identical metrics, {:.2} M accesses/s",
-        workers,
-        report.sharded,
+        "  lane-granular replay ({} workers, {} lane groups, {}): identical metrics, \
+         {:.2} M accesses/s",
+        report.workers,
+        report.groups,
+        report.decision,
         report.accesses_per_second() / 1e6
+    );
+
+    // Staggered boundaries: the same migration, but each thread observes it
+    // at a different point of its own access stream (format v4 traces).
+    let staggered = PhaseSchedule::new()
+        .at_thread(
+            accesses / 4,
+            0,
+            PhaseChange::MigrateData {
+                target: SocketId::new(1),
+            },
+        )
+        .at_thread(
+            accesses / 2,
+            1,
+            PhaseChange::SetInterference {
+                sockets: NodeMask::single(SocketId::new(1)),
+            },
+        );
+    let staggered_run = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &staggered)
+        .expect("staggered capture");
+    let replayed = replay_trace(&staggered_run.trace, &params).expect("staggered replay");
+    assert_eq!(replayed.metrics, staggered_run.live_metrics);
+    let report = replay_parallel_lanes(&staggered_run.trace, &params, workers)
+        .expect("staggered lane-parallel replay");
+    assert_eq!(report.outcome.metrics, staggered_run.live_metrics);
+    println!(
+        "  staggered boundaries ({} marker(s) in lane 0, {} in lane 2) replay \
+         bit-identically, {}",
+        staggered_run.trace.lanes[0].events.len(),
+        staggered_run.trace.lanes[2].events.len(),
+        report.decision,
     );
 }

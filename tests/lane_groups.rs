@@ -1,0 +1,191 @@
+//! Integration tests for per-socket lane groups and the up-front
+//! shardability analysis of `replay_parallel_lanes`.
+//!
+//! The headline guarantee: for *any* lane/socket layout and worker count,
+//! lane-granular parallel replay is bit-identical to `replay_trace` — and
+//! the report says which path produced the metrics and why.  Property
+//! tests sweep randomized layouts (duplicate sockets, single sockets,
+//! degenerate worker counts); deterministic tests pin the acceptance
+//! criteria: a multi-thread-per-socket `MultiSocketScenario` capture
+//! shards as lane groups, and a demand-fault-risky trace goes serial
+//! before any worker spawns.
+
+use mitosis_numa::SocketId;
+use mitosis_sim::{MultiSocketConfig, SimParams};
+use mitosis_trace::{
+    capture_engine_run, capture_multisocket_scenario, replay_parallel_lanes, replay_trace,
+    replay_trace_lanes, ReplayError, ReplayOptions, ShardDecision, TraceEvent,
+};
+use mitosis_workloads::suite;
+use proptest::prelude::*;
+
+fn quick(accesses: u64) -> SimParams {
+    SimParams::quick_test().with_accesses(accesses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any layout of lanes over sockets — duplicates, singletons, a random
+    /// worker count — replays bit-identically through the lane-group
+    /// driver, and the shard decision is exactly the one the layout
+    /// predicts.
+    #[test]
+    fn any_lane_layout_is_bit_identical_to_serial_replay(
+        sockets in prop::collection::vec(0u16..4, 1..7),
+        workers in 1usize..6,
+        btree in any::<bool>(),
+    ) {
+        let params = quick(250);
+        let spec = if btree { suite::btree() } else { suite::gups() };
+        let placements: Vec<SocketId> =
+            sockets.iter().copied().map(SocketId::new).collect();
+        let captured = capture_engine_run(&spec, &params, &placements)
+            .expect("capture");
+        let serial = replay_trace(&captured.trace, &params).expect("serial replay");
+        let report = replay_parallel_lanes(&captured.trace, &params, workers)
+            .expect("lane-parallel replay");
+
+        prop_assert_eq!(report.outcome.metrics, serial.metrics);
+        prop_assert_eq!(report.outcome.metrics, captured.live_metrics);
+        prop_assert_eq!(report.lanes, sockets.len());
+
+        let distinct = {
+            let mut seen: Vec<u16> = sockets.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            seen.len()
+        };
+        prop_assert_eq!(report.groups, distinct);
+        let expected = if sockets.len() < 2 {
+            ShardDecision::SingleLane
+        } else if workers < 2 {
+            ShardDecision::SingleWorker
+        } else if distinct < 2 {
+            ShardDecision::SingleSocketGroup
+        } else {
+            // Engine captures populate the full footprint, so the analysis
+            // must always prove shardability here.
+            ShardDecision::Sharded
+        };
+        prop_assert_eq!(report.decision, expected);
+        prop_assert_eq!(report.sharded(), expected == ShardDecision::Sharded);
+        if report.sharded() {
+            prop_assert_eq!(report.workers, workers.min(distinct));
+            prop_assert!(report.workers >= 2);
+        } else {
+            prop_assert_eq!(report.workers, 1);
+        }
+    }
+
+    /// Replaying each per-socket group independently and merging the group
+    /// metrics reproduces the whole-trace replay — the invariant the
+    /// parallel driver's workers rely on.
+    #[test]
+    fn group_replays_merge_to_the_whole_trace_replay(
+        sockets in prop::collection::vec(0u16..4, 2..6),
+    ) {
+        let params = quick(200);
+        let placements: Vec<SocketId> =
+            sockets.iter().copied().map(SocketId::new).collect();
+        let trace = capture_engine_run(&suite::gups(), &params, &placements)
+            .expect("capture")
+            .trace;
+        let full = replay_trace(&trace, &params).expect("whole-trace replay");
+
+        // Partition lanes by socket, preserving lane order within groups.
+        let mut groups: Vec<(u16, Vec<usize>)> = Vec::new();
+        for (index, lane) in trace.lanes.iter().enumerate() {
+            match groups.iter_mut().find(|(socket, _)| *socket == lane.socket) {
+                Some((_, lanes)) => lanes.push(index),
+                None => groups.push((lane.socket, vec![index])),
+            }
+        }
+        let mut merged = mitosis_sim::RunMetrics::default();
+        for (_, lanes) in &groups {
+            let outcome =
+                replay_trace_lanes(&trace, &params, ReplayOptions::default(), lanes)
+                    .expect("group replay");
+            prop_assert_eq!(outcome.metrics.threads, lanes.len());
+            merged.merge(&outcome.metrics);
+        }
+        prop_assert_eq!(merged, full.metrics);
+    }
+}
+
+#[test]
+fn multithread_per_socket_multisocket_capture_shards_as_lane_groups() {
+    // The acceptance shape: a MultiSocketScenario capture with two threads
+    // per socket — eight lanes, four groups — must shard (the old per-lane
+    // driver went serial the moment two lanes shared a socket).
+    let params = quick(400).with_threads_per_socket(2);
+    for config in [
+        MultiSocketConfig::first_touch(),
+        MultiSocketConfig::first_touch()
+            .with_interleave()
+            .with_mitosis(),
+    ] {
+        let captured = capture_multisocket_scenario(&suite::memcached(), config, &params).unwrap();
+        assert_eq!(captured.trace.lanes.len(), 8, "{config}");
+        let serial = replay_trace(&captured.trace, &params).unwrap();
+        assert_eq!(
+            serial.metrics, captured.live_metrics,
+            "{config}: serial replay diverged from the live run"
+        );
+        let report = replay_parallel_lanes(&captured.trace, &params, 4).unwrap();
+        assert_eq!(report.decision, ShardDecision::Sharded, "{config}");
+        assert_eq!(report.groups, 4, "{config}");
+        assert!(report.workers >= 2, "{config}");
+        assert_eq!(
+            report.outcome.metrics, serial.metrics,
+            "{config}: lane-group replay diverged from serial replay"
+        );
+    }
+}
+
+#[test]
+fn demand_fault_risk_goes_serial_before_spawning_workers() {
+    let params = quick(300);
+    let placements: Vec<SocketId> = (0..4).map(SocketId::new).collect();
+    let mut trace = capture_engine_run(&suite::gups(), &params, &placements)
+        .unwrap()
+        .trace;
+    // Strip the Populate record: the premapped footprint no longer covers
+    // the lanes, so the up-front analysis must decline sharding — workers
+    // stay at 1 and no parallel replay is paid for.
+    trace
+        .setup_events
+        .retain(|event| !matches!(event, TraceEvent::Populate { .. }));
+    let serial = replay_trace(&trace, &params).unwrap();
+    assert!(
+        serial.metrics.demand_faults > 0,
+        "stripping Populate must actually cause measured-phase faults"
+    );
+    let report = replay_parallel_lanes(&trace, &params, 4).unwrap();
+    assert_eq!(report.decision, ShardDecision::DemandFaultRisk);
+    assert_eq!(report.workers, 1);
+    assert!(!report.sharded());
+    assert_eq!(report.outcome.metrics, serial.metrics);
+}
+
+#[test]
+fn lane_selection_is_validated() {
+    let params = quick(100);
+    let trace = capture_engine_run(
+        &suite::gups(),
+        &params,
+        &[SocketId::new(0), SocketId::new(1)],
+    )
+    .unwrap()
+    .trace;
+    for (lanes, what) in [
+        (&[][..], "empty"),
+        (&[2][..], "out of range"),
+        (&[1, 0][..], "not increasing"),
+        (&[0, 0][..], "duplicate"),
+    ] {
+        let err =
+            replay_trace_lanes(&trace, &params, ReplayOptions::default(), lanes).expect_err(what);
+        assert!(matches!(err, ReplayError::Mismatch(_)), "{what}: {err}");
+    }
+}

@@ -301,9 +301,11 @@ fn replay_on_a_different_machine_is_rejected_unless_forced() {
         "unexpected error: {err}"
     );
 
-    // Forcing proceeds (warning only).  The replayed metrics are no longer
-    // guaranteed to match the capture — the footgun the strict default
-    // exists to prevent — but the replay itself must complete.
+    // Forcing proceeds, and the downgraded mismatch is *recorded* on the
+    // outcome — library callers observe it without capturing stderr.  The
+    // replayed metrics are no longer guaranteed to match the capture — the
+    // footgun the strict default exists to prevent — but the replay itself
+    // must complete.
     let forced = replay_trace_with(
         &captured.trace,
         &other_params,
@@ -311,10 +313,21 @@ fn replay_on_a_different_machine_is_rejected_unless_forced() {
     )
     .expect("forced replay runs");
     assert_eq!(forced.metrics.accesses, captured.live_metrics.accesses);
+    let mismatch = forced
+        .machine_mismatch
+        .expect("forced cross-machine replay records the downgraded mismatch");
+    assert_eq!(mismatch.captured, captured.trace.meta.machine);
+    assert_eq!(
+        mismatch.replayed,
+        MachineFingerprint::for_params(&other_params)
+    );
+    assert!(mismatch.to_string().contains("different machine"));
 
-    // The matching machine still replays bit-identically, forced or not.
+    // The matching machine still replays bit-identically, forced or not —
+    // and records no mismatch.
     let strict = replay_trace(&captured.trace, &captured_params).expect("strict replay");
     assert_eq!(strict.metrics, captured.live_metrics);
+    assert_eq!(strict.machine_mismatch, None);
 }
 
 #[test]
