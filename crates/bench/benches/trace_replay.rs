@@ -173,6 +173,62 @@ fn bench_lane_groups(c: &mut Criterion) {
     group.finish();
 }
 
+/// Snapshot-based lane-group replay: proves grouped replay no longer pays
+/// the setup reconstruction once **per worker group**.
+///
+/// The trace is deliberately setup-heavy (full-footprint populate, a short
+/// measured phase), so per-group re-setup would dominate grouped wall
+/// time.  `prepare_once` prices the one setup execution; `clone` prices
+/// the per-group snapshot copy that replaced it; `grouped` is the full
+/// driver (one prepare + one clone per group).  With the old
+/// re-setup-per-worker driver, `grouped` carried ~`groups ×
+/// prepare_once`; now it carries `prepare_once + groups × clone`, and
+/// `clone` is the number that stays flat as setup size grows.
+fn bench_lane_groups_snapshot(c: &mut Criterion) {
+    // Short measured phase over the standard footprint: setup-dominated.
+    let params = SimParams::quick_test()
+        .with_accesses(2_000)
+        .with_threads_per_socket(2);
+    let captured = mitosis_trace::capture_multisocket_scenario(
+        &suite::memcached(),
+        mitosis_sim::MultiSocketConfig::first_touch(),
+        &params,
+    )
+    .expect("capture 8-lane multisocket memcached");
+    let trace = captured.trace;
+    assert_eq!(trace.lanes.len(), 8, "two lanes per socket");
+
+    let mut group = c.benchmark_group("trace_replay/lane_groups_snapshot");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("prepare_once", |b| {
+        b.iter(|| {
+            mitosis_trace::prepare_replay(&trace, &params, mitosis_trace::ReplayOptions::default())
+                .expect("prepare")
+        });
+    });
+
+    let snapshot =
+        mitosis_trace::prepare_replay(&trace, &params, mitosis_trace::ReplayOptions::default())
+            .expect("prepare");
+    group.bench_function("clone", |b| {
+        b.iter(|| snapshot.clone());
+    });
+
+    // Fixed worker count, as in bench_lane_groups: host-independent id.
+    group.bench_function("grouped", |b| {
+        b.iter(|| {
+            let report = replay_parallel_lanes(&trace, &params, 4).expect("lane-group replay");
+            assert!(report.sharded(), "8-lane premapped capture must shard");
+            report
+        });
+    });
+    group.finish();
+}
+
 /// Plain translation-throughput figures — accesses/second for live
 /// generation vs. trace replay — for the README "Performance" table.
 fn report_throughput(_c: &mut Criterion) {
@@ -231,6 +287,7 @@ criterion_group!(
     bench_batch,
     bench_lane_parallel,
     bench_lane_groups,
+    bench_lane_groups_snapshot,
     report_throughput
 );
 criterion_main!(trace_replay);

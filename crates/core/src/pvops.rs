@@ -180,6 +180,10 @@ impl PvOps for MitosisPvOps {
     fn reset_stats(&mut self) {
         self.stats = PtOpStats::default();
     }
+
+    fn clone_box(&self) -> Box<dyn PvOps> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -159,7 +159,12 @@ pub struct PtContext<'a> {
 /// through this trait, exactly as Linux routes them through PV-Ops.  The
 /// native backend writes one table; the Mitosis backend keeps all replicas
 /// consistent.
-pub trait PvOps: std::fmt::Debug {
+///
+/// Backends are plain state machines over the [`PtContext`] they are handed
+/// — `Send + Sync` so a prepared system snapshot (which owns its backend)
+/// can be shared across replay worker threads, and [`PvOps::clone_box`] so
+/// such a snapshot can be cloned without knowing the concrete backend type.
+pub trait PvOps: std::fmt::Debug + Send + Sync {
     /// Allocates a page-table page at `level`, homed on `socket`.
     ///
     /// With replication enabled the backend additionally allocates one
@@ -207,6 +212,17 @@ pub trait PvOps: std::fmt::Debug {
 
     /// Resets the statistics counters.
     fn reset_stats(&mut self);
+
+    /// Clones the backend (including accumulated statistics) into a new
+    /// box — the object-safe hook behind `Box<dyn PvOps>: Clone`, which is
+    /// what lets a whole [`System`](../mitosis_vmm) be snapshotted.
+    fn clone_box(&self) -> Box<dyn PvOps>;
+}
+
+impl Clone for Box<dyn PvOps> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The pass-through PV-Ops backend: stock Linux behaviour, one page-table per
@@ -275,6 +291,10 @@ impl PvOps for NativePvOps {
 
     fn reset_stats(&mut self) {
         self.stats = PtOpStats::default();
+    }
+
+    fn clone_box(&self) -> Box<dyn PvOps> {
+        Box::new(self.clone())
     }
 }
 

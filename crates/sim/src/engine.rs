@@ -20,6 +20,32 @@ pub struct ThreadPlacement {
     pub socket: SocketId,
 }
 
+/// A fully prepared simulated system: setup executed (process created,
+/// region mapped, data populated, placement/replication applied), measured
+/// phase not yet run.
+///
+/// This is the engine's prepare/run split: build the system once — by
+/// scenario code, or by replaying a trace's setup events — wrap it in a
+/// `PreparedSystem`, and run the measured phase from it as many times as
+/// needed.  Cloning is a deep copy of the whole simulated state (page
+/// tables, frame allocator, frame metadata, processes, Mitosis policy), so
+/// every clone starts the measured phase from bit-identical state; running
+/// from a clone is indistinguishable from re-executing the setup.  That
+/// makes the clone the cheap unit of fan-out for parallel replay: workers
+/// copy the snapshot instead of re-deriving it from events.
+#[derive(Debug, Clone)]
+pub struct PreparedSystem {
+    /// The system with every setup step applied.
+    pub system: System,
+    /// The Mitosis controller paired with the system (policy state used by
+    /// mid-run replica/page-table events).
+    pub mitosis: Mitosis,
+    /// The prepared workload process.
+    pub pid: Pid,
+    /// Start of the workload's memory region.
+    pub region: VirtAddr,
+}
+
 /// Cycles charged for one data access, given where the data lives and how
 /// bandwidth-hungry the workload is.
 ///
@@ -536,6 +562,44 @@ impl ExecutionEngine {
         Ok(metrics)
     }
 
+    /// Runs the measured phase from a [`PreparedSystem`] snapshot, leaving
+    /// the snapshot untouched: the snapshot is cloned and the clone is run
+    /// (and discarded), so the same snapshot can seed any number of runs —
+    /// serial re-runs, per-worker copies in parallel replay — each starting
+    /// from bit-identical prepared state.
+    ///
+    /// Metrics are bit-identical to calling
+    /// [`ExecutionEngine::run_with_sources_dynamic`] directly on a system
+    /// that just executed the same setup: a cloned snapshot *is* that
+    /// system.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecutionEngine::run_with_sources_dynamic`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_snapshot_with_sources<S: AccessSource>(
+        &mut self,
+        snapshot: &PreparedSystem,
+        spec: &WorkloadSpec,
+        threads: &[ThreadPlacement],
+        accesses_per_thread: u64,
+        sources: &mut [S],
+        schedule: &PhaseSchedule,
+    ) -> Result<RunMetrics, MitosisError> {
+        let mut prepared = snapshot.clone();
+        self.run_with_sources_dynamic(
+            &mut prepared.system,
+            &mut prepared.mitosis,
+            prepared.pid,
+            spec,
+            prepared.region,
+            threads,
+            accesses_per_thread,
+            sources,
+            schedule,
+        )
+    }
+
     /// Merged MMU statistics helper (for tests).
     pub fn merged_stats(metrics: &RunMetrics) -> &MmuStats {
         &metrics.mmu
@@ -712,6 +776,42 @@ mod tests {
             .run(&mut system, pid, &spec, region, &threads, &params)
             .unwrap();
         assert_eq!(after, baseline);
+    }
+
+    #[test]
+    fn snapshot_runs_are_bit_identical_and_repeatable() {
+        // A PreparedSystem clone must be indistinguishable from the system
+        // it was cloned from: running the measured phase from the snapshot
+        // (any number of times) reproduces a direct run bit-for-bit, and
+        // the snapshot itself stays untouched.
+        let params = quick();
+        let (mut system, pid, region, spec) = setup(&params);
+        let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+        let snapshot = PreparedSystem {
+            system: system.clone(),
+            mitosis: Mitosis::new(),
+            pid,
+            region,
+        };
+        let direct = ExecutionEngine::new(&system)
+            .run(&mut system, pid, &spec, region, &threads, &params)
+            .unwrap();
+        let mut engine = ExecutionEngine::new(&snapshot.system);
+        for _ in 0..2 {
+            let mut sources = ExecutionEngine::thread_streams(&spec, &params, threads.len());
+            let from_snapshot = engine
+                .run_snapshot_with_sources(
+                    &snapshot,
+                    &spec,
+                    &threads,
+                    params.accesses_per_thread,
+                    &mut sources,
+                    &PhaseSchedule::new(),
+                )
+                .unwrap();
+            assert_eq!(from_snapshot, direct, "snapshot run diverged");
+            engine.reset();
+        }
     }
 
     #[test]

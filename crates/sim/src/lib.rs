@@ -53,7 +53,7 @@ mod report;
 
 pub use configs::{DataPolicyChoice, MigrationConfig, MigrationRun, MultiSocketConfig};
 pub use dynamics::{apply_phase_change, PhaseChange, PhaseEvent, PhaseSchedule};
-pub use engine::{data_access_cycles, ExecutionEngine, ThreadPlacement};
+pub use engine::{data_access_cycles, ExecutionEngine, PreparedSystem, ThreadPlacement};
 pub use metrics::RunMetrics;
 pub use migration::WorkloadMigrationScenario;
 pub use multisocket::MultiSocketScenario;

@@ -16,7 +16,7 @@
 //!   records each fired event as a mid-lane marker at the exact access
 //!   index, so the dynamic run replays bit-identically too.
 
-use crate::format::{Trace, TraceEvent, TraceLane, TraceMeta};
+use crate::format::{socket_index_u16, Trace, TraceError, TraceEvent, TraceLane, TraceMeta};
 use crate::replay::ReplayError;
 use mitosis::Mitosis;
 use mitosis_mem::{FragmentationModel, PlacementPolicy};
@@ -93,6 +93,11 @@ fn socket_mask(sockets: &[SocketId]) -> u64 {
 /// [`crate::replay`] inverts this mapping to rebuild the
 /// [`PhaseSchedule`] from the decoded lanes.
 ///
+/// # Errors
+///
+/// Returns [`TraceError::UnencodableSocket`] when a target socket does not
+/// fit the wire format's `u16` socket field.
+///
 /// # Panics
 ///
 /// Panics if `staggered` is requested for a change that does not support a
@@ -100,18 +105,21 @@ fn socket_mask(sockets: &[SocketId]) -> u64 {
 /// [`PhaseChange::supports_thread_filter`]); [`PhaseSchedule`] makes such
 /// events unrepresentable, so a panic here means the schedule was built by
 /// other means.
-pub fn trace_event_of_change(change: PhaseChange, staggered: bool) -> TraceEvent {
+pub fn trace_event_of_change(
+    change: PhaseChange,
+    staggered: bool,
+) -> Result<TraceEvent, TraceError> {
     assert!(
         !staggered || change.supports_thread_filter(),
         "{change:?} cannot be staggered"
     );
-    match change {
+    Ok(match change {
         PhaseChange::MigrateData { target } => TraceEvent::MigrateData {
-            socket: target.index() as u16,
+            socket: socket_index_u16(target)?,
             staggered,
         },
         PhaseChange::MigratePageTable { target } => TraceEvent::MigratePageTable {
-            socket: target.index() as u16,
+            socket: socket_index_u16(target)?,
         },
         PhaseChange::SetReplicas { sockets } => TraceEvent::Replicate {
             sockets: sockets.bits(),
@@ -124,7 +132,7 @@ pub fn trace_event_of_change(change: PhaseChange, staggered: bool) -> TraceEvent
             sockets: sockets.bits(),
             staggered,
         },
-    }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -176,27 +184,25 @@ fn run_and_record(
     // the lanes of a staggered capture legitimately disagree (format v4).
     // Events scheduled beyond the run clamp to its end, exactly as the
     // engine fired them.
-    let marker_of = |event: &PhaseEvent| {
-        (
+    let marker_of = |event: &PhaseEvent| -> Result<(u64, TraceEvent), TraceError> {
+        Ok((
             event.at_access.min(params.accesses_per_thread),
-            trace_event_of_change(event.change, event.thread.is_some()),
-        )
+            trace_event_of_change(event.change, event.thread.is_some())?,
+        ))
     };
-    let lanes = threads
-        .iter()
-        .zip(sources)
-        .enumerate()
-        .map(|(index, (placement, source))| TraceLane {
-            socket: placement.socket.index() as u16,
+    let mut lanes = Vec::with_capacity(threads.len());
+    for (index, (placement, source)) in threads.iter().zip(sources).enumerate() {
+        lanes.push(TraceLane {
+            socket: socket_index_u16(placement.socket)?,
             accesses: source.into_recorded(),
             events: schedule
                 .events()
                 .iter()
                 .filter(|event| event.thread.is_none() || event.thread == Some(index))
                 .map(marker_of)
-                .collect(),
-        })
-        .collect();
+                .collect::<Result<_, _>>()?,
+        });
+    }
     Ok((metrics, lanes))
 }
 
@@ -264,7 +270,7 @@ pub fn capture_engine_run_dynamic(
     let home = sockets[0];
     let pid = system.create_process(home)?;
     events.push(TraceEvent::CreateProcess {
-        socket: home.index() as u16,
+        socket: socket_index_u16(home)?,
     });
 
     let region = system.mmap(pid, scaled.footprint(), MmapFlags::lazy().without_thp())?;
@@ -311,7 +317,7 @@ pub fn capture_engine_run_dynamic(
     )?;
     Ok(CapturedRun {
         trace: Trace {
-            meta: TraceMeta::for_spec(&scaled, params),
+            meta: TraceMeta::for_spec(&scaled, params)?,
             setup_events: events,
             lanes,
         },
@@ -368,7 +374,7 @@ pub fn capture_multisocket_scenario(
 
     let pid = system.create_process(sockets[0])?;
     events.push(TraceEvent::CreateProcess {
-        socket: sockets[0].index() as u16,
+        socket: socket_index_u16(sockets[0])?,
     });
     if config.data_policy == mitosis_sim::DataPolicyChoice::Interleave {
         system
@@ -427,7 +433,7 @@ pub fn capture_multisocket_scenario(
     )?;
     Ok(CapturedRun {
         trace: Trace {
-            meta: TraceMeta::for_spec(&scaled, params),
+            meta: TraceMeta::for_spec(&scaled, params)?,
             setup_events: events,
             lanes,
         },
@@ -480,19 +486,19 @@ pub fn capture_migration_scenario(
     if run.config.pt_remote() {
         system.set_pt_placement(PtPlacement::Fixed(b));
         events.push(TraceEvent::PtPlacement {
-            socket: b.index() as u16,
+            socket: socket_index_u16(b)?,
         });
     }
     let pid = system.create_process(a)?;
     events.push(TraceEvent::CreateProcess {
-        socket: a.index() as u16,
+        socket: socket_index_u16(a)?,
     });
     let data_socket = if run.config.data_remote() { b } else { a };
     system
         .process_mut(pid)?
         .set_data_policy(PlacementPolicy::Bind(data_socket));
     events.push(TraceEvent::BindData {
-        socket: data_socket.index() as u16,
+        socket: socket_index_u16(data_socket)?,
     });
 
     let scaled = params.scale_workload(spec);
@@ -519,7 +525,7 @@ pub fn capture_migration_scenario(
     if run.mitosis {
         mitosis.migrate_page_table(&mut system, pid, a, true)?;
         events.push(TraceEvent::MigratePageTable {
-            socket: a.index() as u16,
+            socket: socket_index_u16(a)?,
         });
     }
     if run.config.interference() {
@@ -546,7 +552,7 @@ pub fn capture_migration_scenario(
     )?;
     Ok(CapturedRun {
         trace: Trace {
-            meta: TraceMeta::for_spec(&scaled, params),
+            meta: TraceMeta::for_spec(&scaled, params)?,
             setup_events: events,
             lanes,
         },

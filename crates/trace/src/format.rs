@@ -27,10 +27,40 @@
 //! markers.
 
 use mitosis_mem::FrameSpace;
+use mitosis_numa::SocketId;
 use mitosis_sim::SimParams;
 use mitosis_workloads::{suite, Access, WorkloadSpec};
 use std::fmt;
 use std::io::{self, Read, Write};
+
+/// Checked conversion of a socket identifier to the wire format's `u16`
+/// socket field.
+///
+/// Every socket recorded in a trace — setup events, lane headers, mid-lane
+/// markers, the machine fingerprint — goes through this one helper instead
+/// of an `as u16` cast, so a capture machine with more sockets than the
+/// format can describe fails loudly with
+/// [`TraceError::UnencodableSocket`] rather than writing a truncated (but
+/// correctly checksummed) trace.
+///
+/// # Errors
+///
+/// Returns [`TraceError::UnencodableSocket`] when the index exceeds
+/// `u16::MAX`.
+pub fn socket_index_u16(socket: SocketId) -> Result<u16, TraceError> {
+    checked_socket_u16(socket.index())
+}
+
+/// [`socket_index_u16`] for a raw dense index (socket counts, fingerprint
+/// fields).
+///
+/// # Errors
+///
+/// Returns [`TraceError::UnencodableSocket`] when the index exceeds
+/// `u16::MAX`.
+pub fn checked_socket_u16(index: usize) -> Result<u16, TraceError> {
+    u16::try_from(index).map_err(|_| TraceError::UnencodableSocket(index))
+}
 
 /// Current format version written by [`TraceWriter`].
 ///
@@ -91,6 +121,11 @@ pub enum TraceError {
     Corrupt(&'static str),
     /// An event with an unknown code (written by a newer version).
     UnknownEvent(u64),
+    /// A socket index on the capture machine does not fit the wire
+    /// format's `u16`.  Raised at *capture* time: encoding it with a
+    /// silent `as u16` cast would produce a wrong-but-checksummed trace
+    /// that replays against the wrong socket.
+    UnencodableSocket(usize),
 }
 
 impl fmt::Display for TraceError {
@@ -110,6 +145,11 @@ impl fmt::Display for TraceError {
             ),
             TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
             TraceError::UnknownEvent(code) => write!(f, "unknown trace event code {code}"),
+            TraceError::UnencodableSocket(index) => write!(
+                f,
+                "socket index {index} does not fit the trace format's u16 \
+                 socket field (capture machine too large to describe)"
+            ),
         }
     }
 }
@@ -234,14 +274,20 @@ impl MachineFingerprint {
     };
 
     /// The fingerprint of the machine `params` builds.
-    pub fn for_params(params: &SimParams) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnencodableSocket`] when the machine has more
+    /// sockets than the format's `u16` field can record — a truncated
+    /// fingerprint would checksum fine and then (mis)match at replay time.
+    pub fn for_params(params: &SimParams) -> Result<Self, TraceError> {
         let machine = params.machine();
         let space = FrameSpace::new(&machine);
-        MachineFingerprint {
+        Ok(MachineFingerprint {
             machine_scale: params.machine_scale,
-            sockets: machine.sockets() as u16,
+            sockets: checked_socket_u16(machine.sockets())?,
             frames_per_socket: space.frames_per_socket(),
-        }
+        })
     }
 }
 
@@ -285,16 +331,22 @@ pub struct TraceMeta {
 impl TraceMeta {
     /// Captures the identifying parameters of `spec` and the machine built
     /// from `params`.
-    pub fn for_spec(spec: &WorkloadSpec, params: &SimParams) -> Self {
-        TraceMeta {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnencodableSocket`] when the machine's
+    /// fingerprint does not fit the format (see
+    /// [`MachineFingerprint::for_params`]).
+    pub fn for_spec(spec: &WorkloadSpec, params: &SimParams) -> Result<Self, TraceError> {
+        Ok(TraceMeta {
             workload: spec.name().to_string(),
             footprint: spec.footprint(),
             seed: params.seed,
             write_fraction: spec.write_fraction(),
             compute_cycles_per_access: spec.compute_cycles_per_access(),
             bandwidth_intensity: spec.bandwidth_intensity(),
-            machine: MachineFingerprint::for_params(params),
-        }
+            machine: MachineFingerprint::for_params(params)?,
+        })
     }
 
     /// Rebuilds the captured workload spec from the paper suite, applying
@@ -937,6 +989,21 @@ mod tests {
     }
 
     #[test]
+    fn socket_conversion_is_checked_not_truncating() {
+        assert_eq!(socket_index_u16(SocketId::new(0)).unwrap(), 0);
+        assert_eq!(socket_index_u16(SocketId::new(u16::MAX)).unwrap(), u16::MAX);
+        assert_eq!(checked_socket_u16(65_535).unwrap(), 65_535);
+        // One past the wire format's range: the old `as u16` cast would
+        // have silently wrapped this to socket 0.
+        let err = checked_socket_u16(65_536).unwrap_err();
+        assert!(
+            matches!(err, TraceError::UnencodableSocket(65_536)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("65536"));
+    }
+
+    #[test]
     fn zigzag_roundtrips_extremes() {
         for v in [0i64, 1, -1, i64::MAX, i64::MIN, 1 << 47, -(1 << 47)] {
             assert_eq!(unzigzag(zigzag(v)), v);
@@ -1268,8 +1335,8 @@ mod tests {
     fn meta_resolves_the_suite_spec() {
         let spec = suite::gups().with_footprint(1 << 27);
         let params = SimParams::quick_test();
-        let m = TraceMeta::for_spec(&spec, &params);
-        assert_eq!(m.machine, MachineFingerprint::for_params(&params));
+        let m = TraceMeta::for_spec(&spec, &params).unwrap();
+        assert_eq!(m.machine, MachineFingerprint::for_params(&params).unwrap());
         assert_eq!(m, meta());
         let resolved = m.resolve_spec().unwrap();
         assert!(m.matches_spec(&resolved));

@@ -56,14 +56,16 @@ pub use capture::{
     RecordingSource,
 };
 pub use format::{
-    MachineFingerprint, Trace, TraceError, TraceEvent, TraceItem, TraceLane, TraceMeta,
-    TraceReader, TraceWriter, TRACE_MAGIC, TRACE_MIN_VERSION, TRACE_VERSION,
+    checked_socket_u16, socket_index_u16, MachineFingerprint, Trace, TraceError, TraceEvent,
+    TraceItem, TraceLane, TraceMeta, TraceReader, TraceWriter, TRACE_MAGIC, TRACE_MIN_VERSION,
+    TRACE_VERSION,
 };
 pub use parallel::{
     replay_parallel, replay_parallel_lanes, replay_sequential, LaneReplayReport, ReplayAggregate,
     ReplayReport, ShardDecision,
 };
 pub use replay::{
-    replay_trace, replay_trace_lane, replay_trace_lanes, replay_trace_with, LaneCursor,
-    MachineMismatch, ReplayError, ReplayOptions, ReplayOutcome, TraceReplayer,
+    prepare_replay, replay_trace, replay_trace_lane, replay_trace_lanes, replay_trace_with,
+    LaneCursor, MachineMismatch, ReplayError, ReplayOptions, ReplayOutcome, ReplaySnapshot,
+    TraceReplayer,
 };

@@ -11,8 +11,9 @@
 //!
 //! [`replay_parallel_lanes`] shards *within* one trace, at the granularity
 //! of **per-socket lane groups**: lanes are partitioned by the socket their
-//! thread ran on, each group replays its lanes in lane order against one
-//! independently reconstructed system, and the per-group metrics merge
+//! thread ran on, each group replays its lanes in lane order against its
+//! own clone of a single prepared-system snapshot (the setup events are
+//! executed once, not once per group), and the per-group metrics merge
 //! deterministically.  Grouping by socket is what makes the merge
 //! bit-identical to whole-trace replay — lanes sharing a socket interact
 //! through that socket's page-table-line cache and therefore stay
@@ -28,7 +29,9 @@
 //! why.
 
 use crate::format::{Trace, TraceEvent};
-use crate::replay::{replay_trace, ReplayError, ReplayOptions, ReplayOutcome, TraceReplayer};
+use crate::replay::{
+    prepare_replay, replay_trace, ReplayError, ReplayOptions, ReplayOutcome, TraceReplayer,
+};
 use mitosis_sim::{RunMetrics, SimParams};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -72,18 +75,37 @@ pub struct ReplayReport {
     pub outcomes: Vec<ReplayOutcome>,
     /// Cross-trace aggregate.
     pub aggregate: ReplayAggregate,
-    /// Wall-clock time the batch took on the host.
+    /// Wall-clock time the batch took on the host, setup included.
     pub wall: Duration,
+    /// Summed host time the per-trace setup reconstructions took.  For the
+    /// parallel driver the phases of different traces overlap, so this is
+    /// aggregate worker time, not elapsed time — it can exceed `wall`.
+    pub setup_wall: Duration,
+    /// Summed host time of the measured phases alone (same aggregation
+    /// caveat as `setup_wall`).
+    pub measured_wall: Duration,
 }
 
 impl ReplayReport {
-    /// Replayed accesses per host second — the headline throughput number
-    /// the parallel driver improves.
+    /// Replayed accesses per host second of total elapsed time — the
+    /// headline number the parallel driver improves (it includes setup, so
+    /// sharding setup across workers shows up here).
     pub fn accesses_per_second(&self) -> f64 {
         if self.wall.is_zero() {
             return 0.0;
         }
         self.aggregate.accesses as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Measured-phase replay rate: accesses per host second of
+    /// measured-phase time, *excluding* setup reconstruction.  This is the
+    /// number to compare against live-run engine throughput — folding the
+    /// setup in (as the old single `wall` did) understates it.
+    pub fn throughput(&self) -> f64 {
+        if self.measured_wall.is_zero() {
+            return 0.0;
+        }
+        self.aggregate.accesses as f64 / self.measured_wall.as_secs_f64()
     }
 
     fn collect(
@@ -95,13 +117,19 @@ impl ReplayReport {
             outcomes.push(result.expect("every trace index was claimed by a worker")?);
         }
         let mut aggregate = ReplayAggregate::default();
+        let mut setup_wall = Duration::ZERO;
+        let mut measured_wall = Duration::ZERO;
         for outcome in &outcomes {
             aggregate.absorb(&outcome.metrics);
+            setup_wall += outcome.setup_wall;
+            measured_wall += outcome.measured_wall;
         }
         Ok(ReplayReport {
             outcomes,
             aggregate,
             wall,
+            setup_wall,
+            measured_wall,
         })
     }
 }
@@ -239,14 +267,23 @@ pub struct LaneReplayReport {
     pub workers: usize,
     /// Whether the lanes sharded, and if not, why.
     pub decision: ShardDecision,
-    /// Wall-clock time of the replay on the host.  On a serial fallback
-    /// this is the fallback's own cost: the shardability analysis runs
-    /// before any replay, so a declined shard never pays for a discarded
-    /// parallel attempt.  The one exception is the defensive
+    /// Wall-clock time of the replay on the host, setup included.  On a
+    /// serial fallback this is the fallback's own cost: the shardability
+    /// analysis runs before any replay, so a declined shard never pays for
+    /// a discarded parallel attempt.  The one exception is the defensive
     /// [`ShardDecision::DemandFaultsObserved`] path, where a parallel
     /// replay really did run and really was discarded — its cost is
     /// included, because it was paid.
     pub wall: Duration,
+    /// Elapsed host time of the one setup-event reconstruction (the shared
+    /// snapshot's preparation; on a serial path, the serial replay's own
+    /// prepare).  With snapshot-based sharding this is paid **once**, not
+    /// once per worker group — the groups clone the prepared system.
+    pub setup_wall: Duration,
+    /// Elapsed host time from the end of setup to the last worker
+    /// finishing (serial path: the measured phase alone).  `throughput()`
+    /// divides by this.
+    pub measured_wall: Duration,
 }
 
 impl LaneReplayReport {
@@ -255,12 +292,24 @@ impl LaneReplayReport {
         self.decision.sharded()
     }
 
-    /// Replayed accesses per host second.
+    /// Replayed accesses per host second of total elapsed time (setup
+    /// included).
     pub fn accesses_per_second(&self) -> f64 {
         if self.wall.is_zero() {
             return 0.0;
         }
         self.outcome.metrics.accesses as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Measured-phase replay rate: accesses per host second of
+    /// measured-phase elapsed time, excluding the setup reconstruction.
+    /// The old single-`wall` rate understated the measured-phase rate by
+    /// folding the (now snapshot-amortised) setup cost in.
+    pub fn throughput(&self) -> f64 {
+        if self.measured_wall.is_zero() {
+            return 0.0;
+        }
+        self.outcome.metrics.accesses as f64 / self.measured_wall.as_secs_f64()
     }
 }
 
@@ -339,21 +388,24 @@ fn lanes_fully_premapped(trace: &Trace) -> bool {
 /// host threads as **per-socket lane groups**, merging the per-group
 /// metrics deterministically.
 ///
-/// Every worker reconstructs the captured system from the setup events
-/// (and re-applies the mid-lane phase-change schedule at the same
-/// boundaries), then replays whole lane groups — all lanes of one socket,
-/// in lane order — so multi-thread-per-socket captures still shard, one
-/// group per socket.  Sharding is decided *before* any worker is spawned
-/// by a static shardability analysis (see [`ShardDecision`]): the setup
-/// events must premap every page the lanes touch, which proves the
-/// measured phase cannot demand-fault.  When the analysis declines, the
-/// driver transparently replays serially, so the merged metrics are
-/// bit-identical to [`replay_trace`] in every case.
+/// The captured system is reconstructed from the setup events **once**, on
+/// the calling thread, into a [`ReplaySnapshot`](crate::ReplaySnapshot);
+/// every worker then *clones* that snapshot per lane group instead of
+/// re-executing the setup events — grouped replay wall time no longer pays
+/// setup size × number of groups.  Each group replays whole lanes of one
+/// socket, in lane order (and re-applies the mid-lane phase-change
+/// schedule at the same boundaries), so multi-thread-per-socket captures
+/// still shard, one group per socket.  Sharding is decided *before* the
+/// snapshot is taken by a static shardability analysis (see
+/// [`ShardDecision`]): the setup events must premap every page the lanes
+/// touch, which proves the measured phase cannot demand-fault.  When the
+/// analysis declines, the driver transparently replays serially, so the
+/// merged metrics are bit-identical to [`replay_trace`] in every case.
 ///
 /// # Errors
 ///
-/// Fails if any lane group (or the serial whole-trace replay) does not
-/// replay; the first error in group order is returned.
+/// Fails if the preparation, any lane group, or the serial whole-trace
+/// replay does not replay; the first error in group order is returned.
 ///
 /// # Panics
 ///
@@ -377,6 +429,8 @@ pub fn replay_parallel_lanes(
                   start: Instant|
      -> Result<LaneReplayReport, ReplayError> {
         let outcome = replay_trace(trace, params)?;
+        let setup_wall = outcome.setup_wall;
+        let measured_wall = outcome.measured_wall;
         Ok(LaneReplayReport {
             outcome,
             lanes,
@@ -384,12 +438,14 @@ pub fn replay_parallel_lanes(
             workers,
             decision,
             wall: start.elapsed(),
+            setup_wall,
+            measured_wall,
         })
     };
 
     // Up-front shardability analysis: every reason to go serial is known
     // before the first worker spawns, so the serial path never pays for a
-    // discarded parallel replay.
+    // discarded parallel replay (nor for an unused snapshot).
     let decision = if lanes < 2 {
         Some(ShardDecision::SingleLane)
     } else if workers < 2 {
@@ -405,6 +461,11 @@ pub fn replay_parallel_lanes(
         return serial(decision, groups.len(), 1, start);
     }
 
+    // One setup execution for the whole replay: every group clones this.
+    let snapshot = prepare_replay(trace, params, ReplayOptions::default())?;
+    let setup_wall = snapshot.setup_wall();
+    let measured_start = Instant::now();
+
     let spawned = workers.min(groups.len());
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<Result<ReplayOutcome, ReplayError>>>> =
@@ -418,12 +479,7 @@ pub fn replay_parallel_lanes(
                     if index >= groups.len() {
                         break;
                     }
-                    let outcome = replayer.replay_lanes(
-                        trace,
-                        params,
-                        ReplayOptions::default(),
-                        &groups[index],
-                    );
+                    let outcome = replayer.replay_snapshot_lanes(&snapshot, trace, &groups[index]);
                     results.lock().expect("group worker poisoned the results")[index] =
                         Some(outcome);
                 }
@@ -454,8 +510,15 @@ pub fn replay_parallel_lanes(
         );
     }
     let mut merged = RunMetrics::default();
+    let mut clone_wall = Duration::ZERO;
+    let mut group_measured_wall = Duration::ZERO;
     for outcome in &outcomes {
         merged.merge(&outcome.metrics);
+        // Per-group snapshot clone + measured-phase costs are aggregate
+        // worker time; the report's elapsed phases come from the driver's
+        // own clock below.
+        clone_wall += outcome.setup_wall;
+        group_measured_wall += outcome.measured_wall;
     }
     let first = outcomes
         .into_iter()
@@ -469,12 +532,19 @@ pub fn replay_parallel_lanes(
             // plumbing): a fingerprint mismatch errors out before any
             // outcome exists, so there is never a downgrade to record.
             machine_mismatch: None,
+            // The merged outcome's own accounting stays aggregate: total
+            // clone cost paid across groups vs. total measured-phase
+            // worker time.
+            setup_wall: setup_wall + clone_wall,
+            measured_wall: group_measured_wall,
         },
         lanes,
         groups: groups.len(),
         workers: spawned,
         decision: ShardDecision::Sharded,
         wall: start.elapsed(),
+        setup_wall,
+        measured_wall: measured_start.elapsed(),
     })
 }
 

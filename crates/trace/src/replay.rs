@@ -16,18 +16,28 @@
 //! [`replay_trace_lane`] replays a single lane of a trace against its own
 //! freshly reconstructed system — the building block of lane-granular
 //! parallel replay.
+//!
+//! Replay is split into *prepare* and *run*: [`prepare_replay`] executes
+//! the header checks and setup events once, producing a cloneable
+//! [`ReplaySnapshot`] of the full prepared system, and
+//! [`TraceReplayer::replay_snapshot`] /
+//! [`TraceReplayer::replay_snapshot_lanes`] run the measured phase from a
+//! *clone* of that snapshot.  Running from a clone is bit-identical to
+//! re-executing the setup — the parallel lane-group driver relies on this
+//! to prepare once and fan copies out to its workers.
 
 use crate::format::{MachineFingerprint, Trace, TraceError, TraceEvent, TraceLane};
 use mitosis::{Mitosis, MitosisError};
 use mitosis_mem::{FragmentationModel, PlacementPolicy};
 use mitosis_numa::{Interference, NodeMask, SocketId};
-use mitosis_pt::VirtAddr;
 use mitosis_sim::{
-    ExecutionEngine, PhaseChange, PhaseEvent, PhaseSchedule, RunMetrics, SimParams, ThreadPlacement,
+    ExecutionEngine, PhaseChange, PhaseEvent, PhaseSchedule, PreparedSystem, RunMetrics, SimParams,
+    ThreadPlacement,
 };
-use mitosis_vmm::{AutoNuma, MmapFlags, Pid, PtPlacement, System, ThpMode, VmError};
+use mitosis_vmm::{AutoNuma, MmapFlags, PtPlacement, System, ThpMode, VmError};
 use mitosis_workloads::{Access, AccessSource, InitPattern, WorkloadSpec};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Errors produced while replaying a trace.
 #[derive(Debug)]
@@ -161,6 +171,17 @@ pub struct ReplayOutcome {
     /// comparable to the capture's.  Library callers (and tests) observe
     /// the downgrade here instead of on stderr.
     pub machine_mismatch: Option<MachineMismatch>,
+    /// Host time spent obtaining the prepared system this outcome ran
+    /// from: the full setup-event reconstruction when the replay prepared
+    /// its own system, or just the snapshot *clone* when it ran from a
+    /// shared [`ReplaySnapshot`] — the difference is the whole point of
+    /// snapshot-based replay.
+    pub setup_wall: Duration,
+    /// Host time of the measured phase alone (the part whose simulated
+    /// metrics are reported).  Throughput figures divide by this, not by
+    /// `setup_wall + measured_wall`, so they no longer understate the
+    /// measured-phase rate by folding setup reconstruction in.
+    pub measured_wall: Duration,
 }
 
 fn sockets_of_mask(mask: u64) -> Vec<SocketId> {
@@ -260,16 +281,74 @@ fn schedule_of_lanes(lanes: &[TraceLane]) -> Result<PhaseSchedule, ReplayError> 
 
 /// A captured experiment reconstructed up to the measured phase: the
 /// system with every setup event applied, ready to run lanes.
-struct PreparedReplay {
-    system: System,
-    mitosis: Mitosis,
-    pid: Pid,
-    region: VirtAddr,
+///
+/// Produced once per trace by [`prepare_replay`], then *cloned* into every
+/// run that needs it — serial re-runs, one copy per lane group in
+/// [`replay_parallel_lanes`](crate::replay_parallel_lanes) — instead of
+/// re-executing the setup events per run.  The clone is a deep copy of the
+/// full simulated state (see [`PreparedSystem`]), so running from a clone
+/// is bit-identical to running after a fresh setup replay; it merely costs
+/// a memcpy-shaped copy instead of re-faulting every page of the footprint.
+///
+/// The snapshot borrows nothing from the [`Trace`]: lane accesses stay in
+/// the trace, and the run entry points take both (the snapshot must have
+/// been prepared from the same trace, which is checked cheaply via the
+/// lane count and per-lane access count).
+#[derive(Debug, Clone)]
+pub struct ReplaySnapshot {
+    prepared: PreparedSystem,
     spec: WorkloadSpec,
+    lanes: usize,
     accesses_per_thread: u64,
     schedule: PhaseSchedule,
     machine: MachineFingerprint,
     machine_mismatch: Option<MachineMismatch>,
+    setup_wall: Duration,
+}
+
+impl ReplaySnapshot {
+    /// The workload spec resolved from the trace header.
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Host time the setup-event reconstruction took — the cost every
+    /// additional worker group *avoids* by cloning this snapshot.
+    pub fn setup_wall(&self) -> Duration {
+        self.setup_wall
+    }
+
+    /// The recorded machine-fingerprint mismatch, when
+    /// [`ReplayOptions::force_machine`] downgraded one during preparation.
+    pub fn machine_mismatch(&self) -> Option<MachineMismatch> {
+        self.machine_mismatch
+    }
+
+    /// The prepared simulated system (setup applied, measured phase not
+    /// yet run).
+    pub fn prepared(&self) -> &PreparedSystem {
+        &self.prepared
+    }
+
+    /// Cheap consistency check that `trace` is plausibly the trace this
+    /// snapshot was prepared from: the lane count and *every* lane's
+    /// access count must match the prepared shape.  (A shape-identical
+    /// but content-different trace is undetectable here; the check exists
+    /// to turn the common mix-up into an error instead of an out-of-range
+    /// cursor panic or silently wrong metrics.)
+    fn check_trace(&self, trace: &Trace) -> Result<(), ReplayError> {
+        if trace.lanes.len() != self.lanes
+            || trace
+                .lanes
+                .iter()
+                .any(|lane| lane.accesses.len() as u64 != self.accesses_per_thread)
+        {
+            return Err(ReplayError::Mismatch(
+                "snapshot was prepared from a different trace (lane shape differs)".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Replays `trace` on a fresh system built from `params` and returns the
@@ -432,44 +511,75 @@ impl TraceReplayer {
         options: ReplayOptions,
         lanes: &[usize],
     ) -> Result<ReplayOutcome, ReplayError> {
-        if lanes.is_empty() {
-            return Err(ReplayError::Mismatch("empty lane selection".into()));
-        }
-        if let Some(&lane) = lanes.iter().find(|&&lane| lane >= trace.lanes.len()) {
-            return Err(ReplayError::Mismatch(format!(
-                "lane {lane} out of range: trace has {} lanes",
-                trace.lanes.len()
-            )));
-        }
-        if lanes.windows(2).any(|pair| pair[0] >= pair[1]) {
-            return Err(ReplayError::Mismatch(
-                "lane selection must be strictly increasing (lanes of a group \
-                 replay in lane order)"
-                    .into(),
-            ));
-        }
+        validate_lane_selection(trace, lanes)?;
         let prepared = prepare_replay(trace, params, options)?;
         self.run_lanes(prepared, trace, Some(lanes))
     }
 
+    /// Replays all lanes of `trace` from a shared [`ReplaySnapshot`]: the
+    /// snapshot is cloned (a deep copy of the prepared system) and the
+    /// clone runs the measured phase, so the setup events are **not**
+    /// re-executed.  Metrics are bit-identical to [`TraceReplayer::replay`]
+    /// on the same trace; the outcome's `setup_wall` records only the clone
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_trace`], plus a mismatch when `trace` is
+    /// not the trace the snapshot was prepared from.
+    pub fn replay_snapshot(
+        &mut self,
+        snapshot: &ReplaySnapshot,
+        trace: &Trace,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        snapshot.check_trace(trace)?;
+        self.run_lanes(clone_snapshot(snapshot), trace, None)
+    }
+
+    /// Replays an ordered subset of `trace`'s lanes from a shared
+    /// [`ReplaySnapshot`] — the per-worker unit of snapshot-based lane-group
+    /// replay: every group clones the one prepared system instead of
+    /// rebuilding it from events.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_trace_lanes`], plus a mismatch when
+    /// `trace` is not the trace the snapshot was prepared from.
+    pub fn replay_snapshot_lanes(
+        &mut self,
+        snapshot: &ReplaySnapshot,
+        trace: &Trace,
+        lanes: &[usize],
+    ) -> Result<ReplayOutcome, ReplayError> {
+        snapshot.check_trace(trace)?;
+        validate_lane_selection(trace, lanes)?;
+        self.run_lanes(clone_snapshot(snapshot), trace, Some(lanes))
+    }
+
     /// Runs the measured phase of a prepared replay over all lanes
-    /// (`selection == None`) or an ordered subset.
+    /// (`selection == None`) or an ordered subset, consuming the snapshot
+    /// (the one-shot path: no clone is paid).
     fn run_lanes(
         &mut self,
-        prepared: PreparedReplay,
+        snapshot: ReplaySnapshot,
         trace: &Trace,
         selection: Option<&[usize]>,
     ) -> Result<ReplayOutcome, ReplayError> {
-        let PreparedReplay {
-            mut system,
-            mut mitosis,
-            pid,
-            region,
+        let ReplaySnapshot {
+            prepared,
             spec,
+            lanes: _,
             accesses_per_thread,
             schedule,
             machine,
             machine_mismatch,
+            setup_wall,
+        } = snapshot;
+        let PreparedSystem {
+            mut system,
+            mut mitosis,
+            pid,
+            region,
         } = prepared;
         let selected: Vec<&crate::format::TraceLane> = match selection {
             Some(indices) => indices.iter().map(|&index| &trace.lanes[index]).collect(),
@@ -511,6 +621,7 @@ impl TraceReplayer {
                 &mut slot.as_mut().expect("just installed").1
             }
         };
+        let measured_start = Instant::now();
         let metrics = engine.run_with_sources_dynamic(
             &mut system,
             &mut mitosis,
@@ -526,18 +637,67 @@ impl TraceReplayer {
             metrics,
             spec,
             machine_mismatch,
+            setup_wall,
+            measured_wall: measured_start.elapsed(),
         })
     }
 }
 
+/// Validates an explicit lane selection against `trace`: non-empty, in
+/// range, strictly increasing (group replay is order-sensitive, so a
+/// shuffled selection would silently diverge).
+fn validate_lane_selection(trace: &Trace, lanes: &[usize]) -> Result<(), ReplayError> {
+    if lanes.is_empty() {
+        return Err(ReplayError::Mismatch("empty lane selection".into()));
+    }
+    if let Some(&lane) = lanes.iter().find(|&&lane| lane >= trace.lanes.len()) {
+        return Err(ReplayError::Mismatch(format!(
+            "lane {lane} out of range: trace has {} lanes",
+            trace.lanes.len()
+        )));
+    }
+    if lanes.windows(2).any(|pair| pair[0] >= pair[1]) {
+        return Err(ReplayError::Mismatch(
+            "lane selection must be strictly increasing (lanes of a group \
+             replay in lane order)"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Clones a shared snapshot for one run, re-stamping `setup_wall` with the
+/// clone cost: the run it feeds did not pay for setup reconstruction, only
+/// for the copy.
+fn clone_snapshot(snapshot: &ReplaySnapshot) -> ReplaySnapshot {
+    let clone_start = Instant::now();
+    let mut copy = snapshot.clone();
+    copy.setup_wall = clone_start.elapsed();
+    copy
+}
+
 /// Applies the header checks and setup events of `trace` to a fresh
-/// system, returning it ready for the measured phase.
-fn prepare_replay(
+/// system, returning a cloneable [`ReplaySnapshot`] ready for the measured
+/// phase.
+///
+/// This is the *prepare* half of replay's prepare/run split: every replay
+/// path (serial, lane-granular, lane-grouped parallel) goes through one
+/// `prepare_replay` call, and the parallel driver clones the result per
+/// worker group instead of re-executing the setup events per worker.
+///
+/// # Errors
+///
+/// Fails if the machine fingerprint does not match (unless
+/// `options.force_machine`), the trace references an unknown workload, its
+/// events cannot be applied, its lanes are missing or unequal, or a VM /
+/// Mitosis operation fails.
+pub fn prepare_replay(
     trace: &Trace,
     params: &SimParams,
     options: ReplayOptions,
-) -> Result<PreparedReplay, ReplayError> {
-    let expected = MachineFingerprint::for_params(params);
+) -> Result<ReplaySnapshot, ReplayError> {
+    let setup_start = Instant::now();
+    let expected = MachineFingerprint::for_params(params)?;
     let mut machine_mismatch = None;
     if trace.meta.machine != expected {
         if options.force_machine {
@@ -754,16 +914,20 @@ fn prepare_replay(
             "mid-lane page-table events without InstallMitosis".into(),
         ));
     }
-    Ok(PreparedReplay {
-        system,
-        mitosis,
-        pid,
-        region,
+    Ok(ReplaySnapshot {
+        prepared: PreparedSystem {
+            system,
+            mitosis,
+            pid,
+            region,
+        },
         spec,
+        lanes: trace.lanes.len(),
         accesses_per_thread,
         schedule,
         machine: expected,
         machine_mismatch,
+        setup_wall: setup_start.elapsed(),
     })
 }
 
@@ -797,7 +961,7 @@ mod tests {
         let params = SimParams::quick_test();
         let spec = params.scale_workload(&suite::gups());
         let trace = Trace {
-            meta: TraceMeta::for_spec(&spec, &params),
+            meta: TraceMeta::for_spec(&spec, &params).unwrap(),
             setup_events: vec![],
             lanes: vec![TraceLane::new(0)],
         };
@@ -813,7 +977,7 @@ mod tests {
         let params = SimParams::quick_test().with_accesses(50);
         let spec = params.scale_workload(&suite::gups());
         let mut trace = Trace {
-            meta: TraceMeta::for_spec(&spec, &params),
+            meta: TraceMeta::for_spec(&spec, &params).unwrap(),
             setup_events: vec![
                 TraceEvent::SetThp(false),
                 TraceEvent::InstallMitosis,
@@ -860,7 +1024,7 @@ mod tests {
                 compute_cycles_per_access: 1,
                 bandwidth_intensity: 0.0,
                 // Matching machine, so the failure is the unknown workload.
-                machine: MachineFingerprint::for_params(&params),
+                machine: MachineFingerprint::for_params(&params).unwrap(),
             },
             setup_events: vec![TraceEvent::CreateProcess { socket: 0 }],
             lanes: vec![],

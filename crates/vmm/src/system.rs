@@ -109,7 +109,14 @@ impl MemoryFootprint {
 /// Owns the machine description, the physical page-table state ([`PtEnv`]),
 /// the PV-Ops backend and every process.  See the crate-level documentation
 /// for an example.
-#[derive(Debug)]
+///
+/// `System` is `Clone` (the PV-Ops backend clones through
+/// [`PvOps::clone_box`]): a clone is a full, independent snapshot of the
+/// simulated machine — page tables, frame allocator, per-frame metadata,
+/// processes and VMA trees — which is what lets replay drivers prepare a
+/// system once and fan identical copies out to worker threads instead of
+/// re-executing the setup per worker.
+#[derive(Debug, Clone)]
 pub struct System {
     machine: Machine,
     env: PtEnv,

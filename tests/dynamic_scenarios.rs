@@ -402,7 +402,7 @@ fn mid_lane_phase_markers_roundtrip_through_the_format() {
         (8, TraceEvent::Replicate { sockets: 0 }),
     ];
     let trace = Trace {
-        meta: TraceMeta::for_spec(&spec, &params),
+        meta: TraceMeta::for_spec(&spec, &params).unwrap(),
         setup_events: vec![
             TraceEvent::CreateProcess { socket: 0 },
             TraceEvent::InterleaveData { sockets: 0b1111 },
@@ -616,7 +616,7 @@ fn v1_traces_with_mid_lane_markers_stay_readable() {
         ((v << 1) ^ (v >> 63)) as u64
     }
     let spec = suite::gups().with_footprint(1 << 26);
-    let meta = TraceMeta::for_spec(&spec, &SimParams::quick_test());
+    let meta = TraceMeta::for_spec(&spec, &SimParams::quick_test()).unwrap();
 
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&TRACE_MAGIC);

@@ -13,8 +13,9 @@
 use mitosis_numa::SocketId;
 use mitosis_sim::{MultiSocketConfig, SimParams};
 use mitosis_trace::{
-    capture_engine_run, capture_multisocket_scenario, replay_parallel_lanes, replay_trace,
-    replay_trace_lanes, ReplayError, ReplayOptions, ShardDecision, TraceEvent,
+    capture_engine_run, capture_multisocket_scenario, prepare_replay, replay_parallel_lanes,
+    replay_trace, replay_trace_lanes, ReplayError, ReplayOptions, ShardDecision, TraceEvent,
+    TraceReplayer,
 };
 use mitosis_workloads::suite;
 use proptest::prelude::*;
@@ -110,6 +111,83 @@ proptest! {
             merged.merge(&outcome.metrics);
         }
         prop_assert_eq!(merged, full.metrics);
+    }
+
+    /// Snapshot fidelity across arbitrary lane/socket layouts: replaying
+    /// any lane subset from a *clone* of one prepared-system snapshot is
+    /// bit-identical to re-executing the setup events for that subset —
+    /// the invariant that lets the parallel driver prepare once and clone
+    /// per group.
+    #[test]
+    fn snapshot_clones_replay_bit_identically_to_setup_reexecution(
+        sockets in prop::collection::vec(0u16..4, 1..6),
+        lane_mask in prop::collection::vec(any::<bool>(), 6..7),
+    ) {
+        let params = quick(200);
+        let placements: Vec<SocketId> =
+            sockets.iter().copied().map(SocketId::new).collect();
+        let trace = capture_engine_run(&suite::gups(), &params, &placements)
+            .expect("capture")
+            .trace;
+        let snapshot = prepare_replay(&trace, &params, ReplayOptions::default())
+            .expect("prepare");
+        let mut replayer = TraceReplayer::new();
+
+        // Whole-trace: snapshot clone vs. fresh setup execution.
+        let fresh = replay_trace(&trace, &params).expect("fresh replay");
+        let cloned = replayer
+            .replay_snapshot(&snapshot, &trace)
+            .expect("snapshot replay");
+        prop_assert_eq!(cloned.metrics, fresh.metrics);
+
+        // An arbitrary non-empty lane subset (mask truncated to the lane
+        // count, forced non-empty by including lane 0 when it comes up
+        // empty).
+        let mut selection: Vec<usize> = (0..trace.lanes.len())
+            .filter(|&lane| lane_mask[lane])
+            .collect();
+        if selection.is_empty() {
+            selection.push(0);
+        }
+        let fresh_subset =
+            replay_trace_lanes(&trace, &params, ReplayOptions::default(), &selection)
+                .expect("fresh subset replay");
+        let cloned_subset = replayer
+            .replay_snapshot_lanes(&snapshot, &trace, &selection)
+            .expect("snapshot subset replay");
+        prop_assert_eq!(cloned_subset.metrics, fresh_subset.metrics);
+    }
+
+    /// A demand-fault (non-premapped) trace must keep going serial under
+    /// the up-front `ShardDecision` analysis — snapshots do not change
+    /// shardability, only the cost of sharding — and the serial path must
+    /// still be bit-identical.
+    #[test]
+    fn demand_fault_traces_stay_serial_with_snapshots(
+        sockets in prop::collection::vec(0u16..4, 2..6),
+        workers in 2usize..5,
+    ) {
+        let params = quick(150);
+        // Pin the first two lanes to distinct sockets so the layout always
+        // has >= 2 groups: the decision under test must be the
+        // demand-fault one, not SingleSocketGroup.
+        let placements: Vec<SocketId> = [0u16, 1]
+            .into_iter()
+            .chain(sockets.iter().copied())
+            .map(SocketId::new)
+            .collect();
+        let mut trace = capture_engine_run(&suite::gups(), &params, &placements)
+            .expect("capture")
+            .trace;
+        trace
+            .setup_events
+            .retain(|event| !matches!(event, TraceEvent::Populate { .. }));
+        let serial = replay_trace(&trace, &params).expect("serial replay");
+        let report =
+            replay_parallel_lanes(&trace, &params, workers).expect("lane-parallel replay");
+        prop_assert_eq!(report.decision, ShardDecision::DemandFaultRisk);
+        prop_assert_eq!(report.workers, 1);
+        prop_assert_eq!(report.outcome.metrics, serial.metrics);
     }
 }
 

@@ -225,7 +225,7 @@ proptest! {
             [workload]
             .with_footprint(1 << 26);
         let trace = Trace {
-            meta: TraceMeta::for_spec(&spec, &SimParams::quick_test().with_seed(seed)),
+            meta: TraceMeta::for_spec(&spec, &SimParams::quick_test().with_seed(seed)).unwrap(),
             setup_events: vec![],
             lanes: (0..lanes)
                 .map(|lane| {
@@ -257,7 +257,8 @@ proptest! {
             meta: TraceMeta::for_spec(
                 &suite::gups().with_footprint(1 << 47),
                 &SimParams::quick_test(),
-            ),
+            )
+            .unwrap(),
             setup_events: vec![],
             lanes: vec![TraceLane { socket: 0, accesses, events: vec![] }],
         };
@@ -287,7 +288,7 @@ fn replay_on_a_different_machine_is_rejected_unless_forced() {
         capture_engine_run(&suite::gups(), &captured_params, &[SocketId::new(0)]).expect("capture");
     assert_eq!(
         captured.trace.meta.machine,
-        MachineFingerprint::for_params(&captured_params),
+        MachineFingerprint::for_params(&captured_params).unwrap(),
         "capture records the machine fingerprint"
     );
 
@@ -319,7 +320,7 @@ fn replay_on_a_different_machine_is_rejected_unless_forced() {
     assert_eq!(mismatch.captured, captured.trace.meta.machine);
     assert_eq!(
         mismatch.replayed,
-        MachineFingerprint::for_params(&other_params)
+        MachineFingerprint::for_params(&other_params).unwrap()
     );
     assert!(mismatch.to_string().contains("different machine"));
 
