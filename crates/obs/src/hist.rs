@@ -1,0 +1,139 @@
+//! Power-of-two histograms for cheap latency/size distributions.
+
+use std::fmt;
+
+/// A log2-bucketed histogram: bucket `b` counts values in
+/// `[2^(b-1), 2^b)`, with bucket 0 counting zeros.
+///
+/// Recording is a `leading_zeros` and an array increment — cheap enough to
+/// sit on warm (non-inner-loop) paths like per-segment accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram::default()
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupancy of bucket `index` (values in `[2^(index-1), 2^index)`;
+    /// bucket 0 holds zeros).
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// `(bucket_lower_bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(index, count)| {
+                let lower = if index == 0 { 0 } else { 1u64 << (index - 1) };
+                (lower, *count)
+            })
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+impl fmt::Display for Log2Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} samples, mean {:.1}:", self.count, self.mean())?;
+        for (lower, count) in self.nonzero_buckets() {
+            write!(f, " [{lower}+]={count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        let mut hist = Log2Histogram::new();
+        hist.record(0);
+        hist.record(1);
+        hist.record(2);
+        hist.record(3);
+        hist.record(1024);
+        assert_eq!(hist.count(), 5);
+        assert_eq!(hist.sum(), 1030);
+        assert_eq!(hist.bucket(0), 1); // 0
+        assert_eq!(hist.bucket(1), 1); // 1
+        assert_eq!(hist.bucket(2), 2); // 2..4
+        assert_eq!(hist.bucket(11), 1); // 1024..2048
+        assert_eq!(
+            hist.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (1024, 1)]
+        );
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let mut a = Log2Histogram::new();
+        a.record(5);
+        let mut b = Log2Histogram::new();
+        b.record(7);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 112);
+        assert_eq!(a.bucket(3), 2); // 4..8 holds 5 and 7
+    }
+}

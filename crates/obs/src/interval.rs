@@ -1,0 +1,299 @@
+//! The deterministic interval metrics stream.
+//!
+//! An [`IntervalSample`] is the *delta* of a run's metrics over one
+//! interval of the measured phase: every thread's contribution for the
+//! access-index range `[start_access, end_access)`.  Intervals partition
+//! the run exactly — the union of the configured sampling grid (every N
+//! accesses) and the phase-change boundaries of the schedule, terminated by
+//! the end of the run — so mid-run [`PhaseChange`] events always land on an
+//! interval edge, and summing every sample reproduces the final aggregate
+//! metrics bit-for-bit ([`IntervalAccumulator`]).
+//!
+//! Every field derives from simulated cycle and access counts: the stream
+//! is as deterministic as the run itself, and identical between a live run
+//! and its trace replay.
+//!
+//! [`PhaseChange`]: https://docs.rs/mitosis-sim
+
+use mitosis_mmu::MmuStats;
+use mitosis_numa::Cycles;
+
+/// Names of the entries of [`IntervalSample::features`], in order.
+pub const FEATURE_NAMES: [&str; 8] = [
+    "tlb_miss_rate",
+    "pwc_hit_rate",
+    "walk_cycles_per_access",
+    "local_dram_fraction",
+    "remote_dram_fraction",
+    "demand_fault_rate",
+    "data_cycles_per_access",
+    "thread_cycle_imbalance",
+];
+
+/// The metrics delta of one interval of a run's measured phase.
+///
+/// All cycle and counter fields are *deltas* over the interval, summed
+/// across the run's threads (matching the aggregation of the final run
+/// metrics); `per_thread_cycles` keeps the per-thread split of the total
+/// cycle delta, which both the feature vector (imbalance) and exact
+/// re-aggregation (the final runtime is a *max* over threads, not a sum)
+/// need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalSample {
+    /// Timeline this sample belongs to (mirrors the span track: the lane
+    /// group / worker index in parallel replay, 0 otherwise).  Samples of
+    /// different tracks come from different engine runs and accumulate
+    /// separately.
+    pub track: u64,
+    /// Sequential interval index within the run (per track).
+    pub index: u64,
+    /// First access index of the interval (inclusive; per thread).
+    pub start_access: u64,
+    /// End access index of the interval (exclusive; per thread).
+    pub end_access: u64,
+    /// Accesses executed in the interval, summed over threads.
+    pub accesses: u64,
+    /// Compute-cycle delta, summed over threads.
+    pub compute_cycles: Cycles,
+    /// Data-access-cycle delta, summed over threads.
+    pub data_cycles: Cycles,
+    /// Translation-cycle delta, summed over threads.
+    pub translation_cycles: Cycles,
+    /// Demand faults taken in the interval.
+    pub demand_faults: u64,
+    /// MMU counter deltas, merged over threads.
+    pub mmu: MmuStats,
+    /// Per-thread delta of the full cycle count (compute + data +
+    /// translation), one entry per run thread in thread order.
+    pub per_thread_cycles: Vec<Cycles>,
+}
+
+impl IntervalSample {
+    /// Number of threads the interval aggregates.
+    pub fn threads(&self) -> usize {
+        self.per_thread_cycles.len()
+    }
+
+    /// TLB miss rate over the interval's accesses.
+    pub fn tlb_miss_rate(&self) -> f64 {
+        ratio(self.mmu.tlb_misses, self.mmu.accesses)
+    }
+
+    /// Fraction of walker reads served by the paging-structure / PTE
+    /// caches instead of DRAM.
+    pub fn pwc_hit_rate(&self) -> f64 {
+        ratio(self.mmu.walk.pte_cache_hits, self.mmu.walk.total_reads())
+    }
+
+    /// Page-walk cycles per access.
+    pub fn walk_cycles_per_access(&self) -> f64 {
+        ratio(self.mmu.walk.walk_cycles, self.accesses)
+    }
+
+    /// Fraction of the walker's DRAM reads served locally.
+    pub fn local_dram_fraction(&self) -> f64 {
+        let dram = self.mmu.walk.local_dram_accesses + self.mmu.walk.remote_dram_accesses;
+        ratio(self.mmu.walk.local_dram_accesses, dram)
+    }
+
+    /// Fraction of the walker's DRAM reads served remotely.
+    pub fn remote_dram_fraction(&self) -> f64 {
+        let dram = self.mmu.walk.local_dram_accesses + self.mmu.walk.remote_dram_accesses;
+        ratio(self.mmu.walk.remote_dram_accesses, dram)
+    }
+
+    /// Demand faults per access.
+    pub fn demand_fault_rate(&self) -> f64 {
+        ratio(self.demand_faults, self.accesses)
+    }
+
+    /// Data-access cycles per access.
+    pub fn data_cycles_per_access(&self) -> f64 {
+        ratio(self.data_cycles, self.accesses)
+    }
+
+    /// Largest per-thread cycle delta over the mean (1.0 = perfectly
+    /// balanced threads).
+    pub fn thread_cycle_imbalance(&self) -> f64 {
+        let threads = self.per_thread_cycles.len() as u64;
+        if threads == 0 {
+            return 0.0;
+        }
+        let sum: Cycles = self.per_thread_cycles.iter().sum();
+        let max = self.per_thread_cycles.iter().copied().max().unwrap_or(0);
+        if sum == 0 {
+            0.0
+        } else {
+            max as f64 * threads as f64 / sum as f64
+        }
+    }
+
+    /// The interval's feature vector — the per-interval fingerprint
+    /// SimPoint-style phase clustering consumes (see [`FEATURE_NAMES`] for
+    /// the entry order).
+    pub fn features(&self) -> [f64; 8] {
+        [
+            self.tlb_miss_rate(),
+            self.pwc_hit_rate(),
+            self.walk_cycles_per_access(),
+            self.local_dram_fraction(),
+            self.remote_dram_fraction(),
+            self.demand_fault_rate(),
+            self.data_cycles_per_access(),
+            self.thread_cycle_imbalance(),
+        ]
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Folds a stream of [`IntervalSample`]s of **one run** (one track) back
+/// into the run's aggregate metrics.
+///
+/// Every summable field accumulates exactly; the per-thread cycle totals
+/// accumulate per thread, so [`IntervalAccumulator::total_cycles`] — the
+/// max over threads, i.e. the run's wall-clock proxy — is reproduced
+/// bit-for-bit rather than approximated.  Feeding samples of different
+/// runs (different tracks or thread counts) into one accumulator is a bug;
+/// accumulate per track and merge the resulting aggregates instead.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntervalAccumulator {
+    /// Accesses accumulated, summed over threads.
+    pub accesses: u64,
+    /// Compute cycles accumulated, summed over threads.
+    pub compute_cycles: Cycles,
+    /// Data cycles accumulated, summed over threads.
+    pub data_cycles: Cycles,
+    /// Translation cycles accumulated, summed over threads.
+    pub translation_cycles: Cycles,
+    /// Demand faults accumulated.
+    pub demand_faults: u64,
+    /// MMU counters accumulated.
+    pub mmu: MmuStats,
+    /// Per-thread cumulative cycle counts.
+    pub per_thread_cycles: Vec<Cycles>,
+    /// Number of samples absorbed.
+    pub samples: u64,
+}
+
+impl IntervalAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        IntervalAccumulator::default()
+    }
+
+    /// Absorbs one interval sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's thread count differs from previously absorbed
+    /// samples (samples of different runs cannot be summed).
+    pub fn absorb(&mut self, sample: &IntervalSample) {
+        if self.per_thread_cycles.is_empty() {
+            self.per_thread_cycles = vec![0; sample.per_thread_cycles.len()];
+        }
+        assert_eq!(
+            self.per_thread_cycles.len(),
+            sample.per_thread_cycles.len(),
+            "interval samples of different runs (thread counts differ) cannot accumulate"
+        );
+        self.accesses += sample.accesses;
+        self.compute_cycles += sample.compute_cycles;
+        self.data_cycles += sample.data_cycles;
+        self.translation_cycles += sample.translation_cycles;
+        self.demand_faults += sample.demand_faults;
+        self.mmu.merge(&sample.mmu);
+        for (total, delta) in self
+            .per_thread_cycles
+            .iter_mut()
+            .zip(&sample.per_thread_cycles)
+        {
+            *total += delta;
+        }
+        self.samples += 1;
+    }
+
+    /// Number of threads the accumulated run had.
+    pub fn threads(&self) -> usize {
+        self.per_thread_cycles.len()
+    }
+
+    /// The run's wall-clock proxy: the largest per-thread cycle total.
+    pub fn total_cycles(&self) -> Cycles {
+        self.per_thread_cycles.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(index: u64, per_thread: &[Cycles]) -> IntervalSample {
+        IntervalSample {
+            track: 0,
+            index,
+            start_access: index * 100,
+            end_access: (index + 1) * 100,
+            accesses: 100 * per_thread.len() as u64,
+            compute_cycles: 10,
+            data_cycles: 20,
+            translation_cycles: 30,
+            demand_faults: 1,
+            mmu: MmuStats {
+                accesses: 100 * per_thread.len() as u64,
+                tlb_misses: 40,
+                ..MmuStats::default()
+            },
+            per_thread_cycles: per_thread.to_vec(),
+        }
+    }
+
+    #[test]
+    fn accumulator_takes_max_over_per_thread_sums() {
+        // Thread 0 is slow in interval 0, thread 1 in interval 1: the
+        // correct total is max(sums), not sum(maxes) = 900.
+        let mut acc = IntervalAccumulator::new();
+        acc.absorb(&sample(0, &[500, 100]));
+        acc.absorb(&sample(1, &[100, 400]));
+        assert_eq!(acc.total_cycles(), 600);
+        assert_eq!(acc.threads(), 2);
+        assert_eq!(acc.accesses, 400);
+        assert_eq!(acc.compute_cycles, 20);
+        assert_eq!(acc.demand_faults, 2);
+        assert_eq!(acc.mmu.tlb_misses, 80);
+        assert_eq!(acc.samples, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread counts differ")]
+    fn mixed_runs_are_rejected() {
+        let mut acc = IntervalAccumulator::new();
+        acc.absorb(&sample(0, &[1, 2]));
+        acc.absorb(&sample(1, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn feature_vector_is_finite_and_ordered() {
+        let s = sample(0, &[300, 100]);
+        let features = s.features();
+        assert_eq!(features.len(), FEATURE_NAMES.len());
+        assert!(features.iter().all(|f| f.is_finite()));
+        assert!((s.tlb_miss_rate() - 0.2).abs() < 1e-12);
+        // max(300) * 2 threads / sum(400) = 1.5
+        assert!((s.thread_cycle_imbalance() - 1.5).abs() < 1e-12);
+        // Degenerate denominators stay at 0.0, never NaN.
+        let zero = IntervalSample {
+            accesses: 0,
+            mmu: MmuStats::default(),
+            per_thread_cycles: vec![],
+            ..s
+        };
+        assert!(zero.features().iter().all(|f| *f == 0.0));
+    }
+}

@@ -1,0 +1,181 @@
+//! The [`Observer`] handle the engine and replay drivers carry.
+//!
+//! An observer bundles the optional recorder with the interval-sampling
+//! configuration.  The disabled observer ([`Observer::none`]) is the
+//! default everywhere: no recorder, no interval, no clock reads — the
+//! instrumented code paths reduce to a `None` check.
+
+use crate::interval::IntervalSample;
+use crate::recorder::{FanoutRecorder, Recorder, SpanGuard};
+use std::sync::Arc;
+
+/// Environment variable naming a JSONL file to stream all events to.
+pub const ENV_JSONL: &str = "MITOSIS_OBS_JSONL";
+/// Environment variable naming a chrome://tracing JSON file for spans.
+pub const ENV_TRACE_JSON: &str = "MITOSIS_OBS_TRACE_JSON";
+/// Environment variable setting the interval length in accesses.
+pub const ENV_INTERVAL: &str = "MITOSIS_OBS_INTERVAL";
+
+/// Handle bundling a recorder with interval-sampling configuration.
+///
+/// Cloning an observer shares the underlying recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Observer {
+    recorder: Option<Arc<dyn Recorder>>,
+    interval: Option<u64>,
+}
+
+impl Observer {
+    /// The disabled observer: no recorder, no interval stream.
+    pub fn none() -> Self {
+        Observer::default()
+    }
+
+    /// An observer reporting to `recorder` (interval streaming still off
+    /// until [`Observer::interval_every`] enables it).
+    pub fn with_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        Observer {
+            recorder: Some(recorder),
+            interval: None,
+        }
+    }
+
+    /// Returns the observer with interval streaming every `accesses`
+    /// accesses (per thread). `0` disables streaming.
+    pub fn interval_every(mut self, accesses: u64) -> Self {
+        self.interval = if accesses == 0 { None } else { Some(accesses) };
+        self
+    }
+
+    /// Returns the observer with `recorder` added alongside any existing
+    /// sink (fanning out to both).
+    pub fn also_record(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(match self.recorder.take() {
+            None => recorder,
+            Some(existing) => Arc::new(FanoutRecorder::new(vec![existing, recorder])),
+        });
+        self
+    }
+
+    /// Builds an observer from the `MITOSIS_OBS_*` environment variables:
+    /// [`ENV_JSONL`] and [`ENV_TRACE_JSON`] attach sinks, [`ENV_INTERVAL`]
+    /// sets the interval length.  Unset variables leave the corresponding
+    /// feature off; an unwritable sink path is reported to stderr and
+    /// skipped.
+    pub fn from_env() -> Self {
+        let mut observer = Observer::none();
+        if let Ok(path) = std::env::var(ENV_JSONL) {
+            if !path.is_empty() {
+                match crate::JsonlRecorder::create(&path) {
+                    Ok(recorder) => observer = observer.also_record(Arc::new(recorder)),
+                    Err(error) => eprintln!("{ENV_JSONL}: cannot create {path}: {error}"),
+                }
+            }
+        }
+        if let Ok(path) = std::env::var(ENV_TRACE_JSON) {
+            if !path.is_empty() {
+                observer = observer.also_record(Arc::new(crate::ChromeTraceRecorder::new(&path)));
+            }
+        }
+        if let Ok(value) = std::env::var(ENV_INTERVAL) {
+            match value.parse::<u64>() {
+                Ok(accesses) => observer = observer.interval_every(accesses),
+                Err(_) => eprintln!("{ENV_INTERVAL}: ignoring non-numeric value {value:?}"),
+            }
+        }
+        observer
+    }
+
+    /// The installed recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The configured interval length in accesses, if streaming is on.
+    pub fn interval(&self) -> Option<u64> {
+        // The stream needs a sink: an interval without a recorder is off.
+        if self.recorder.is_some() {
+            self.interval
+        } else {
+            None
+        }
+    }
+
+    /// Whether any recorder is installed.
+    pub fn is_enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Starts a span on `track`; the no-op guard when disabled.
+    pub fn span(&self, name: &'static str, track: u64) -> SpanGuard {
+        match &self.recorder {
+            Some(recorder) => SpanGuard::start(recorder.clone(), name, track),
+            None => SpanGuard::disabled(),
+        }
+    }
+
+    /// Adds to a named counter (no-op when disabled).
+    pub fn counter(&self, name: &'static str, value: u64) {
+        if let Some(recorder) = &self.recorder {
+            recorder.counter(name, value);
+        }
+    }
+
+    /// Records a log2-histogram sample (no-op when disabled).
+    pub fn log2(&self, name: &'static str, value: u64) {
+        if let Some(recorder) = &self.recorder {
+            recorder.log2(name, value);
+        }
+    }
+
+    /// Emits one interval sample (no-op when disabled).
+    pub fn emit_interval(&self, sample: &IntervalSample) {
+        if let Some(recorder) = &self.recorder {
+            recorder.interval(sample);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryRecorder;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let observer = Observer::none();
+        assert!(!observer.is_enabled());
+        assert_eq!(observer.interval(), None);
+        observer.counter("c", 1);
+        observer.log2("h", 2);
+        let _span = observer.span("s", 0);
+    }
+
+    #[test]
+    fn interval_without_recorder_stays_off() {
+        let observer = Observer::none().interval_every(256);
+        assert_eq!(observer.interval(), None);
+        let memory = Arc::new(MemoryRecorder::new());
+        let observer = observer.also_record(memory);
+        assert_eq!(observer.interval(), Some(256));
+    }
+
+    #[test]
+    fn also_record_fans_out() {
+        let a = Arc::new(MemoryRecorder::new());
+        let b = Arc::new(MemoryRecorder::new());
+        let observer = Observer::with_recorder(a.clone()).also_record(b.clone());
+        observer.counter("c", 4);
+        assert_eq!(a.counter_value("c"), 4);
+        assert_eq!(b.counter_value("c"), 4);
+    }
+
+    #[test]
+    fn zero_interval_disables_streaming() {
+        let memory = Arc::new(MemoryRecorder::new());
+        let observer = Observer::with_recorder(memory)
+            .interval_every(128)
+            .interval_every(0);
+        assert_eq!(observer.interval(), None);
+    }
+}

@@ -7,6 +7,7 @@ use crate::params::SimParams;
 use mitosis::{Mitosis, MitosisError};
 use mitosis_mmu::{Mmu, MmuStats, PteCacheSet};
 use mitosis_numa::{AccessKind, CoreId, CostModel, Cycles, SocketId};
+use mitosis_obs::{IntervalSample, Observer};
 use mitosis_pt::{PageSize, VirtAddr};
 use mitosis_vmm::{Pid, System, VmError};
 use mitosis_workloads::{AccessSource, AccessStream, InitPattern, WorkloadSpec};
@@ -77,6 +78,15 @@ struct ThreadTotals {
     demand_faults: u64,
 }
 
+/// Bookkeeping of the interval metrics stream across a run: the cumulative
+/// per-thread counters at the last emitted interval edge, plus the running
+/// interval index and start access.
+struct IntervalState {
+    prev: Vec<(ThreadTotals, MmuStats)>,
+    next_index: u64,
+    start: u64,
+}
+
 /// Replays workload access streams against a [`System`].
 #[derive(Debug)]
 pub struct ExecutionEngine {
@@ -85,6 +95,13 @@ pub struct ExecutionEngine {
     /// fresh one, so pooling shaves the per-run TLB/PWC allocation cost —
     /// which dominates for short traces.
     mmu_pool: Vec<Mmu>,
+    /// Observability sink: spans, counters and the interval metrics stream.
+    /// The default ([`Observer::none`]) records nothing and keeps every
+    /// instrumented path on a `None` check.
+    observer: Observer,
+    /// Track (timeline) the engine's spans and interval samples carry —
+    /// the lane-group index in parallel replay, 0 otherwise.
+    obs_track: u64,
 }
 
 impl ExecutionEngine {
@@ -94,7 +111,27 @@ impl ExecutionEngine {
         ExecutionEngine {
             pte_caches: PteCacheSet::for_machine(system.machine()),
             mmu_pool: Vec::new(),
+            observer: Observer::none(),
+            obs_track: 0,
         }
+    }
+
+    /// Installs the observer later runs report spans, counters and interval
+    /// samples to.  The observer never changes simulated results: metrics
+    /// are bit-identical with any observer installed or none.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
+    }
+
+    /// Sets the track (timeline) the engine's spans and interval samples
+    /// are tagged with — parallel replay gives each lane group its own.
+    pub fn set_observer_track(&mut self, track: u64) {
+        self.obs_track = track;
+    }
+
+    /// The installed observer.
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Resets machine-level cache state so the next run behaves exactly as
@@ -388,6 +425,16 @@ impl ExecutionEngine {
         }
         let mut states: Vec<Option<ThreadPhase>> = (0..threads.len()).map(|_| None).collect();
 
+        // Interval metrics streaming (off unless the observer asks for it):
+        // cumulative per-thread counters at the last emitted edge, so each
+        // sample is an exact delta.
+        let interval = self.observer.interval();
+        let mut interval_state = interval.map(|_| IntervalState {
+            prev: vec![(ThreadTotals::default(), MmuStats::default()); threads.len()],
+            next_index: 0,
+            start: 0,
+        });
+
         // The fallible measured phase runs inside a closure so the
         // checked-out MMUs return to the pool on *every* exit path — an
         // error mid-run (a failing phase change, a fault-handling error)
@@ -398,6 +445,28 @@ impl ExecutionEngine {
             let mut segment_start = 0u64;
             for boundary in schedule.boundaries(accesses_per_thread) {
                 if boundary > segment_start {
+                    let _segment_span = self.observer.span("engine.segment", self.obs_track);
+                    // Interval sampling splits each thread's run of the
+                    // segment into chunks at the interval edges: every
+                    // multiple of the interval length inside the segment,
+                    // plus the segment boundary itself — which is what pins
+                    // phase-change events to interval edges.  The chunks
+                    // execute back to back in the same order as the
+                    // undivided loop and only *read* the counters at each
+                    // edge, so simulated results are bit-identical with
+                    // sampling on or off.  With sampling off the segment is
+                    // a single chunk.
+                    let edges: Vec<u64> = match interval {
+                        Some(every) => (segment_start / every + 1..)
+                            .map(|multiple| multiple * every)
+                            .take_while(|edge| *edge < boundary)
+                            .chain(std::iter::once(boundary))
+                            .collect(),
+                        None => vec![boundary],
+                    };
+                    let mut edge_snaps: Vec<Vec<(ThreadTotals, MmuStats)>> =
+                        vec![Vec::new(); edges.len()];
+
                     // Threads refreshing at the same segment start snapshot
                     // the same cost-model state: share one clone (it holds
                     // the dense precomputed cycle matrix) instead of paying
@@ -442,33 +511,16 @@ impl ExecutionEngine {
                         let mmu = &mut mmus[index];
                         let totals = &mut totals[index];
 
-                        for _ in segment_start..boundary {
-                            let access = source.next_access();
-                            // Accesses are 8-byte word granular within the
-                            // footprint.
-                            let addr = VirtAddr::new(region.as_u64() + (access.offset & !0x7));
-                            totals.compute += spec.compute_cycles_per_access();
+                        let mut chunk_start = segment_start;
+                        for (edge_index, &edge) in edges.iter().enumerate() {
+                            for _ in chunk_start..edge {
+                                let access = source.next_access();
+                                // Accesses are 8-byte word granular within the
+                                // footprint.
+                                let addr = VirtAddr::new(region.as_u64() + (access.offset & !0x7));
+                                totals.compute += spec.compute_cycles_per_access();
 
-                            let outcome = {
-                                let env = system.pt_env_mut();
-                                mmu.access(
-                                    addr,
-                                    access.is_write,
-                                    cr3,
-                                    &mut env.store,
-                                    &env.frames,
-                                    cost,
-                                    self.pte_caches.socket(placement.socket),
-                                )
-                            };
-                            totals.translation += outcome.translation_cycles;
-
-                            let frame = if outcome.fault {
-                                // Demand paging: fault into the kernel, then
-                                // retry.
-                                totals.demand_faults += 1;
-                                let fault = system.handle_fault(pid, addr, placement.socket)?;
-                                let retry = {
+                                let outcome = {
                                     let env = system.pt_env_mut();
                                     mmu.access(
                                         addr,
@@ -480,14 +532,79 @@ impl ExecutionEngine {
                                         self.pte_caches.socket(placement.socket),
                                     )
                                 };
-                                totals.translation += retry.translation_cycles;
-                                retry.frame.unwrap_or(fault.frame)
-                            } else {
-                                outcome.frame.expect("non-faulting access yields a frame")
-                            };
+                                totals.translation += outcome.translation_cycles;
 
-                            let data_socket = frame_space.socket_of(frame);
-                            totals.data += data_cost[data_socket.index()];
+                                let frame = if outcome.fault {
+                                    // Demand paging: fault into the kernel, then
+                                    // retry.
+                                    totals.demand_faults += 1;
+                                    let fault = system.handle_fault(pid, addr, placement.socket)?;
+                                    let retry = {
+                                        let env = system.pt_env_mut();
+                                        mmu.access(
+                                            addr,
+                                            access.is_write,
+                                            cr3,
+                                            &mut env.store,
+                                            &env.frames,
+                                            cost,
+                                            self.pte_caches.socket(placement.socket),
+                                        )
+                                    };
+                                    totals.translation += retry.translation_cycles;
+                                    retry.frame.unwrap_or(fault.frame)
+                                } else {
+                                    outcome.frame.expect("non-faulting access yields a frame")
+                                };
+
+                                let data_socket = frame_space.socket_of(frame);
+                                totals.data += data_cost[data_socket.index()];
+                            }
+                            chunk_start = edge;
+                            if interval_state.is_some() {
+                                edge_snaps[edge_index].push((*totals, *mmu.stats()));
+                            }
+                        }
+                    }
+
+                    // Assemble and emit the segment's interval samples from
+                    // the per-thread counter snapshots (outside the access
+                    // loops: emission never interleaves with execution).
+                    if let Some(state) = interval_state.as_mut() {
+                        for (edge_index, &edge) in edges.iter().enumerate() {
+                            let mut sample = IntervalSample {
+                                track: self.obs_track,
+                                index: state.next_index,
+                                start_access: state.start,
+                                end_access: edge,
+                                accesses: 0,
+                                compute_cycles: 0,
+                                data_cycles: 0,
+                                translation_cycles: 0,
+                                demand_faults: 0,
+                                mmu: MmuStats::default(),
+                                per_thread_cycles: Vec::with_capacity(threads.len()),
+                            };
+                            for (thread, (cum_totals, cum_mmu)) in
+                                edge_snaps[edge_index].iter().enumerate()
+                            {
+                                let (prev_totals, prev_mmu) = state.prev[thread];
+                                let compute = cum_totals.compute - prev_totals.compute;
+                                let data = cum_totals.data - prev_totals.data;
+                                let translation = cum_totals.translation - prev_totals.translation;
+                                sample.accesses += edge - state.start;
+                                sample.compute_cycles += compute;
+                                sample.data_cycles += data;
+                                sample.translation_cycles += translation;
+                                sample.demand_faults +=
+                                    cum_totals.demand_faults - prev_totals.demand_faults;
+                                sample.mmu.merge(&cum_mmu.delta_since(&prev_mmu));
+                                sample.per_thread_cycles.push(compute + data + translation);
+                                state.prev[thread] = (*cum_totals, *cum_mmu);
+                            }
+                            state.next_index += 1;
+                            state.start = edge;
+                            self.observer.emit_interval(&sample);
                         }
                     }
                 }
@@ -557,6 +674,18 @@ impl ExecutionEngine {
                 mmu.stats(),
                 totals.demand_faults,
             );
+        }
+        if self.observer.is_enabled() {
+            self.observer.counter("engine.runs", 1);
+            self.observer.counter("engine.accesses", metrics.accesses);
+            self.observer
+                .counter("engine.demand_faults", metrics.demand_faults);
+            for totals in &totals {
+                self.observer.log2(
+                    "engine.thread_cycles",
+                    totals.compute + totals.data + totals.translation,
+                );
+            }
         }
         self.mmu_pool = mmus;
         Ok(metrics)

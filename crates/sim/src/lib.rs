@@ -56,6 +56,7 @@ pub use dynamics::{apply_phase_change, PhaseChange, PhaseEvent, PhaseSchedule};
 pub use engine::{data_access_cycles, ExecutionEngine, PreparedSystem, ThreadPlacement};
 pub use metrics::RunMetrics;
 pub use migration::WorkloadMigrationScenario;
+pub use mitosis_obs::{IntervalAccumulator, IntervalSample, Observer};
 pub use multisocket::MultiSocketScenario;
 pub use params::SimParams;
 pub use report::{format_normalized_table, render_rows, NormalizedRow, ScenarioResult};

@@ -2,6 +2,8 @@
 
 use mitosis_mmu::MmuStats;
 use mitosis_numa::Cycles;
+use mitosis_obs::IntervalAccumulator;
+use std::fmt;
 
 /// Aggregated result of executing a workload phase.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -26,6 +28,30 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// Reconstructs the aggregate run metrics from an accumulated interval
+    /// stream — exactly, not approximately: every summable field is the sum
+    /// of its deltas and the wall-clock proxy is the max over the per-thread
+    /// cycle totals the accumulator keeps, so the result is bit-identical to
+    /// the metrics the run itself returned.
+    pub fn from_intervals(intervals: &IntervalAccumulator) -> RunMetrics {
+        RunMetrics {
+            total_cycles: intervals.total_cycles(),
+            compute_cycles: intervals.compute_cycles,
+            data_cycles: intervals.data_cycles,
+            translation_cycles: intervals.translation_cycles,
+            threads: intervals.threads(),
+            accesses: intervals.accesses,
+            mmu: intervals.mmu,
+            demand_faults: intervals.demand_faults,
+        }
+    }
+
+    /// The one-line human-readable summary ([`RunMetrics`] also implements
+    /// [`std::fmt::Display`] with the same text).
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+
     /// Fraction of the total runtime spent walking page tables — the hashed
     /// portion of the paper's bars.
     pub fn walk_cycle_fraction(&self) -> f64 {
@@ -104,6 +130,30 @@ impl RunMetrics {
         self.accesses += accesses;
         self.mmu.merge(mmu);
         self.demand_faults += demand_faults;
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let per_thread = self.accesses / self.threads.max(1) as u64;
+        write!(
+            f,
+            "{} cycles ({} thread(s) x {} accesses, {:.1} cyc/access) | \
+             compute {} / data {} / translation {} | \
+             TLB miss {:.2}%, walk {:.1}% of runtime, remote walk DRAM {:.1}% | \
+             demand faults {}",
+            self.total_cycles,
+            self.threads,
+            per_thread,
+            self.cycles_per_access(),
+            self.compute_cycles,
+            self.data_cycles,
+            self.translation_cycles,
+            self.mmu.tlb_miss_ratio() * 100.0,
+            self.walk_cycle_fraction() * 100.0,
+            self.mmu.walk.remote_dram_fraction() * 100.0,
+            self.demand_faults,
+        )
     }
 }
 

@@ -61,8 +61,8 @@ pub use format::{
     TRACE_VERSION,
 };
 pub use parallel::{
-    replay_parallel, replay_parallel_lanes, replay_sequential, LaneReplayReport, ReplayAggregate,
-    ReplayReport, ShardDecision,
+    replay_parallel, replay_parallel_lanes, replay_parallel_lanes_observed, replay_sequential,
+    LaneReplayReport, ReplayAggregate, ReplayReport, ShardDecision,
 };
 pub use replay::{
     prepare_replay, replay_trace, replay_trace_lane, replay_trace_lanes, replay_trace_with,

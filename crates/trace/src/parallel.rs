@@ -32,7 +32,7 @@ use crate::format::{Trace, TraceEvent};
 use crate::replay::{
     prepare_replay, replay_trace, ReplayError, ReplayOptions, ReplayOutcome, TraceReplayer,
 };
-use mitosis_sim::{RunMetrics, SimParams};
+use mitosis_sim::{Observer, RunMetrics, SimParams};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -108,6 +108,12 @@ impl ReplayReport {
         self.aggregate.accesses as f64 / self.measured_wall.as_secs_f64()
     }
 
+    /// The one-line human-readable summary ([`ReplayReport`] also
+    /// implements [`std::fmt::Display`] with the same text).
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+
     fn collect(
         results: Vec<Option<Result<ReplayOutcome, ReplayError>>>,
         wall: Duration,
@@ -131,6 +137,26 @@ impl ReplayReport {
             setup_wall,
             measured_wall,
         })
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} trace(s), {} accesses in {:.1} ms ({:.2} M accesses/s) | \
+             setup {:.1} ms, measured {:.1} ms (measured-phase rate {:.2} M accesses/s) | \
+             slowest trace {} cycles, {} demand faults",
+            self.aggregate.traces,
+            self.aggregate.accesses,
+            self.wall.as_secs_f64() * 1e3,
+            self.accesses_per_second() / 1e6,
+            self.setup_wall.as_secs_f64() * 1e3,
+            self.measured_wall.as_secs_f64() * 1e3,
+            self.throughput() / 1e6,
+            self.aggregate.total_cycles_max,
+            self.aggregate.demand_faults,
+        )
     }
 }
 
@@ -311,6 +337,34 @@ impl LaneReplayReport {
         }
         self.outcome.metrics.accesses as f64 / self.measured_wall.as_secs_f64()
     }
+
+    /// The one-line human-readable summary ([`LaneReplayReport`] also
+    /// implements [`std::fmt::Display`] with the same text).
+    pub fn summary(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for LaneReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} lane(s) in {} group(s) across {} worker(s), {} | \
+             {} accesses in {:.1} ms ({:.2} M accesses/s; setup {:.1} ms, \
+             measured {:.1} ms) | {} cycles, {} demand faults",
+            self.lanes,
+            self.groups,
+            self.workers,
+            self.decision,
+            self.outcome.metrics.accesses,
+            self.wall.as_secs_f64() * 1e3,
+            self.accesses_per_second() / 1e6,
+            self.setup_wall.as_secs_f64() * 1e3,
+            self.measured_wall.as_secs_f64() * 1e3,
+            self.outcome.metrics.total_cycles,
+            self.outcome.metrics.demand_faults,
+        )
+    }
 }
 
 /// Partitions the lanes of `trace` into per-socket groups: one group per
@@ -415,6 +469,31 @@ pub fn replay_parallel_lanes(
     params: &SimParams,
     workers: usize,
 ) -> Result<LaneReplayReport, ReplayError> {
+    replay_parallel_lanes_observed(trace, params, workers, &Observer::none())
+}
+
+/// [`replay_parallel_lanes`] reporting to an [`Observer`]: the driver's
+/// phases become spans — `prepare_replay` (one per replay, track 0) and,
+/// when the trace shards, a `group_replay` span per lane group on the
+/// group's own track (group index + 1), with the group's `snapshot_clone`
+/// and `replay.measured` spans (and its interval samples, when streaming is
+/// enabled) nested on the same track.  The serial paths replay through an
+/// observer-carrying [`TraceReplayer`] on track 0 instead.  Observing never
+/// changes the replayed metrics.
+///
+/// # Errors
+///
+/// Same conditions as [`replay_parallel_lanes`].
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn replay_parallel_lanes_observed(
+    trace: &Trace,
+    params: &SimParams,
+    workers: usize,
+    observer: &Observer,
+) -> Result<LaneReplayReport, ReplayError> {
     assert!(
         workers > 0,
         "lane-granular replay needs at least one worker"
@@ -428,7 +507,9 @@ pub fn replay_parallel_lanes(
                   workers: usize,
                   start: Instant|
      -> Result<LaneReplayReport, ReplayError> {
-        let outcome = replay_trace(trace, params)?;
+        let mut replayer = TraceReplayer::new();
+        replayer.set_observer(observer.clone());
+        let outcome = replayer.replay(trace, params)?;
         let setup_wall = outcome.setup_wall;
         let measured_wall = outcome.measured_wall;
         Ok(LaneReplayReport {
@@ -462,7 +543,10 @@ pub fn replay_parallel_lanes(
     }
 
     // One setup execution for the whole replay: every group clones this.
-    let snapshot = prepare_replay(trace, params, ReplayOptions::default())?;
+    let snapshot = {
+        let _span = observer.span("prepare_replay", 0);
+        prepare_replay(trace, params, ReplayOptions::default())?
+    };
     let setup_wall = snapshot.setup_wall();
     let measured_start = Instant::now();
 
@@ -474,12 +558,22 @@ pub fn replay_parallel_lanes(
         for _ in 0..spawned {
             scope.spawn(|| {
                 let mut replayer = TraceReplayer::new();
+                replayer.set_observer(observer.clone());
                 loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
                     if index >= groups.len() {
                         break;
                     }
-                    let outcome = replayer.replay_snapshot_lanes(&snapshot, trace, &groups[index]);
+                    // Track 0 belongs to the driving thread (the
+                    // prepare_replay span); lane group G reports on track
+                    // G + 1, so concurrent groups render as parallel rows
+                    // and their interval streams accumulate separately.
+                    let track = index as u64 + 1;
+                    replayer.set_observer_track(track);
+                    let outcome = {
+                        let _span = observer.span("group_replay", track);
+                        replayer.replay_snapshot_lanes(&snapshot, trace, &groups[index])
+                    };
                     results.lock().expect("group worker poisoned the results")[index] =
                         Some(outcome);
                 }

@@ -31,8 +31,8 @@ use mitosis::{Mitosis, MitosisError};
 use mitosis_mem::{FragmentationModel, PlacementPolicy};
 use mitosis_numa::{Interference, NodeMask, SocketId};
 use mitosis_sim::{
-    ExecutionEngine, PhaseChange, PhaseEvent, PhaseSchedule, PreparedSystem, RunMetrics, SimParams,
-    ThreadPlacement,
+    ExecutionEngine, Observer, PhaseChange, PhaseEvent, PhaseSchedule, PreparedSystem, RunMetrics,
+    SimParams, ThreadPlacement,
 };
 use mitosis_vmm::{AutoNuma, MmapFlags, PtPlacement, System, ThpMode, VmError};
 use mitosis_workloads::{Access, AccessSource, InitPattern, WorkloadSpec};
@@ -447,12 +447,37 @@ pub struct TraceReplayer {
     /// engine's cache capacities are machine-derived, so a replayer used
     /// across differently scaled machines rebuilds instead of reusing).
     engine: Option<(MachineFingerprint, ExecutionEngine)>,
+    /// Observer handed to the engine on every run (spans, counters and the
+    /// interval metrics stream).  Defaults to [`Observer::none`], which
+    /// records nothing; replayed metrics are bit-identical either way.
+    observer: Observer,
+    /// Track (timeline) this replayer's spans and interval samples carry —
+    /// the lane-group track in parallel replay, 0 otherwise.
+    track: u64,
 }
 
 impl TraceReplayer {
     /// Creates a replayer with no pooled engine yet.
     pub fn new() -> Self {
         TraceReplayer::default()
+    }
+
+    /// Installs the observer later replays report spans, counters and the
+    /// interval metrics stream to.  Observing never changes replayed
+    /// metrics.
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.observer = observer;
+    }
+
+    /// Sets the track (timeline) this replayer's spans and interval samples
+    /// are tagged with.
+    pub fn set_observer_track(&mut self, track: u64) {
+        self.track = track;
+    }
+
+    /// The installed observer.
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Replays `trace` (strict machine check); see [`replay_trace`].
@@ -479,7 +504,10 @@ impl TraceReplayer {
         params: &SimParams,
         options: ReplayOptions,
     ) -> Result<ReplayOutcome, ReplayError> {
-        let prepared = prepare_replay(trace, params, options)?;
+        let prepared = {
+            let _span = self.observer.span("prepare_replay", self.track);
+            prepare_replay(trace, params, options)?
+        };
         self.run_lanes(prepared, trace, None)
     }
 
@@ -512,7 +540,10 @@ impl TraceReplayer {
         lanes: &[usize],
     ) -> Result<ReplayOutcome, ReplayError> {
         validate_lane_selection(trace, lanes)?;
-        let prepared = prepare_replay(trace, params, options)?;
+        let prepared = {
+            let _span = self.observer.span("prepare_replay", self.track);
+            prepare_replay(trace, params, options)?
+        };
         self.run_lanes(prepared, trace, Some(lanes))
     }
 
@@ -533,7 +564,11 @@ impl TraceReplayer {
         trace: &Trace,
     ) -> Result<ReplayOutcome, ReplayError> {
         snapshot.check_trace(trace)?;
-        self.run_lanes(clone_snapshot(snapshot), trace, None)
+        let clone = {
+            let _span = self.observer.span("snapshot_clone", self.track);
+            clone_snapshot(snapshot)
+        };
+        self.run_lanes(clone, trace, None)
     }
 
     /// Replays an ordered subset of `trace`'s lanes from a shared
@@ -553,7 +588,11 @@ impl TraceReplayer {
     ) -> Result<ReplayOutcome, ReplayError> {
         snapshot.check_trace(trace)?;
         validate_lane_selection(trace, lanes)?;
-        self.run_lanes(clone_snapshot(snapshot), trace, Some(lanes))
+        let clone = {
+            let _span = self.observer.span("snapshot_clone", self.track);
+            clone_snapshot(snapshot)
+        };
+        self.run_lanes(clone, trace, Some(lanes))
     }
 
     /// Runs the measured phase of a prepared replay over all lanes
@@ -621,18 +660,25 @@ impl TraceReplayer {
                 &mut slot.as_mut().expect("just installed").1
             }
         };
+        engine.set_observer(self.observer.clone());
+        engine.set_observer_track(self.track);
         let measured_start = Instant::now();
-        let metrics = engine.run_with_sources_dynamic(
-            &mut system,
-            &mut mitosis,
-            pid,
-            &spec,
-            region,
-            &threads,
-            accesses_per_thread,
-            &mut cursors,
-            &schedule,
-        )?;
+        let metrics = {
+            let _span = self.observer.span("replay.measured", self.track);
+            engine.run_with_sources_dynamic(
+                &mut system,
+                &mut mitosis,
+                pid,
+                &spec,
+                region,
+                &threads,
+                accesses_per_thread,
+                &mut cursors,
+                &schedule,
+            )?
+        };
+        self.observer.counter("replay.runs", 1);
+        self.observer.counter("replay.lanes", cursors.len() as u64);
         Ok(ReplayOutcome {
             metrics,
             spec,

@@ -77,14 +77,7 @@ fn main() {
     let report =
         replay_parallel_lanes(&captured.trace, &params, workers).expect("lane-parallel replay");
     assert_eq!(report.outcome.metrics, captured.live_metrics);
-    println!(
-        "  lane-granular replay ({} workers, {} lane groups, {}): identical metrics, \
-         {:.2} M accesses/s",
-        report.workers,
-        report.groups,
-        report.decision,
-        report.accesses_per_second() / 1e6
-    );
+    println!("  lane-granular replay (identical metrics): {report}");
 
     // Staggered boundaries: the same migration, but each thread observes it
     // at a different point of its own access stream (format v4 traces).
@@ -112,9 +105,8 @@ fn main() {
     assert_eq!(report.outcome.metrics, staggered_run.live_metrics);
     println!(
         "  staggered boundaries ({} marker(s) in lane 0, {} in lane 2) replay \
-         bit-identically, {}",
+         bit-identically: {report}",
         staggered_run.trace.lanes[0].events.len(),
         staggered_run.trace.lanes[2].events.len(),
-        report.decision,
     );
 }

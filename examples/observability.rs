@@ -1,0 +1,119 @@
+//! Observability demo: a grouped snapshot replay under a live recorder.
+//!
+//! Captures a 4-socket GUPS run, replays it with lane-granular parallel
+//! sharding while an [`Observer`] records spans, counters and the
+//! deterministic interval metrics stream, then:
+//!
+//! * proves the interval streams are *exact*: summing each lane group's
+//!   interval deltas and merging the per-group aggregates reproduces the
+//!   replay's `RunMetrics` bit-for-bit;
+//! * prints the per-interval feature vectors (the fingerprint SimPoint-style
+//!   phase clustering consumes);
+//! * exports the span timeline as chrome://tracing JSON.
+//!
+//! Environment sinks compose: set `MITOSIS_OBS_JSONL=/path/events.jsonl`
+//! and/or `MITOSIS_OBS_TRACE_JSON=/path/trace.json` to stream the same
+//! events to files, and `MITOSIS_OBS_INTERVAL=n` to override the interval
+//! length.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+
+use mitosis_numa::SocketId;
+use mitosis_obs::{IntervalAccumulator, MemoryRecorder, Observer, FEATURE_NAMES};
+use mitosis_sim::{RunMetrics, SimParams};
+use mitosis_trace::{capture_engine_run, replay_parallel_lanes_observed};
+use mitosis_workloads::suite;
+use std::sync::Arc;
+
+fn main() {
+    let params = SimParams::quick_test().with_accesses(20_000);
+    let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
+
+    println!("capturing a 4-socket GUPS run ({} accesses/thread)...", {
+        params.accesses_per_thread
+    });
+    let captured = capture_engine_run(&suite::gups(), &params, &sockets).expect("capture");
+
+    // The observer fans out to an in-memory recorder (for the programmatic
+    // export below) plus whatever sinks MITOSIS_OBS_JSONL /
+    // MITOSIS_OBS_TRACE_JSON configure; MITOSIS_OBS_INTERVAL, when set,
+    // wins over the demo default of 2000 accesses.
+    let memory = Arc::new(MemoryRecorder::new());
+    let mut observer = Observer::from_env().also_record(memory.clone());
+    if std::env::var_os(mitosis_obs::ENV_INTERVAL).is_none() {
+        observer = observer.interval_every(2_000);
+    }
+
+    // Request one worker per socket so the replay takes the grouped
+    // snapshot path (per-group clone + measured spans) even on small hosts;
+    // the simulation is deterministic either way.
+    let workers = sockets.len();
+    let report = replay_parallel_lanes_observed(&captured.trace, &params, workers, &observer)
+        .expect("lane-parallel replay");
+    assert_eq!(
+        report.outcome.metrics, captured.live_metrics,
+        "observed replay must reproduce the live run bit-for-bit"
+    );
+    println!("{report}");
+
+    // Interval streams accumulate per track (one track per lane group, or
+    // track 0 for a serial replay); merging the per-track aggregates must
+    // reproduce the replay's own metrics exactly.
+    let mut merged = RunMetrics::default();
+    println!("\ninterval streams:");
+    for track in memory.interval_tracks() {
+        let mut accumulator = IntervalAccumulator::new();
+        for sample in memory.intervals_for_track(track) {
+            accumulator.absorb(&sample);
+        }
+        let from_stream = RunMetrics::from_intervals(&accumulator);
+        println!(
+            "  track {track}: {} interval(s) -> {from_stream}",
+            accumulator.samples
+        );
+        merged.merge(&from_stream);
+    }
+    assert_eq!(
+        merged, report.outcome.metrics,
+        "summed interval deltas must reproduce the aggregate metrics"
+    );
+    println!("  sum of interval deltas == replay metrics: exact");
+
+    // The per-interval feature vectors, one line per interval of the first
+    // track — the fingerprint phase clustering consumes.
+    if let Some(&track) = memory.interval_tracks().first() {
+        println!("\nfeature vectors of track {track} ({FEATURE_NAMES:?}):");
+        for sample in memory.intervals_for_track(track) {
+            let features: Vec<String> = sample
+                .features()
+                .iter()
+                .map(|value| format!("{value:.3}"))
+                .collect();
+            println!(
+                "  [{:>6}..{:>6}) {}",
+                sample.start_access,
+                sample.end_access,
+                features.join(" ")
+            );
+        }
+    }
+
+    // Span timeline: prepare + per-group clone/measured phases, exported as
+    // chrome://tracing JSON (load in chrome://tracing or ui.perfetto.dev).
+    let spans = memory.spans();
+    println!(
+        "\n{} span(s) recorded: {} prepare_replay, {} snapshot_clone, \
+         {} group_replay, {} replay.measured, {} engine.segment",
+        spans.len(),
+        memory.spans_named("prepare_replay").len(),
+        memory.spans_named("snapshot_clone").len(),
+        memory.spans_named("group_replay").len(),
+        memory.spans_named("replay.measured").len(),
+        memory.spans_named("engine.segment").len(),
+    );
+    let out = std::env::temp_dir().join("mitosis-obs-trace.json");
+    std::fs::write(&out, memory.to_chrome_trace()).expect("write chrome trace");
+    println!("chrome://tracing profile written to {}", out.display());
+}

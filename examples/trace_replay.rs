@@ -56,10 +56,8 @@ fn main() {
         "replay must reproduce the live run bit-for-bit"
     );
     println!(
-        "\nreplayed {} from disk: {} cycles (identical to live run: {})",
-        trace.meta.workload,
-        replayed.metrics.total_cycles,
-        replayed.metrics == *live
+        "\nreplayed {} from disk (identical to live run): {}",
+        trace.meta.workload, replayed.metrics
     );
 
     // 3. Parallel replay of the whole batch.
@@ -81,27 +79,9 @@ fn main() {
             "parallel replay must match sequential"
         );
     }
-    println!(
-        "\nbatch of {} traces ({} accesses total):",
-        parallel.aggregate.traces, parallel.aggregate.accesses
-    );
-    println!(
-        "  sequential: {:>7.1} ms  ({:>9.0} accesses/s)",
-        sequential.wall.as_secs_f64() * 1e3,
-        sequential.accesses_per_second()
-    );
-    println!(
-        "  parallel ({workers} workers): {:>7.1} ms  ({:>9.0} accesses/s)",
-        parallel.wall.as_secs_f64() * 1e3,
-        parallel.accesses_per_second()
-    );
-    // The reports split setup reconstruction from the measured phase, so
-    // the measured-phase replay rate is no longer diluted by setup cost.
-    println!(
-        "  sequential phase split: setup {:>7.1} ms, measured {:>7.1} ms  \
-         (measured-phase rate {:>9.0} accesses/s)",
-        sequential.setup_wall.as_secs_f64() * 1e3,
-        sequential.measured_wall.as_secs_f64() * 1e3,
-        sequential.throughput()
-    );
+    // The report summaries split setup reconstruction from the measured
+    // phase, so the replay rate is not diluted by setup cost.
+    println!("\nbatch replay:");
+    println!("  sequential:             {sequential}");
+    println!("  parallel ({workers} workers): {parallel}");
 }

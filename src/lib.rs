@@ -10,7 +10,9 @@
 //! * [`mitosis_workloads`] / [`mitosis_sim`] — workload generators and the
 //!   evaluation scenario runners,
 //! * [`mitosis_trace`] — trace capture, deterministic replay and the
-//!   parallel replay driver.
+//!   parallel replay driver,
+//! * [`mitosis_obs`] — deterministic interval metrics streams, span tracing
+//!   and profile export across run and replay.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +21,7 @@ pub use mitosis;
 pub use mitosis_mem;
 pub use mitosis_mmu;
 pub use mitosis_numa;
+pub use mitosis_obs;
 pub use mitosis_pt;
 pub use mitosis_sim;
 pub use mitosis_trace;

@@ -15,9 +15,11 @@
 
 use mitosis::Mitosis;
 use mitosis_numa::SocketId;
+use mitosis_obs::{IntervalAccumulator, MemoryRecorder, Observer};
 use mitosis_sim::{ExecutionEngine, RunMetrics, SimParams};
 use mitosis_vmm::{MmapFlags, PtPlacement, System};
 use mitosis_workloads::{suite, InitPattern, WorkloadSpec};
+use std::sync::Arc;
 
 fn params() -> SimParams {
     SimParams::quick_test()
@@ -32,6 +34,12 @@ fn snapshot(metrics: &RunMetrics) -> String {
 
 /// Local baseline: process, page tables and data all on socket 0.
 fn run_local(spec: &WorkloadSpec) -> RunMetrics {
+    run_local_observed(spec, &Observer::none())
+}
+
+/// [`run_local`] under an explicit observer — the observability layer must
+/// not perturb the golden values.
+fn run_local_observed(spec: &WorkloadSpec, observer: &Observer) -> RunMetrics {
     let params = params();
     let scaled = params.scale_workload(spec);
     let mut system = System::new(params.machine());
@@ -50,7 +58,9 @@ fn run_local(spec: &WorkloadSpec) -> RunMetrics {
     )
     .expect("populate");
     let threads = ExecutionEngine::one_thread_per_socket(&system, &[s0]);
-    ExecutionEngine::new(&system)
+    let mut engine = ExecutionEngine::new(&system);
+    engine.set_observer(observer.clone());
+    engine
         .run(&mut system, pid, &scaled, region, &threads, &params)
         .expect("run")
 }
@@ -84,6 +94,11 @@ fn run_remote(spec: &WorkloadSpec) -> RunMetrics {
 
 /// Mitosis: page tables replicated on every socket, one thread per socket.
 fn run_replicated(spec: &WorkloadSpec) -> RunMetrics {
+    run_replicated_observed(spec, &Observer::none())
+}
+
+/// [`run_replicated`] under an explicit observer.
+fn run_replicated_observed(spec: &WorkloadSpec, observer: &Observer) -> RunMetrics {
     let params = params();
     let scaled = params.scale_workload(spec);
     let mut mitosis = Mitosis::new();
@@ -107,7 +122,9 @@ fn run_replicated(spec: &WorkloadSpec) -> RunMetrics {
         .expect("replicate page tables");
     let sockets: Vec<SocketId> = system.machine().socket_ids().collect();
     let threads = ExecutionEngine::one_thread_per_socket(&system, &sockets);
-    ExecutionEngine::new(&system)
+    let mut engine = ExecutionEngine::new(&system);
+    engine.set_observer(observer.clone());
+    engine
         .run(&mut system, pid, &scaled, region, &threads, &params)
         .expect("run")
 }
@@ -134,6 +151,43 @@ const GOLD_BTREE_REPL: &str = "RunMetrics { total_cycles: 2196402, compute_cycle
 const GOLD_MEMCACHED_LOCAL: &str = "RunMetrics { total_cycles: 1862712, compute_cycles: 60000, data_cycles: 996084, translation_cycles: 806628, threads: 1, accesses: 2000, mmu: MmuStats { accesses: 2000, tlb_l1_hits: 0, tlb_l2_hits: 28, tlb_misses: 1972, translation_cycles: 806628, walk: WalkStats { walks: 1972, faults: 0, walk_cycles: 806432, levels_accessed: 3382, local_dram_accesses: 1317, remote_dram_accesses: 579, pte_cache_hits: 1486, interfered_accesses: 0 } }, demand_faults: 0 }";
 const GOLD_MEMCACHED_REMOTE: &str = "RunMetrics { total_cycles: 2257812, compute_cycles: 60000, data_cycles: 996084, translation_cycles: 1201728, threads: 1, accesses: 2000, mmu: MmuStats { accesses: 2000, tlb_l1_hits: 0, tlb_l2_hits: 28, tlb_misses: 1972, translation_cycles: 1201728, walk: WalkStats { walks: 1972, faults: 0, walk_cycles: 1201532, levels_accessed: 3382, local_dram_accesses: 0, remote_dram_accesses: 1896, pte_cache_hits: 1486, interfered_accesses: 0 } }, demand_faults: 0 }";
 const GOLD_MEMCACHED_REPL: &str = "RunMetrics { total_cycles: 2963541, compute_cycles: 240000, data_cycles: 6742212, translation_cycles: 3102745, threads: 4, accesses: 8000, mmu: MmuStats { accesses: 8000, tlb_l1_hits: 10, tlb_l2_hits: 119, tlb_misses: 7871, translation_cycles: 3102745, walk: WalkStats { walks: 7871, faults: 0, walk_cycles: 3101912, levels_accessed: 13396, local_dram_accesses: 5636, remote_dram_accesses: 1934, pte_cache_hits: 5826, interfered_accesses: 0 } }, demand_faults: 0 }";
+
+/// The observability layer must be invisible to the model: the same golden
+/// values hold with a live recorder and interval streaming enabled, and the
+/// streamed interval deltas sum back to those exact metrics.
+#[test]
+fn golden_metrics_hold_under_live_recorder_and_interval_stream() {
+    let spec = suite::gups();
+    for (label, gold, run) in [
+        (
+            "GUPS/local+obs",
+            GOLD_GUPS_LOCAL,
+            run_local_observed as fn(&WorkloadSpec, &Observer) -> RunMetrics,
+        ),
+        (
+            "GUPS/replicated+obs",
+            GOLD_GUPS_REPL,
+            run_replicated_observed,
+        ),
+    ] {
+        let memory = Arc::new(MemoryRecorder::new());
+        let observer = Observer::with_recorder(memory.clone()).interval_every(500);
+        let metrics = run(&spec, &observer);
+        check(label, gold, metrics);
+
+        let mut accumulator = IntervalAccumulator::new();
+        for sample in memory.intervals_for_track(0) {
+            accumulator.absorb(&sample);
+        }
+        assert_eq!(
+            RunMetrics::from_intervals(&accumulator),
+            metrics,
+            "{label}: interval sums diverged from the golden metrics"
+        );
+        assert_eq!(memory.counter_value("engine.runs"), 1);
+        assert_eq!(memory.counter_value("engine.accesses"), metrics.accesses);
+    }
+}
 
 #[test]
 fn gups_metrics_are_bit_identical() {

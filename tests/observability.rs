@@ -1,0 +1,250 @@
+//! Integration tests for the `mitosis-obs` layer.
+//!
+//! Three guarantees under test:
+//!
+//! * **Non-perturbation** — enabling a recorder and the interval stream
+//!   never changes [`RunMetrics`]: an observed replay still reproduces the
+//!   live run bit-for-bit.
+//! * **Exactness** — the interval stream is a lossless decomposition:
+//!   summing the streamed deltas ([`IntervalAccumulator`] +
+//!   [`RunMetrics::from_intervals`]) reproduces the final metrics
+//!   bit-for-bit, for static, dynamic (global events), staggered
+//!   (per-thread events) schedules, lane subsets and grouped parallel
+//!   replay; phase changes always land on interval edges.
+//! * **Span coverage** — a grouped snapshot replay records one
+//!   `prepare_replay` span on the driver track plus per-group
+//!   `snapshot_clone`/`group_replay`/`replay.measured` spans whose nesting
+//!   and ordering match the report's setup/measured wall split.
+
+use mitosis_numa::{NodeMask, SocketId};
+use mitosis_obs::{IntervalAccumulator, MemoryRecorder, Observer};
+use mitosis_sim::{PhaseChange, PhaseSchedule, RunMetrics, SimParams};
+use mitosis_trace::{
+    capture_engine_run, capture_engine_run_dynamic, replay_parallel_lanes_observed, ReplayOptions,
+    ShardDecision, Trace, TraceReplayer,
+};
+use mitosis_workloads::suite;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn quick(accesses: u64) -> SimParams {
+    SimParams::quick_test().with_accesses(accesses)
+}
+
+/// A live observer over a fresh in-memory recorder, streaming every
+/// `interval` accesses (0 = spans/counters only).
+fn observed(interval: u64) -> (Observer, Arc<MemoryRecorder>) {
+    let memory = Arc::new(MemoryRecorder::new());
+    let observer = Observer::with_recorder(memory.clone()).interval_every(interval);
+    (observer, memory)
+}
+
+/// Reconstructs `RunMetrics` from the interval stream of one track.
+fn stream_metrics(memory: &MemoryRecorder, track: u64) -> (RunMetrics, u64) {
+    let mut accumulator = IntervalAccumulator::new();
+    for sample in memory.intervals_for_track(track) {
+        accumulator.absorb(&sample);
+    }
+    (
+        RunMetrics::from_intervals(&accumulator),
+        accumulator.samples,
+    )
+}
+
+fn four_socket_capture(accesses: u64) -> (Trace, RunMetrics, SimParams) {
+    let params = quick(accesses);
+    let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
+    let captured = capture_engine_run(&suite::gups(), &params, &sockets).expect("capture");
+    (captured.trace, captured.live_metrics, params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Static schedule: an observed replay is non-perturbing, the interval
+    /// deltas sum to the final metrics bit-for-bit, and the sample count is
+    /// exactly ceil(accesses / interval).
+    #[test]
+    fn interval_sums_reproduce_static_replay_metrics(
+        accesses in 40u64..240,
+        interval in 1u64..97,
+        sockets in 1u16..4,
+    ) {
+        let params = quick(accesses);
+        let socket_ids: Vec<SocketId> = (0..sockets).map(SocketId::new).collect();
+        let captured =
+            capture_engine_run(&suite::gups(), &params, &socket_ids).expect("capture");
+
+        let (observer, memory) = observed(interval);
+        let mut replayer = TraceReplayer::new();
+        replayer.set_observer(observer);
+        let outcome = replayer.replay(&captured.trace, &params).expect("replay");
+
+        prop_assert_eq!(outcome.metrics, captured.live_metrics);
+        let (from_stream, samples) = stream_metrics(&memory, 0);
+        prop_assert_eq!(from_stream, outcome.metrics);
+        prop_assert_eq!(samples, accesses.div_ceil(interval));
+    }
+
+    /// Dynamic schedule mixing a global migration with a staggered
+    /// per-thread event: the stream stays exact and every phase change
+    /// lands exactly on an interval edge.
+    #[test]
+    fn interval_sums_hold_under_dynamic_and_staggered_schedules(
+        interval in 1u64..97,
+        migrate_at in 1u64..300,
+        stagger_at in 1u64..300,
+        stagger_thread in 0usize..4,
+    ) {
+        let params = quick(300);
+        let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
+        let schedule = PhaseSchedule::new()
+            .at(
+                migrate_at,
+                PhaseChange::MigrateData {
+                    target: SocketId::new(1),
+                },
+            )
+            .at_thread(
+                stagger_at,
+                stagger_thread,
+                PhaseChange::SetInterference {
+                    sockets: NodeMask::single(SocketId::new(1)),
+                },
+            );
+        let captured =
+            capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule)
+                .expect("dynamic capture");
+
+        let (observer, memory) = observed(interval);
+        let mut replayer = TraceReplayer::new();
+        replayer.set_observer(observer);
+        let outcome = replayer.replay(&captured.trace, &params).expect("replay");
+
+        prop_assert_eq!(outcome.metrics, captured.live_metrics);
+        let (from_stream, _) = stream_metrics(&memory, 0);
+        prop_assert_eq!(from_stream, outcome.metrics);
+
+        // Phase boundaries are interval edges: some sample ends exactly at
+        // each event position (never straddles it).
+        let edges: BTreeSet<u64> = memory
+            .intervals_for_track(0)
+            .iter()
+            .map(|sample| sample.end_access)
+            .collect();
+        prop_assert!(edges.contains(&migrate_at));
+        prop_assert!(edges.contains(&stagger_at));
+    }
+}
+
+#[test]
+fn lane_subset_interval_streams_are_exact() {
+    let (trace, _, params) = four_socket_capture(300);
+    for lanes in [&[0usize][..], &[1, 3][..], &[0, 1, 2, 3][..]] {
+        let (observer, memory) = observed(64);
+        let mut replayer = TraceReplayer::new();
+        replayer.set_observer(observer);
+        let outcome = replayer
+            .replay_lanes(&trace, &params, ReplayOptions::default(), lanes)
+            .expect("lane replay");
+        let (from_stream, _) = stream_metrics(&memory, 0);
+        assert_eq!(
+            from_stream, outcome.metrics,
+            "lanes {lanes:?}: interval sums diverged from the replay metrics"
+        );
+    }
+}
+
+#[test]
+fn grouped_replay_streams_per_track_and_merges_exactly() {
+    let (trace, live, params) = four_socket_capture(400);
+    let (observer, memory) = observed(128);
+    let report =
+        replay_parallel_lanes_observed(&trace, &params, 4, &observer).expect("grouped replay");
+    assert_eq!(report.decision, ShardDecision::Sharded);
+    assert_eq!(report.outcome.metrics, live);
+
+    // One interval stream per lane group, on tracks 1..=groups; merging
+    // the per-track aggregates reproduces the merged metrics exactly.
+    let tracks = memory.interval_tracks();
+    let expected: Vec<u64> = (1..=report.groups as u64).collect();
+    assert_eq!(tracks, expected);
+    let mut merged = RunMetrics::default();
+    for track in tracks {
+        merged.merge(&stream_metrics(&memory, track).0);
+    }
+    assert_eq!(merged, report.outcome.metrics);
+}
+
+#[test]
+fn grouped_replay_spans_cover_prepare_clone_and_measured_phases() {
+    let (trace, _, params) = four_socket_capture(300);
+    let (observer, memory) = observed(0);
+    let report =
+        replay_parallel_lanes_observed(&trace, &params, 4, &observer).expect("grouped replay");
+    assert_eq!(report.decision, ShardDecision::Sharded);
+
+    let prepare = memory.spans_named("prepare_replay");
+    let clones = memory.spans_named("snapshot_clone");
+    let groups = memory.spans_named("group_replay");
+    let measured = memory.spans_named("replay.measured");
+    assert_eq!(prepare.len(), 1, "one shared prepare phase");
+    assert_eq!(prepare[0].track, 0, "prepare runs on the driver track");
+    assert_eq!(clones.len(), report.groups, "one snapshot clone per group");
+    assert_eq!(groups.len(), report.groups, "one replay span per group");
+    assert_eq!(measured.len(), report.groups);
+
+    // Each group reports on its own track, 1..=groups.
+    let group_tracks: BTreeSet<u64> = groups.iter().map(|span| span.track).collect();
+    let expected: BTreeSet<u64> = (1..=report.groups as u64).collect();
+    assert_eq!(group_tracks, expected);
+
+    // Consistency with the setup/measured wall split: the shared prepare
+    // span belongs to the setup phase and ends before any group starts
+    // replaying; clone + measured spans nest inside their group's span
+    // (1 µs slack for timestamp truncation).
+    let prepare_end = prepare[0].start_us + prepare[0].dur_us;
+    for group in &groups {
+        assert!(
+            prepare_end <= group.start_us + 1,
+            "group replay started before prepare finished"
+        );
+        let group_end = group.start_us + group.dur_us;
+        for child in clones.iter().chain(&measured) {
+            if child.track == group.track {
+                assert!(group.start_us <= child.start_us + 1);
+                assert!(child.start_us + child.dur_us <= group_end + 1);
+            }
+        }
+    }
+    assert!(
+        prepare[0].dur_us <= report.outcome.setup_wall.as_micros() as u64 + 1,
+        "prepare span exceeds the reported setup wall time"
+    );
+
+    // Counters: one replay of `groups` lane groups, each group one engine
+    // run over its lanes.
+    assert_eq!(memory.counter_value("replay.runs"), report.groups as u64);
+    assert_eq!(memory.counter_value("replay.lanes"), report.lanes as u64);
+    assert_eq!(memory.counter_value("engine.runs"), report.groups as u64);
+}
+
+#[test]
+fn disabled_observer_records_nothing_and_changes_nothing() {
+    let (trace, live, params) = four_socket_capture(300);
+    // A replayer with the default (disabled) observer must reproduce the
+    // live metrics — the zero-cost path — and a live recorder with the
+    // interval stream off must record spans but no samples.
+    let mut replayer = TraceReplayer::new();
+    let outcome = replayer.replay(&trace, &params).expect("replay");
+    assert_eq!(outcome.metrics, live);
+
+    let (observer, memory) = observed(0);
+    let mut replayer = TraceReplayer::new();
+    replayer.set_observer(observer);
+    let outcome = replayer.replay(&trace, &params).expect("observed replay");
+    assert_eq!(outcome.metrics, live, "recorder perturbed the metrics");
+    assert!(memory.intervals().is_empty());
+    assert!(!memory.spans().is_empty());
+}
