@@ -87,6 +87,87 @@ struct IntervalState {
     start: u64,
 }
 
+/// Per-thread translation state, refreshed lazily at each thread's own
+/// boundaries (its per-thread segment list): the cost-model view an
+/// interference toggle rewrites, the per-target-socket data-cost table
+/// derived from it, and the CR3 that replica add/drop or page-table
+/// migration retargets.  Threads refreshing at the same segment start share
+/// one cost-model clone behind the `Rc`.
+struct ThreadPhase {
+    cost: std::rc::Rc<CostModel>,
+    data_cost: Vec<Cycles>,
+    cr3: mitosis_mem::FrameId,
+}
+
+/// Owned form of [`ThreadPhase`] inside a checkpoint.  The running form
+/// shares the cost model behind an `Rc` (one clone per segment, not per
+/// thread); the checkpoint owns it by value so checkpoints are `Send` +
+/// `Sync` and can cross threads with the rest of a replay snapshot.
+#[derive(Debug, Clone)]
+struct ThreadPhaseState {
+    cost: CostModel,
+    data_cost: Vec<Cycles>,
+    cr3: mitosis_mem::FrameId,
+}
+
+/// Saved interval-stream bookkeeping inside a checkpoint, so a resumed run
+/// continues the sample sequence where the paused run left off.
+#[derive(Debug, Clone)]
+struct IntervalCheckpoint {
+    prev: Vec<(ThreadTotals, MmuStats)>,
+    next_index: u64,
+    start: u64,
+}
+
+/// Mid-run engine state captured at an access-count boundary by
+/// [`ExecutionEngine::run_span_with_sources_dynamic`]: everything the
+/// engine itself carries between accesses — per-thread MMUs (TLBs, paging
+/// structure caches, statistics), cycle accumulators, lazily-derived
+/// translation state, the per-socket page-table-line caches, and the
+/// interval-stream position.
+///
+/// A checkpoint does *not* include the simulated [`System`]/
+/// [`Mitosis`](mitosis::Mitosis) state: the caller pauses a run it owns and
+/// must keep (or snapshot) the system the run was mutating, then hand the
+/// same system state back together with this checkpoint to resume.  The
+/// trace-replay layer pairs the two in its `ReplaySnapshot`.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint {
+    at: u64,
+    mmus: Vec<Mmu>,
+    totals: Vec<ThreadTotals>,
+    states: Vec<Option<ThreadPhaseState>>,
+    pte_caches: PteCacheSet,
+    interval: Option<IntervalCheckpoint>,
+}
+
+impl EngineCheckpoint {
+    /// The access index (per thread) the run paused at: every thread has
+    /// executed exactly this many accesses.
+    pub fn at_access(&self) -> u64 {
+        self.at
+    }
+
+    /// Number of simulated threads the paused run was driving.
+    pub fn threads(&self) -> usize {
+        self.mmus.len()
+    }
+}
+
+/// Result of a bounded engine span: either the run reached
+/// `accesses_per_thread` and completed (full-run metrics, including any
+/// portion executed before a resumed checkpoint), or it paused at the
+/// requested stop boundary.
+#[derive(Debug)]
+pub enum SpanOutcome {
+    /// The measured phase ran to the end; metrics cover the whole run.
+    Completed(RunMetrics),
+    /// The run paused at the requested access boundary; resume by passing
+    /// the checkpoint back (with the same system state) to
+    /// [`ExecutionEngine::run_span_with_sources_dynamic`].
+    Paused(EngineCheckpoint),
+}
+
 /// Replays workload access streams against a [`System`].
 #[derive(Debug)]
 pub struct ExecutionEngine {
@@ -403,37 +484,146 @@ impl ExecutionEngine {
         sources: &mut [S],
         schedule: &PhaseSchedule,
     ) -> Result<RunMetrics, MitosisError> {
+        match self.run_span_with_sources_dynamic(
+            system,
+            mitosis,
+            pid,
+            spec,
+            region,
+            threads,
+            accesses_per_thread,
+            sources,
+            schedule,
+            None,
+            None,
+        )? {
+            SpanOutcome::Completed(metrics) => Ok(metrics),
+            SpanOutcome::Paused(_) => unreachable!("no stop boundary was requested"),
+        }
+    }
+
+    /// The bounded form of [`ExecutionEngine::run_with_sources_dynamic`]:
+    /// runs the measured phase over `[start, stop)` instead of always
+    /// `[0, accesses_per_thread)`.
+    ///
+    /// * `resume` — continue a paused run from its [`EngineCheckpoint`].
+    ///   The caller must hand back the same mid-run `system`/`mitosis`
+    ///   state the paused run was mutating (or a deep clone of it), and
+    ///   `sources` positioned at the checkpoint's access index: source `i`
+    ///   must yield access `checkpoint.at_access()` of thread `i` next.
+    ///   With `None` the run starts from access 0.
+    /// * `stop_at` — pause once every thread has executed exactly this many
+    ///   accesses, *before* applying any phase-change events scheduled at
+    ///   that boundary (the resumed run fires them exactly once).  Must lie
+    ///   inside `[start, accesses_per_thread)`; with `None` the run
+    ///   completes.
+    ///
+    /// A paused-then-resumed run re-executes the same per-access operations
+    /// in the same order as an uninterrupted run *within each thread*, and
+    /// the completed metrics cover the whole run.  Cross-thread interleaving
+    /// differs only around the pause boundary, which matters only for state
+    /// shared between threads mid-run: metrics are bit-identical to the
+    /// uninterrupted run whenever the threads don't share mutable mid-run
+    /// state — a single thread, or threads on distinct sockets replaying a
+    /// fully premapped region (no demand faults) — or when the stop falls on
+    /// an existing schedule boundary.  The trace-replay layer documents the
+    /// same conditions for its `checkpoint_at`/`resume_from`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecutionEngine::run_with_sources_dynamic`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_span_with_sources_dynamic<S: AccessSource>(
+        &mut self,
+        system: &mut System,
+        mitosis: &mut Mitosis,
+        pid: Pid,
+        spec: &WorkloadSpec,
+        region: VirtAddr,
+        threads: &[ThreadPlacement],
+        accesses_per_thread: u64,
+        sources: &mut [S],
+        schedule: &PhaseSchedule,
+        resume: Option<&EngineCheckpoint>,
+        stop_at: Option<u64>,
+    ) -> Result<SpanOutcome, MitosisError> {
         assert_eq!(
             threads.len(),
             sources.len(),
             "one access source per thread placement"
         );
+        let start_access = resume.map_or(0, |checkpoint| checkpoint.at);
+        if let Some(checkpoint) = resume {
+            assert_eq!(
+                checkpoint.mmus.len(),
+                threads.len(),
+                "checkpoint was taken with a different thread count"
+            );
+            // Machine-level cache state is part of the checkpoint: restore
+            // the per-socket page-table-line caches the paused run warmed.
+            self.pte_caches = checkpoint.pte_caches.clone();
+        }
+        if let Some(stop) = stop_at {
+            assert!(
+                stop >= start_access,
+                "stop boundary precedes the resume point"
+            );
+            assert!(
+                stop < accesses_per_thread,
+                "stop boundary must lie strictly inside the run"
+            );
+        }
         let frame_space = system.pt_env().alloc.frame_space().clone();
         let sockets = system.machine().sockets();
-        let mut mmus = self.checkout_mmus(threads);
-        let mut totals = vec![ThreadTotals::default(); threads.len()];
-
-        // Per-thread translation state, refreshed lazily at each thread's
-        // own boundaries (its per-thread segment list): the cost-model view
-        // an interference toggle rewrites, the per-target-socket data-cost
-        // table derived from it, and the CR3 that replica add/drop or
-        // page-table migration retargets.
-        struct ThreadPhase {
-            cost: std::rc::Rc<CostModel>,
-            data_cost: Vec<Cycles>,
-            cr3: mitosis_mem::FrameId,
-        }
-        let mut states: Vec<Option<ThreadPhase>> = (0..threads.len()).map(|_| None).collect();
+        let mut mmus = match resume {
+            Some(checkpoint) => checkpoint.mmus.clone(),
+            None => self.checkout_mmus(threads),
+        };
+        let mut totals = match resume {
+            Some(checkpoint) => checkpoint.totals.clone(),
+            None => vec![ThreadTotals::default(); threads.len()],
+        };
+        let mut states: Vec<Option<ThreadPhase>> = match resume {
+            Some(checkpoint) => checkpoint
+                .states
+                .iter()
+                .map(|state| {
+                    state.as_ref().map(|owned| ThreadPhase {
+                        cost: std::rc::Rc::new(owned.cost.clone()),
+                        data_cost: owned.data_cost.clone(),
+                        cr3: owned.cr3,
+                    })
+                })
+                .collect(),
+            None => (0..threads.len()).map(|_| None).collect(),
+        };
 
         // Interval metrics streaming (off unless the observer asks for it):
         // cumulative per-thread counters at the last emitted edge, so each
-        // sample is an exact delta.
+        // sample is an exact delta.  A resumed run continues the saved
+        // sample sequence; resuming with sampling newly enabled baselines
+        // `prev` at the carried totals so the first sample covers only the
+        // resumed portion.
         let interval = self.observer.interval();
-        let mut interval_state = interval.map(|_| IntervalState {
-            prev: vec![(ThreadTotals::default(), MmuStats::default()); threads.len()],
-            next_index: 0,
-            start: 0,
-        });
+        let mut interval_state =
+            interval.map(
+                |_| match resume.and_then(|checkpoint| checkpoint.interval.as_ref()) {
+                    Some(saved) => IntervalState {
+                        prev: saved.prev.clone(),
+                        next_index: saved.next_index,
+                        start: saved.start,
+                    },
+                    None => IntervalState {
+                        prev: totals
+                            .iter()
+                            .zip(&mmus)
+                            .map(|(thread_totals, mmu)| (*thread_totals, *mmu.stats()))
+                            .collect(),
+                        next_index: 0,
+                        start: start_access,
+                    },
+                },
+            );
 
         // The fallible measured phase runs inside a closure so the
         // checked-out MMUs return to the pool on *every* exit path — an
@@ -441,10 +631,21 @@ impl ExecutionEngine {
         // must not discard the pool and silently rebuild TLB/PWC arrays on
         // each later run.  Checkout resets pooled MMUs, so returning dirty
         // ones is safe.
-        let result = (|| -> Result<(), MitosisError> {
-            let mut segment_start = 0u64;
+        let result = (|| -> Result<Option<EngineCheckpoint>, MitosisError> {
+            let mut segment_start = start_access;
             for boundary in schedule.boundaries(accesses_per_thread) {
-                if boundary > segment_start {
+                if boundary < segment_start {
+                    // Already executed — and its events already fired —
+                    // before the checkpoint this run resumes from.
+                    continue;
+                }
+                // A stop inside this segment clips it: run up to the stop,
+                // pause, and let the resumed run finish the segment.
+                let run_to = match stop_at {
+                    Some(stop) if stop < boundary => stop,
+                    _ => boundary,
+                };
+                if run_to > segment_start {
                     let _segment_span = self.observer.span("engine.segment", self.obs_track);
                     // Interval sampling splits each thread's run of the
                     // segment into chunks at the interval edges: every
@@ -459,10 +660,10 @@ impl ExecutionEngine {
                     let edges: Vec<u64> = match interval {
                         Some(every) => (segment_start / every + 1..)
                             .map(|multiple| multiple * every)
-                            .take_while(|edge| *edge < boundary)
-                            .chain(std::iter::once(boundary))
+                            .take_while(|edge| *edge < run_to)
+                            .chain(std::iter::once(run_to))
                             .collect(),
-                        None => vec![boundary],
+                        None => vec![run_to],
                     };
                     let mut edge_snaps: Vec<Vec<(ThreadTotals, MmuStats)>> =
                         vec![Vec::new(); edges.len()];
@@ -609,6 +810,34 @@ impl ExecutionEngine {
                     }
                 }
 
+                if stop_at == Some(run_to) {
+                    // Pause *before* any phase-change events scheduled at
+                    // this index fire: the resumed run re-enters with
+                    // `segment_start == run_to`, so a matching boundary runs
+                    // an empty segment and fires its events exactly once.
+                    return Ok(Some(EngineCheckpoint {
+                        at: run_to,
+                        mmus: mmus.clone(),
+                        totals: totals.clone(),
+                        states: states
+                            .iter()
+                            .map(|state| {
+                                state.as_ref().map(|phase| ThreadPhaseState {
+                                    cost: (*phase.cost).clone(),
+                                    data_cost: phase.data_cost.clone(),
+                                    cr3: phase.cr3,
+                                })
+                            })
+                            .collect(),
+                        pte_caches: self.pte_caches.clone(),
+                        interval: interval_state.as_ref().map(|state| IntervalCheckpoint {
+                            prev: state.prev.clone(),
+                            next_index: state.next_index,
+                            start: state.start,
+                        }),
+                    }));
+                }
+
                 let mut broadcast_flush = false;
                 let mut cache_flush = false;
                 let mut targeted: Vec<usize> = Vec::new();
@@ -656,12 +885,22 @@ impl ExecutionEngine {
                 }
                 segment_start = boundary;
             }
-            Ok(())
+            Ok(None)
         })();
 
-        if let Err(err) = result {
+        let paused = match result {
+            Ok(paused) => paused,
+            Err(err) => {
+                self.mmu_pool = mmus;
+                return Err(err);
+            }
+        };
+        if let Some(checkpoint) = paused {
+            // The working MMUs were cloned into the checkpoint; the
+            // originals go back to the pool (checkout resets them), so a
+            // pause is as pool-friendly as a completed run.
             self.mmu_pool = mmus;
-            return Err(err);
+            return Ok(SpanOutcome::Paused(checkpoint));
         }
         let mut metrics = RunMetrics::default();
         for (totals, mmu) in totals.iter().zip(&mmus) {
@@ -688,7 +927,7 @@ impl ExecutionEngine {
             }
         }
         self.mmu_pool = mmus;
-        Ok(metrics)
+        Ok(SpanOutcome::Completed(metrics))
     }
 
     /// Runs the measured phase from a [`PreparedSystem`] snapshot, leaving
@@ -940,6 +1179,99 @@ mod tests {
                 .unwrap();
             assert_eq!(from_snapshot, direct, "snapshot run diverged");
             engine.reset();
+        }
+    }
+
+    #[test]
+    fn paused_and_resumed_span_matches_the_uninterrupted_run() {
+        // A single-thread run paused at an arbitrary access index and
+        // resumed on the same system must complete with metrics
+        // bit-identical to the uninterrupted run — including when the pause
+        // lands on a schedule boundary (events must fire exactly once, on
+        // the resumed side).
+        let params = quick();
+        let half = params.accesses_per_thread / 2;
+        let schedule = PhaseSchedule::new().at(
+            half,
+            crate::dynamics::PhaseChange::MigrateData {
+                target: SocketId::new(1),
+            },
+        );
+        let run_once = |schedule: &PhaseSchedule| {
+            let (mut system, pid, region, spec) = setup(&params);
+            let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+            let mut mitosis = Mitosis::new();
+            ExecutionEngine::new(&system)
+                .run_dynamic(
+                    &mut system,
+                    &mut mitosis,
+                    pid,
+                    &spec,
+                    region,
+                    &threads,
+                    &params,
+                    schedule,
+                )
+                .unwrap()
+        };
+        let run_paused = |schedule: &PhaseSchedule, stop: u64| {
+            let (mut system, pid, region, spec) = setup(&params);
+            let threads = ExecutionEngine::one_thread_per_socket(&system, &[SocketId::new(0)]);
+            let mut mitosis = Mitosis::new();
+            let mut engine = ExecutionEngine::new(&system);
+            let mut sources = ExecutionEngine::thread_streams(&spec, &params, threads.len());
+            let paused = engine
+                .run_span_with_sources_dynamic(
+                    &mut system,
+                    &mut mitosis,
+                    pid,
+                    &spec,
+                    region,
+                    &threads,
+                    params.accesses_per_thread,
+                    &mut sources,
+                    schedule,
+                    None,
+                    Some(stop),
+                )
+                .unwrap();
+            let checkpoint = match paused {
+                SpanOutcome::Paused(checkpoint) => checkpoint,
+                SpanOutcome::Completed(_) => panic!("a stop inside the run must pause"),
+            };
+            assert_eq!(checkpoint.at_access(), stop);
+            // The sources already yielded `stop` accesses each; resuming
+            // continues them in place.
+            let resumed = engine
+                .run_span_with_sources_dynamic(
+                    &mut system,
+                    &mut mitosis,
+                    pid,
+                    &spec,
+                    region,
+                    &threads,
+                    params.accesses_per_thread,
+                    &mut sources,
+                    schedule,
+                    Some(&checkpoint),
+                    None,
+                )
+                .unwrap();
+            match resumed {
+                SpanOutcome::Completed(metrics) => metrics,
+                SpanOutcome::Paused(_) => panic!("no further stop was requested"),
+            }
+        };
+        for schedule in [&PhaseSchedule::new(), &schedule] {
+            let uninterrupted = run_once(schedule);
+            // Mid-segment, exactly on the event boundary, and late.
+            for stop in [half / 3, half, params.accesses_per_thread - 1] {
+                assert_eq!(
+                    run_paused(schedule, stop),
+                    uninterrupted,
+                    "pause at {stop} diverged"
+                );
+            }
         }
     }
 

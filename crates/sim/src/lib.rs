@@ -53,7 +53,10 @@ mod report;
 
 pub use configs::{DataPolicyChoice, MigrationConfig, MigrationRun, MultiSocketConfig};
 pub use dynamics::{apply_phase_change, PhaseChange, PhaseEvent, PhaseSchedule};
-pub use engine::{data_access_cycles, ExecutionEngine, PreparedSystem, ThreadPlacement};
+pub use engine::{
+    data_access_cycles, EngineCheckpoint, ExecutionEngine, PreparedSystem, SpanOutcome,
+    ThreadPlacement,
+};
 pub use metrics::RunMetrics;
 pub use migration::WorkloadMigrationScenario;
 pub use mitosis_obs::{IntervalAccumulator, IntervalSample, Observer};

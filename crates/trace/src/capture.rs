@@ -156,6 +156,8 @@ fn run_and_record(
         return Err(ReplayError::Mismatch(format!(
             "phase event at access {} targets thread {} but the capture runs {} threads",
             event.at_access,
+            // Infallible: the `find` predicate above only matches events
+            // whose `thread` is `Some` (is_some_and).
             event.thread.expect("filtered event"),
             threads.len()
         )));

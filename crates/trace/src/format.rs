@@ -88,7 +88,18 @@ pub fn checked_socket_u16(index: usize) -> Result<u16, TraceError> {
 ///   (the pre-v4 invariant was all-lanes-agree).  Unstaggered events encode
 ///   exactly as in v3 (the argument is simply absent), so v4 bodies without
 ///   staggered markers are byte-identical to v3 bodies.
-pub const TRACE_VERSION: u32 = 4;
+/// * 5 — periodic per-lane checkpoint markers for trace salvage: an
+///   *internal* event (code 15, never surfaced as a [`TraceEvent`])
+///   carrying `(accesses so far in this lane, running FNV-64 state of
+///   every byte preceding the marker)`.  [`TraceWriter`] emits one every
+///   [`DEFAULT_CHECKPOINT_INTERVAL`] accesses within a lane
+///   (configurable); [`TraceReader`] validates each marker against the
+///   stream it actually read, then swallows it, so decoded traces are
+///   unchanged and small traces carry no markers at all.  The markers
+///   bound the blast radius of corruption or truncation:
+///   [`Trace::recover`] trims a damaged trace to its longest
+///   checkpoint-attested prefix instead of losing everything.
+pub const TRACE_VERSION: u32 = 5;
 
 /// Oldest format version [`TraceReader`] still accepts.
 pub const TRACE_MIN_VERSION: u32 = 1;
@@ -100,6 +111,18 @@ const TAG_ACCESS: u64 = 0b00;
 const TAG_EVENT: u64 = 0b01;
 const TAG_LANE: u64 = 0b10;
 const TAG_END: u64 = 0b11;
+
+/// Event code of the internal per-lane checkpoint marker (format v5).
+/// Never decoded into a [`TraceEvent`]: the reader validates and swallows
+/// it, pre-v5 readers reject it as an unknown event.
+const CHECKPOINT_EVENT_CODE: u64 = 15;
+
+/// Accesses between two checkpoint markers within a lane, unless
+/// overridden via [`TraceWriter::set_checkpoint_interval`].  Dense enough
+/// that a damaged multi-thousand-access lane salvages most of its prefix,
+/// sparse enough that the marker overhead (~4–12 bytes each) stays under a
+/// fraction of a percent of the encoded stream.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 4096;
 
 /// Errors produced while encoding or decoding a trace.
 #[derive(Debug)]
@@ -154,7 +177,16 @@ impl fmt::Display for TraceError {
     }
 }
 
-impl std::error::Error for TraceError {}
+impl std::error::Error for TraceError {
+    /// Exposes the underlying [`io::Error`] of [`TraceError::Io`] so
+    /// callers can walk the chain (the previous blanket impl dropped it).
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for TraceError {
     fn from(e: io::Error) -> Self {
@@ -583,6 +615,11 @@ pub struct TraceWriter<W: Write> {
     prev_offset: u64,
     in_lane: bool,
     total_accesses: u64,
+    /// Accesses between two checkpoint markers within a lane; 0 disables
+    /// marker emission.
+    checkpoint_interval: u64,
+    lane_accesses: u64,
+    since_checkpoint: u64,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -613,7 +650,19 @@ impl<W: Write> TraceWriter<W> {
             prev_offset: 0,
             in_lane: false,
             total_accesses: 0,
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+            lane_accesses: 0,
+            since_checkpoint: 0,
         })
+    }
+
+    /// Overrides how many accesses a lane runs between two checkpoint
+    /// markers (default [`DEFAULT_CHECKPOINT_INTERVAL`]); `0` disables the
+    /// markers entirely.  Denser markers lose less of a damaged trace at
+    /// the cost of a few bytes per marker; the decoded trace is identical
+    /// either way.
+    pub fn set_checkpoint_interval(&mut self, every: u64) {
+        self.checkpoint_interval = every;
     }
 
     /// Records an event: a setup step before the first lane, a positional
@@ -641,6 +690,8 @@ impl<W: Write> TraceWriter<W> {
         self.sink.varint(((socket as u64) << 2) | TAG_LANE)?;
         self.prev_offset = 0;
         self.in_lane = true;
+        self.lane_accesses = 0;
+        self.since_checkpoint = 0;
         Ok(())
     }
 
@@ -658,6 +709,25 @@ impl<W: Write> TraceWriter<W> {
         let payload = (zigzag(delta) << 1) | access.is_write as u64;
         self.sink.varint((payload << 2) | TAG_ACCESS)?;
         self.total_accesses += 1;
+        self.lane_accesses += 1;
+        self.since_checkpoint += 1;
+        if self.checkpoint_interval != 0 && self.since_checkpoint >= self.checkpoint_interval {
+            self.write_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Emits one checkpoint marker: the lane's access count so far plus the
+    /// running stream hash *before* the marker's own bytes — the reader
+    /// recomputes exactly that value ahead of decoding the marker, so a
+    /// matching marker attests every byte up to itself.
+    fn write_checkpoint(&mut self) -> Result<(), TraceError> {
+        let hash = self.sink.hash.0;
+        self.sink.varint((CHECKPOINT_EVENT_CODE << 2) | TAG_EVENT)?;
+        self.sink.varint(2)?;
+        self.sink.varint(self.lane_accesses)?;
+        self.sink.varint(hash)?;
+        self.since_checkpoint = 0;
         Ok(())
     }
 
@@ -691,17 +761,38 @@ pub enum TraceItem {
     End,
 }
 
+/// A checkpoint marker that validated while reading: every byte up to the
+/// marker — header, events, lane starts, the first `lane_accesses` accesses
+/// of lane `lane` — matched the hash the writer recorded, so that prefix is
+/// trustworthy even if the stream fails later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheckpoint {
+    /// Index of the lane the marker was recorded in (0-based).
+    pub lane: usize,
+    /// Accesses of that lane preceding the marker.
+    pub lane_accesses: u64,
+}
+
 /// Streaming trace decoder.
 ///
 /// Wrap the source in a `BufReader` for file input; bytes are consumed
 /// record by record and the checksum is verified when [`TraceItem::End`] is
-/// reached.
+/// reached.  Format-v5 checkpoint markers are validated against the bytes
+/// actually read and swallowed (never surfaced as a [`TraceItem`]); the
+/// last one that validated is available via
+/// [`TraceReader::last_checkpoint`] for salvage after a decode error.
 pub struct TraceReader<R: Read> {
     source: HashingReader<R>,
     meta: TraceMeta,
+    version: u32,
     prev_offset: u64,
     accesses_seen: u64,
     finished: bool,
+    /// Lanes started so far; the current lane is `lanes_seen - 1`.
+    lanes_seen: usize,
+    /// Accesses decoded in the current lane.
+    lane_accesses: u64,
+    last_checkpoint: Option<TraceCheckpoint>,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -762,15 +853,31 @@ impl<R: Read> TraceReader<R> {
                 bandwidth_intensity,
                 machine,
             },
+            version,
             prev_offset: 0,
             accesses_seen: 0,
             finished: false,
+            lanes_seen: 0,
+            lane_accesses: 0,
+            last_checkpoint: None,
         })
     }
 
     /// The trace header metadata.
     pub fn meta(&self) -> &TraceMeta {
         &self.meta
+    }
+
+    /// The format version the trace was written with.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The most recent checkpoint marker that validated, if any.  After a
+    /// decode error this names the longest prefix of the stream attested by
+    /// the writer's running hash — the basis of [`Trace::recover`].
+    pub fn last_checkpoint(&self) -> Option<TraceCheckpoint> {
+        self.last_checkpoint
     }
 
     /// Decodes the next item; [`TraceItem::End`] is returned exactly once,
@@ -783,54 +890,104 @@ impl<R: Read> TraceReader<R> {
         if self.finished {
             return Err(TraceError::Corrupt("read past end of trace"));
         }
-        let v = self.source.varint()?;
-        let payload = v >> 2;
-        match v & 0b11 {
-            TAG_ACCESS => {
-                let is_write = payload & 1 == 1;
-                let delta = unzigzag(payload >> 1);
-                self.prev_offset = self.prev_offset.wrapping_add(delta as u64);
-                self.accesses_seen += 1;
-                Ok(TraceItem::Access(Access {
-                    offset: self.prev_offset,
-                    is_write,
-                }))
-            }
-            TAG_EVENT => {
-                let argc = self.source.varint()? as usize;
-                if argc > 16 {
-                    return Err(TraceError::Corrupt("implausible event argument count"));
+        // Checkpoint markers validate and swallow without surfacing, hence
+        // the loop: one call still returns exactly one real item.
+        loop {
+            // Snapshot of the running hash *before* this item's bytes —
+            // the value a checkpoint marker attests.
+            let stream_hash = self.source.hash.0;
+            let v = self.source.varint()?;
+            let payload = v >> 2;
+            match v & 0b11 {
+                TAG_ACCESS => {
+                    let is_write = payload & 1 == 1;
+                    let delta = unzigzag(payload >> 1);
+                    self.prev_offset = self.prev_offset.wrapping_add(delta as u64);
+                    self.accesses_seen += 1;
+                    self.lane_accesses += 1;
+                    return Ok(TraceItem::Access(Access {
+                        offset: self.prev_offset,
+                        is_write,
+                    }));
                 }
-                let mut args = [0u64; 16];
-                for slot in args.iter_mut().take(argc) {
-                    *slot = self.source.varint()?;
+                TAG_EVENT => {
+                    let argc = self.source.varint()? as usize;
+                    if argc > 16 {
+                        return Err(TraceError::Corrupt("implausible event argument count"));
+                    }
+                    let mut args = [0u64; 16];
+                    for slot in args.iter_mut().take(argc) {
+                        *slot = self.source.varint()?;
+                    }
+                    if payload == CHECKPOINT_EVENT_CODE {
+                        self.validate_checkpoint(stream_hash, &args[..argc])?;
+                        continue;
+                    }
+                    return Ok(TraceItem::Event(TraceEvent::decode(
+                        payload,
+                        &args[..argc],
+                    )?));
                 }
-                Ok(TraceItem::Event(TraceEvent::decode(
-                    payload,
-                    &args[..argc],
-                )?))
-            }
-            TAG_LANE => {
-                let socket = u16::try_from(payload)
-                    .map_err(|_| TraceError::Corrupt("lane socket overflows u16"))?;
-                self.prev_offset = 0;
-                Ok(TraceItem::LaneStart { socket })
-            }
-            _ => {
-                if payload != self.accesses_seen {
-                    return Err(TraceError::Corrupt("access count mismatch at end marker"));
+                TAG_LANE => {
+                    let socket = u16::try_from(payload)
+                        .map_err(|_| TraceError::Corrupt("lane socket overflows u16"))?;
+                    self.prev_offset = 0;
+                    self.lanes_seen += 1;
+                    self.lane_accesses = 0;
+                    return Ok(TraceItem::LaneStart { socket });
                 }
-                let computed = self.source.hash.0;
-                let mut stored = [0u8; 8];
-                self.source.inner.read_exact(&mut stored)?;
-                let stored = u64::from_le_bytes(stored);
-                if stored != computed {
-                    return Err(TraceError::ChecksumMismatch { stored, computed });
+                _ => {
+                    if payload != self.accesses_seen {
+                        return Err(TraceError::Corrupt("access count mismatch at end marker"));
+                    }
+                    let computed = self.source.hash.0;
+                    let mut stored = [0u8; 8];
+                    self.source.inner.read_exact(&mut stored)?;
+                    let stored = u64::from_le_bytes(stored);
+                    if stored != computed {
+                        return Err(TraceError::ChecksumMismatch { stored, computed });
+                    }
+                    self.finished = true;
+                    return Ok(TraceItem::End);
                 }
-                self.finished = true;
-                Ok(TraceItem::End)
             }
         }
+    }
+
+    /// Validates one checkpoint marker against the stream actually read: a
+    /// pre-v5 trace cannot legitimately carry one, the recorded lane access
+    /// count must match the decode position, and the recorded running hash
+    /// must match the hash of every byte read before the marker.
+    fn validate_checkpoint(&mut self, stream_hash: u64, args: &[u64]) -> Result<(), TraceError> {
+        if self.version < 5 {
+            return Err(TraceError::UnknownEvent(CHECKPOINT_EVENT_CODE));
+        }
+        if self.lanes_seen == 0 {
+            return Err(TraceError::Corrupt(
+                "checkpoint marker before the first lane",
+            ));
+        }
+        let (Some(&count), Some(&stored)) = (args.first(), args.get(1)) else {
+            return Err(TraceError::Corrupt(
+                "checkpoint marker is missing arguments",
+            ));
+        };
+        if count != self.lane_accesses {
+            return Err(TraceError::Corrupt(
+                "checkpoint marker access count disagrees with the stream",
+            ));
+        }
+        if stored != stream_hash {
+            return Err(TraceError::ChecksumMismatch {
+                stored,
+                computed: stream_hash,
+            });
+        }
+        self.last_checkpoint = Some(TraceCheckpoint {
+            lane: self.lanes_seen - 1,
+            lane_accesses: count,
+        });
+        Ok(())
     }
 }
 
@@ -902,8 +1059,14 @@ impl Trace {
             writer.begin_lane(lane.socket)?;
             let mut markers = lane.events.iter().peekable();
             for (i, access) in lane.accesses.iter().enumerate() {
-                while markers.peek().is_some_and(|&&(pos, _)| pos == i as u64) {
-                    writer.event(markers.next().unwrap().1)?;
+                // The peek above proves the iterator is non-empty; `while
+                // let` re-peeks instead of unwrapping the following `next`.
+                while let Some(&&(pos, event)) = markers.peek() {
+                    if pos != i as u64 {
+                        break;
+                    }
+                    writer.event(event)?;
+                    markers.next();
                 }
                 writer.access(*access)?;
             }
@@ -962,6 +1125,107 @@ impl Trace {
     pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceError> {
         Trace::read_from(bytes)
     }
+
+    /// Salvages a damaged trace: decodes as far as the stream allows, then
+    /// trims to the longest prefix attested by a validated checkpoint
+    /// marker (format v5).
+    ///
+    /// The result keeps the lanes up to and including the checkpoint's
+    /// lane, each trimmed to the checkpoint's access count (mid-lane
+    /// markers past the cut are dropped with it).  Trimming *every* kept
+    /// lane to the same count preserves the equal-lane-length and
+    /// marker-agreement invariants replay requires, so the salvaged trace
+    /// replays like any intact trace — it is simply a shorter run.
+    /// Anything decoded beyond the last checkpoint is discarded even if it
+    /// looked plausible: only hash-attested data is trusted.
+    ///
+    /// An intact stream salvages losslessly (`lost_accesses == 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the original decode error when nothing is attested: a
+    /// damaged header, a pre-v5 trace (no markers), or damage before the
+    /// first checkpoint.
+    pub fn recover<R: Read>(source: R) -> Result<SalvagedTrace, TraceError> {
+        let mut reader = TraceReader::new(source)?;
+        let mut trace = Trace {
+            meta: reader.meta().clone(),
+            setup_events: Vec::new(),
+            lanes: Vec::new(),
+        };
+        let mut decoded_accesses = 0u64;
+        let damage = loop {
+            match reader.next_item() {
+                Ok(TraceItem::Event(event)) => match trace.lanes.last_mut() {
+                    Some(lane) => lane.events.push((lane.accesses.len() as u64, event)),
+                    None => trace.setup_events.push(event),
+                },
+                Ok(TraceItem::LaneStart { socket }) => trace.lanes.push(TraceLane::new(socket)),
+                Ok(TraceItem::Access(access)) => {
+                    decoded_accesses += 1;
+                    match trace.lanes.last_mut() {
+                        Some(lane) => lane.accesses.push(access),
+                        None => break TraceError::Corrupt("access before first lane"),
+                    }
+                }
+                Ok(TraceItem::End) => {
+                    // Intact after all: nothing to trim, nothing lost.
+                    return Ok(SalvagedTrace {
+                        trace,
+                        valid_accesses: decoded_accesses,
+                        lost_accesses: 0,
+                        damage: None,
+                    });
+                }
+                Err(error) => break error,
+            }
+        };
+        let Some(checkpoint) = reader.last_checkpoint() else {
+            return Err(damage);
+        };
+        let keep = checkpoint.lane_accesses;
+        trace.lanes.truncate(checkpoint.lane + 1);
+        if trace
+            .lanes
+            .iter()
+            .any(|lane| (lane.accesses.len() as u64) < keep)
+        {
+            // A validated checkpoint promises `keep` accesses in its own
+            // lane and full earlier lanes; a shorter lane means the stream
+            // lied about its own structure — don't trust any of it.
+            return Err(damage);
+        }
+        let mut valid_accesses = 0u64;
+        for lane in &mut trace.lanes {
+            lane.accesses.truncate(keep as usize);
+            lane.events.retain(|&(pos, _)| pos <= keep);
+            valid_accesses += lane.accesses.len() as u64;
+        }
+        Ok(SalvagedTrace {
+            trace,
+            valid_accesses,
+            lost_accesses: decoded_accesses - valid_accesses,
+            damage: Some(damage),
+        })
+    }
+}
+
+/// A trace recovered from damaged bytes by [`Trace::recover`]: the longest
+/// checkpoint-attested prefix, trimmed so it replays like an intact (but
+/// shorter) capture.
+#[derive(Debug)]
+pub struct SalvagedTrace {
+    /// The recovered trace.
+    pub trace: Trace,
+    /// Accesses retained across all lanes.
+    pub valid_accesses: u64,
+    /// Accesses decoded from the damaged stream but dropped because no
+    /// checkpoint attested them (whatever the damage destroyed outright is
+    /// not decodable and not counted).
+    pub lost_accesses: u64,
+    /// The decode error that forced the salvage; `None` when the stream
+    /// turned out to be intact.
+    pub damage: Option<TraceError>,
 }
 
 #[cfg(test)]
@@ -1137,9 +1401,11 @@ mod tests {
 
     #[test]
     fn unstaggered_v4_bodies_match_the_v3_encoding() {
-        // The staggered flag is an optional trailing argument: a trace
-        // without staggered markers must encode byte-identically to the v3
-        // writer, except for the version word in the header.
+        // The staggered flag is an optional trailing argument, and v5
+        // checkpoint markers only appear after DEFAULT_CHECKPOINT_INTERVAL
+        // accesses in a lane: a small trace without staggered markers must
+        // encode byte-identically to the v3 writer, except for the version
+        // word in the header.
         let trace = Trace {
             meta: meta(),
             setup_events: vec![
@@ -1165,7 +1431,10 @@ mod tests {
             }],
         };
         let bytes = trace.to_bytes().unwrap();
-        assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 4);
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            TRACE_VERSION
+        );
         // Rewrite the version word to 3 and fix up the checksum: the body
         // must decode identically, proving nothing else changed.
         let mut v3 = bytes.clone();
@@ -1176,6 +1445,181 @@ mod tests {
         let checksum = hash.0;
         v3[body_end..].copy_from_slice(&checksum.to_le_bytes());
         assert_eq!(Trace::from_bytes(&v3).unwrap(), trace);
+    }
+
+    fn lane_of(accesses: usize) -> TraceLane {
+        TraceLane {
+            socket: 0,
+            accesses: (0..accesses)
+                .map(|i| Access {
+                    offset: (i as u64 % 31) * 8,
+                    is_write: i % 3 == 0,
+                })
+                .collect(),
+            events: vec![],
+        }
+    }
+
+    #[test]
+    fn checkpoint_markers_are_transparent_to_decoding() {
+        // A lane long enough to carry markers must round-trip unchanged:
+        // the reader validates and swallows every marker.
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![TraceEvent::CreateProcess { socket: 0 }],
+            lanes: vec![lane_of(300), lane_of(300)],
+        };
+        let mut writer = TraceWriter::new(Vec::new(), &trace.meta).unwrap();
+        writer.set_checkpoint_interval(64);
+        // Re-encode by hand with a dense interval (the public write path
+        // uses the default, too sparse to trigger on a 300-access lane).
+        for event in &trace.setup_events {
+            writer.event(*event).unwrap();
+        }
+        for lane in &trace.lanes {
+            writer.begin_lane(lane.socket).unwrap();
+            for access in &lane.accesses {
+                writer.access(*access).unwrap();
+            }
+        }
+        let with_markers = writer.finish().unwrap();
+        let plain = {
+            let mut writer = TraceWriter::new(Vec::new(), &trace.meta).unwrap();
+            writer.set_checkpoint_interval(0);
+            for event in &trace.setup_events {
+                writer.event(*event).unwrap();
+            }
+            for lane in &trace.lanes {
+                writer.begin_lane(lane.socket).unwrap();
+                for access in &lane.accesses {
+                    writer.access(*access).unwrap();
+                }
+            }
+            writer.finish().unwrap()
+        };
+        assert!(
+            with_markers.len() > plain.len(),
+            "expected checkpoint markers on the wire"
+        );
+        assert_eq!(Trace::from_bytes(&with_markers).unwrap(), trace);
+        assert_eq!(Trace::from_bytes(&plain).unwrap(), trace);
+
+        // And the reader tracked the last marker of the second lane.
+        let mut reader = TraceReader::new(with_markers.as_slice()).unwrap();
+        while !matches!(reader.next_item().unwrap(), TraceItem::End) {}
+        assert_eq!(
+            reader.last_checkpoint(),
+            Some(TraceCheckpoint {
+                lane: 1,
+                lane_accesses: 256,
+            })
+        );
+    }
+
+    fn encode_with_interval(trace: &Trace, every: u64) -> Vec<u8> {
+        let mut writer = TraceWriter::new(Vec::new(), &trace.meta).unwrap();
+        writer.set_checkpoint_interval(every);
+        for event in &trace.setup_events {
+            writer.event(*event).unwrap();
+        }
+        for lane in &trace.lanes {
+            writer.begin_lane(lane.socket).unwrap();
+            for access in &lane.accesses {
+                writer.access(*access).unwrap();
+            }
+        }
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn recover_trims_to_the_last_attested_checkpoint() {
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![TraceEvent::CreateProcess { socket: 0 }],
+            lanes: vec![lane_of(300), lane_of(300)],
+        };
+        let good = encode_with_interval(&trace, 64);
+
+        // Truncation mid-stream: the salvage keeps both lanes, trimmed to
+        // the last checkpoint that fit in the remaining bytes.
+        let truncated = &good[..good.len() - 20];
+        assert!(Trace::from_bytes(truncated).is_err());
+        let salvaged = Trace::recover(truncated).unwrap();
+        assert_eq!(salvaged.trace.lanes.len(), 2);
+        assert_eq!(salvaged.trace.lanes[0].accesses.len(), 256);
+        assert_eq!(salvaged.trace.lanes[1].accesses.len(), 256);
+        assert_eq!(salvaged.valid_accesses, 512);
+        assert!(salvaged.damage.is_some());
+        assert_eq!(
+            salvaged.trace.lanes[0].accesses[..],
+            trace.lanes[0].accesses[..256],
+            "salvaged prefix must be the original data"
+        );
+        // The salvaged trace is a valid trace in its own right.
+        let reencoded = salvaged.trace.to_bytes().unwrap();
+        assert_eq!(Trace::from_bytes(&reencoded).unwrap(), salvaged.trace);
+
+        // A corrupted byte late in the stream: same salvage.
+        let mut corrupt = good.clone();
+        let position = good.len() - 30;
+        corrupt[position] ^= 0x55;
+        assert!(Trace::from_bytes(&corrupt).is_err());
+        let salvaged = Trace::recover(corrupt.as_slice()).unwrap();
+        assert_eq!(salvaged.trace.lanes[1].accesses.len(), 256);
+
+        // An intact stream salvages losslessly.
+        let intact = Trace::recover(good.as_slice()).unwrap();
+        assert_eq!(intact.trace, trace);
+        assert_eq!(intact.lost_accesses, 0);
+        assert!(intact.damage.is_none());
+    }
+
+    #[test]
+    fn recover_without_an_attested_prefix_returns_the_error() {
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![],
+            lanes: vec![lane_of(40)],
+        };
+        // No markers (lane shorter than the interval): nothing to salvage.
+        let good = encode_with_interval(&trace, 64);
+        let truncated = &good[..good.len() - 10];
+        assert!(Trace::recover(truncated).is_err());
+        // Damaged header: not even the meta is trustworthy.
+        assert!(Trace::recover(&good[..6]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_markers_in_pre_v5_traces_are_rejected() {
+        // Rewrite a marker-bearing v5 trace's version word to 4 (fixing up
+        // the trailing checksum): the reader must refuse the marker as an
+        // unknown event rather than trusting it.
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![],
+            lanes: vec![lane_of(100)],
+        };
+        let mut bytes = encode_with_interval(&trace, 64);
+        bytes[4..8].copy_from_slice(&4u32.to_le_bytes());
+        let body_end = bytes.len() - 8;
+        let mut hash = Fnv64::new();
+        hash.update(&bytes[..body_end]);
+        let checksum = hash.0;
+        bytes[body_end..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            Trace::from_bytes(&bytes),
+            Err(TraceError::UnknownEvent(code)) if code == CHECKPOINT_EVENT_CODE
+        ));
+    }
+
+    #[test]
+    fn trace_error_source_exposes_the_io_chain() {
+        use std::error::Error as _;
+        let io = io::Error::new(io::ErrorKind::UnexpectedEof, "short read");
+        let err = TraceError::Io(io);
+        let source = err.source().expect("Io carries a source");
+        assert!(source.to_string().contains("short read"));
+        assert!(TraceError::BadMagic.source().is_none());
     }
 
     #[test]

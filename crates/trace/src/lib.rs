@@ -44,8 +44,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Failure handling is a first-class feature of this crate: fallible paths
+// return TraceError/ReplayError instead of unwrapping.  Unit tests are
+// exempt (unwrap is the idiomatic test assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod capture;
+pub mod faultinject;
 pub mod format;
 pub mod parallel;
 pub mod replay;
@@ -55,17 +60,19 @@ pub use capture::{
     capture_multisocket_scenario, capture_stream, trace_event_of_change, CapturedRun,
     RecordingSource,
 };
+pub use faultinject::{env_plan, FaultPlan, FaultyReader, FaultyWriter};
 pub use format::{
-    checked_socket_u16, socket_index_u16, MachineFingerprint, Trace, TraceError, TraceEvent,
-    TraceItem, TraceLane, TraceMeta, TraceReader, TraceWriter, TRACE_MAGIC, TRACE_MIN_VERSION,
-    TRACE_VERSION,
+    checked_socket_u16, socket_index_u16, MachineFingerprint, SalvagedTrace, Trace,
+    TraceCheckpoint, TraceError, TraceEvent, TraceItem, TraceLane, TraceMeta, TraceReader,
+    TraceWriter, DEFAULT_CHECKPOINT_INTERVAL, TRACE_MAGIC, TRACE_MIN_VERSION, TRACE_VERSION,
 };
 pub use parallel::{
-    replay_parallel, replay_parallel_lanes, replay_parallel_lanes_observed, replay_sequential,
+    replay_parallel, replay_parallel_lanes, replay_parallel_lanes_faulted,
+    replay_parallel_lanes_observed, replay_sequential, GroupFailure, GroupFailureKind,
     LaneReplayReport, ReplayAggregate, ReplayReport, ShardDecision,
 };
 pub use replay::{
-    prepare_replay, replay_trace, replay_trace_lane, replay_trace_lanes, replay_trace_with,
-    LaneCursor, MachineMismatch, ReplayError, ReplayOptions, ReplayOutcome, ReplaySnapshot,
-    TraceReplayer,
+    prepare_replay, replay_trace, replay_trace_lane, replay_trace_lanes, replay_trace_salvaged,
+    replay_trace_with, LaneCursor, MachineMismatch, ReplayCompleteness, ReplayError, ReplayOptions,
+    ReplayOutcome, ReplaySnapshot, TraceReplayer,
 };

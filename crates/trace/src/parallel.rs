@@ -28,16 +28,35 @@
 //! spawned.  [`LaneReplayReport::decision`] records which way it went and
 //! why.
 
+use crate::faultinject::FaultPlan;
 use crate::format::{Trace, TraceEvent};
 use crate::replay::{
-    prepare_replay, replay_trace, ReplayError, ReplayOptions, ReplayOutcome, TraceReplayer,
+    prepare_replay, replay_trace, ReplayCompleteness, ReplayError, ReplayOptions, ReplayOutcome,
+    TraceReplayer,
 };
 use mitosis_sim::{Observer, RunMetrics, SimParams};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Attempts a failed lane group is given before the driver degrades it to a
+/// serial replay: the first run plus two backed-off retries.
+const MAX_GROUP_ATTEMPTS: u32 = 3;
+
+/// Extracts a human-readable message from a caught panic payload (panics
+/// almost always carry `&str` or `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
 
 /// Cross-trace aggregate of a batch replay.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -119,8 +138,12 @@ impl ReplayReport {
         wall: Duration,
     ) -> Result<ReplayReport, ReplayError> {
         let mut outcomes = Vec::with_capacity(results.len());
-        for result in results {
-            outcomes.push(result.expect("every trace index was claimed by a worker")?);
+        for (index, result) in results.into_iter().enumerate() {
+            outcomes.push(result.ok_or_else(|| {
+                ReplayError::Mismatch(format!(
+                    "trace {index} was never claimed by a replay worker"
+                ))
+            })??);
         }
         let mut aggregate = ReplayAggregate::default();
         let mut setup_wall = Duration::ZERO;
@@ -213,9 +236,17 @@ pub fn replay_parallel(
                     if index >= traces.len() {
                         break;
                     }
-                    let outcome = replayer.replay(&traces[index], params);
-                    results.lock().expect("replay worker poisoned the results")[index] =
-                        Some(outcome);
+                    // A panicking replay is caught at the worker boundary
+                    // and surfaced as a structured error for its trace;
+                    // the other traces keep replaying.
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| replayer.replay(&traces[index], params)))
+                            .unwrap_or_else(|payload| {
+                                Err(ReplayError::Panic(panic_message(payload.as_ref())))
+                            });
+                    results
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())[index] = Some(outcome);
                 }
             });
         }
@@ -223,7 +254,7 @@ pub fn replay_parallel(
 
     let results = results
         .into_inner()
-        .expect("replay worker poisoned the results");
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     ReplayReport::collect(results, start.elapsed())
 }
 
@@ -233,6 +264,12 @@ pub enum ShardDecision {
     /// The lanes were partitioned into per-socket groups and replayed in
     /// parallel.
     Sharded,
+    /// The lanes sharded, but at least one group's worker failed (panicked
+    /// or errored) past its retry budget and was replayed serially on the
+    /// driver thread instead — the merged metrics are still bit-identical
+    /// to [`replay_trace`]; see [`LaneReplayReport::failures`] for what
+    /// went wrong.
+    ShardedDegraded,
     /// The trace has a single lane: nothing to shard.
     SingleLane,
     /// Fewer than two workers were requested.
@@ -253,9 +290,13 @@ pub enum ShardDecision {
 }
 
 impl ShardDecision {
-    /// `true` when the lanes were actually replayed in parallel.
+    /// `true` when the lanes were actually replayed in parallel (including
+    /// a degraded shard where some groups fell back to the driver thread).
     pub fn sharded(&self) -> bool {
-        matches!(self, ShardDecision::Sharded)
+        matches!(
+            self,
+            ShardDecision::Sharded | ShardDecision::ShardedDegraded
+        )
     }
 }
 
@@ -263,6 +304,9 @@ impl fmt::Display for ShardDecision {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let what = match self {
             ShardDecision::Sharded => "sharded into per-socket lane groups",
+            ShardDecision::ShardedDegraded => {
+                "sharded, with failed group(s) degraded to serial replay"
+            }
             ShardDecision::SingleLane => "serial: single-lane trace",
             ShardDecision::SingleWorker => "serial: one worker requested",
             ShardDecision::SingleSocketGroup => "serial: all lanes on one socket",
@@ -274,6 +318,55 @@ impl fmt::Display for ShardDecision {
             }
         };
         f.write_str(what)
+    }
+}
+
+/// How a lane-group worker failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupFailureKind {
+    /// The worker panicked; the panic was caught at the group boundary.
+    Panicked,
+    /// The group replay returned a [`ReplayError`].
+    Errored,
+}
+
+/// One lane group's worker failure, recorded on
+/// [`LaneReplayReport::failures`] instead of unwinding the driver.
+#[derive(Debug, Clone)]
+pub struct GroupFailure {
+    /// Index of the failed lane group (see [`LaneReplayReport::groups`]).
+    pub group: usize,
+    /// Whether the worker panicked or returned an error.
+    pub kind: GroupFailureKind,
+    /// The panic message or error text of the *last* failed attempt.
+    pub error: String,
+    /// Attempts the group was given on its worker before the driver gave
+    /// up on it (the first run plus backed-off retries; retries stop early
+    /// only on success).
+    pub attempts: u32,
+    /// `true` when the driver's serial degradation replayed the group
+    /// successfully, keeping the merged metrics complete and correct.
+    pub recovered: bool,
+}
+
+impl fmt::Display for GroupFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "group {} {} after {} attempt(s) ({}){}",
+            self.group,
+            match self.kind {
+                GroupFailureKind::Panicked => "panicked",
+                GroupFailureKind::Errored => "errored",
+            },
+            self.attempts,
+            self.error,
+            if self.recovered {
+                "; recovered by serial replay"
+            } else {
+                ""
+            },
+        )
     }
 }
 
@@ -293,6 +386,11 @@ pub struct LaneReplayReport {
     pub workers: usize,
     /// Whether the lanes sharded, and if not, why.
     pub decision: ShardDecision,
+    /// Worker failures (panics or errors) that were isolated and recovered
+    /// from instead of unwinding the driver; empty on a clean replay.  A
+    /// failure with `recovered == true` did not affect the merged metrics
+    /// — its group was replayed serially on the driver thread.
+    pub failures: Vec<GroupFailure>,
     /// Wall-clock time of the replay on the host, setup included.  On a
     /// serial fallback this is the fallback's own cost: the shardability
     /// analysis runs before any replay, so a declined shard never pays for
@@ -363,7 +461,11 @@ impl fmt::Display for LaneReplayReport {
             self.measured_wall.as_secs_f64() * 1e3,
             self.outcome.metrics.total_cycles,
             self.outcome.metrics.demand_faults,
-        )
+        )?;
+        for failure in &self.failures {
+            write!(f, " | {failure}")?;
+        }
+        Ok(())
     }
 }
 
@@ -456,10 +558,17 @@ fn lanes_fully_premapped(trace: &Trace) -> bool {
 /// analysis declines, the driver transparently replays serially, so the
 /// merged metrics are bit-identical to [`replay_trace`] in every case.
 ///
+/// Worker failures are isolated: a lane group whose worker panics or
+/// errors is retried with a short backoff and, past its retry budget,
+/// replayed serially on the driver thread from the shared snapshot — the
+/// merged metrics stay complete and bit-identical, with the failure
+/// recorded on [`LaneReplayReport::failures`] and the decision downgraded
+/// to [`ShardDecision::ShardedDegraded`].
+///
 /// # Errors
 ///
-/// Fails if the preparation, any lane group, or the serial whole-trace
-/// replay does not replay; the first error in group order is returned.
+/// Fails if the preparation or the serial whole-trace replay does not
+/// replay, or if a lane group fails even its serial degradation replay.
 ///
 /// # Panics
 ///
@@ -494,6 +603,44 @@ pub fn replay_parallel_lanes_observed(
     workers: usize,
     observer: &Observer,
 ) -> Result<LaneReplayReport, ReplayError> {
+    replay_parallel_lanes_faulted(
+        trace,
+        params,
+        workers,
+        observer,
+        crate::faultinject::env_plan(),
+    )
+}
+
+/// [`replay_parallel_lanes_observed`] with an explicit [`FaultPlan`]: the
+/// plan's worker faults (injected panics, slow workers) are exercised at
+/// the group-replay boundary, which is how the resilience tests drive the
+/// panic-isolation and serial-degradation machinery deterministically.
+/// Production callers go through [`replay_parallel_lanes`], which reads
+/// the plan from the `MITOSIS_FAULT_*` environment (disabled by default).
+///
+/// A failing group — injected or real — is retried on its worker with a
+/// short backoff, then replayed serially on the driver thread from the
+/// shared snapshot.  Either way the merged metrics stay bit-identical to
+/// [`replay_trace`]; what happened is recorded on
+/// [`LaneReplayReport::failures`] and [`LaneReplayReport::decision`].
+///
+/// # Errors
+///
+/// Same conditions as [`replay_parallel_lanes`]; a worker failure alone is
+/// *not* an error (it degrades), but a group whose serial degradation also
+/// fails propagates that failure.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn replay_parallel_lanes_faulted(
+    trace: &Trace,
+    params: &SimParams,
+    workers: usize,
+    observer: &Observer,
+    plan: &FaultPlan,
+) -> Result<LaneReplayReport, ReplayError> {
     assert!(
         workers > 0,
         "lane-granular replay needs at least one worker"
@@ -505,6 +652,7 @@ pub fn replay_parallel_lanes_observed(
     let serial = |decision: ShardDecision,
                   groups: usize,
                   workers: usize,
+                  failures: Vec<GroupFailure>,
                   start: Instant|
      -> Result<LaneReplayReport, ReplayError> {
         let mut replayer = TraceReplayer::new();
@@ -518,6 +666,7 @@ pub fn replay_parallel_lanes_observed(
             groups,
             workers,
             decision,
+            failures,
             wall: start.elapsed(),
             setup_wall,
             measured_wall,
@@ -539,7 +688,7 @@ pub fn replay_parallel_lanes_observed(
         None
     };
     if let Some(decision) = decision {
-        return serial(decision, groups.len(), 1, start);
+        return serial(decision, groups.len(), 1, Vec::new(), start);
     }
 
     // One setup execution for the whole replay: every group clones this.
@@ -552,8 +701,13 @@ pub fn replay_parallel_lanes_observed(
 
     let spawned = workers.min(groups.len());
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<ReplayOutcome, ReplayError>>>> =
+    // Workers store successes here and failure records separately; a
+    // panicking attempt is caught before any lock is held, but the locks
+    // still recover from poisoning defensively (the data is only written
+    // between attempts, never mid-panic).
+    let results: Mutex<Vec<Option<ReplayOutcome>>> =
         Mutex::new((0..groups.len()).map(|_| None).collect());
+    let failures: Mutex<Vec<GroupFailure>> = Mutex::new(Vec::new());
     thread::scope(|scope| {
         for _ in 0..spawned {
             scope.spawn(|| {
@@ -570,12 +724,78 @@ pub fn replay_parallel_lanes_observed(
                     // and their interval streams accumulate separately.
                     let track = index as u64 + 1;
                     replayer.set_observer_track(track);
-                    let outcome = {
-                        let _span = observer.span("group_replay", track);
-                        replayer.replay_snapshot_lanes(&snapshot, trace, &groups[index])
-                    };
-                    results.lock().expect("group worker poisoned the results")[index] =
-                        Some(outcome);
+                    if let Some(delay) = plan.worker_delay(index) {
+                        observer.counter("fault.worker_slow", 1);
+                        thread::sleep(delay);
+                    }
+                    let mut last_failure: Option<GroupFailure> = None;
+                    let mut completed = None;
+                    for attempt in 0..MAX_GROUP_ATTEMPTS {
+                        if attempt > 0 {
+                            // Brief exponential backoff before a retry: a
+                            // transient host condition (the only way a
+                            // deterministic replay fails intermittently)
+                            // gets a moment to clear.
+                            thread::sleep(Duration::from_millis(1 << attempt));
+                        }
+                        // A panic anywhere in the group replay — injected
+                        // or real — is caught here, at the worker's group
+                        // boundary, instead of unwinding the scope and
+                        // aborting the sibling groups.  Retrying with the
+                        // same replayer is safe: every run starts with an
+                        // engine reset and a fresh snapshot clone, so no
+                        // state of the failed attempt survives.
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            if plan.worker_panics(index, attempt) {
+                                observer.counter("fault.worker_panic", 1);
+                                panic!("injected worker panic (group {index}, attempt {attempt})");
+                            }
+                            let _span = observer.span("group_replay", track);
+                            replayer.replay_snapshot_lanes(&snapshot, trace, &groups[index])
+                        }));
+                        match result {
+                            Ok(Ok(outcome)) => {
+                                completed = Some(outcome);
+                                break;
+                            }
+                            Ok(Err(error)) => {
+                                observer.counter("replay.group_attempt_failed", 1);
+                                last_failure = Some(GroupFailure {
+                                    group: index,
+                                    kind: GroupFailureKind::Errored,
+                                    error: error.to_string(),
+                                    attempts: attempt + 1,
+                                    recovered: false,
+                                });
+                            }
+                            Err(payload) => {
+                                observer.counter("replay.group_attempt_failed", 1);
+                                last_failure = Some(GroupFailure {
+                                    group: index,
+                                    kind: GroupFailureKind::Panicked,
+                                    error: panic_message(payload.as_ref()),
+                                    attempts: attempt + 1,
+                                    recovered: false,
+                                });
+                            }
+                        }
+                    }
+                    match completed {
+                        Some(outcome) => {
+                            results
+                                .lock()
+                                .unwrap_or_else(|poisoned| poisoned.into_inner())[index] =
+                                Some(outcome);
+                        }
+                        None => {
+                            if let Some(failure) = last_failure {
+                                failures
+                                    .lock()
+                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                                    .push(failure);
+                            }
+                        }
+                    }
                 }
             });
         }
@@ -583,10 +803,35 @@ pub fn replay_parallel_lanes_observed(
 
     let results = results
         .into_inner()
-        .expect("group worker poisoned the results");
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let mut failures = failures
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    failures.sort_by_key(|failure| failure.group);
+    if !failures.is_empty() {
+        observer.counter("replay.group_failures", failures.len() as u64);
+    }
+
+    // Graceful degradation: every group whose worker gave up is replayed
+    // serially on the driver thread, from the same shared snapshot the
+    // workers cloned — so the merged metrics are still complete and
+    // bit-identical to a whole-trace replay.
+    let mut slots = results;
+    for failure in &mut failures {
+        let _span = observer.span("serial_degradation", 0);
+        let mut replayer = TraceReplayer::new();
+        replayer.set_observer(observer.clone());
+        let outcome = replayer.replay_snapshot_lanes(&snapshot, trace, &groups[failure.group])?;
+        slots[failure.group] = Some(outcome);
+        failure.recovered = true;
+        observer.counter("replay.serial_degradations", 1);
+    }
+
     let mut outcomes = Vec::with_capacity(groups.len());
-    for result in results {
-        outcomes.push(result.expect("every group index was claimed by a worker")?);
+    for (index, slot) in slots.into_iter().enumerate() {
+        outcomes.push(slot.ok_or_else(|| {
+            ReplayError::Mismatch(format!("lane group {index} was never replayed"))
+        })?);
     }
     if outcomes
         .iter()
@@ -594,12 +839,13 @@ pub fn replay_parallel_lanes_observed(
     {
         // The analysis proved this impossible; if it ever fires anyway,
         // favour correctness and eat the extra serial replay.  The report
-        // stays honest: the spawned workers and the discarded parallel
-        // attempt's cost are both included.
+        // stays honest: the spawned workers, the discarded parallel
+        // attempt's cost, and any worker failures are all included.
         return serial(
             ShardDecision::DemandFaultsObserved,
             groups.len(),
             spawned,
+            failures,
             start,
         );
     }
@@ -614,10 +860,16 @@ pub fn replay_parallel_lanes_observed(
         clone_wall += outcome.setup_wall;
         group_measured_wall += outcome.measured_wall;
     }
-    let first = outcomes
-        .into_iter()
-        .next()
-        .expect("at least two groups were replayed");
+    let Some(first) = outcomes.into_iter().next() else {
+        return Err(ReplayError::Mismatch(
+            "sharded replay produced no group outcomes".into(),
+        ));
+    };
+    let decision = if failures.is_empty() {
+        ShardDecision::Sharded
+    } else {
+        ShardDecision::ShardedDegraded
+    };
     Ok(LaneReplayReport {
         outcome: ReplayOutcome {
             metrics: merged,
@@ -631,11 +883,13 @@ pub fn replay_parallel_lanes_observed(
             // worker time.
             setup_wall: setup_wall + clone_wall,
             measured_wall: group_measured_wall,
+            completeness: ReplayCompleteness::Complete,
         },
         lanes,
         groups: groups.len(),
         workers: spawned,
-        decision: ShardDecision::Sharded,
+        decision,
+        failures,
         wall: start.elapsed(),
         setup_wall,
         measured_wall: measured_start.elapsed(),

@@ -31,8 +31,8 @@ use mitosis::{Mitosis, MitosisError};
 use mitosis_mem::{FragmentationModel, PlacementPolicy};
 use mitosis_numa::{Interference, NodeMask, SocketId};
 use mitosis_sim::{
-    ExecutionEngine, Observer, PhaseChange, PhaseEvent, PhaseSchedule, PreparedSystem, RunMetrics,
-    SimParams, ThreadPlacement,
+    EngineCheckpoint, ExecutionEngine, Observer, PhaseChange, PhaseEvent, PhaseSchedule,
+    PreparedSystem, RunMetrics, SimParams, SpanOutcome, ThreadPlacement,
 };
 use mitosis_vmm::{AutoNuma, MmapFlags, PtPlacement, System, ThpMode, VmError};
 use mitosis_workloads::{Access, AccessSource, InitPattern, WorkloadSpec};
@@ -51,6 +51,10 @@ pub enum ReplayError {
     /// The trace is inconsistent with the replay request (unknown workload,
     /// missing events, mismatched lane lengths, ...).
     Mismatch(String),
+    /// A replay worker panicked and the panic was caught at the worker
+    /// boundary instead of unwinding into the caller.  Carries the panic
+    /// payload's message when it was a string.
+    Panic(String),
 }
 
 impl fmt::Display for ReplayError {
@@ -60,11 +64,21 @@ impl fmt::Display for ReplayError {
             ReplayError::Vm(e) => write!(f, "replay VM operation failed: {e}"),
             ReplayError::Mitosis(e) => write!(f, "replay Mitosis operation failed: {e}"),
             ReplayError::Mismatch(what) => write!(f, "trace/replay mismatch: {what}"),
+            ReplayError::Panic(what) => write!(f, "replay worker panicked: {what}"),
         }
     }
 }
 
-impl std::error::Error for ReplayError {}
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Trace(e) => Some(e),
+            ReplayError::Vm(e) => Some(e),
+            ReplayError::Mitosis(e) => Some(e),
+            ReplayError::Mismatch(_) | ReplayError::Panic(_) => None,
+        }
+    }
+}
 
 impl From<TraceError> for ReplayError {
     fn from(e: TraceError) -> Self {
@@ -98,6 +112,12 @@ impl<'a> LaneCursor<'a> {
             accesses,
             position: 0,
         }
+    }
+
+    /// A cursor that has already consumed `position` accesses — the resume
+    /// path of checkpoint/resume replay, where the engine restarts mid-lane.
+    pub fn at(accesses: &'a [Access], position: usize) -> Self {
+        LaneCursor { accesses, position }
     }
 
     /// Accesses not yet consumed.
@@ -158,6 +178,23 @@ impl fmt::Display for MachineMismatch {
     }
 }
 
+/// Whether a replay ran the whole captured trace or a salvaged prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayCompleteness {
+    /// The full trace was replayed.
+    Complete,
+    /// The trace bytes were damaged and the replay ran the longest
+    /// checkpoint-attested prefix instead (see
+    /// [`Trace::recover`]); the metrics cover only that prefix.
+    Salvaged {
+        /// Accesses (per lane) that survived salvage and were replayed.
+        valid_accesses: u64,
+        /// Decoded accesses discarded because they were past the last
+        /// attested checkpoint.
+        lost_accesses: u64,
+    },
+}
+
 /// Result of replaying one trace.
 #[derive(Debug, Clone)]
 pub struct ReplayOutcome {
@@ -182,6 +219,10 @@ pub struct ReplayOutcome {
     /// `setup_wall + measured_wall`, so they no longer understate the
     /// measured-phase rate by folding setup reconstruction in.
     pub measured_wall: Duration,
+    /// Whether the whole trace ran, or only a salvaged prefix of a damaged
+    /// one ([`TraceReplayer::replay_salvaged`]).  Plain replay entry points
+    /// always report [`ReplayCompleteness::Complete`].
+    pub completeness: ReplayCompleteness,
 }
 
 fn sockets_of_mask(mask: u64) -> Vec<SocketId> {
@@ -294,6 +335,12 @@ fn schedule_of_lanes(lanes: &[TraceLane]) -> Result<PhaseSchedule, ReplayError> 
 /// the trace, and the run entry points take both (the snapshot must have
 /// been prepared from the same trace, which is checked cheaply via the
 /// lane count and per-lane access count).
+///
+/// A snapshot is not limited to the post-setup boundary:
+/// [`TraceReplayer::checkpoint_at`] pauses a replay mid-lane and returns a
+/// snapshot of the partially run system (`at_access > 0`, with the engine's
+/// own checkpoint attached), and [`TraceReplayer::resume_from`] finishes it
+/// — bit-identical to the uninterrupted run.
 #[derive(Debug, Clone)]
 pub struct ReplaySnapshot {
     prepared: PreparedSystem,
@@ -304,12 +351,30 @@ pub struct ReplaySnapshot {
     machine: MachineFingerprint,
     machine_mismatch: Option<MachineMismatch>,
     setup_wall: Duration,
+    /// Accesses per lane already consumed: 0 for a post-setup snapshot,
+    /// the pause boundary for a mid-run one.
+    at_access: u64,
+    /// The engine's own mid-run state (per-thread totals, MMU models,
+    /// phase-schedule position) when this snapshot paused inside the
+    /// measured phase; `None` at the post-setup boundary.
+    engine: Option<EngineCheckpoint>,
+    /// The lane selection a mid-run snapshot was paused with.  Its
+    /// `schedule` is already retargeted to that selection, so resuming must
+    /// use the identical selection (enforced, not assumed).
+    selection: Option<Vec<usize>>,
 }
 
 impl ReplaySnapshot {
     /// The workload spec resolved from the trace header.
     pub fn spec(&self) -> &WorkloadSpec {
         &self.spec
+    }
+
+    /// Accesses per lane already consumed when this snapshot was taken:
+    /// 0 for a post-setup snapshot from [`prepare_replay`], the pause
+    /// boundary for a mid-run snapshot from [`TraceReplayer::checkpoint_at`].
+    pub fn at_access(&self) -> u64 {
+        self.at_access
     }
 
     /// Host time the setup-event reconstruction took — the cost every
@@ -382,6 +447,21 @@ pub fn replay_trace_with(
     options: ReplayOptions,
 ) -> Result<ReplayOutcome, ReplayError> {
     TraceReplayer::new().replay_with(trace, params, options)
+}
+
+/// Replays trace `bytes`, salvaging a damaged stream to its longest
+/// checkpoint-attested prefix instead of giving up; see
+/// [`TraceReplayer::replay_salvaged`].
+///
+/// # Errors
+///
+/// Same conditions as [`TraceReplayer::replay_salvaged`].
+pub fn replay_trace_salvaged(
+    bytes: &[u8],
+    params: &SimParams,
+    options: ReplayOptions,
+) -> Result<ReplayOutcome, ReplayError> {
+    TraceReplayer::new().replay_salvaged(bytes, params, options)
 }
 
 /// Replays a single lane of `trace` on its own freshly reconstructed
@@ -595,6 +675,112 @@ impl TraceReplayer {
         self.run_lanes(clone, trace, Some(lanes))
     }
 
+    /// Replays `trace` up to `at` accesses per lane and pauses, returning a
+    /// mid-run [`ReplaySnapshot`] that [`TraceReplayer::resume_from`] can
+    /// finish later — the resumed run's metrics are bit-identical to an
+    /// uninterrupted replay.  `at == 0` returns the plain post-setup
+    /// snapshot (nothing has run yet).
+    ///
+    /// The pause lands *before* any phase change scheduled at `at` fires,
+    /// so resuming applies it exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_trace`], plus a mismatch when `at` is at
+    /// or past the per-lane access count (there is nothing left to resume).
+    pub fn checkpoint_at(
+        &mut self,
+        trace: &Trace,
+        params: &SimParams,
+        options: ReplayOptions,
+        at: u64,
+    ) -> Result<ReplaySnapshot, ReplayError> {
+        let prepared = {
+            let _span = self.observer.span("prepare_replay", self.track);
+            prepare_replay(trace, params, options)?
+        };
+        if at == 0 {
+            return Ok(prepared);
+        }
+        if at >= prepared.accesses_per_thread {
+            return Err(ReplayError::Mismatch(format!(
+                "checkpoint at access {at} is out of range: lanes have {} \
+                 accesses (a checkpoint must pause strictly inside the \
+                 measured phase)",
+                prepared.accesses_per_thread
+            )));
+        }
+        match self.run_lanes_span(prepared, trace, None, Some(at))? {
+            LaneRun::Paused(snapshot) => Ok(*snapshot),
+            LaneRun::Completed(_) => unreachable!("engine pauses at every in-range stop boundary"),
+        }
+    }
+
+    /// Finishes a paused replay from a [`ReplaySnapshot`] taken by
+    /// [`TraceReplayer::checkpoint_at`]: the snapshot is cloned (it stays
+    /// reusable) and the clone runs from its pause boundary to completion.
+    /// The outcome's metrics cover the *whole* measured phase — per-thread
+    /// totals carry across the pause — and are bit-identical to an
+    /// uninterrupted replay of the same trace.  Also accepts a post-setup
+    /// snapshot, behaving like [`TraceReplayer::replay_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_trace`], plus a mismatch when `trace` is
+    /// not the trace the snapshot was prepared from.
+    pub fn resume_from(
+        &mut self,
+        snapshot: &ReplaySnapshot,
+        trace: &Trace,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        snapshot.check_trace(trace)?;
+        let clone = {
+            let _span = self.observer.span("snapshot_clone", self.track);
+            clone_snapshot(snapshot)
+        };
+        let selection = clone.selection.clone();
+        match self.run_lanes_span(clone, trace, selection.as_deref(), None)? {
+            LaneRun::Completed(outcome) => Ok(*outcome),
+            LaneRun::Paused(_) => unreachable!("no stop boundary was requested"),
+        }
+    }
+
+    /// Replays trace `bytes`, salvaging a damaged stream instead of giving
+    /// up: intact bytes replay normally
+    /// ([`ReplayCompleteness::Complete`]); a stream that fails to decode is
+    /// recovered to its longest checkpoint-attested prefix
+    /// ([`Trace::recover`]) and that prefix replays, with the outcome
+    /// marked [`ReplayCompleteness::Salvaged`] so partial metrics can never
+    /// pass as whole-trace metrics.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_trace_with`]; additionally the decode
+    /// error of `bytes` when no checkpoint-attested prefix exists to
+    /// salvage.
+    pub fn replay_salvaged(
+        &mut self,
+        bytes: &[u8],
+        params: &SimParams,
+        options: ReplayOptions,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        match Trace::from_bytes(bytes) {
+            Ok(trace) => self.replay_with(&trace, params, options),
+            Err(_) => {
+                let salvaged = Trace::recover(bytes)?;
+                let mut outcome = self.replay_with(&salvaged.trace, params, options)?;
+                outcome.completeness = ReplayCompleteness::Salvaged {
+                    valid_accesses: salvaged.valid_accesses,
+                    lost_accesses: salvaged.lost_accesses,
+                };
+                self.observer.counter("replay.salvaged", 1);
+                self.observer
+                    .counter("replay.salvaged_lost_accesses", salvaged.lost_accesses);
+                Ok(outcome)
+            }
+        }
+    }
+
     /// Runs the measured phase of a prepared replay over all lanes
     /// (`selection == None`) or an ordered subset, consuming the snapshot
     /// (the one-shot path: no clone is paid).
@@ -604,16 +790,48 @@ impl TraceReplayer {
         trace: &Trace,
         selection: Option<&[usize]>,
     ) -> Result<ReplayOutcome, ReplayError> {
+        match self.run_lanes_span(snapshot, trace, selection, None)? {
+            LaneRun::Completed(outcome) => Ok(*outcome),
+            LaneRun::Paused(_) => unreachable!("no stop boundary was requested"),
+        }
+    }
+
+    /// Runs a span of the measured phase: from wherever `snapshot` stands
+    /// (post-setup, or mid-run for a checkpoint snapshot) to `stop_at` when
+    /// given, else to completion.  Pausing returns a new mid-run snapshot;
+    /// completing returns the full-run outcome (totals carry across pauses,
+    /// so a resumed run's metrics cover the whole measured phase).
+    fn run_lanes_span(
+        &mut self,
+        snapshot: ReplaySnapshot,
+        trace: &Trace,
+        selection: Option<&[usize]>,
+        stop_at: Option<u64>,
+    ) -> Result<LaneRun, ReplayError> {
         let ReplaySnapshot {
             prepared,
             spec,
-            lanes: _,
+            lanes,
             accesses_per_thread,
             schedule,
             machine,
             machine_mismatch,
             setup_wall,
+            at_access,
+            engine: engine_checkpoint,
+            selection: paused_selection,
         } = snapshot;
+        // A mid-run snapshot's schedule is already retargeted to the
+        // selection it paused with, and its engine checkpoint carries that
+        // many per-thread states: resuming with any other selection would
+        // silently misattribute lanes.  Enforce instead of assuming.
+        if engine_checkpoint.is_some() && paused_selection.as_deref() != selection {
+            return Err(ReplayError::Mismatch(
+                "mid-run snapshot must resume with the lane selection it was \
+                 paused with"
+                    .into(),
+            ));
+        }
         let PreparedSystem {
             mut system,
             mut mitosis,
@@ -630,10 +848,12 @@ impl TraceReplayer {
         // one naming an absent lane goes out of range (the change still
         // fires, no local thread observes it), keeping the system evolution
         // of every lane subset identical to the whole-trace replay.
-        let schedule = match selection {
-            Some(indices) => schedule
+        // A mid-run snapshot's schedule was retargeted when it first ran,
+        // so it must not be retargeted again.
+        let schedule = match (&engine_checkpoint, selection) {
+            (None, Some(indices)) => schedule
                 .retarget_threads(|lane| indices.iter().position(|&selected| selected == lane)),
-            None => schedule,
+            _ => schedule,
         };
         let threads: Vec<ThreadPlacement> = selected
             .iter()
@@ -647,8 +867,9 @@ impl TraceReplayer {
             .collect();
         let mut cursors: Vec<LaneCursor> = selected
             .iter()
-            .map(|lane| LaneCursor::new(&lane.accesses))
+            .map(|lane| LaneCursor::at(&lane.accesses, at_access as usize))
             .collect();
+        let lane_count = cursors.len() as u64;
 
         let engine = match &mut self.engine {
             Some((pooled_machine, engine)) if *pooled_machine == machine => {
@@ -663,9 +884,9 @@ impl TraceReplayer {
         engine.set_observer(self.observer.clone());
         engine.set_observer_track(self.track);
         let measured_start = Instant::now();
-        let metrics = {
+        let span_outcome = {
             let _span = self.observer.span("replay.measured", self.track);
-            engine.run_with_sources_dynamic(
+            engine.run_span_with_sources_dynamic(
                 &mut system,
                 &mut mitosis,
                 pid,
@@ -675,18 +896,54 @@ impl TraceReplayer {
                 accesses_per_thread,
                 &mut cursors,
                 &schedule,
+                engine_checkpoint.as_ref(),
+                stop_at,
             )?
         };
-        self.observer.counter("replay.runs", 1);
-        self.observer.counter("replay.lanes", cursors.len() as u64);
-        Ok(ReplayOutcome {
-            metrics,
-            spec,
-            machine_mismatch,
-            setup_wall,
-            measured_wall: measured_start.elapsed(),
-        })
+        match span_outcome {
+            SpanOutcome::Completed(metrics) => {
+                self.observer.counter("replay.runs", 1);
+                self.observer.counter("replay.lanes", lane_count);
+                Ok(LaneRun::Completed(Box::new(ReplayOutcome {
+                    metrics,
+                    spec,
+                    machine_mismatch,
+                    setup_wall,
+                    measured_wall: measured_start.elapsed(),
+                    completeness: ReplayCompleteness::Complete,
+                })))
+            }
+            SpanOutcome::Paused(checkpoint) => {
+                self.observer.counter("replay.checkpoints", 1);
+                let at_access = checkpoint.at_access();
+                Ok(LaneRun::Paused(Box::new(ReplaySnapshot {
+                    prepared: PreparedSystem {
+                        system,
+                        mitosis,
+                        pid,
+                        region,
+                    },
+                    spec,
+                    lanes,
+                    accesses_per_thread,
+                    schedule,
+                    machine,
+                    machine_mismatch,
+                    setup_wall,
+                    at_access,
+                    engine: Some(checkpoint),
+                    selection: selection.map(<[usize]>::to_vec),
+                })))
+            }
+        }
     }
+}
+
+/// Result of running a span of the measured phase: the run either completed
+/// or paused at the requested access boundary.
+enum LaneRun {
+    Completed(Box<ReplayOutcome>),
+    Paused(Box<ReplaySnapshot>),
 }
 
 /// Validates an explicit lane selection against `trace`: non-empty, in
@@ -974,6 +1231,9 @@ pub fn prepare_replay(
         machine: expected,
         machine_mismatch,
         setup_wall: setup_start.elapsed(),
+        at_access: 0,
+        engine: None,
+        selection: None,
     })
 }
 
