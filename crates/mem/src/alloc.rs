@@ -102,6 +102,29 @@ impl FrameAllocator {
         self.fragmentation = model;
     }
 
+    /// Clones the allocator's per-socket bookkeeping (bump pointers, free
+    /// lists, counters, fragmentation model) but **not** the per-frame
+    /// `allocated` membership set, which dominates clone cost on populated
+    /// systems (one entry per allocated 4 KiB frame).
+    ///
+    /// The shell still serves fresh allocations correctly — the bump
+    /// pointers, free lists and counters ([`Self::total_allocated`],
+    /// [`Self::stats`]) are intact — but [`Self::is_allocated`] reports
+    /// `false` (and freeing fails) for frames allocated before the clone.
+    /// Partial replay snapshots use this when
+    /// the shardability analysis proves the run cannot fault: a run that
+    /// never allocates or frees never consults the membership set, and any
+    /// unexpected fault is caught afterwards by the demand-fault check and
+    /// re-run on a full clone.
+    pub fn clone_shell(&self) -> FrameAllocator {
+        FrameAllocator {
+            space: self.space.clone(),
+            pools: self.pools.clone(),
+            allocated: BTreeSet::new(),
+            fragmentation: self.fragmentation.clone(),
+        }
+    }
+
     /// The frame space this allocator manages.
     pub fn frame_space(&self) -> &FrameSpace {
         &self.space

@@ -5,10 +5,16 @@
 //! circular linked list (paper §5.2, Figure 8).  That list is what allows an
 //! update intercepted at the PV-Ops layer to reach every replica in 2N memory
 //! references instead of walking N page-tables.
+//!
+//! The table is backed by a slot slab plus a two-level directory indexed by
+//! frame number — the same handle trick `PtStore` uses for page-table pages —
+//! instead of a hash map.  Lookups hash nothing, replica-ring hops are two
+//! array indexations, and because the directory is ordered by frame number
+//! the table can be *range-sliced*: partial replay snapshots clone only the
+//! frame ranges a lane group can touch via [`FrameTable::clone_ranges`].
 
-use crate::frame::{FrameId, FrameSpace};
+use crate::frame::{FrameId, FrameRange, FrameSpace};
 use mitosis_numa::SocketId;
-use std::collections::HashMap;
 
 /// What a physical frame is currently used for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,10 +57,19 @@ impl PageMeta {
     }
 }
 
+/// Frames per directory chunk (and the shift that selects the chunk).
+const DIR_SHIFT: u32 = 12;
+const CHUNK_FRAMES: usize = 1 << DIR_SHIFT;
+/// Directory sentinel: "this frame has no slot".
+const NO_SLOT: u32 = u32::MAX;
+
 /// The machine-wide table of per-frame metadata.
 ///
 /// Only allocated frames have entries; on a half-terabyte machine eagerly
 /// materialising 128 M `struct page`s would be wasteful for a simulator.
+/// Entries live in a slab (`slots`) reached through a two-level directory
+/// (`dir[pfn >> 12][pfn & 0xfff]`), so lookup, insert and remove are O(1)
+/// without hashing and iteration runs in frame-number order.
 ///
 /// # Example
 ///
@@ -69,7 +84,13 @@ impl PageMeta {
 #[derive(Debug, Clone)]
 pub struct FrameTable {
     space: FrameSpace,
-    entries: HashMap<FrameId, PageMeta>,
+    /// Metadata slab; freed slots are kept on `free` and identified by
+    /// `NO_SLOT` directory entries, so a free slot's contents are stale and
+    /// never read.
+    slots: Vec<PageMeta>,
+    free: Vec<u32>,
+    dir: Vec<Option<Box<[u32; CHUNK_FRAMES]>>>,
+    len: usize,
 }
 
 impl FrameTable {
@@ -77,7 +98,10 @@ impl FrameTable {
     pub fn new(space: FrameSpace) -> Self {
         FrameTable {
             space,
-            entries: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            dir: Vec::new(),
+            len: 0,
         }
     }
 
@@ -86,25 +110,73 @@ impl FrameTable {
         &self.space
     }
 
+    fn slot_of(&self, frame: FrameId) -> Option<u32> {
+        let chunk = (frame.pfn() >> DIR_SHIFT) as usize;
+        let slot = *self
+            .dir
+            .get(chunk)?
+            .as_ref()?
+            .get(frame.pfn() as usize & (CHUNK_FRAMES - 1))?;
+        (slot != NO_SLOT).then_some(slot)
+    }
+
+    fn dir_entry_mut(&mut self, frame: FrameId) -> &mut u32 {
+        let chunk = (frame.pfn() >> DIR_SHIFT) as usize;
+        if chunk >= self.dir.len() {
+            self.dir.resize(chunk + 1, None);
+        }
+        let chunk = self.dir[chunk].get_or_insert_with(|| Box::new([NO_SLOT; CHUNK_FRAMES]));
+        &mut chunk[frame.pfn() as usize & (CHUNK_FRAMES - 1)]
+    }
+
+    /// Places `meta` for `frame`, creating or replacing its slot.
+    fn insert_meta(&mut self, frame: FrameId, meta: PageMeta) {
+        match self.slot_of(frame) {
+            Some(slot) => self.slots[slot as usize] = meta,
+            None => {
+                let slot = match self.free.pop() {
+                    Some(slot) => {
+                        self.slots[slot as usize] = meta;
+                        slot
+                    }
+                    None => {
+                        self.slots.push(meta);
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                *self.dir_entry_mut(frame) = slot;
+                self.len += 1;
+            }
+        }
+    }
+
     /// Records metadata for a newly allocated frame, replacing any previous
     /// entry.
     pub fn insert(&mut self, frame: FrameId, kind: FrameKind) {
-        self.entries.insert(frame, PageMeta::new(kind));
+        self.insert_meta(frame, PageMeta::new(kind));
     }
 
     /// Removes the metadata of a freed frame and returns it.
     pub fn remove(&mut self, frame: FrameId) -> Option<PageMeta> {
-        self.entries.remove(&frame)
+        let slot = self.slot_of(frame)?;
+        *self.dir_entry_mut(frame) = NO_SLOT;
+        self.free.push(slot);
+        self.len -= 1;
+        Some(self.slots[slot as usize].clone())
     }
 
     /// Returns the metadata of a frame, if the frame is tracked.
     pub fn get(&self, frame: FrameId) -> Option<&PageMeta> {
-        self.entries.get(&frame)
+        self.slot_of(frame).map(|s| &self.slots[s as usize])
+    }
+
+    fn get_mut(&mut self, frame: FrameId) -> Option<&mut PageMeta> {
+        self.slot_of(frame).map(|s| &mut self.slots[s as usize])
     }
 
     /// Returns the use of a frame, if tracked.
     pub fn kind(&self, frame: FrameId) -> Option<FrameKind> {
-        self.entries.get(&frame).map(|m| m.kind)
+        self.get(frame).map(|m| m.kind)
     }
 
     /// Returns the socket that owns a frame (derived from the frame space).
@@ -114,19 +186,63 @@ impl FrameTable {
 
     /// Number of tracked frames.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Returns `true` if no frame is tracked.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
+    }
+
+    /// Iterates over tracked frames in `range`, in frame-number order.
+    pub fn iter_range(&self, range: FrameRange) -> impl Iterator<Item = (FrameId, &PageMeta)> {
+        let start = range.start.pfn();
+        let end = range.end.pfn();
+        (start >> DIR_SHIFT..=end.saturating_sub(1) >> DIR_SHIFT)
+            .filter_map(move |chunk| {
+                let entries = self.dir.get(chunk as usize)?.as_ref()?;
+                Some((chunk, entries))
+            })
+            .flat_map(move |(chunk, entries)| {
+                entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, slot)| **slot != NO_SLOT)
+                    .map(move |(i, slot)| {
+                        (
+                            FrameId::new((chunk << DIR_SHIFT) + i as u64),
+                            &self.slots[*slot as usize],
+                        )
+                    })
+                    .filter(move |(frame, _)| frame.pfn() >= start && frame.pfn() < end)
+            })
+    }
+
+    /// Clones only the entries whose frames fall in one of `ranges` — the
+    /// partial-snapshot path: a lane group that provably touches only a few
+    /// frame ranges gets a table holding just those, at a cost proportional
+    /// to the slice instead of the whole machine.
+    ///
+    /// Replica links are copied as-is; ring members outside `ranges` are
+    /// simply absent from the slice, so ring walks on a sliced table are only
+    /// meaningful for rings fully contained in the cloned ranges.  Partial
+    /// replay snapshots guarantee this by construction: runs that could
+    /// consult a ring (demand faults, replication events) fall back to a full
+    /// clone.
+    pub fn clone_ranges(&self, ranges: &[FrameRange]) -> FrameTable {
+        let mut out = FrameTable::new(self.space.clone());
+        for range in ranges {
+            for (frame, meta) in self.iter_range(*range) {
+                out.insert_meta(frame, meta.clone());
+            }
+        }
+        out
     }
 
     /// Number of tracked frames of a given kind on a given socket.
     pub fn count_on_socket(&self, socket: SocketId, kind: FrameKind) -> usize {
-        self.entries
-            .iter()
-            .filter(|(frame, meta)| meta.kind == kind && self.space.socket_of(**frame) == socket)
+        self.iter_range(self.space.range_of(socket))
+            .filter(|(_, meta)| meta.kind == kind)
             .count()
     }
 
@@ -144,10 +260,7 @@ impl FrameTable {
         assert!(!frames.is_empty(), "cannot link an empty replica set");
         for (i, &frame) in frames.iter().enumerate() {
             let next = frames[(i + 1) % frames.len()];
-            let meta = self
-                .entries
-                .get_mut(&frame)
-                .expect("replica frame must be tracked");
+            let meta = self.get_mut(frame).expect("replica frame must be tracked");
             meta.replica_next = if frames.len() == 1 { None } else { Some(next) };
         }
     }
@@ -157,7 +270,7 @@ impl FrameTable {
     pub fn unlink_replica(&mut self, frame: FrameId) -> Vec<FrameId> {
         let ring = self.replicas_of(frame);
         let remaining: Vec<FrameId> = ring.into_iter().filter(|f| *f != frame).collect();
-        if let Some(meta) = self.entries.get_mut(&frame) {
+        if let Some(meta) = self.get_mut(frame) {
             meta.replica_next = None;
         }
         if !remaining.is_empty() {
@@ -171,7 +284,7 @@ impl FrameTable {
     pub fn replicas_of(&self, frame: FrameId) -> Vec<FrameId> {
         let mut out = vec![frame];
         let mut cursor = frame;
-        while let Some(next) = self.entries.get(&cursor).and_then(|m| m.replica_next) {
+        while let Some(next) = self.get(cursor).and_then(|m| m.replica_next) {
             if next == frame {
                 break;
             }
@@ -195,10 +308,7 @@ impl FrameTable {
     /// Returns `true` if `frame` participates in a replica ring of more than
     /// one page.
     pub fn is_replicated(&self, frame: FrameId) -> bool {
-        self.entries
-            .get(&frame)
-            .and_then(|m| m.replica_next)
-            .is_some()
+        self.get(frame).and_then(|m| m.replica_next).is_some()
     }
 }
 
@@ -220,6 +330,82 @@ mod tests {
         assert_eq!(meta.kind(), FrameKind::Data);
         assert!(t.is_empty());
         assert_eq!(t.kind(FrameId::new(5)), None);
+    }
+
+    #[test]
+    fn reinsert_resets_replica_link() {
+        let mut t = table();
+        let frames = [FrameId::new(1), FrameId::new(1001)];
+        for &f in &frames {
+            t.insert(f, FrameKind::PageTable { level: 1 });
+        }
+        t.link_replicas(&frames);
+        assert!(t.is_replicated(frames[0]));
+        // Replacing an entry behaves like a fresh map insert: the old
+        // metadata — including the ring link — is discarded.
+        t.insert(frames[0], FrameKind::PageTable { level: 1 });
+        assert!(!t.is_replicated(frames[0]));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn slot_reuse_after_remove() {
+        let mut t = table();
+        for pfn in 0..100 {
+            t.insert(FrameId::new(pfn), FrameKind::Data);
+        }
+        for pfn in 0..50 {
+            t.remove(FrameId::new(pfn));
+        }
+        assert_eq!(t.len(), 50);
+        for pfn in 2000..2050 {
+            t.insert(FrameId::new(pfn), FrameKind::PageTable { level: 2 });
+        }
+        assert_eq!(t.len(), 100);
+        for pfn in 50..100 {
+            assert_eq!(t.kind(FrameId::new(pfn)), Some(FrameKind::Data));
+        }
+        for pfn in 2000..2050 {
+            assert_eq!(
+                t.kind(FrameId::new(pfn)),
+                Some(FrameKind::PageTable { level: 2 })
+            );
+        }
+    }
+
+    #[test]
+    fn clone_ranges_slices_by_frame_number() {
+        let mut t = table();
+        for pfn in [0u64, 500, 999, 1000, 1500, 2500, 3999] {
+            t.insert(FrameId::new(pfn), FrameKind::Data);
+        }
+        let space = t.frame_space().clone();
+        let slice = t.clone_ranges(&[space.range_of(SocketId::new(1))]);
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice.kind(FrameId::new(1000)), Some(FrameKind::Data));
+        assert_eq!(slice.kind(FrameId::new(1500)), Some(FrameKind::Data));
+        assert_eq!(slice.kind(FrameId::new(999)), None);
+        assert_eq!(slice.kind(FrameId::new(2500)), None);
+
+        let both = t.clone_ranges(&[
+            space.range_of(SocketId::new(0)),
+            space.range_of(SocketId::new(3)),
+        ]);
+        assert_eq!(both.len(), 4);
+        assert_eq!(both.kind(FrameId::new(3999)), Some(FrameKind::Data));
+    }
+
+    #[test]
+    fn clone_ranges_preserves_replica_links_inside_the_slice() {
+        let mut t = table();
+        let frames = [FrameId::new(10), FrameId::new(20)];
+        for &f in &frames {
+            t.insert(f, FrameKind::PageTable { level: 2 });
+        }
+        t.link_replicas(&frames);
+        let slice = t.clone_ranges(&[FrameRange::new(FrameId::new(0), FrameId::new(100))]);
+        assert!(slice.is_replicated(frames[0]));
+        assert_eq!(slice.replicas_of(frames[0]).len(), 2);
     }
 
     #[test]

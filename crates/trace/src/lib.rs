@@ -18,18 +18,21 @@
 //!   [`ExecutionEngine`](mitosis_sim::ExecutionEngine), re-applying
 //!   mid-lane phase changes at the same boundaries and reproducing the
 //!   live run's [`RunMetrics`](mitosis_sim::RunMetrics) bit-for-bit;
-//! * [`parallel`] shards N traces across worker threads — each replay owns
-//!   its own system and per-core MMU models — and merges the metrics;
-//!   [`replay_parallel_lanes`] shards the *lanes* of a single trace as
-//!   per-socket lane groups for single-trace speedups on many-core hosts,
-//!   deciding shardability up front from the trace's setup events.
+//! * [`session`] is the entry point: a [`ReplaySession`] executes
+//!   builder-style [`ReplayRequest`]s — serial, lane-selected, or sharded
+//!   as per-socket lane groups across a **persistent worker pool** — with
+//!   a snapshot cache and partial (scoped) snapshots making repeated and
+//!   grouped replays cheaper than one-shot serial replay, bit-identically;
+//! * [`parallel`] holds the report types ([`LaneReplayReport`],
+//!   [`ReplayReport`], [`ShardDecision`]) and the deprecated free-function
+//!   entry points that predate [`ReplaySession`].
 //!
 //! # Example
 //!
 //! ```
 //! use mitosis_numa::SocketId;
 //! use mitosis_sim::SimParams;
-//! use mitosis_trace::{capture_engine_run, replay_trace, Trace};
+//! use mitosis_trace::{capture_engine_run, ReplayRequest, ReplaySession, Trace};
 //! use mitosis_workloads::suite;
 //!
 //! let params = SimParams::quick_test().with_accesses(300);
@@ -38,8 +41,14 @@
 //! // The trace survives serialisation and reproduces the live run exactly.
 //! let bytes = captured.trace.to_bytes().unwrap();
 //! let trace = Trace::from_bytes(&bytes).unwrap();
-//! let replayed = replay_trace(&trace, &params).unwrap();
-//! assert_eq!(replayed.metrics, captured.live_metrics);
+//! let mut session = ReplaySession::new(&params);
+//! let replayed = session.replay(&trace, &ReplayRequest::new()).unwrap();
+//! assert_eq!(replayed.outcome.metrics, captured.live_metrics);
+//!
+//! // The warm session replays again without re-preparing (snapshot cache),
+//! // and grouped requests reuse its persistent worker pool.
+//! let again = session.replay(&trace, &ReplayRequest::new()).unwrap();
+//! assert_eq!(again.outcome.metrics, captured.live_metrics);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -53,7 +62,9 @@ pub mod capture;
 pub mod faultinject;
 pub mod format;
 pub mod parallel;
+mod pool;
 pub mod replay;
+pub mod session;
 
 pub use capture::{
     capture_engine_run, capture_engine_run_dynamic, capture_migration_scenario,
@@ -66,13 +77,20 @@ pub use format::{
     TraceCheckpoint, TraceError, TraceEvent, TraceItem, TraceLane, TraceMeta, TraceReader,
     TraceWriter, DEFAULT_CHECKPOINT_INTERVAL, TRACE_MAGIC, TRACE_MIN_VERSION, TRACE_VERSION,
 };
+#[allow(deprecated)]
 pub use parallel::{
     replay_parallel, replay_parallel_lanes, replay_parallel_lanes_faulted,
-    replay_parallel_lanes_observed, replay_sequential, GroupFailure, GroupFailureKind,
-    LaneReplayReport, ReplayAggregate, ReplayReport, ShardDecision,
+    replay_parallel_lanes_observed, replay_sequential,
+};
+pub use parallel::{
+    GroupFailure, GroupFailureKind, LaneReplayReport, ReplayAggregate, ReplayReport, ShardDecision,
 };
 pub use replay::{
-    prepare_replay, replay_trace, replay_trace_lane, replay_trace_lanes, replay_trace_salvaged,
-    replay_trace_with, LaneCursor, MachineMismatch, ReplayCompleteness, ReplayError, ReplayOptions,
+    prepare_replay, LaneCursor, MachineMismatch, ReplayCompleteness, ReplayError, ReplayOptions,
     ReplayOutcome, ReplaySnapshot, TraceReplayer,
 };
+#[allow(deprecated)]
+pub use replay::{
+    replay_trace, replay_trace_lane, replay_trace_lanes, replay_trace_salvaged, replay_trace_with,
+};
+pub use session::{ReplayMode, ReplayRequest, ReplaySession, SnapshotMode};

@@ -1,4 +1,5 @@
-//! Parallel trace replay: trace-granular and lane-granular sharding.
+//! Report and decision types of parallel trace replay, plus the deprecated
+//! free-function entry points that predate [`ReplaySession`].
 //!
 //! Each trace in a batch describes one captured process (workload), and
 //! replaying it is embarrassingly parallel: every replay builds its own
@@ -9,8 +10,8 @@
 //! per-trace metrics are bit-identical to sequential replay (and to the
 //! live runs); only wall-clock time changes.
 //!
-//! [`replay_parallel_lanes`] shards *within* one trace, at the granularity
-//! of **per-socket lane groups**: lanes are partitioned by the socket their
+//! Lane-granular replay shards *within* one trace, at the granularity of
+//! **per-socket lane groups**: lanes are partitioned by the socket their
 //! thread ran on, each group replays its lanes in lane order against its
 //! own clone of a single prepared-system snapshot (the setup events are
 //! executed once, not once per group), and the per-group metrics merge
@@ -27,28 +28,26 @@
 //! groups shard; otherwise the replay goes serial *before* any worker is
 //! spawned.  [`LaneReplayReport::decision`] records which way it went and
 //! why.
+//!
+//! The driver itself lives in [`ReplaySession`] (persistent worker pool,
+//! snapshot cache, partial snapshots); the free functions here are thin
+//! deprecated wrappers that build a throwaway session per call.
 
 use crate::faultinject::FaultPlan;
 use crate::format::{Trace, TraceEvent};
-use crate::replay::{
-    prepare_replay, replay_trace, ReplayCompleteness, ReplayError, ReplayOptions, ReplayOutcome,
-    TraceReplayer,
-};
+use crate::replay::{ReplayError, ReplayOutcome};
+use crate::session::{ReplayRequest, ReplaySession};
 use mitosis_sim::{Observer, RunMetrics, SimParams};
 use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Attempts a failed lane group is given before the driver degrades it to a
 /// serial replay: the first run plus two backed-off retries.
-const MAX_GROUP_ATTEMPTS: u32 = 3;
+pub(crate) const MAX_GROUP_ATTEMPTS: u32 = 3;
 
 /// Extracts a human-readable message from a caught panic payload (panics
 /// almost always carry `&str` or `String`).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(message) = payload.downcast_ref::<&str>() {
         (*message).to_string()
     } else if let Some(message) = payload.downcast_ref::<String>() {
@@ -87,7 +86,8 @@ impl ReplayAggregate {
     }
 }
 
-/// Result of replaying a batch of traces.
+/// Result of replaying a batch of traces
+/// ([`ReplaySession::replay_batch`]).
 #[derive(Debug, Clone)]
 pub struct ReplayReport {
     /// Per-trace outcomes, in input order.
@@ -133,7 +133,7 @@ impl ReplayReport {
         self.to_string()
     }
 
-    fn collect(
+    pub(crate) fn collect(
         results: Vec<Option<Result<ReplayOutcome, ReplayError>>>,
         wall: Duration,
     ) -> Result<ReplayReport, ReplayError> {
@@ -187,78 +187,44 @@ impl fmt::Display for ReplayReport {
 ///
 /// # Errors
 ///
-/// Fails on the first trace that does not replay (see
-/// [`replay_trace`]).
+/// Fails on the first trace that does not replay.
+#[deprecated(note = "use `ReplaySession::replay_batch` with a serial `ReplayRequest`")]
 pub fn replay_sequential(
     traces: &[Trace],
     params: &SimParams,
 ) -> Result<ReplayReport, ReplayError> {
-    let start = Instant::now();
-    let results = traces
-        .iter()
-        .map(|trace| Some(replay_trace(trace, params)))
-        .collect();
-    ReplayReport::collect(results, start.elapsed())
+    ReplaySession::new(params)
+        .without_snapshot_cache()
+        .replay_batch(traces, &ReplayRequest::new())
 }
 
 /// Replays `traces` sharded across up to `workers` host threads, merging
 /// the metrics at the end.
 ///
-/// Work is distributed dynamically (an atomic cursor over the batch), so a
-/// mix of long and short traces still load-balances.  Per-trace results are
-/// identical to [`replay_sequential`]; with enough host cores the batch
-/// completes in roughly `1/min(workers, len)` of the sequential wall time.
+/// Per-trace results are identical to [`replay_sequential`]; with enough
+/// host cores the batch completes in roughly `1/min(workers, len)` of the
+/// sequential wall time.
 ///
 /// # Errors
 ///
 /// Fails if any trace does not replay; the first error in input order is
 /// returned.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+#[deprecated(note = "use `ReplaySession::replay_batch` with `ReplayRequest::grouped`")]
 pub fn replay_parallel(
     traces: &[Trace],
     params: &SimParams,
     workers: usize,
 ) -> Result<ReplayReport, ReplayError> {
-    assert!(workers > 0, "parallel replay needs at least one worker");
-    let workers = workers.min(traces.len()).max(1);
-    let start = Instant::now();
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<ReplayOutcome, ReplayError>>>> =
-        Mutex::new((0..traces.len()).map(|_| None).collect());
-
-    thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                // One pooled engine per worker: traces of a batch share the
-                // machine, so the engine is reset (not rebuilt) per trace.
-                let mut replayer = TraceReplayer::new();
-                loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= traces.len() {
-                        break;
-                    }
-                    // A panicking replay is caught at the worker boundary
-                    // and surfaced as a structured error for its trace;
-                    // the other traces keep replaying.
-                    let outcome =
-                        catch_unwind(AssertUnwindSafe(|| replayer.replay(&traces[index], params)))
-                            .unwrap_or_else(|payload| {
-                                Err(ReplayError::Panic(panic_message(payload.as_ref())))
-                            });
-                    results
-                        .lock()
-                        .unwrap_or_else(|poisoned| poisoned.into_inner())[index] = Some(outcome);
-                }
-            });
-        }
-    });
-
-    let results = results
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    ReplayReport::collect(results, start.elapsed())
+    ReplaySession::new(params)
+        .without_snapshot_cache()
+        .replay_batch(traces, &ReplayRequest::new().grouped(workers))
 }
 
-/// Why [`replay_parallel_lanes`] did — or did not — shard a trace.
+/// Why a lane-granular replay did — or did not — shard a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ShardDecision {
     /// The lanes were partitioned into per-socket groups and replayed in
@@ -267,7 +233,7 @@ pub enum ShardDecision {
     /// The lanes sharded, but at least one group's worker failed (panicked
     /// or errored) past its retry budget and was replayed serially on the
     /// driver thread instead — the merged metrics are still bit-identical
-    /// to [`replay_trace`]; see [`LaneReplayReport::failures`] for what
+    /// to a serial replay; see [`LaneReplayReport::failures`] for what
     /// went wrong.
     ShardedDegraded,
     /// The trace has a single lane: nothing to shard.
@@ -285,7 +251,7 @@ pub enum ShardDecision {
     /// Defensive fallback: a group replay took a demand fault the up-front
     /// analysis did not predict (this indicates an analysis bug and cannot
     /// happen for captured traces); the driver re-ran serially so the
-    /// metrics stay bit-identical to [`replay_trace`].
+    /// metrics stay bit-identical to a serial replay.
     DemandFaultsObserved,
 }
 
@@ -370,19 +336,22 @@ impl fmt::Display for GroupFailure {
     }
 }
 
-/// Result of a lane-granular parallel replay of one trace.
+/// Result of a lane-granular replay of one trace
+/// ([`ReplaySession::replay`]).
 #[derive(Debug, Clone)]
 pub struct LaneReplayReport {
-    /// The merged outcome — metrics bit-identical to [`replay_trace`] on
-    /// the same trace.
+    /// The merged outcome — metrics bit-identical to a serial whole-trace
+    /// replay of the same trace.
     pub outcome: ReplayOutcome,
-    /// Number of lanes in the trace.
+    /// Number of lanes replayed (the request's selection; all lanes by
+    /// default).
     pub lanes: usize,
-    /// Number of distinct per-socket lane groups the lanes partition into
-    /// (informative even when the replay went serial).
+    /// Number of distinct per-socket lane groups the selected lanes
+    /// partition into (informative even when the replay went serial).
     pub groups: usize,
-    /// Worker threads actually spawned (1 for a serial replay that never
-    /// spawned any).
+    /// Worker threads the replay actually used (1 for a serial replay).
+    /// Pool threads persist across calls, so this counts the workers that
+    /// participated, not threads spawned by this call.
     pub workers: usize,
     /// Whether the lanes sharded, and if not, why.
     pub decision: ShardDecision,
@@ -399,10 +368,10 @@ pub struct LaneReplayReport {
     /// replay really did run and really was discarded — its cost is
     /// included, because it was paid.
     pub wall: Duration,
-    /// Elapsed host time of the one setup-event reconstruction (the shared
-    /// snapshot's preparation; on a serial path, the serial replay's own
-    /// prepare).  With snapshot-based sharding this is paid **once**, not
-    /// once per worker group — the groups clone the prepared system.
+    /// Elapsed host time this call spent preparing the shared snapshot —
+    /// the one setup-event reconstruction, paid **once** per trace, not
+    /// once per worker group (the groups clone the prepared system).  Zero
+    /// when the session served the replay from its snapshot cache.
     pub setup_wall: Duration,
     /// Elapsed host time from the end of setup to the last worker
     /// finishing (serial path: the measured phase alone).  `throughput()`
@@ -469,43 +438,13 @@ impl fmt::Display for LaneReplayReport {
     }
 }
 
-/// Partitions the lanes of `trace` into per-socket groups: one group per
-/// distinct socket, each holding its lanes' indices in ascending lane
-/// order, groups ordered by first appearance.  Sized by the trace's
-/// machine fingerprint (not a hard-coded cap — a lane on socket 3000 of
-/// some future rack-scale fingerprint grouping works the same as socket 0),
-/// falling back to the maximum lane socket for fingerprint-less v1 traces.
-fn lane_groups(trace: &Trace) -> Vec<Vec<usize>> {
-    let sockets = (trace.meta.machine.sockets as usize).max(
-        trace
-            .lanes
-            .iter()
-            .map(|lane| lane.socket as usize + 1)
-            .max()
-            .unwrap_or(0),
-    );
-    let mut group_of_socket: Vec<Option<usize>> = vec![None; sockets];
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    for (index, lane) in trace.lanes.iter().enumerate() {
-        let socket = lane.socket as usize;
-        match group_of_socket[socket] {
-            Some(group) => groups[group].push(index),
-            None => {
-                group_of_socket[socket] = Some(groups.len());
-                groups.push(vec![index]);
-            }
-        }
-    }
-    groups
-}
-
 /// The number of bytes from the region start that the setup events premap
 /// (populate or `MAP_POPULATE`), or `None` when the setup is too unusual to
 /// analyse (no single mmap).  Every byte below the returned length is
 /// mapped before the measured phase begins — and no mid-lane phase change
 /// unmaps (migrations and replica changes remap pages, they never leave a
 /// hole) — so accesses within it can never demand-fault.
-fn premapped_bytes(trace: &Trace) -> Option<u64> {
+pub(crate) fn premapped_bytes(trace: &Trace) -> Option<u64> {
     let mut mmaps = 0usize;
     let mut covered = 0u64;
     for event in &trace.setup_events {
@@ -528,7 +467,7 @@ fn premapped_bytes(trace: &Trace) -> Option<u64> {
 /// that the frame allocator (the one cross-group channel left after
 /// per-socket grouping) evolves identically in every group's reconstructed
 /// system.
-fn lanes_fully_premapped(trace: &Trace) -> bool {
+pub(crate) fn lanes_fully_premapped(trace: &Trace) -> bool {
     let Some(covered) = premapped_bytes(trace) else {
         return false;
     };
@@ -542,28 +481,8 @@ fn lanes_fully_premapped(trace: &Trace) -> bool {
 
 /// Replays a single trace with its lanes sharded across up to `workers`
 /// host threads as **per-socket lane groups**, merging the per-group
-/// metrics deterministically.
-///
-/// The captured system is reconstructed from the setup events **once**, on
-/// the calling thread, into a [`ReplaySnapshot`](crate::ReplaySnapshot);
-/// every worker then *clones* that snapshot per lane group instead of
-/// re-executing the setup events — grouped replay wall time no longer pays
-/// setup size × number of groups.  Each group replays whole lanes of one
-/// socket, in lane order (and re-applies the mid-lane phase-change
-/// schedule at the same boundaries), so multi-thread-per-socket captures
-/// still shard, one group per socket.  Sharding is decided *before* the
-/// snapshot is taken by a static shardability analysis (see
-/// [`ShardDecision`]): the setup events must premap every page the lanes
-/// touch, which proves the measured phase cannot demand-fault.  When the
-/// analysis declines, the driver transparently replays serially, so the
-/// merged metrics are bit-identical to [`replay_trace`] in every case.
-///
-/// Worker failures are isolated: a lane group whose worker panics or
-/// errors is retried with a short backoff and, past its retry budget,
-/// replayed serially on the driver thread from the shared snapshot — the
-/// merged metrics stay complete and bit-identical, with the failure
-/// recorded on [`LaneReplayReport::failures`] and the decision downgraded
-/// to [`ShardDecision::ShardedDegraded`].
+/// metrics deterministically; see [`ReplaySession::replay`] for the full
+/// semantics.
 ///
 /// # Errors
 ///
@@ -573,22 +492,20 @@ fn lanes_fully_premapped(trace: &Trace) -> bool {
 /// # Panics
 ///
 /// Panics if `workers` is zero.
+#[deprecated(note = "use `ReplaySession::replay` with `ReplayRequest::grouped`")]
 pub fn replay_parallel_lanes(
     trace: &Trace,
     params: &SimParams,
     workers: usize,
 ) -> Result<LaneReplayReport, ReplayError> {
-    replay_parallel_lanes_observed(trace, params, workers, &Observer::none())
+    ReplaySession::new(params)
+        .without_snapshot_cache()
+        .replay(trace, &ReplayRequest::new().grouped(workers))
 }
 
-/// [`replay_parallel_lanes`] reporting to an [`Observer`]: the driver's
-/// phases become spans — `prepare_replay` (one per replay, track 0) and,
-/// when the trace shards, a `group_replay` span per lane group on the
-/// group's own track (group index + 1), with the group's `snapshot_clone`
-/// and `replay.measured` spans (and its interval samples, when streaming is
-/// enabled) nested on the same track.  The serial paths replay through an
-/// observer-carrying [`TraceReplayer`] on track 0 instead.  Observing never
-/// changes the replayed metrics.
+/// [`replay_parallel_lanes`] reporting to an [`Observer`]; see
+/// [`ReplaySession::set_observer`].  Observing never changes the replayed
+/// metrics.
 ///
 /// # Errors
 ///
@@ -597,33 +514,23 @@ pub fn replay_parallel_lanes(
 /// # Panics
 ///
 /// Panics if `workers` is zero.
+#[deprecated(
+    note = "use `ReplaySession::set_observer` and `ReplaySession::replay` with \
+            `ReplayRequest::grouped`"
+)]
 pub fn replay_parallel_lanes_observed(
     trace: &Trace,
     params: &SimParams,
     workers: usize,
     observer: &Observer,
 ) -> Result<LaneReplayReport, ReplayError> {
-    replay_parallel_lanes_faulted(
-        trace,
-        params,
-        workers,
-        observer,
-        crate::faultinject::env_plan(),
-    )
+    let mut session = ReplaySession::new(params).without_snapshot_cache();
+    session.set_observer(observer.clone());
+    session.replay(trace, &ReplayRequest::new().grouped(workers))
 }
 
-/// [`replay_parallel_lanes_observed`] with an explicit [`FaultPlan`]: the
-/// plan's worker faults (injected panics, slow workers) are exercised at
-/// the group-replay boundary, which is how the resilience tests drive the
-/// panic-isolation and serial-degradation machinery deterministically.
-/// Production callers go through [`replay_parallel_lanes`], which reads
-/// the plan from the `MITOSIS_FAULT_*` environment (disabled by default).
-///
-/// A failing group — injected or real — is retried on its worker with a
-/// short backoff, then replayed serially on the driver thread from the
-/// shared snapshot.  Either way the merged metrics stay bit-identical to
-/// [`replay_trace`]; what happened is recorded on
-/// [`LaneReplayReport::failures`] and [`LaneReplayReport::decision`].
+/// [`replay_parallel_lanes_observed`] with an explicit [`FaultPlan`]; see
+/// [`ReplayRequest::fault_plan`].
 ///
 /// # Errors
 ///
@@ -634,6 +541,10 @@ pub fn replay_parallel_lanes_observed(
 /// # Panics
 ///
 /// Panics if `workers` is zero.
+#[deprecated(
+    note = "use `ReplaySession::replay` with `ReplayRequest::grouped` and \
+            `ReplayRequest::fault_plan`"
+)]
 pub fn replay_parallel_lanes_faulted(
     trace: &Trace,
     params: &SimParams,
@@ -641,267 +552,28 @@ pub fn replay_parallel_lanes_faulted(
     observer: &Observer,
     plan: &FaultPlan,
 ) -> Result<LaneReplayReport, ReplayError> {
-    assert!(
-        workers > 0,
-        "lane-granular replay needs at least one worker"
-    );
-    let start = Instant::now();
-    let lanes = trace.lanes.len();
-    let groups = lane_groups(trace);
-
-    let serial = |decision: ShardDecision,
-                  groups: usize,
-                  workers: usize,
-                  failures: Vec<GroupFailure>,
-                  start: Instant|
-     -> Result<LaneReplayReport, ReplayError> {
-        let mut replayer = TraceReplayer::new();
-        replayer.set_observer(observer.clone());
-        let outcome = replayer.replay(trace, params)?;
-        let setup_wall = outcome.setup_wall;
-        let measured_wall = outcome.measured_wall;
-        Ok(LaneReplayReport {
-            outcome,
-            lanes,
-            groups,
-            workers,
-            decision,
-            failures,
-            wall: start.elapsed(),
-            setup_wall,
-            measured_wall,
-        })
-    };
-
-    // Up-front shardability analysis: every reason to go serial is known
-    // before the first worker spawns, so the serial path never pays for a
-    // discarded parallel replay (nor for an unused snapshot).
-    let decision = if lanes < 2 {
-        Some(ShardDecision::SingleLane)
-    } else if workers < 2 {
-        Some(ShardDecision::SingleWorker)
-    } else if groups.len() < 2 {
-        Some(ShardDecision::SingleSocketGroup)
-    } else if !lanes_fully_premapped(trace) {
-        Some(ShardDecision::DemandFaultRisk)
-    } else {
-        None
-    };
-    if let Some(decision) = decision {
-        return serial(decision, groups.len(), 1, Vec::new(), start);
-    }
-
-    // One setup execution for the whole replay: every group clones this.
-    let snapshot = {
-        let _span = observer.span("prepare_replay", 0);
-        prepare_replay(trace, params, ReplayOptions::default())?
-    };
-    let setup_wall = snapshot.setup_wall();
-    let measured_start = Instant::now();
-
-    let spawned = workers.min(groups.len());
-    let next = AtomicUsize::new(0);
-    // Workers store successes here and failure records separately; a
-    // panicking attempt is caught before any lock is held, but the locks
-    // still recover from poisoning defensively (the data is only written
-    // between attempts, never mid-panic).
-    let results: Mutex<Vec<Option<ReplayOutcome>>> =
-        Mutex::new((0..groups.len()).map(|_| None).collect());
-    let failures: Mutex<Vec<GroupFailure>> = Mutex::new(Vec::new());
-    thread::scope(|scope| {
-        for _ in 0..spawned {
-            scope.spawn(|| {
-                let mut replayer = TraceReplayer::new();
-                replayer.set_observer(observer.clone());
-                loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= groups.len() {
-                        break;
-                    }
-                    // Track 0 belongs to the driving thread (the
-                    // prepare_replay span); lane group G reports on track
-                    // G + 1, so concurrent groups render as parallel rows
-                    // and their interval streams accumulate separately.
-                    let track = index as u64 + 1;
-                    replayer.set_observer_track(track);
-                    if let Some(delay) = plan.worker_delay(index) {
-                        observer.counter("fault.worker_slow", 1);
-                        thread::sleep(delay);
-                    }
-                    let mut last_failure: Option<GroupFailure> = None;
-                    let mut completed = None;
-                    for attempt in 0..MAX_GROUP_ATTEMPTS {
-                        if attempt > 0 {
-                            // Brief exponential backoff before a retry: a
-                            // transient host condition (the only way a
-                            // deterministic replay fails intermittently)
-                            // gets a moment to clear.
-                            thread::sleep(Duration::from_millis(1 << attempt));
-                        }
-                        // A panic anywhere in the group replay — injected
-                        // or real — is caught here, at the worker's group
-                        // boundary, instead of unwinding the scope and
-                        // aborting the sibling groups.  Retrying with the
-                        // same replayer is safe: every run starts with an
-                        // engine reset and a fresh snapshot clone, so no
-                        // state of the failed attempt survives.
-                        let result = catch_unwind(AssertUnwindSafe(|| {
-                            if plan.worker_panics(index, attempt) {
-                                observer.counter("fault.worker_panic", 1);
-                                panic!("injected worker panic (group {index}, attempt {attempt})");
-                            }
-                            let _span = observer.span("group_replay", track);
-                            replayer.replay_snapshot_lanes(&snapshot, trace, &groups[index])
-                        }));
-                        match result {
-                            Ok(Ok(outcome)) => {
-                                completed = Some(outcome);
-                                break;
-                            }
-                            Ok(Err(error)) => {
-                                observer.counter("replay.group_attempt_failed", 1);
-                                last_failure = Some(GroupFailure {
-                                    group: index,
-                                    kind: GroupFailureKind::Errored,
-                                    error: error.to_string(),
-                                    attempts: attempt + 1,
-                                    recovered: false,
-                                });
-                            }
-                            Err(payload) => {
-                                observer.counter("replay.group_attempt_failed", 1);
-                                last_failure = Some(GroupFailure {
-                                    group: index,
-                                    kind: GroupFailureKind::Panicked,
-                                    error: panic_message(payload.as_ref()),
-                                    attempts: attempt + 1,
-                                    recovered: false,
-                                });
-                            }
-                        }
-                    }
-                    match completed {
-                        Some(outcome) => {
-                            results
-                                .lock()
-                                .unwrap_or_else(|poisoned| poisoned.into_inner())[index] =
-                                Some(outcome);
-                        }
-                        None => {
-                            if let Some(failure) = last_failure {
-                                failures
-                                    .lock()
-                                    .unwrap_or_else(|poisoned| poisoned.into_inner())
-                                    .push(failure);
-                            }
-                        }
-                    }
-                }
-            });
-        }
-    });
-
-    let results = results
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    let mut failures = failures
-        .into_inner()
-        .unwrap_or_else(|poisoned| poisoned.into_inner());
-    failures.sort_by_key(|failure| failure.group);
-    if !failures.is_empty() {
-        observer.counter("replay.group_failures", failures.len() as u64);
-    }
-
-    // Graceful degradation: every group whose worker gave up is replayed
-    // serially on the driver thread, from the same shared snapshot the
-    // workers cloned — so the merged metrics are still complete and
-    // bit-identical to a whole-trace replay.
-    let mut slots = results;
-    for failure in &mut failures {
-        let _span = observer.span("serial_degradation", 0);
-        let mut replayer = TraceReplayer::new();
-        replayer.set_observer(observer.clone());
-        let outcome = replayer.replay_snapshot_lanes(&snapshot, trace, &groups[failure.group])?;
-        slots[failure.group] = Some(outcome);
-        failure.recovered = true;
-        observer.counter("replay.serial_degradations", 1);
-    }
-
-    let mut outcomes = Vec::with_capacity(groups.len());
-    for (index, slot) in slots.into_iter().enumerate() {
-        outcomes.push(slot.ok_or_else(|| {
-            ReplayError::Mismatch(format!("lane group {index} was never replayed"))
-        })?);
-    }
-    if outcomes
-        .iter()
-        .any(|outcome| outcome.metrics.demand_faults > 0)
-    {
-        // The analysis proved this impossible; if it ever fires anyway,
-        // favour correctness and eat the extra serial replay.  The report
-        // stays honest: the spawned workers, the discarded parallel
-        // attempt's cost, and any worker failures are all included.
-        return serial(
-            ShardDecision::DemandFaultsObserved,
-            groups.len(),
-            spawned,
-            failures,
-            start,
-        );
-    }
-    let mut merged = RunMetrics::default();
-    let mut clone_wall = Duration::ZERO;
-    let mut group_measured_wall = Duration::ZERO;
-    for outcome in &outcomes {
-        merged.merge(&outcome.metrics);
-        // Per-group snapshot clone + measured-phase costs are aggregate
-        // worker time; the report's elapsed phases come from the driver's
-        // own clock below.
-        clone_wall += outcome.setup_wall;
-        group_measured_wall += outcome.measured_wall;
-    }
-    let Some(first) = outcomes.into_iter().next() else {
-        return Err(ReplayError::Mismatch(
-            "sharded replay produced no group outcomes".into(),
-        ));
-    };
-    let decision = if failures.is_empty() {
-        ShardDecision::Sharded
-    } else {
-        ShardDecision::ShardedDegraded
-    };
-    Ok(LaneReplayReport {
-        outcome: ReplayOutcome {
-            metrics: merged,
-            spec: first.spec,
-            // Lane-granular replay is always strict (no ReplayOptions
-            // plumbing): a fingerprint mismatch errors out before any
-            // outcome exists, so there is never a downgrade to record.
-            machine_mismatch: None,
-            // The merged outcome's own accounting stays aggregate: total
-            // clone cost paid across groups vs. total measured-phase
-            // worker time.
-            setup_wall: setup_wall + clone_wall,
-            measured_wall: group_measured_wall,
-            completeness: ReplayCompleteness::Complete,
-        },
-        lanes,
-        groups: groups.len(),
-        workers: spawned,
-        decision,
-        failures,
-        wall: start.elapsed(),
-        setup_wall,
-        measured_wall: measured_start.elapsed(),
-    })
+    let mut session = ReplaySession::new(params).without_snapshot_cache();
+    session.set_observer(observer.clone());
+    session.replay(
+        trace,
+        &ReplayRequest::new().grouped(workers).fault_plan(*plan),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::capture::capture_engine_run;
+    use crate::session::socket_groups;
     use mitosis_numa::SocketId;
     use mitosis_workloads::suite;
+
+    /// All-lane per-socket grouping, as the old standalone `lane_groups`
+    /// helper computed it (now a selection-aware session internal).
+    fn lane_groups(trace: &Trace) -> Vec<Vec<usize>> {
+        let all: Vec<usize> = (0..trace.lanes.len()).collect();
+        socket_groups(trace, &all)
+    }
 
     fn small_traces(n: usize) -> (Vec<Trace>, SimParams) {
         let params = SimParams::quick_test().with_accesses(300);
@@ -923,8 +595,13 @@ mod tests {
     #[test]
     fn parallel_matches_sequential_per_trace() {
         let (traces, params) = small_traces(5);
-        let sequential = replay_sequential(&traces, &params).unwrap();
-        let parallel = replay_parallel(&traces, &params, 4).unwrap();
+        let mut session = ReplaySession::new(&params);
+        let sequential = session
+            .replay_batch(&traces, &ReplayRequest::new())
+            .unwrap();
+        let parallel = session
+            .replay_batch(&traces, &ReplayRequest::new().grouped(4))
+            .unwrap();
         assert_eq!(sequential.outcomes.len(), 5);
         for (s, p) in sequential.outcomes.iter().zip(&parallel.outcomes) {
             assert_eq!(s.metrics, p.metrics);
@@ -937,7 +614,9 @@ mod tests {
     #[test]
     fn worker_count_is_clamped_to_the_batch() {
         let (traces, params) = small_traces(2);
-        let report = replay_parallel(&traces, &params, 64).unwrap();
+        let report = ReplaySession::new(&params)
+            .replay_batch(&traces, &ReplayRequest::new().grouped(64))
+            .unwrap();
         assert_eq!(report.aggregate.traces, 2);
         assert!(report.accesses_per_second() > 0.0);
     }

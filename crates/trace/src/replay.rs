@@ -27,9 +27,11 @@
 //! to prepare once and fan copies out to its workers.
 
 use crate::format::{MachineFingerprint, Trace, TraceError, TraceEvent, TraceLane};
+use crate::session::{ReplayRequest, ReplaySession};
 use mitosis::{Mitosis, MitosisError};
 use mitosis_mem::{FragmentationModel, PlacementPolicy};
 use mitosis_numa::{Interference, NodeMask, SocketId};
+use mitosis_pt::VirtAddr;
 use mitosis_sim::{
     EngineCheckpoint, ExecutionEngine, Observer, PhaseChange, PhaseEvent, PhaseSchedule,
     PreparedSystem, RunMetrics, SimParams, SpanOutcome, ThreadPlacement,
@@ -395,6 +397,58 @@ impl ReplaySnapshot {
         &self.prepared
     }
 
+    /// Whether this snapshot is eligible for [`ReplaySnapshot::clone_scoped`]:
+    /// it must stand at the post-setup boundary (`at_access == 0`, no engine
+    /// checkpoint) with an *empty* phase schedule — a mid-lane migration or
+    /// replication allocates frames the scoped clone would not carry, so any
+    /// scheduled phase change disqualifies the snapshot.
+    ///
+    /// This is a necessary condition only; the caller must additionally
+    /// prove the lanes it will run cannot demand-fault (every accessed page
+    /// premapped by setup).  Scoped clones are an optimisation, never a
+    /// correctness commitment: when in doubt, clone the whole snapshot.
+    pub fn supports_scoped_clone(&self) -> bool {
+        self.at_access == 0 && self.engine.is_none() && self.schedule.events().is_empty()
+    }
+
+    /// Clones only the slice of the prepared system that a run confined to
+    /// `sockets` and `va_ranges` can touch — per-socket frame-table ranges,
+    /// the covering VMA subtrees, and the page-table subtrees resolving the
+    /// ranges — instead of deep-copying the whole footprint (see
+    /// [`PreparedSystem::clone_scoped`]).  Running lanes inside the scope
+    /// from the partial clone is bit-identical to running them from a full
+    /// clone; the partial clone merely costs proportionally to the scope.
+    ///
+    /// The returned snapshot's `setup_wall` records the clone cost alone,
+    /// like any snapshot-clone run path.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scope is invalid for the prepared system (unknown
+    /// socket, range outside any VMA).  Only call on snapshots where
+    /// [`ReplaySnapshot::supports_scoped_clone`] holds.
+    pub fn clone_scoped(
+        &self,
+        sockets: &[SocketId],
+        va_ranges: &[(VirtAddr, VirtAddr)],
+    ) -> Result<ReplaySnapshot, ReplayError> {
+        let clone_start = Instant::now();
+        let prepared = self.prepared.clone_scoped(sockets, va_ranges)?;
+        Ok(ReplaySnapshot {
+            prepared,
+            spec: self.spec.clone(),
+            lanes: self.lanes,
+            accesses_per_thread: self.accesses_per_thread,
+            schedule: self.schedule.clone(),
+            machine: self.machine,
+            machine_mismatch: self.machine_mismatch,
+            setup_wall: clone_start.elapsed(),
+            at_access: 0,
+            engine: None,
+            selection: None,
+        })
+    }
+
     /// Cheap consistency check that `trace` is plausibly the trace this
     /// snapshot was prepared from: the lane count and *every* lane's
     /// access count must match the prepared shape.  (A shape-identical
@@ -431,8 +485,12 @@ impl ReplaySnapshot {
 /// Fails if the machine fingerprint does not match, the trace references an
 /// unknown workload, its events cannot be applied (e.g. an access lane
 /// precedes process creation), or a VM / Mitosis operation fails.
+#[deprecated(note = "use `ReplaySession::replay` with the default `ReplayRequest`")]
 pub fn replay_trace(trace: &Trace, params: &SimParams) -> Result<ReplayOutcome, ReplayError> {
-    replay_trace_with(trace, params, ReplayOptions::default())
+    Ok(ReplaySession::new(params)
+        .without_snapshot_cache()
+        .replay(trace, &ReplayRequest::new())?
+        .outcome)
 }
 
 /// [`replay_trace`] with explicit [`ReplayOptions`].
@@ -441,12 +499,26 @@ pub fn replay_trace(trace: &Trace, params: &SimParams) -> Result<ReplayOutcome, 
 ///
 /// Same conditions as [`replay_trace`]; the machine-fingerprint check is
 /// downgraded to a stderr warning when `options.force_machine` is set.
+#[deprecated(note = "use `ReplaySession::replay` with `ReplayRequest::force_machine` as needed")]
 pub fn replay_trace_with(
     trace: &Trace,
     params: &SimParams,
     options: ReplayOptions,
 ) -> Result<ReplayOutcome, ReplayError> {
-    TraceReplayer::new().replay_with(trace, params, options)
+    Ok(ReplaySession::new(params)
+        .without_snapshot_cache()
+        .replay(trace, &request_of_options(options))?
+        .outcome)
+}
+
+/// The [`ReplayRequest`] equivalent of legacy [`ReplayOptions`] — shared by
+/// the deprecated wrappers.
+fn request_of_options(options: ReplayOptions) -> ReplayRequest {
+    if options.force_machine {
+        ReplayRequest::new().force_machine()
+    } else {
+        ReplayRequest::new()
+    }
 }
 
 /// Replays trace `bytes`, salvaging a damaged stream to its longest
@@ -456,12 +528,16 @@ pub fn replay_trace_with(
 /// # Errors
 ///
 /// Same conditions as [`TraceReplayer::replay_salvaged`].
+#[deprecated(note = "use `ReplaySession::replay_bytes` with `ReplayRequest::salvage`")]
 pub fn replay_trace_salvaged(
     bytes: &[u8],
     params: &SimParams,
     options: ReplayOptions,
 ) -> Result<ReplayOutcome, ReplayError> {
-    TraceReplayer::new().replay_salvaged(bytes, params, options)
+    Ok(ReplaySession::new(params)
+        .without_snapshot_cache()
+        .replay_bytes(bytes, &request_of_options(options).salvage())?
+        .outcome)
 }
 
 /// Replays a single lane of `trace` on its own freshly reconstructed
@@ -478,13 +554,17 @@ pub fn replay_trace_salvaged(
 ///
 /// Same conditions as [`replay_trace`], plus a mismatch for an
 /// out-of-range lane index.
+#[deprecated(note = "use `ReplaySession::replay` with `ReplayRequest::lane`")]
 pub fn replay_trace_lane(
     trace: &Trace,
     params: &SimParams,
     options: ReplayOptions,
     lane: usize,
 ) -> Result<ReplayOutcome, ReplayError> {
-    TraceReplayer::new().replay_lane(trace, params, options, lane)
+    Ok(ReplaySession::new(params)
+        .without_snapshot_cache()
+        .replay(trace, &request_of_options(options).lane(lane))?
+        .outcome)
 }
 
 /// Replays a subset of `trace`'s lanes — in lane order, against one
@@ -506,13 +586,17 @@ pub fn replay_trace_lane(
 /// selection, an out-of-range lane index, or a selection that is not
 /// strictly increasing (group replay is order-sensitive, so a shuffled
 /// selection would silently diverge).
+#[deprecated(note = "use `ReplaySession::replay` with `ReplayRequest::lanes`")]
 pub fn replay_trace_lanes(
     trace: &Trace,
     params: &SimParams,
     options: ReplayOptions,
     lanes: &[usize],
 ) -> Result<ReplayOutcome, ReplayError> {
-    TraceReplayer::new().replay_lanes(trace, params, options, lanes)
+    Ok(ReplaySession::new(params)
+        .without_snapshot_cache()
+        .replay(trace, &request_of_options(options).lanes(lanes.to_vec()))?
+        .outcome)
 }
 
 /// A reusable replay driver: keeps one [`ExecutionEngine`] (pooled MMUs,
@@ -565,12 +649,13 @@ impl TraceReplayer {
     /// # Errors
     ///
     /// Same conditions as [`replay_trace`].
+    #[deprecated(note = "use `ReplaySession::replay` with the default `ReplayRequest`")]
     pub fn replay(
         &mut self,
         trace: &Trace,
         params: &SimParams,
     ) -> Result<ReplayOutcome, ReplayError> {
-        self.replay_with(trace, params, ReplayOptions::default())
+        self.replay_full(trace, params, ReplayOptions::default())
     }
 
     /// Replays `trace` with explicit options; see [`replay_trace_with`].
@@ -578,7 +663,22 @@ impl TraceReplayer {
     /// # Errors
     ///
     /// Same conditions as [`replay_trace_with`].
+    #[deprecated(
+        note = "use `ReplaySession::replay` with `ReplayRequest::force_machine` as needed"
+    )]
     pub fn replay_with(
+        &mut self,
+        trace: &Trace,
+        params: &SimParams,
+        options: ReplayOptions,
+    ) -> Result<ReplayOutcome, ReplayError> {
+        self.replay_full(trace, params, options)
+    }
+
+    /// Prepare + run in one call — the non-deprecated body behind the
+    /// deprecated whole-trace entry points, and the per-trace unit of
+    /// [`ReplaySession::replay_batch`](crate::ReplaySession::replay_batch).
+    pub(crate) fn replay_full(
         &mut self,
         trace: &Trace,
         params: &SimParams,
@@ -596,6 +696,7 @@ impl TraceReplayer {
     /// # Errors
     ///
     /// Same conditions as [`replay_trace_lane`].
+    #[deprecated(note = "use `ReplaySession::replay` with `ReplayRequest::lane`")]
     pub fn replay_lane(
         &mut self,
         trace: &Trace,
@@ -603,7 +704,7 @@ impl TraceReplayer {
         options: ReplayOptions,
         lane: usize,
     ) -> Result<ReplayOutcome, ReplayError> {
-        self.replay_lanes(trace, params, options, &[lane])
+        self.replay_lanes_full(trace, params, options, &[lane])
     }
 
     /// Replays a subset of lanes in lane order against one reconstructed
@@ -612,7 +713,20 @@ impl TraceReplayer {
     /// # Errors
     ///
     /// Same conditions as [`replay_trace_lanes`].
+    #[deprecated(note = "use `ReplaySession::replay` with `ReplayRequest::lanes`")]
     pub fn replay_lanes(
+        &mut self,
+        trace: &Trace,
+        params: &SimParams,
+        options: ReplayOptions,
+        lanes: &[usize],
+    ) -> Result<ReplayOutcome, ReplayError> {
+        self.replay_lanes_full(trace, params, options, lanes)
+    }
+
+    /// Prepare + run an explicit lane selection — the non-deprecated body
+    /// behind the deprecated lane entry points.
+    pub(crate) fn replay_lanes_full(
         &mut self,
         trace: &Trace,
         params: &SimParams,
@@ -758,6 +872,7 @@ impl TraceReplayer {
     /// Same conditions as [`replay_trace_with`]; additionally the decode
     /// error of `bytes` when no checkpoint-attested prefix exists to
     /// salvage.
+    #[deprecated(note = "use `ReplaySession::replay_bytes` with `ReplayRequest::salvage`")]
     pub fn replay_salvaged(
         &mut self,
         bytes: &[u8],
@@ -765,10 +880,10 @@ impl TraceReplayer {
         options: ReplayOptions,
     ) -> Result<ReplayOutcome, ReplayError> {
         match Trace::from_bytes(bytes) {
-            Ok(trace) => self.replay_with(&trace, params, options),
+            Ok(trace) => self.replay_full(&trace, params, options),
             Err(_) => {
                 let salvaged = Trace::recover(bytes)?;
-                let mut outcome = self.replay_with(&salvaged.trace, params, options)?;
+                let mut outcome = self.replay_full(&salvaged.trace, params, options)?;
                 outcome.completeness = ReplayCompleteness::Salvaged {
                     valid_accesses: salvaged.valid_accesses,
                     lost_accesses: salvaged.lost_accesses,
@@ -784,7 +899,7 @@ impl TraceReplayer {
     /// Runs the measured phase of a prepared replay over all lanes
     /// (`selection == None`) or an ordered subset, consuming the snapshot
     /// (the one-shot path: no clone is paid).
-    fn run_lanes(
+    pub(crate) fn run_lanes(
         &mut self,
         snapshot: ReplaySnapshot,
         trace: &Trace,
@@ -949,7 +1064,7 @@ enum LaneRun {
 /// Validates an explicit lane selection against `trace`: non-empty, in
 /// range, strictly increasing (group replay is order-sensitive, so a
 /// shuffled selection would silently diverge).
-fn validate_lane_selection(trace: &Trace, lanes: &[usize]) -> Result<(), ReplayError> {
+pub(crate) fn validate_lane_selection(trace: &Trace, lanes: &[usize]) -> Result<(), ReplayError> {
     if lanes.is_empty() {
         return Err(ReplayError::Mismatch("empty lane selection".into()));
     }
@@ -1243,6 +1358,12 @@ mod tests {
     use crate::format::{TraceLane, TraceMeta};
     use mitosis_workloads::suite;
 
+    fn replay_via_session(trace: &Trace, params: &SimParams) -> Result<ReplayOutcome, ReplayError> {
+        Ok(ReplaySession::new(params)
+            .replay(trace, &ReplayRequest::new())?
+            .outcome)
+    }
+
     #[test]
     fn lane_cursor_yields_in_order() {
         let accesses = [
@@ -1271,7 +1392,7 @@ mod tests {
             setup_events: vec![],
             lanes: vec![TraceLane::new(0)],
         };
-        let err = replay_trace(&trace, &params).unwrap_err();
+        let err = replay_via_session(&trace, &params).unwrap_err();
         assert!(matches!(err, ReplayError::Mismatch(_)), "{err}");
     }
 
@@ -1302,7 +1423,7 @@ mod tests {
             ],
             lanes: vec![crate::capture::capture_stream(&spec, params.seed, 0, 50)],
         };
-        replay_trace(&trace, &params).expect("non-first InstallMitosis must be honored");
+        replay_via_session(&trace, &params).expect("non-first InstallMitosis must be honored");
 
         // But after process creation it is an error, not a silent no-op.
         trace.setup_events = vec![
@@ -1314,7 +1435,7 @@ mod tests {
                 thp: true,
             },
         ];
-        let err = replay_trace(&trace, &params).unwrap_err();
+        let err = replay_via_session(&trace, &params).unwrap_err();
         assert!(matches!(err, ReplayError::Mismatch(_)), "{err}");
     }
 
@@ -1335,7 +1456,7 @@ mod tests {
             setup_events: vec![TraceEvent::CreateProcess { socket: 0 }],
             lanes: vec![],
         };
-        let err = replay_trace(&trace, &params).unwrap_err();
+        let err = replay_via_session(&trace, &params).unwrap_err();
         assert!(matches!(err, ReplayError::Mismatch(_)), "{err}");
     }
 }

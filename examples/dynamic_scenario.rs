@@ -10,7 +10,7 @@
 
 use mitosis_numa::{NodeMask, SocketId};
 use mitosis_sim::{PhaseChange, PhaseSchedule, SimParams};
-use mitosis_trace::{capture_engine_run_dynamic, replay_parallel_lanes, replay_trace};
+use mitosis_trace::{capture_engine_run_dynamic, ReplayRequest, ReplaySession};
 use mitosis_workloads::suite;
 
 fn main() {
@@ -63,19 +63,25 @@ fn main() {
         bytes.len() as f64 / captured.trace.accesses() as f64,
     );
 
-    let replayed = replay_trace(&captured.trace, &params).expect("replay");
-    assert_eq!(replayed.metrics, captured.live_metrics);
+    let mut session = ReplaySession::new(&params);
+    let replayed = session
+        .replay(&captured.trace, &ReplayRequest::new())
+        .expect("replay");
+    assert_eq!(replayed.outcome.metrics, captured.live_metrics);
     println!(
         "  serial replay reproduces the live run bit-for-bit: {} total cycles",
-        replayed.metrics.total_cycles
+        replayed.outcome.metrics.total_cycles
     );
 
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(4);
-    let report =
-        replay_parallel_lanes(&captured.trace, &params, workers).expect("lane-parallel replay");
+    // The grouped replay rides the session's cached snapshot: no second
+    // setup-event reconstruction.
+    let report = session
+        .replay(&captured.trace, &ReplayRequest::new().grouped(workers))
+        .expect("lane-parallel replay");
     assert_eq!(report.outcome.metrics, captured.live_metrics);
     println!("  lane-granular replay (identical metrics): {report}");
 
@@ -98,9 +104,12 @@ fn main() {
         );
     let staggered_run = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &staggered)
         .expect("staggered capture");
-    let replayed = replay_trace(&staggered_run.trace, &params).expect("staggered replay");
-    assert_eq!(replayed.metrics, staggered_run.live_metrics);
-    let report = replay_parallel_lanes(&staggered_run.trace, &params, workers)
+    let replayed = session
+        .replay(&staggered_run.trace, &ReplayRequest::new())
+        .expect("staggered replay");
+    assert_eq!(replayed.outcome.metrics, staggered_run.live_metrics);
+    let report = session
+        .replay(&staggered_run.trace, &ReplayRequest::new().grouped(workers))
         .expect("staggered lane-parallel replay");
     assert_eq!(report.outcome.metrics, staggered_run.live_metrics);
     println!(

@@ -23,7 +23,7 @@
 use mitosis_numa::SocketId;
 use mitosis_obs::{IntervalAccumulator, MemoryRecorder, Observer, FEATURE_NAMES};
 use mitosis_sim::{RunMetrics, SimParams};
-use mitosis_trace::{capture_engine_run, replay_parallel_lanes_observed};
+use mitosis_trace::{capture_engine_run, ReplayRequest, ReplaySession};
 use mitosis_workloads::suite;
 use std::sync::Arc;
 
@@ -50,7 +50,10 @@ fn main() {
     // snapshot path (per-group clone + measured spans) even on small hosts;
     // the simulation is deterministic either way.
     let workers = sockets.len();
-    let report = replay_parallel_lanes_observed(&captured.trace, &params, workers, &observer)
+    let mut session = ReplaySession::new(&params);
+    session.set_observer(observer.clone());
+    let report = session
+        .replay(&captured.trace, &ReplayRequest::new().grouped(workers))
         .expect("lane-parallel replay");
     assert_eq!(
         report.outcome.metrics, captured.live_metrics,

@@ -22,8 +22,8 @@ use mitosis_numa::SocketId;
 use mitosis_obs::{MemoryRecorder, Observer};
 use mitosis_sim::SimParams;
 use mitosis_trace::{
-    capture_engine_run, replay_parallel_lanes_faulted, replay_trace, replay_trace_salvaged,
-    FaultPlan, ReplayCompleteness, ReplayOptions, Trace, TraceReplayer, TraceWriter,
+    capture_engine_run, FaultPlan, ReplayCompleteness, ReplayOptions, ReplayRequest, ReplaySession,
+    Trace, TraceReplayer, TraceWriter,
 };
 use mitosis_workloads::suite;
 
@@ -31,7 +31,13 @@ fn main() {
     let params = SimParams::quick_test().with_accesses(20_000);
     let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
     let captured = capture_engine_run(&suite::memcached(), &params, &sockets).expect("capture run");
-    let serial = replay_trace(&captured.trace, &params).expect("serial replay");
+    // One session drives every replay below; after the first call it serves
+    // the cached snapshot and its persistent worker pool.
+    let mut session = ReplaySession::new(&params);
+    let serial = session
+        .replay(&captured.trace, &ReplayRequest::new())
+        .expect("serial replay")
+        .outcome;
     println!(
         "captured {} lanes, {} accesses; serial replay {} cycles",
         captured.trace.lanes.len(),
@@ -54,8 +60,10 @@ fn main() {
     let bytes = writer.finish().expect("finish");
     let damaged = &bytes[..bytes.len() - 64];
     assert!(Trace::from_bytes(damaged).is_err(), "strict decode rejects");
-    let outcome =
-        replay_trace_salvaged(damaged, &params, ReplayOptions::default()).expect("salvaged replay");
+    let outcome = session
+        .replay_bytes(damaged, &ReplayRequest::new().salvage())
+        .expect("salvaged replay")
+        .outcome;
     match outcome.completeness {
         ReplayCompleteness::Salvaged {
             valid_accesses,
@@ -86,7 +94,12 @@ fn main() {
     //    driver retries, degrades each group to serial replay, and the
     //    merged metrics still equal the serial replay bit-for-bit.
     let chaos = FaultPlan::seeded(11).with_worker_panic(1.0);
-    let report = replay_parallel_lanes_faulted(&captured.trace, &params, 4, &observer, &chaos)
+    session.set_observer(observer.clone());
+    let report = session
+        .replay(
+            &captured.trace,
+            &ReplayRequest::new().grouped(4).fault_plan(chaos),
+        )
         .expect("degraded replay");
     assert_eq!(report.outcome.metrics, serial.metrics);
     println!("under injected worker panics: {report}");

@@ -10,7 +10,7 @@
 
 use mitosis_numa::SocketId;
 use mitosis_sim::SimParams;
-use mitosis_trace::{capture_engine_run, replay_parallel, replay_sequential, replay_trace, Trace};
+use mitosis_trace::{capture_engine_run, ReplayRequest, ReplaySession, Trace};
 use mitosis_workloads::suite;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -46,18 +46,23 @@ fn main() {
         traces.push((path, captured.live_metrics));
     }
 
-    // 2. Replay one trace from disk and verify determinism.
+    // 2. Replay one trace from disk and verify determinism.  One session
+    //    serves every replay below: it owns the worker pool and caches the
+    //    prepared snapshot of the last trace it saw.
+    let mut session = ReplaySession::new(&params);
     let (path, live) = &traces[0];
     let file = BufReader::new(File::open(path).expect("open trace file"));
     let trace = Trace::read_from(file).expect("read trace");
-    let replayed = replay_trace(&trace, &params).expect("replay trace");
+    let replayed = session
+        .replay(&trace, &ReplayRequest::new())
+        .expect("replay trace");
     assert_eq!(
-        replayed.metrics, *live,
+        replayed.outcome.metrics, *live,
         "replay must reproduce the live run bit-for-bit"
     );
     println!(
         "\nreplayed {} from disk (identical to live run): {}",
-        trace.meta.workload, replayed.metrics
+        trace.meta.workload, replayed.outcome.metrics
     );
 
     // 3. Parallel replay of the whole batch.
@@ -68,11 +73,15 @@ fn main() {
                 .expect("read trace")
         })
         .collect();
-    let sequential = replay_sequential(&batch, &params).expect("sequential replay");
+    let sequential = session
+        .replay_batch(&batch, &ReplayRequest::new())
+        .expect("sequential replay");
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let parallel = replay_parallel(&batch, &params, workers).expect("parallel replay");
+    let parallel = session
+        .replay_batch(&batch, &ReplayRequest::new().grouped(workers))
+        .expect("parallel replay");
     for (s, p) in sequential.outcomes.iter().zip(&parallel.outcomes) {
         assert_eq!(
             s.metrics, p.metrics,

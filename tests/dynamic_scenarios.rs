@@ -5,18 +5,41 @@
 //! The headline guarantee under test: a fixed-seed run with mid-run
 //! migration and replica add/drop events captures to a trace, the trace
 //! round-trips through the binary format, replays bit-identically
-//! (`RunMetrics` equal), and lane-granular `replay_parallel_lanes` on that
+//! (`RunMetrics` equal), and a grouped `ReplaySession` request on that
 //! single trace produces identical merged metrics while sharding across
 //! host threads.
 
 use mitosis_numa::{NodeMask, SocketId};
 use mitosis_sim::{MultiSocketConfig, PhaseChange, PhaseSchedule, SimParams};
 use mitosis_trace::{
-    capture_engine_run, capture_engine_run_dynamic, capture_multisocket_scenario,
-    replay_parallel_lanes, replay_trace, replay_trace_lane, ReplayError, ReplayOptions, Trace,
-    TraceEvent, TraceLane, TraceMeta, TraceReplayer, TRACE_MAGIC,
+    capture_engine_run, capture_engine_run_dynamic, capture_multisocket_scenario, LaneReplayReport,
+    ReplayError, ReplayOutcome, ReplayRequest, ReplaySession, Trace, TraceEvent, TraceLane,
+    TraceMeta, TRACE_MAGIC,
 };
 use mitosis_workloads::{suite, Access};
+
+fn try_serial(trace: &Trace, params: &SimParams) -> Result<ReplayOutcome, ReplayError> {
+    ReplaySession::new(params)
+        .replay(trace, &ReplayRequest::new())
+        .map(|report| report.outcome)
+}
+
+fn serial_replay(trace: &Trace, params: &SimParams) -> ReplayOutcome {
+    try_serial(trace, params).expect("serial replay")
+}
+
+fn grouped_replay(trace: &Trace, params: &SimParams, workers: usize) -> LaneReplayReport {
+    ReplaySession::new(params)
+        .replay(trace, &ReplayRequest::new().grouped(workers))
+        .expect("grouped replay")
+}
+
+fn lane_replay(trace: &Trace, params: &SimParams, lane: usize) -> ReplayOutcome {
+    ReplaySession::new(params)
+        .replay(trace, &ReplayRequest::new().lane(lane))
+        .expect("lane replay")
+        .outcome
+}
 
 /// Parameters for the determinism tests: the access count follows
 /// `MITOSIS_SIM_ACCESSES` (the CI determinism job runs this file at two
@@ -99,7 +122,7 @@ fn dynamic_run_with_migration_and_replica_events_replays_bit_identically() {
     let bytes = captured.trace.to_bytes().unwrap();
     let trace = Trace::from_bytes(&bytes).unwrap();
     assert_eq!(trace, captured.trace);
-    let replayed = replay_trace(&trace, &params).unwrap();
+    let replayed = serial_replay(&trace, &params);
     assert_eq!(
         replayed.metrics, captured.live_metrics,
         "dynamic replay diverged from the live run"
@@ -124,7 +147,7 @@ fn dynamic_events_actually_change_the_run() {
         "migrating the data away mid-run must slow the workload down"
     );
     // And the slower run still replays exactly.
-    let replayed = replay_trace(&dynamic_run.trace, &params).unwrap();
+    let replayed = serial_replay(&dynamic_run.trace, &params);
     assert_eq!(replayed.metrics, dynamic_run.live_metrics);
 }
 
@@ -145,7 +168,7 @@ fn multisocket_scenario_captures_replay_identically() {
         assert_eq!(captured.trace.lanes.len(), 4, "{config}");
         let bytes = captured.trace.to_bytes().unwrap();
         let trace = Trace::from_bytes(&bytes).unwrap();
-        let replayed = replay_trace(&trace, &params).unwrap();
+        let replayed = serial_replay(&trace, &params);
         assert_eq!(
             replayed.metrics, captured.live_metrics,
             "multi-socket scenario {config} diverged under replay"
@@ -163,10 +186,10 @@ fn lane_replay_composes_to_the_full_replay() {
     let trace = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule)
         .unwrap()
         .trace;
-    let full = replay_trace(&trace, &params).unwrap();
+    let full = serial_replay(&trace, &params);
     let mut merged = mitosis_sim::RunMetrics::default();
     for lane in 0..trace.lanes.len() {
-        let outcome = replay_trace_lane(&trace, &params, ReplayOptions::default(), lane).unwrap();
+        let outcome = lane_replay(&trace, &params, lane);
         assert_eq!(outcome.metrics.threads, 1);
         merged.merge(&outcome.metrics);
     }
@@ -185,8 +208,8 @@ fn lane_parallel_replay_matches_serial_and_shards() {
         .unwrap()
         .trace;
 
-    let serial = replay_trace(&trace, &params).unwrap();
-    let report = replay_parallel_lanes(&trace, &params, 4).unwrap();
+    let serial = serial_replay(&trace, &params);
+    let report = grouped_replay(&trace, &params, 4);
     assert_eq!(
         report.outcome.metrics, serial.metrics,
         "lane-granular parallel replay diverged from serial replay"
@@ -213,13 +236,13 @@ fn lane_parallel_replay_matches_serial_and_shards() {
     let serial_wall = (0..2)
         .map(|_| {
             let start = std::time::Instant::now();
-            let _ = replay_trace(&trace, &params).unwrap();
+            let _ = serial_replay(&trace, &params);
             start.elapsed()
         })
         .min()
         .unwrap();
     let parallel_wall = (0..2)
-        .map(|_| replay_parallel_lanes(&trace, &params, 4).unwrap().wall)
+        .map(|_| grouped_replay(&trace, &params, 4).wall)
         .min()
         .unwrap();
     assert!(
@@ -234,17 +257,17 @@ fn single_lane_traces_fall_back_to_serial_replay() {
     let trace = capture_engine_run(&suite::gups(), &params, &[SocketId::new(0)])
         .unwrap()
         .trace;
-    let report = replay_parallel_lanes(&trace, &params, 8).unwrap();
+    let report = grouped_replay(&trace, &params, 8);
     assert!(!report.sharded());
     assert_eq!(report.decision, mitosis_trace::ShardDecision::SingleLane);
     assert_eq!(
         report.outcome.metrics,
-        replay_trace(&trace, &params).unwrap().metrics
+        serial_replay(&trace, &params).metrics
     );
 }
 
 #[test]
-fn trace_replayer_reuse_is_bit_identical_to_one_shot_replay() {
+fn session_reuse_is_bit_identical_to_one_shot_replay() {
     let params = SimParams::quick_test().with_accesses(250);
     let traces: Vec<Trace> = [suite::gups(), suite::btree(), suite::memcached()]
         .iter()
@@ -254,13 +277,19 @@ fn trace_replayer_reuse_is_bit_identical_to_one_shot_replay() {
                 .trace
         })
         .collect();
-    let mut replayer = TraceReplayer::new();
+    // One long-lived session replaying different traces back to back —
+    // each switch invalidates the snapshot cache — must match a fresh
+    // session per trace.
+    let mut session = ReplaySession::new(&params);
     for trace in &traces {
-        let pooled = replayer.replay(trace, &params).unwrap();
-        let fresh = replay_trace(trace, &params).unwrap();
+        let pooled = session
+            .replay(trace, &ReplayRequest::new())
+            .unwrap()
+            .outcome;
+        let fresh = serial_replay(trace, &params);
         assert_eq!(
             pooled.metrics, fresh.metrics,
-            "pooled engine replay diverged for {}",
+            "session-reuse replay diverged for {}",
             trace.meta.workload
         );
     }
@@ -282,7 +311,7 @@ fn mismatched_lane_markers_are_rejected() {
     // Tamper with one lane's marker position: the phase change no longer
     // fires at one boundary across all threads, which is unreplayable.
     trace.lanes[1].events[0].0 = 60;
-    let err = replay_trace(&trace, &params).unwrap_err();
+    let err = try_serial(&trace, &params).unwrap_err();
     assert!(
         matches!(&err, ReplayError::Mismatch(message) if message.contains("mid-lane")),
         "unexpected error: {err}"
@@ -307,7 +336,7 @@ fn replica_events_without_install_mitosis_are_rejected() {
     trace
         .setup_events
         .retain(|event| *event != TraceEvent::InstallMitosis);
-    let err = replay_trace(&trace, &params).unwrap_err();
+    let err = try_serial(&trace, &params).unwrap_err();
     assert!(
         matches!(&err, ReplayError::Mismatch(message) if message.contains("InstallMitosis")),
         "unexpected error: {err}"
@@ -324,7 +353,7 @@ fn replica_events_without_install_mitosis_are_rejected() {
     setup_trace
         .setup_events
         .retain(|event| *event != TraceEvent::InstallMitosis);
-    let err = replay_trace(&setup_trace, &params).unwrap_err();
+    let err = try_serial(&setup_trace, &params).unwrap_err();
     assert!(
         matches!(&err, ReplayError::Mismatch(message) if message.contains("InstallMitosis")),
         "unexpected error: {err}"
@@ -341,7 +370,7 @@ fn setup_only_events_inside_a_lane_are_rejected() {
         lane.events
             .push((50, TraceEvent::CreateProcess { socket: 1 }));
     }
-    let err = replay_trace(&trace, &params).unwrap_err();
+    let err = try_serial(&trace, &params).unwrap_err();
     assert!(
         matches!(&err, ReplayError::Mismatch(message) if message.contains("setup-only")),
         "unexpected error: {err}"
@@ -355,14 +384,14 @@ fn free_form_markers_inside_lanes_are_ignored_by_replay() {
     let mut trace = capture_engine_run(&suite::gups(), &params, &sockets)
         .unwrap()
         .trace;
-    let reference = replay_trace(&trace, &params).unwrap();
+    let reference = serial_replay(&trace, &params);
     // Free-form markers are positional annotations, not phase changes:
     // they may differ per lane (pre-v3 traces could carry them in any
     // shape) and must not perturb replay.
     trace.lanes[0].events.push((60, TraceEvent::Marker(1234)));
     trace.lanes[1].events.push((30, TraceEvent::Marker(9)));
     trace.lanes[1].events.push((90, TraceEvent::Marker(10)));
-    let with_markers = replay_trace(&trace, &params).unwrap();
+    let with_markers = serial_replay(&trace, &params);
     assert_eq!(with_markers.metrics, reference.metrics);
 }
 
@@ -477,7 +506,7 @@ fn staggered_boundaries_roundtrip_bit_identically() {
     let trace = Trace::from_bytes(&bytes).unwrap();
     assert_eq!(trace, captured.trace);
 
-    let replayed = replay_trace(&trace, &params).unwrap();
+    let replayed = serial_replay(&trace, &params);
     assert_eq!(
         replayed.metrics, captured.live_metrics,
         "staggered replay diverged from the live run"
@@ -485,14 +514,14 @@ fn staggered_boundaries_roundtrip_bit_identically() {
 
     // Lane groups and staggered boundaries compose: the staggered capture
     // shards and stays bit-identical.
-    let report = replay_parallel_lanes(&trace, &params, 4).unwrap();
+    let report = grouped_replay(&trace, &params, 4);
     assert!(report.sharded(), "staggered capture must still shard");
     assert_eq!(report.outcome.metrics, captured.live_metrics);
 
     // And every single lane replays to the same merged whole.
     let mut merged = mitosis_sim::RunMetrics::default();
     for lane in 0..trace.lanes.len() {
-        let outcome = replay_trace_lane(&trace, &params, ReplayOptions::default(), lane).unwrap();
+        let outcome = lane_replay(&trace, &params, lane);
         merged.merge(&outcome.metrics);
     }
     assert_eq!(merged, captured.live_metrics);
@@ -529,11 +558,11 @@ fn staggered_events_are_observed_later_than_global_ones() {
     );
     // Both replay bit-identically regardless.
     assert_eq!(
-        replay_trace(&global_run.trace, &params).unwrap().metrics,
+        serial_replay(&global_run.trace, &params).metrics,
         global_run.live_metrics
     );
     assert_eq!(
-        replay_trace(&staggered_run.trace, &params).unwrap().metrics,
+        serial_replay(&staggered_run.trace, &params).metrics,
         staggered_run.live_metrics
     );
 }
@@ -548,7 +577,7 @@ fn tampered_staggered_markers_in_setup_are_rejected() {
         sockets: 0b10,
         staggered: true,
     });
-    let err = replay_trace(&trace, &params).unwrap_err();
+    let err = try_serial(&trace, &params).unwrap_err();
     assert!(
         matches!(&err, ReplayError::Mismatch(message) if message.contains("staggered")),
         "unexpected error: {err}"
@@ -599,7 +628,7 @@ fn v3_traces_replay_identically_to_their_v4_reencoding() {
 
     let decoded = Trace::from_bytes(&v3).unwrap();
     assert_eq!(decoded, captured.trace);
-    let replayed = replay_trace(&decoded, &params).unwrap();
+    let replayed = serial_replay(&decoded, &params);
     assert_eq!(replayed.metrics, captured.live_metrics);
 }
 

@@ -20,8 +20,8 @@ use mitosis_numa::{NodeMask, SocketId};
 use mitosis_obs::{IntervalAccumulator, MemoryRecorder, Observer};
 use mitosis_sim::{PhaseChange, PhaseSchedule, RunMetrics, SimParams};
 use mitosis_trace::{
-    capture_engine_run, capture_engine_run_dynamic, replay_parallel_lanes_observed, ReplayOptions,
-    ShardDecision, Trace, TraceReplayer,
+    capture_engine_run, capture_engine_run_dynamic, LaneReplayReport, ReplayOutcome, ReplayRequest,
+    ReplaySession, ShardDecision, Trace,
 };
 use mitosis_workloads::suite;
 use proptest::prelude::*;
@@ -30,6 +30,37 @@ use std::sync::Arc;
 
 fn quick(accesses: u64) -> SimParams {
     SimParams::quick_test().with_accesses(accesses)
+}
+
+fn serial_replay(trace: &Trace, params: &SimParams) -> ReplayOutcome {
+    ReplaySession::new(params)
+        .replay(trace, &ReplayRequest::new())
+        .expect("serial replay")
+        .outcome
+}
+
+/// A serial replay through a fresh session wired to `observer`.
+fn observed_serial(trace: &Trace, params: &SimParams, observer: &Observer) -> ReplayOutcome {
+    let mut session = ReplaySession::new(params);
+    session.set_observer(observer.clone());
+    session
+        .replay(trace, &ReplayRequest::new())
+        .expect("observed serial replay")
+        .outcome
+}
+
+/// A grouped replay through a fresh session wired to `observer`.
+fn observed_grouped(
+    trace: &Trace,
+    params: &SimParams,
+    workers: usize,
+    observer: &Observer,
+) -> LaneReplayReport {
+    let mut session = ReplaySession::new(params);
+    session.set_observer(observer.clone());
+    session
+        .replay(trace, &ReplayRequest::new().grouped(workers))
+        .expect("observed grouped replay")
 }
 
 /// A live observer over a fresh in-memory recorder, streaming every
@@ -77,9 +108,7 @@ proptest! {
             capture_engine_run(&suite::gups(), &params, &socket_ids).expect("capture");
 
         let (observer, memory) = observed(interval);
-        let mut replayer = TraceReplayer::new();
-        replayer.set_observer(observer);
-        let outcome = replayer.replay(&captured.trace, &params).expect("replay");
+        let outcome = observed_serial(&captured.trace, &params, &observer);
 
         prop_assert_eq!(outcome.metrics, captured.live_metrics);
         let (from_stream, samples) = stream_metrics(&memory, 0);
@@ -118,9 +147,7 @@ proptest! {
                 .expect("dynamic capture");
 
         let (observer, memory) = observed(interval);
-        let mut replayer = TraceReplayer::new();
-        replayer.set_observer(observer);
-        let outcome = replayer.replay(&captured.trace, &params).expect("replay");
+        let outcome = observed_serial(&captured.trace, &params, &observer);
 
         prop_assert_eq!(outcome.metrics, captured.live_metrics);
         let (from_stream, _) = stream_metrics(&memory, 0);
@@ -143,11 +170,12 @@ fn lane_subset_interval_streams_are_exact() {
     let (trace, _, params) = four_socket_capture(300);
     for lanes in [&[0usize][..], &[1, 3][..], &[0, 1, 2, 3][..]] {
         let (observer, memory) = observed(64);
-        let mut replayer = TraceReplayer::new();
-        replayer.set_observer(observer);
-        let outcome = replayer
-            .replay_lanes(&trace, &params, ReplayOptions::default(), lanes)
-            .expect("lane replay");
+        let mut session = ReplaySession::new(&params);
+        session.set_observer(observer);
+        let outcome = session
+            .replay(&trace, &ReplayRequest::new().lanes(lanes.to_vec()))
+            .expect("lane replay")
+            .outcome;
         let (from_stream, _) = stream_metrics(&memory, 0);
         assert_eq!(
             from_stream, outcome.metrics,
@@ -160,8 +188,7 @@ fn lane_subset_interval_streams_are_exact() {
 fn grouped_replay_streams_per_track_and_merges_exactly() {
     let (trace, live, params) = four_socket_capture(400);
     let (observer, memory) = observed(128);
-    let report =
-        replay_parallel_lanes_observed(&trace, &params, 4, &observer).expect("grouped replay");
+    let report = observed_grouped(&trace, &params, 4, &observer);
     assert_eq!(report.decision, ShardDecision::Sharded);
     assert_eq!(report.outcome.metrics, live);
 
@@ -181,8 +208,7 @@ fn grouped_replay_streams_per_track_and_merges_exactly() {
 fn grouped_replay_spans_cover_prepare_clone_and_measured_phases() {
     let (trace, _, params) = four_socket_capture(300);
     let (observer, memory) = observed(0);
-    let report =
-        replay_parallel_lanes_observed(&trace, &params, 4, &observer).expect("grouped replay");
+    let report = observed_grouped(&trace, &params, 4, &observer);
     assert_eq!(report.decision, ShardDecision::Sharded);
 
     let prepare = memory.spans_named("prepare_replay");
@@ -233,17 +259,14 @@ fn grouped_replay_spans_cover_prepare_clone_and_measured_phases() {
 #[test]
 fn disabled_observer_records_nothing_and_changes_nothing() {
     let (trace, live, params) = four_socket_capture(300);
-    // A replayer with the default (disabled) observer must reproduce the
+    // A session with the default (disabled) observer must reproduce the
     // live metrics — the zero-cost path — and a live recorder with the
     // interval stream off must record spans but no samples.
-    let mut replayer = TraceReplayer::new();
-    let outcome = replayer.replay(&trace, &params).expect("replay");
+    let outcome = serial_replay(&trace, &params);
     assert_eq!(outcome.metrics, live);
 
     let (observer, memory) = observed(0);
-    let mut replayer = TraceReplayer::new();
-    replayer.set_observer(observer);
-    let outcome = replayer.replay(&trace, &params).expect("observed replay");
+    let outcome = observed_serial(&trace, &params, &observer);
     assert_eq!(outcome.metrics, live, "recorder perturbed the metrics");
     assert!(memory.intervals().is_empty());
     assert!(!memory.spans().is_empty());

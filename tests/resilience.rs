@@ -24,10 +24,9 @@ use mitosis_numa::SocketId;
 use mitosis_obs::{MemoryRecorder, Observer};
 use mitosis_sim::{PhaseChange, PhaseSchedule, SimParams};
 use mitosis_trace::{
-    capture_engine_run, capture_engine_run_dynamic, replay_parallel_lanes,
-    replay_parallel_lanes_faulted, replay_trace, replay_trace_salvaged, FaultPlan,
-    GroupFailureKind, ReplayCompleteness, ReplayError, ReplayOptions, ShardDecision, Trace,
-    TraceError, TraceReader, TraceReplayer, TraceWriter,
+    capture_engine_run, capture_engine_run_dynamic, FaultPlan, GroupFailureKind, LaneReplayReport,
+    ReplayCompleteness, ReplayError, ReplayOptions, ReplayOutcome, ReplayRequest, ReplaySession,
+    ShardDecision, Trace, TraceError, TraceReader, TraceReplayer, TraceWriter,
 };
 use mitosis_workloads::suite;
 use proptest::prelude::*;
@@ -36,6 +35,38 @@ use std::sync::Arc;
 
 fn quick(accesses: u64) -> SimParams {
     SimParams::quick_test().with_accesses(accesses)
+}
+
+fn serial_replay(trace: &Trace, params: &SimParams) -> ReplayOutcome {
+    ReplaySession::new(params)
+        .replay(trace, &ReplayRequest::new())
+        .expect("serial replay")
+        .outcome
+}
+
+/// A salvaging decode + serial replay through a fresh session.
+fn salvaged_replay(bytes: &[u8], params: &SimParams) -> Result<ReplayOutcome, ReplayError> {
+    ReplaySession::new(params)
+        .replay_bytes(bytes, &ReplayRequest::new().salvage())
+        .map(|report| report.outcome)
+}
+
+/// A grouped replay under an explicit fault plan and observer.
+fn faulted_grouped(
+    trace: &Trace,
+    params: &SimParams,
+    workers: usize,
+    observer: &Observer,
+    plan: &FaultPlan,
+) -> LaneReplayReport {
+    let mut session = ReplaySession::new(params);
+    session.set_observer(observer.clone());
+    session
+        .replay(
+            trace,
+            &ReplayRequest::new().grouped(workers).fault_plan(*plan),
+        )
+        .expect("faulted grouped replay")
 }
 
 fn observed() -> (Observer, Arc<MemoryRecorder>) {
@@ -86,7 +117,7 @@ proptest! {
             &[SocketId::new(0), SocketId::new(1)],
         )
         .expect("capture");
-        let serial = replay_trace(&captured.trace, &params).expect("serial replay");
+        let serial = serial_replay(&captured.trace, &params);
         let bytes = encode_with_interval(&captured.trace, 32);
 
         let damaged = if truncate {
@@ -109,7 +140,7 @@ proptest! {
         // The salvaging replay either recovers an attested prefix —
         // explicitly marked, with metrics covering exactly the salvaged
         // accesses — or reports a structured error.  It never panics.
-        match replay_trace_salvaged(&damaged, &params, ReplayOptions::default()) {
+        match salvaged_replay(&damaged, &params) {
             Ok(outcome) => match outcome.completeness {
                 ReplayCompleteness::Salvaged { valid_accesses, lost_accesses: _ } => {
                     prop_assert_eq!(outcome.metrics.accesses, valid_accesses);
@@ -171,7 +202,7 @@ proptest! {
             vec![SocketId::new(0)]
         };
         let captured = capture_engine_run(&suite::gups(), &params, &sockets).expect("capture");
-        let serial = replay_trace(&captured.trace, &params).expect("serial replay");
+        let serial = serial_replay(&captured.trace, &params);
 
         let mut replayer = TraceReplayer::new();
         let snapshot = replayer
@@ -218,9 +249,8 @@ fn salvage_trims_to_the_attested_prefix_and_replays_it() {
         lane.accesses.truncate(256);
         lane.events.retain(|&(pos, _)| pos <= 256);
     }
-    let expected = replay_trace(&trimmed, &params).expect("trimmed replay");
-    let outcome =
-        replay_trace_salvaged(damaged, &params, ReplayOptions::default()).expect("salvaged replay");
+    let expected = serial_replay(&trimmed, &params);
+    let outcome = salvaged_replay(damaged, &params).expect("salvaged replay");
     assert_eq!(outcome.metrics, expected.metrics);
     assert_eq!(
         outcome.completeness,
@@ -231,8 +261,7 @@ fn salvage_trims_to_the_attested_prefix_and_replays_it() {
     );
 
     // Intact bytes replay as Complete through the same entry point.
-    let intact =
-        replay_trace_salvaged(&bytes, &params, ReplayOptions::default()).expect("intact replay");
+    let intact = salvaged_replay(&bytes, &params).expect("intact replay");
     assert_eq!(intact.completeness, ReplayCompleteness::Complete);
     assert_eq!(intact.metrics, captured.live_metrics);
 }
@@ -246,8 +275,7 @@ fn salvage_without_an_attested_prefix_is_a_structured_error() {
     // so a truncated stream has no attested prefix to salvage.
     let bytes = encode_with_interval(&captured.trace, 1 << 20);
     let damaged = &bytes[..bytes.len() - 10];
-    let err = replay_trace_salvaged(damaged, &params, ReplayOptions::default())
-        .expect_err("nothing to salvage");
+    let err = salvaged_replay(damaged, &params).expect_err("nothing to salvage");
     assert!(matches!(err, ReplayError::Trace(_)), "{err}");
     // The source chain bottoms out in the decode failure.
     assert!(err.source().is_some());
@@ -269,7 +297,7 @@ fn checkpoint_resume_fires_mid_lane_events_exactly_once() {
     );
     let captured = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &schedule)
         .expect("dynamic capture");
-    let serial = replay_trace(&captured.trace, &params).expect("serial replay");
+    let serial = serial_replay(&captured.trace, &params);
     assert_eq!(serial.metrics, captured.live_metrics);
 
     let mut replayer = TraceReplayer::new();
@@ -350,14 +378,13 @@ fn four_socket_capture(accesses: u64) -> (Trace, SimParams) {
 #[test]
 fn injected_worker_panics_degrade_to_serial_and_stay_bit_identical() {
     let (trace, params) = four_socket_capture(400);
-    let serial = replay_trace(&trace, &params).expect("serial replay");
+    let serial = serial_replay(&trace, &params);
 
     // Probability 1: every attempt of every group panics, so every group
     // must exhaust its retries and be recovered by serial degradation.
     let plan = FaultPlan::seeded(5).with_worker_panic(1.0);
     let (observer, memory) = observed();
-    let report = replay_parallel_lanes_faulted(&trace, &params, 4, &observer, &plan)
-        .expect("degraded replay");
+    let report = faulted_grouped(&trace, &params, 4, &observer, &plan);
     assert_eq!(report.decision, ShardDecision::ShardedDegraded);
     assert!(report.sharded(), "a degraded shard still counts as sharded");
     assert_eq!(report.failures.len(), 4);
@@ -382,11 +409,10 @@ fn injected_worker_panics_degrade_to_serial_and_stay_bit_identical() {
 #[test]
 fn probabilistic_worker_panics_recover_via_retry_or_degradation() {
     let (trace, params) = four_socket_capture(400);
-    let serial = replay_trace(&trace, &params).expect("serial replay");
+    let serial = serial_replay(&trace, &params);
     for seed in 0..4 {
         let plan = FaultPlan::seeded(seed).with_worker_panic(0.5);
-        let report = replay_parallel_lanes_faulted(&trace, &params, 4, &Observer::none(), &plan)
-            .expect("replay under fault plan");
+        let report = faulted_grouped(&trace, &params, 4, &Observer::none(), &plan);
         // Whatever mix of clean runs, retries and degradations the seed
         // produces, the metrics are non-negotiable.
         assert_eq!(
@@ -410,11 +436,10 @@ fn probabilistic_worker_panics_recover_via_retry_or_degradation() {
 #[test]
 fn slow_workers_change_timing_but_not_metrics() {
     let (trace, params) = four_socket_capture(300);
-    let serial = replay_trace(&trace, &params).expect("serial replay");
+    let serial = serial_replay(&trace, &params);
     let plan = FaultPlan::seeded(9).with_worker_slow(1.0, std::time::Duration::from_millis(2));
     let (observer, memory) = observed();
-    let report =
-        replay_parallel_lanes_faulted(&trace, &params, 4, &observer, &plan).expect("slow replay");
+    let report = faulted_grouped(&trace, &params, 4, &observer, &plan);
     assert_eq!(report.decision, ShardDecision::Sharded);
     assert!(report.failures.is_empty());
     assert_eq!(report.outcome.metrics, serial.metrics);
@@ -429,8 +454,10 @@ fn lane_parallel_replay_survives_the_environment_fault_plan() {
     // matrix leg (panic/slow probabilities set) it proves the driver
     // tolerates whatever the seeded plan throws at it.
     let (trace, params) = four_socket_capture(300);
-    let serial = replay_trace(&trace, &params).expect("serial replay");
-    let report = replay_parallel_lanes(&trace, &params, 4).expect("lane-parallel replay");
+    let serial = serial_replay(&trace, &params);
+    let report = ReplaySession::new(&params)
+        .replay(&trace, &ReplayRequest::new().grouped(4))
+        .expect("lane-parallel replay");
     assert!(report.sharded());
     assert_eq!(report.outcome.metrics, serial.metrics);
     assert!(report.failures.iter().all(|f| f.recovered));

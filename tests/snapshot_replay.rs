@@ -17,14 +17,27 @@
 use mitosis_numa::{NodeMask, SocketId};
 use mitosis_sim::{PhaseChange, PhaseSchedule, SimParams};
 use mitosis_trace::{
-    capture_engine_run, capture_engine_run_dynamic, prepare_replay, replay_parallel_lanes,
-    replay_trace, replay_trace_lanes, ReplayOptions, ShardDecision, Trace, TraceError, TraceEvent,
-    TraceReplayer,
+    capture_engine_run, capture_engine_run_dynamic, prepare_replay, LaneReplayReport,
+    ReplayOptions, ReplayOutcome, ReplayRequest, ReplaySession, ShardDecision, Trace, TraceError,
+    TraceEvent, TraceReplayer,
 };
 use mitosis_workloads::suite;
 
 fn quick(accesses: u64) -> SimParams {
     SimParams::quick_test().with_accesses(accesses)
+}
+
+fn serial_replay(trace: &Trace, params: &SimParams) -> ReplayOutcome {
+    ReplaySession::new(params)
+        .replay(trace, &ReplayRequest::new())
+        .expect("serial replay")
+        .outcome
+}
+
+fn grouped_replay(trace: &Trace, params: &SimParams, workers: usize) -> LaneReplayReport {
+    ReplaySession::new(params)
+        .replay(trace, &ReplayRequest::new().grouped(workers))
+        .expect("grouped replay")
 }
 
 fn four_socket_trace(accesses: u64) -> (Trace, SimParams) {
@@ -39,7 +52,7 @@ fn four_socket_trace(accesses: u64) -> (Trace, SimParams) {
 #[test]
 fn snapshot_replay_matches_setup_reexecution() {
     let (trace, params) = four_socket_trace(300);
-    let fresh = replay_trace(&trace, &params).expect("fresh-setup replay");
+    let fresh = serial_replay(&trace, &params);
 
     let snapshot = prepare_replay(&trace, &params, ReplayOptions::default()).expect("prepare");
     let mut replayer = TraceReplayer::new();
@@ -64,8 +77,10 @@ fn snapshot_lane_subsets_match_setup_reexecution() {
     let snapshot = prepare_replay(&trace, &params, ReplayOptions::default()).expect("prepare");
     let mut replayer = TraceReplayer::new();
     for lanes in [&[0usize][..], &[1, 3][..], &[0, 1, 2, 3][..]] {
-        let fresh = replay_trace_lanes(&trace, &params, ReplayOptions::default(), lanes)
-            .expect("fresh-setup lane replay");
+        let fresh = ReplaySession::new(&params)
+            .replay(&trace, &ReplayRequest::new().lanes(lanes.to_vec()))
+            .expect("fresh-setup lane replay")
+            .outcome;
         let from_snapshot = replayer
             .replay_snapshot_lanes(&snapshot, &trace, lanes)
             .expect("snapshot lane replay");
@@ -101,7 +116,7 @@ fn snapshot_rejects_a_different_trace() {
 #[test]
 fn grouped_replay_reports_single_setup_and_measured_wall() {
     let (trace, params) = four_socket_trace(400);
-    let report = replay_parallel_lanes(&trace, &params, 4).expect("grouped replay");
+    let report = grouped_replay(&trace, &params, 4);
     assert_eq!(report.decision, ShardDecision::Sharded);
     // The split accounting: one up-front setup, a measured phase, and a
     // total that is their sum (the driver's clock sections are adjacent).
@@ -179,12 +194,12 @@ fn trailing_markers_roundtrip_through_serial_and_grouped_replay() {
     let decoded = Trace::from_bytes(&bytes).expect("decode");
     assert_eq!(decoded, captured.trace);
 
-    let serial = replay_trace(&decoded, &params).expect("serial replay");
+    let serial = serial_replay(&decoded, &params);
     assert_eq!(
         serial.metrics, captured.live_metrics,
         "serial replay of trailing markers diverged from the live run"
     );
-    let grouped = replay_parallel_lanes(&decoded, &params, 4).expect("grouped replay");
+    let grouped = grouped_replay(&decoded, &params, 4);
     assert_eq!(grouped.decision, ShardDecision::Sharded);
     assert_eq!(
         grouped.outcome.metrics, captured.live_metrics,

@@ -6,9 +6,8 @@
 use mitosis_numa::SocketId;
 use mitosis_sim::{ExecutionEngine, MigrationConfig, MigrationRun, SimParams};
 use mitosis_trace::{
-    capture_engine_run, capture_migration_scenario, replay_parallel, replay_sequential,
-    replay_trace, replay_trace_with, MachineFingerprint, ReplayError, ReplayOptions, Trace,
-    TraceLane, TraceMeta,
+    capture_engine_run, capture_migration_scenario, MachineFingerprint, ReplayError, ReplayOutcome,
+    ReplayRequest, ReplaySession, Trace, TraceLane, TraceMeta,
 };
 use mitosis_vmm::{MmapFlags, System};
 use mitosis_workloads::{suite, Access, AccessStream, InitPattern, WorkloadSpec};
@@ -16,6 +15,13 @@ use proptest::prelude::*;
 
 fn quick(accesses: u64) -> SimParams {
     SimParams::quick_test().with_accesses(accesses)
+}
+
+fn serial_replay(trace: &Trace, params: &SimParams) -> ReplayOutcome {
+    ReplaySession::new(params)
+        .replay(trace, &ReplayRequest::new())
+        .expect("serial replay")
+        .outcome
 }
 
 /// The paper workloads the acceptance criteria call out explicitly.
@@ -38,7 +44,7 @@ fn replay_determinism_holds_at_the_configured_access_count() {
         2 * params.accesses_per_thread
     );
     let bytes = captured.trace.to_bytes().unwrap();
-    let replayed = replay_trace(&Trace::from_bytes(&bytes).unwrap(), &params).unwrap();
+    let replayed = serial_replay(&Trace::from_bytes(&bytes).unwrap(), &params);
     assert_eq!(replayed.metrics, captured.live_metrics);
 }
 
@@ -52,7 +58,7 @@ fn replay_reproduces_live_metrics_for_paper_workloads() {
         // just the in-memory capture.
         let bytes = captured.trace.to_bytes().unwrap();
         let trace = Trace::from_bytes(&bytes).unwrap();
-        let replayed = replay_trace(&trace, &params).unwrap();
+        let replayed = serial_replay(&trace, &params);
         assert_eq!(
             replayed.metrics,
             captured.live_metrics,
@@ -93,7 +99,7 @@ fn replay_matches_the_engines_live_generation_path() {
 
     let captured = capture_engine_run(&spec, &params, &[SocketId::new(0)]).unwrap();
     assert_eq!(captured.live_metrics, live);
-    let replayed = replay_trace(&captured.trace, &params).unwrap();
+    let replayed = serial_replay(&captured.trace, &params);
     assert_eq!(replayed.metrics, live);
 }
 
@@ -103,7 +109,7 @@ fn multi_socket_captures_replay_identically() {
     let sockets: Vec<SocketId> = (0..4).map(SocketId::new).collect();
     let captured = capture_engine_run(&suite::memcached(), &params, &sockets).unwrap();
     assert_eq!(captured.trace.lanes.len(), 4);
-    let replayed = replay_trace(&captured.trace, &params).unwrap();
+    let replayed = serial_replay(&captured.trace, &params);
     assert_eq!(replayed.metrics, captured.live_metrics);
     assert_eq!(replayed.metrics.threads, 4);
 }
@@ -125,7 +131,7 @@ fn migration_scenario_events_replay_identically() {
         let captured = capture_migration_scenario(&suite::gups(), run, &params).unwrap();
         let bytes = captured.trace.to_bytes().unwrap();
         let trace = Trace::from_bytes(&bytes).unwrap();
-        let replayed = replay_trace(&trace, &params).unwrap();
+        let replayed = serial_replay(&trace, &params);
         assert_eq!(
             replayed.metrics,
             captured.live_metrics,
@@ -153,8 +159,13 @@ fn parallel_driver_replays_four_traces_with_identical_metrics() {
         })
         .collect();
 
-    let sequential = replay_sequential(&traces, &params).unwrap();
-    let parallel = replay_parallel(&traces, &params, 4).unwrap();
+    let mut session = ReplaySession::new(&params);
+    let sequential = session
+        .replay_batch(&traces, &ReplayRequest::new())
+        .unwrap();
+    let parallel = session
+        .replay_batch(&traces, &ReplayRequest::new().grouped(4))
+        .unwrap();
 
     assert_eq!(parallel.outcomes.len(), 4);
     for ((s, p), spec) in sequential
@@ -199,8 +210,13 @@ fn parallel_replay_outpaces_sequential_when_cores_allow() {
             .trace
     })
     .collect();
-    let sequential = replay_sequential(&traces, &params).unwrap();
-    let parallel = replay_parallel(&traces, &params, 4).unwrap();
+    let mut session = ReplaySession::new(&params);
+    let sequential = session
+        .replay_batch(&traces, &ReplayRequest::new())
+        .unwrap();
+    let parallel = session
+        .replay_batch(&traces, &ReplayRequest::new().grouped(4))
+        .unwrap();
     assert!(
         parallel.accesses_per_second() > sequential.accesses_per_second(),
         "parallel replay should beat sequential: {:.0}/s vs {:.0}/s",
@@ -276,7 +292,7 @@ proptest! {
         let params = SimParams::quick_test().with_accesses(150).with_seed(seed);
         let sockets: Vec<SocketId> = (0..sockets as u16).map(SocketId::new).collect();
         let captured = capture_engine_run(&suite::btree(), &params, &sockets).unwrap();
-        let replayed = replay_trace(&captured.trace, &params).unwrap();
+        let replayed = serial_replay(&captured.trace, &params);
         prop_assert_eq!(replayed.metrics, captured.live_metrics);
     }
 }
@@ -296,7 +312,9 @@ fn replay_on_a_different_machine_is_rejected_unless_forced() {
     // before the fingerprint existed this silently produced different
     // metrics (the ROADMAP footgun).
     let other_params = captured_params.clone().with_machine_scale(256);
-    let err = replay_trace(&captured.trace, &other_params).unwrap_err();
+    let err = ReplaySession::new(&other_params)
+        .replay(&captured.trace, &ReplayRequest::new())
+        .unwrap_err();
     assert!(
         matches!(&err, ReplayError::Mismatch(message) if message.contains("different machine")),
         "unexpected error: {err}"
@@ -307,12 +325,10 @@ fn replay_on_a_different_machine_is_rejected_unless_forced() {
     // replayed metrics are no longer guaranteed to match the capture — the
     // footgun the strict default exists to prevent — but the replay itself
     // must complete.
-    let forced = replay_trace_with(
-        &captured.trace,
-        &other_params,
-        ReplayOptions::new().force_machine(),
-    )
-    .expect("forced replay runs");
+    let forced = ReplaySession::new(&other_params)
+        .replay(&captured.trace, &ReplayRequest::new().force_machine())
+        .expect("forced replay runs")
+        .outcome;
     assert_eq!(forced.metrics.accesses, captured.live_metrics.accesses);
     let mismatch = forced
         .machine_mismatch
@@ -326,7 +342,7 @@ fn replay_on_a_different_machine_is_rejected_unless_forced() {
 
     // The matching machine still replays bit-identically, forced or not —
     // and records no mismatch.
-    let strict = replay_trace(&captured.trace, &captured_params).expect("strict replay");
+    let strict = serial_replay(&captured.trace, &captured_params);
     assert_eq!(strict.metrics, captured.live_metrics);
     assert_eq!(strict.machine_mismatch, None);
 }
@@ -348,7 +364,7 @@ fn init_pattern_is_preserved_by_capture() {
             )
         });
         assert_eq!(recorded_parallel, parallel, "{}", spec.name());
-        let replayed = replay_trace(&captured.trace, &params).unwrap();
+        let replayed = serial_replay(&captured.trace, &params);
         assert_eq!(replayed.metrics, captured.live_metrics, "{}", spec.name());
     }
 }
