@@ -18,8 +18,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mitosis_numa::SocketId;
-use mitosis_sim::{ExecutionEngine, SimParams};
-use mitosis_trace::{capture_engine_run, ReplayRequest, ReplaySession, SnapshotMode, Trace};
+use mitosis_pt::VirtAddr;
+use mitosis_sim::{ExecutionEngine, PhaseChange, PhaseSchedule, SimParams};
+use mitosis_trace::{
+    capture_engine_run, capture_engine_run_dynamic, ReplayRequest, ReplaySession, SnapshotMode,
+    Trace,
+};
 use mitosis_vmm::{MmapFlags, System};
 use mitosis_workloads::suite;
 use std::time::Duration;
@@ -341,6 +345,136 @@ fn bench_pool(c: &mut Criterion) {
     group.finish();
 }
 
+/// Fork/CoW fault storms and mmap churn through the replay path, plus the
+/// modelled-shootdown-work comparison the regression gate keys on.
+///
+/// Churn traces (v6) carry mapping-mutation markers, which defeat the
+/// premapped-coverage proof, so grouped requests fall back to the serial
+/// path — cold serial replay *is* the representative cost here, and the
+/// two timing benches price it for the two new scenario shapes.
+///
+/// The non-timing metrics report `ShootdownStats::entries_invalidated`
+/// from live churn runs in each [`ShootdownMode`]: the consistency
+/// layer's raison d'être is that ranged ASID-tagged plans invalidate
+/// strictly fewer TLB entries than broadcast full flushes on a
+/// churn-heavy run, and `scripts/bench_gate` enforces that relation on
+/// every CI run (the counters are deterministic, so they baseline like
+/// timings with a tight tolerance).
+fn bench_churn(c: &mut Criterion) {
+    // Region churn addresses mirror tests/churn_scenarios.rs: the first
+    // mmap of a capture lands at MMAP_BASE, and the scaled footprint is
+    // at least 64 MiB, so these offsets are always in-region.
+    const REGION_BASE: u64 = 0x2000_0000_0000;
+    const CHURN_BASE: u64 = 0x7000_0000_0000;
+    let params = SimParams::quick_test().with_accesses(4_000);
+    let sockets: Vec<SocketId> = (0..2).map(SocketId::new).collect();
+
+    let fork_schedule = PhaseSchedule::new()
+        .at(1_000, PhaseChange::Fork)
+        .at(2_000, PhaseChange::Fork);
+    let churn_schedule = PhaseSchedule::new()
+        .at(
+            500,
+            PhaseChange::MmapAt {
+                addr: VirtAddr::new(CHURN_BASE),
+                length: 64 << 12,
+            },
+        )
+        .at(
+            1_200,
+            PhaseChange::MunmapAt {
+                addr: VirtAddr::new(CHURN_BASE + (16 << 12)),
+                length: 32 << 12,
+            },
+        )
+        .at(
+            1_800,
+            PhaseChange::MunmapAt {
+                addr: VirtAddr::new(REGION_BASE),
+                length: 4 << 20,
+            },
+        )
+        .at(
+            1_800,
+            // Lazily re-mapped at the same boundary: later accesses
+            // demand-fault instead of segfaulting into the hole.
+            PhaseChange::MmapAt {
+                addr: VirtAddr::new(REGION_BASE),
+                length: 4 << 20,
+            },
+        )
+        .at(
+            2_400,
+            PhaseChange::PromoteHuge {
+                addr: VirtAddr::new(REGION_BASE + (8 << 20)),
+            },
+        )
+        .at(
+            3_200,
+            PhaseChange::DemoteHuge {
+                addr: VirtAddr::new(REGION_BASE + (8 << 20)),
+            },
+        );
+
+    let cow_trace = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &fork_schedule)
+        .expect("capture fork/CoW storm")
+        .trace;
+    let churn_trace =
+        capture_engine_run_dynamic(&suite::gups(), &params, &sockets, &churn_schedule)
+            .expect("capture mmap churn")
+            .trace;
+
+    let mut group = c.benchmark_group("trace_replay/churn");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("cow_storm_replay", |b| {
+        b.iter(|| cold_serial(&cow_trace, &params));
+    });
+    group.bench_function("mmap_churn_replay", |b| {
+        b.iter(|| cold_serial(&churn_trace, &params));
+    });
+    group.finish();
+
+    // Modelled shootdown work of the live churn run, per mode.  Driven
+    // through the engine directly (capture does not expose the engine's
+    // counters); deterministic for fixed params.
+    let shootdown_entries = |params: &SimParams| -> u64 {
+        let mut mitosis = mitosis::Mitosis::new();
+        let mut system = mitosis.install(params.machine());
+        system.set_shootdown_mode(params.shootdown_mode);
+        let pid = system.create_process(sockets[0]).expect("process");
+        let spec = params.scale_workload(&suite::gups());
+        let region = system
+            .mmap(pid, spec.footprint(), MmapFlags::populate())
+            .expect("mmap");
+        let threads = ExecutionEngine::one_thread_per_socket(&system, &sockets);
+        let mut engine = ExecutionEngine::new(&system);
+        engine
+            .run_dynamic(
+                &mut system,
+                &mut mitosis,
+                pid,
+                &spec,
+                region,
+                &threads,
+                params,
+                &churn_schedule,
+            )
+            .expect("churn run");
+        engine.last_shootdowns().entries_invalidated
+    };
+    criterion::report_metric(
+        "trace_replay/churn/shootdown_entries_broadcast",
+        shootdown_entries(&params) as f64,
+    );
+    criterion::report_metric(
+        "trace_replay/churn/shootdown_entries_ranged",
+        shootdown_entries(&params.clone().with_ranged_shootdowns()) as f64,
+    );
+}
+
 /// Plain translation-throughput figures — accesses/second for live
 /// generation vs. trace replay — for the README "Performance" table.
 fn report_throughput(_c: &mut Criterion) {
@@ -401,6 +535,7 @@ criterion_group!(
     bench_lane_groups,
     bench_lane_groups_snapshot,
     bench_pool,
+    bench_churn,
     report_throughput
 );
 criterion_main!(trace_replay);

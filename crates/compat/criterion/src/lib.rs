@@ -85,6 +85,16 @@ impl Samples {
 /// Environment variable naming the machine-readable results file.
 const JSON_ENV: &str = "MITOSIS_BENCH_JSON";
 
+/// Reports a non-timing scalar (a modelled-work counter, a ratio) under a
+/// bench id: printed alongside the timing lines and appended to the
+/// `MITOSIS_BENCH_JSON` file in the same `median_ns` slot, so downstream
+/// tooling (`scripts/bench_gate`) can baseline it and check relational
+/// invariants without a second file format.
+pub fn report_metric(id: &str, value: f64) {
+    println!("{id:<48} metric: {value}");
+    append_json_result(id, value);
+}
+
 /// Appends `{"bench":"<id>","median_ns":<median>}` to the file named by
 /// `MITOSIS_BENCH_JSON`, if set.  Best effort: a benchmark run never fails
 /// because the results file is unwritable (a warning is printed instead).

@@ -41,6 +41,7 @@ mod frame;
 mod meta;
 mod page_cache;
 mod policy;
+mod refcount;
 
 pub use alloc::{AllocStats, FrameAllocator};
 pub use error::MemError;
@@ -51,3 +52,4 @@ pub use frame::{
 pub use meta::{FrameKind, FrameTable, PageMeta};
 pub use page_cache::PageCache;
 pub use policy::{InterleaveState, PlacementPolicy, PolicyEngine};
+pub use refcount::CowRefCounts;

@@ -1,0 +1,109 @@
+//! Copy-on-write frame sharing counts.
+//!
+//! After a fork, parent and child map the same data frames read-only; each
+//! shared frame carries a share count here.  A frame absent from the table
+//! is exclusively owned (the overwhelmingly common case), so the table only
+//! ever holds the currently-shared frames.  Backed by a `BTreeMap` so
+//! iteration order — and therefore any replay that walks the table — is
+//! deterministic.
+
+use crate::frame::FrameId;
+use std::collections::BTreeMap;
+
+/// Share counts for copy-on-write frames.
+///
+/// Only frames shared by more than one mapping appear in the table; the
+/// count is the number of mappings referencing the frame.  Dropping to one
+/// reference removes the entry (the frame is exclusive again).
+#[derive(Debug, Clone, Default)]
+pub struct CowRefCounts {
+    shared: BTreeMap<u64, u32>,
+}
+
+impl CowRefCounts {
+    /// Creates an empty table (every frame exclusively owned).
+    pub fn new() -> Self {
+        CowRefCounts::default()
+    }
+
+    /// Returns the number of mappings referencing `frame` (1 when the frame
+    /// is not shared).
+    pub fn references(&self, frame: FrameId) -> u32 {
+        self.shared.get(&frame.pfn()).copied().unwrap_or(1)
+    }
+
+    /// Returns `true` when `frame` is mapped by more than one owner.
+    pub fn is_shared(&self, frame: FrameId) -> bool {
+        self.shared.contains_key(&frame.pfn())
+    }
+
+    /// Records one additional mapping of `frame` (fork sharing a frame
+    /// between parent and child).
+    pub fn share(&mut self, frame: FrameId) {
+        *self.shared.entry(frame.pfn()).or_insert(1) += 1;
+    }
+
+    /// Drops one mapping of `frame`; returns `true` when the caller held
+    /// the last reference and now owns the frame exclusively (and may free
+    /// or write it in place).
+    pub fn release(&mut self, frame: FrameId) -> bool {
+        match self.shared.get_mut(&frame.pfn()) {
+            None => true,
+            Some(count) if *count <= 2 => {
+                self.shared.remove(&frame.pfn());
+                false
+            }
+            Some(count) => {
+                *count -= 1;
+                false
+            }
+        }
+    }
+
+    /// Number of currently shared frames.
+    pub fn shared_frames(&self) -> usize {
+        self.shared.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unshared_frames_are_exclusive() {
+        let counts = CowRefCounts::new();
+        assert_eq!(counts.references(FrameId::new(5)), 1);
+        assert!(!counts.is_shared(FrameId::new(5)));
+        assert_eq!(counts.shared_frames(), 0);
+    }
+
+    #[test]
+    fn share_and_release_round_trip() {
+        let mut counts = CowRefCounts::new();
+        let frame = FrameId::new(9);
+        counts.share(frame);
+        assert_eq!(counts.references(frame), 2);
+        assert!(counts.is_shared(frame));
+        // First release: the other owner keeps the frame.
+        assert!(!counts.release(frame));
+        assert!(!counts.is_shared(frame));
+        assert_eq!(counts.references(frame), 1);
+        // Now exclusive: releasing reports last-reference.
+        assert!(counts.release(frame));
+    }
+
+    #[test]
+    fn many_owners_count_down_one_at_a_time() {
+        let mut counts = CowRefCounts::new();
+        let frame = FrameId::new(3);
+        counts.share(frame);
+        counts.share(frame);
+        assert_eq!(counts.references(frame), 3);
+        assert!(!counts.release(frame));
+        assert_eq!(counts.references(frame), 2);
+        assert!(!counts.release(frame));
+        assert_eq!(counts.references(frame), 1);
+        assert!(counts.release(frame));
+    }
+}

@@ -7,7 +7,7 @@ use crate::tlb::{TlbHierarchy, TlbLevel};
 use crate::walker::{HardwareWalker, WalkerConfig};
 use mitosis_mem::{FrameId, FrameTable};
 use mitosis_numa::{CoreId, CostModel, Cycles, SocketId};
-use mitosis_pt::{PageSize, PtStore, VirtAddr};
+use mitosis_pt::{PageSize, PtStore, ShootdownPlan, VirtAddr};
 
 /// Result of one memory access' address translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +33,10 @@ pub struct AccessOutcome {
 pub struct Mmu {
     core: CoreId,
     socket: SocketId,
+    /// Address-space identifier of the process currently loaded on this
+    /// core; tags every TLB entry (PCID).  ASID 0 — the default — keeps
+    /// single-process runs identical to the untagged model.
+    asid: u16,
     tlb: TlbHierarchy,
     pwc: PagingStructureCache,
     walker: HardwareWalker,
@@ -46,6 +50,7 @@ impl Mmu {
         Mmu {
             core,
             socket,
+            asid: 0,
             tlb: TlbHierarchy::paper_testbed(),
             pwc: PagingStructureCache::paper_testbed(),
             walker: HardwareWalker::new(),
@@ -69,6 +74,17 @@ impl Mmu {
         self.socket
     }
 
+    /// The address-space identifier currently loaded on this core.
+    pub fn asid(&self) -> u16 {
+        self.asid
+    }
+
+    /// Loads `asid` without flushing (a PCID-tagged CR3 write): TLB entries
+    /// of other address spaces stay resident but cannot hit.
+    pub fn set_asid(&mut self, asid: u16) {
+        self.asid = asid;
+    }
+
     /// Translates one access to `addr` using the page table rooted at `root`
     /// (the CR3 value currently loaded on this core).
     ///
@@ -88,7 +104,8 @@ impl Mmu {
 
         // Probe the TLBs for each translation granularity.
         for size in [PageSize::Base4K, PageSize::Huge2M, PageSize::Giant1G] {
-            if let Some((level, frame, penalty)) = self.tlb.lookup(addr, size) {
+            if let Some((level, frame, penalty)) = self.tlb.lookup(self.asid, addr, size, is_write)
+            {
                 match level {
                     TlbLevel::L1 => self.stats.tlb_l1_hits += 1,
                     TlbLevel::L2 => self.stats.tlb_l2_hits += 1,
@@ -122,7 +139,13 @@ impl Mmu {
         self.stats.translation_cycles += outcome.cycles;
         match outcome.translation {
             Some(t) => {
-                self.tlb.insert(addr.align_down(t.size), t.size, t.frame);
+                self.tlb.insert(
+                    self.asid,
+                    addr.align_down(t.size),
+                    t.size,
+                    t.frame,
+                    t.pte.flags().writable,
+                );
                 AccessOutcome {
                     frame: Some(t.frame_for(addr)),
                     translation_cycles: outcome.cycles,
@@ -162,14 +185,38 @@ impl Mmu {
         self.stats = MmuStats::default();
     }
 
-    /// Models a TLB shootdown of a single page.
-    pub fn shootdown_page(&mut self, addr: VirtAddr, size: PageSize) {
-        self.tlb.flush_page(addr.align_down(size), size);
+    /// Models a TLB shootdown of a single page in address space `asid`.
+    pub fn shootdown_page(&mut self, asid: u16, addr: VirtAddr, size: PageSize) {
+        self.tlb.flush_page(asid, addr.align_down(size), size);
     }
 
     /// Models a broadcast full-flush shootdown.
     pub fn shootdown_all(&mut self) {
         self.context_switch();
+    }
+
+    /// Applies a ranged shootdown plan to this core: invalidates the named
+    /// page ranges from the TLBs and evicts the covered paging-structure
+    /// cache entries.  A plan escalated to `full_flush` flushes everything.
+    ///
+    /// Returns the number of TLB entries actually invalidated (for a full
+    /// flush, the resident count before flushing) — the per-core modelled
+    /// shootdown work.
+    pub fn apply_shootdown(&mut self, plan: &ShootdownPlan) -> u64 {
+        if plan.full_flush {
+            let resident = self.tlb.occupancy() as u64;
+            self.shootdown_all();
+            return resident;
+        }
+        let mut removed = 0u64;
+        for range in &plan.ranges {
+            removed +=
+                self.tlb
+                    .invalidate_range(range.asid, range.vpn_start, range.pages, range.size)
+                    as u64;
+            self.pwc.invalidate_range(range.start(), range.end());
+        }
+        removed
     }
 
     /// Accumulated statistics.
@@ -316,7 +363,7 @@ mod tests {
             &cost(),
             &mut pte_cache,
         );
-        mmu.shootdown_page(addr, PageSize::Base4K);
+        mmu.shootdown_page(0, addr, PageSize::Base4K);
         let after = mmu.access(
             addr,
             false,
@@ -327,6 +374,81 @@ mod tests {
             &mut pte_cache,
         );
         assert!(after.tlb_hit.is_none());
+    }
+
+    #[test]
+    fn ranged_shootdown_plan_invalidates_cached_translations() {
+        let (mut store, frames, root, addr) = build();
+        let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(0));
+        let mut pte_cache = PteCache::new(1024);
+        mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
+        let mut tx = mitosis_pt::MappingTx::new();
+        tx.invalidate_page(0, addr, PageSize::Base4K);
+        // Resident in L1 and L2 → two entries of modelled work.
+        assert_eq!(mmu.apply_shootdown(&tx.take_plan()), 2);
+        let after = mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
+        assert!(after.tlb_hit.is_none());
+        // A full-flush plan reports the resident count it wiped.
+        tx.escalate_full();
+        assert_eq!(mmu.apply_shootdown(&tx.take_plan()), 2);
+        assert_eq!(mmu.tlb().occupancy(), 0);
+    }
+
+    #[test]
+    fn asids_partition_the_tlb_between_address_spaces() {
+        let (mut store, frames, root, addr) = build();
+        let mut mmu = Mmu::new(CoreId::new(0), SocketId::new(0));
+        let mut pte_cache = PteCache::new(1024);
+        mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
+        // Switching ASID without flushing: the other space cannot hit.
+        mmu.set_asid(7);
+        assert_eq!(mmu.asid(), 7);
+        let other = mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
+        assert!(other.tlb_hit.is_none());
+        // Switching back: the original entry is still resident.
+        mmu.set_asid(0);
+        let back = mmu.access(
+            addr,
+            false,
+            root,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pte_cache,
+        );
+        assert!(back.tlb_hit.is_some());
     }
 
     #[test]

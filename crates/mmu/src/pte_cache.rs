@@ -169,6 +169,24 @@ impl PteCacheSet {
             cache.flush();
         }
     }
+
+    /// Resets every socket's cache between runs (engine reset).
+    pub fn reset_for_run(&mut self) {
+        self.flush_all();
+    }
+
+    /// Applies the PTE-cache side of a shootdown plan: evicts the lines of
+    /// every freed page-table frame on every socket, or flushes everything
+    /// when the plan escalated to a full flush.
+    pub fn apply_shootdown(&mut self, plan: &mitosis_pt::ShootdownPlan) {
+        if plan.full_flush {
+            self.flush_all();
+            return;
+        }
+        for &table in &plan.tables {
+            self.invalidate_table_everywhere(table);
+        }
+    }
 }
 
 #[cfg(test)]

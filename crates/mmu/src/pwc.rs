@@ -37,6 +37,18 @@ impl LevelCache {
     fn flush(&mut self) {
         self.entries.clear();
     }
+
+    /// Drops every entry whose key falls in `[key_start, key_end]`.
+    /// Returns the number of entries removed.
+    fn invalidate_keys(&mut self, key_start: u64, key_end: u64) -> usize {
+        let mut removed = 0;
+        self.entries.retain(|key, _| {
+            let dead = key >= key_start && key <= key_end;
+            removed += usize::from(dead);
+            !dead
+        });
+        removed
+    }
 }
 
 /// The MMU's caches of upper-level page-table entries.
@@ -114,6 +126,28 @@ impl PagingStructureCache {
         self.pdpte.flush();
         self.pml4e.flush();
     }
+
+    /// Evicts every entry serving addresses in `[va_start, va_end)` — the
+    /// targeted paging-structure-cache eviction of a ranged shootdown.  Any
+    /// entry whose coverage intersects the range dies; coarser levels drop
+    /// at most one entry per 1 GiB / 512 GiB of range.  Returns the number
+    /// of entries removed across all three caches.
+    pub fn invalidate_range(&mut self, va_start: VirtAddr, va_end: VirtAddr) -> usize {
+        if va_end.as_u64() <= va_start.as_u64() {
+            return 0;
+        }
+        let last = VirtAddr::new(va_end.as_u64() - 1);
+        let mut removed = 0;
+        for level in [Level::L2, Level::L3, Level::L4] {
+            let cache = match level {
+                Level::L2 => &mut self.pde,
+                Level::L3 => &mut self.pdpte,
+                _ => &mut self.pml4e,
+            };
+            removed += cache.invalidate_keys(Self::key(va_start, level), Self::key(last, level));
+        }
+        removed
+    }
 }
 
 impl Default for PagingStructureCache {
@@ -177,6 +211,24 @@ mod tests {
         // The two oldest entries were evicted.
         assert_eq!(pwc.walk_start(VirtAddr::new(0)), None);
         assert!(pwc.walk_start(VirtAddr::new(3 << 21)).is_some());
+    }
+
+    #[test]
+    fn ranged_eviction_is_targeted() {
+        let mut pwc = PagingStructureCache::paper_testbed();
+        let inside = VirtAddr::new(0x4000_0000);
+        let outside = VirtAddr::new(0x8000_0000);
+        pwc.record(inside, Level::L2, FrameId::new(1));
+        pwc.record(outside, Level::L2, FrameId::new(2));
+        pwc.record(inside, Level::L3, FrameId::new(3));
+        // Evict one 2 MiB region: the PDE entry covering it dies, as does
+        // the PDPTE entry for its 1 GiB region; the other region survives.
+        let removed = pwc.invalidate_range(inside, inside.add(2 * 1024 * 1024));
+        assert_eq!(removed, 2);
+        assert_eq!(pwc.walk_start(inside), None);
+        assert!(pwc.walk_start(outside).is_some());
+        // An empty range removes nothing.
+        assert_eq!(pwc.invalidate_range(outside, outside), 0);
     }
 
     #[test]

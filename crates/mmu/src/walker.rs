@@ -153,6 +153,17 @@ impl HardwareWalker {
                         };
                     }
                 };
+                // A store through a non-writable leaf is a permission
+                // fault (the path copy-on-write resolution takes).
+                if is_write && !pte.flags().writable {
+                    stats.faults += 1;
+                    stats.walk_cycles += cycles;
+                    return WalkOutcome {
+                        translation: None,
+                        cycles,
+                        levels_read,
+                    };
+                }
                 if self.config.set_access_dirty {
                     let mut updated = pte.with_accessed();
                     if is_write {
@@ -291,6 +302,56 @@ mod tests {
         );
         let leaf = store.read(FrameId::new(3), addr.index_at(Level::L1));
         assert!(leaf.flags().dirty);
+    }
+
+    #[test]
+    fn write_through_a_read_only_leaf_faults() {
+        let (mut store, frames, root, addr) = build(false);
+        // Downgrade the leaf to read-only (a CoW mapping).
+        let l1 = FrameId::new(3);
+        let index = addr.index_at(Level::L1);
+        let leaf = store.read(l1, index);
+        store.write(
+            l1,
+            index,
+            leaf.with_flags(PteFlags {
+                writable: false,
+                ..leaf.flags()
+            }),
+        );
+        let walker = HardwareWalker::new();
+        let mut pwc = PagingStructureCache::paper_testbed();
+        let mut pte_cache = PteCache::new(1024);
+        let mut stats = WalkStats::default();
+        let read = walker.walk(
+            SocketId::new(0),
+            root,
+            addr,
+            false,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pwc,
+            &mut pte_cache,
+            &mut stats,
+        );
+        assert!(read.translation.is_some(), "reads still translate");
+        let write = walker.walk(
+            SocketId::new(0),
+            root,
+            addr,
+            true,
+            &mut store,
+            &frames,
+            &cost(),
+            &mut pwc,
+            &mut pte_cache,
+            &mut stats,
+        );
+        assert!(write.translation.is_none(), "writes fault");
+        assert_eq!(stats.faults, 1);
+        // The dirty bit was not set by the faulting write.
+        assert!(!store.read(l1, index).flags().dirty);
     }
 
     #[test]

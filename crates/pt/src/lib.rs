@@ -15,6 +15,9 @@
 //!   replica via the circular replica list.
 //! * [`Mapper`] — software map/unmap/protect/translate operations used by
 //!   the virtual memory subsystem, always going through [`PvOps`].
+//! * [`MappingTx`], [`ShootdownPlan`] — deferred TLB-consistency work: the
+//!   exact page ranges, sizes and address spaces a batch of mutations
+//!   invalidates, accumulated and flushed once (ranged shootdowns).
 //! * [`PageTableDump`] — the analysis "kernel module" of paper §3.1: walks a
 //!   page table and reports, per level and per socket, how many page-table
 //!   pages exist and where their entries point (Figures 3 and 4).
@@ -59,6 +62,7 @@ mod error;
 mod mapper;
 mod ops;
 mod store;
+mod tx;
 mod walk;
 
 pub use addr::{Level, PageSize, VirtAddr, ENTRIES_PER_TABLE};
@@ -70,4 +74,5 @@ pub use ops::{
     NativePvOps, PtContext, PtEnv, PtOpStats, PvOps, ReplicationSpec, DEFAULT_PAGE_CACHE_TARGET,
 };
 pub use store::{PtSlot, PtStore};
+pub use tx::{MappingTx, ShootdownPlan, ShootdownRange};
 pub use walk::{iter_leaf_mappings, translate, LeafMapping, Translation};

@@ -28,7 +28,8 @@
 
 use mitosis::{Mitosis, MitosisError};
 use mitosis_numa::{Interference, NodeMask, SocketId};
-use mitosis_vmm::{AutoNuma, Pid, System};
+use mitosis_pt::VirtAddr;
+use mitosis_vmm::{AutoNuma, MmapFlags, Pid, System};
 
 /// One kind of mid-run scenario mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +63,40 @@ pub enum PhaseChange {
         /// Sockets hosting an interfering process afterwards.
         sockets: NodeMask,
     },
+    /// Fork the workload process: the child shares every data frame
+    /// copy-on-write and the parent's writable leaves are downgraded to
+    /// read-only, so subsequent writes fault and copy (the fork/CoW
+    /// fault-storm scenario).
+    Fork,
+    /// Map `length` bytes of lazy anonymous memory at the fixed address
+    /// `addr` (the mmap side of address-space churn); pages materialise
+    /// through demand faults as the workload touches them.
+    MmapAt {
+        /// Fixed page-aligned start address of the new region.
+        addr: VirtAddr,
+        /// Length of the region in bytes (page-multiple).
+        length: u64,
+    },
+    /// Unmap `[addr, addr + length)`, splitting or shrinking any VMAs the
+    /// range cuts through (the munmap side of address-space churn).
+    MunmapAt {
+        /// Page-aligned start address of the hole.
+        addr: VirtAddr,
+        /// Length of the hole in bytes (page-multiple).
+        length: u64,
+    },
+    /// Collapse the 512 base pages at `addr` into one 2 MiB mapping
+    /// (khugepaged-style promotion); a no-op if the region is not
+    /// promotable or a contiguous huge frame cannot be carved.
+    PromoteHuge {
+        /// 2 MiB-aligned start address of the region.
+        addr: VirtAddr,
+    },
+    /// Split the 2 MiB mapping at `addr` back into 512 base pages.
+    DemoteHuge {
+        /// 2 MiB-aligned start address of the huge mapping.
+        addr: VirtAddr,
+    },
 }
 
 impl PhaseChange {
@@ -91,6 +126,21 @@ impl PhaseChange {
             PhaseChange::MigrateData { .. }
                 | PhaseChange::AutoNumaRebalance { .. }
                 | PhaseChange::SetInterference { .. }
+        )
+    }
+
+    /// Whether ranged-shootdown mode can satisfy this change with the exact
+    /// ranges its [`MappingTx`](mitosis_pt::MappingTx) records.
+    ///
+    /// Page-table migration and replica resizing replace whole page-table
+    /// trees — ranged invalidation cannot name every stale
+    /// paging-structure-cache entry, so those changes escalate to a full
+    /// flush even in ranged mode.  Everything else (data migration, churn,
+    /// fork downgrades) names its invalidated pages exactly.
+    pub fn supports_ranged_shootdown(&self) -> bool {
+        !matches!(
+            self,
+            PhaseChange::MigratePageTable { .. } | PhaseChange::SetReplicas { .. }
         )
     }
 }
@@ -311,6 +361,21 @@ pub fn apply_phase_change(
                 .machine_mut()
                 .cost_model_mut()
                 .set_interference(interference);
+        }
+        PhaseChange::Fork => {
+            system.fork(pid)?;
+        }
+        PhaseChange::MmapAt { addr, length } => {
+            system.mmap_at(pid, addr, length, MmapFlags::lazy())?;
+        }
+        PhaseChange::MunmapAt { addr, length } => {
+            system.munmap(pid, addr, length)?;
+        }
+        PhaseChange::PromoteHuge { addr } => {
+            system.promote_huge(pid, addr)?;
+        }
+        PhaseChange::DemoteHuge { addr } => {
+            system.demote_huge(pid, addr)?;
         }
     }
     Ok(())

@@ -4,6 +4,7 @@
 use crate::dynamics::{apply_phase_change, PhaseSchedule};
 use crate::metrics::RunMetrics;
 use crate::params::SimParams;
+use crate::shootdown::{self, BoundaryFlush, ShootdownStats};
 use mitosis::{Mitosis, MitosisError};
 use mitosis_mmu::{Mmu, MmuStats, PteCacheSet};
 use mitosis_numa::{AccessKind, CoreId, CostModel, Cycles, SocketId};
@@ -212,6 +213,9 @@ pub struct ExecutionEngine {
     /// Track (timeline) the engine's spans and interval samples carry —
     /// the lane-group index in parallel replay, 0 otherwise.
     obs_track: u64,
+    /// TLB-consistency work the most recent run performed (advisory; not
+    /// part of [`RunMetrics`] and not carried across checkpoints).
+    shootdowns: ShootdownStats,
 }
 
 impl ExecutionEngine {
@@ -223,7 +227,15 @@ impl ExecutionEngine {
             mmu_pool: Vec::new(),
             observer: Observer::none(),
             obs_track: 0,
+            shootdowns: ShootdownStats::default(),
         }
+    }
+
+    /// TLB-consistency work performed by the most recent (or in-progress)
+    /// run: full flushes, ranged invalidations and entries dropped.  Resets
+    /// when a fresh (non-resumed) span starts.
+    pub fn last_shootdowns(&self) -> ShootdownStats {
+        self.shootdowns
     }
 
     /// Installs the observer later runs report spans, counters and interval
@@ -252,7 +264,7 @@ impl ExecutionEngine {
     /// TLB/PWC/cache allocations — per-run setup cost that dominates for
     /// short traces — without perturbing bit-identical metrics.
     pub fn reset(&mut self) {
-        self.pte_caches.flush_all();
+        self.pte_caches.reset_for_run();
     }
 
     /// One MMU per thread placement: reuse a pooled MMU of the same core
@@ -582,6 +594,9 @@ impl ExecutionEngine {
             "one access source per thread placement"
         );
         let start_access = resume.map_or(0, |checkpoint| checkpoint.at);
+        if resume.is_none() {
+            self.shootdowns = ShootdownStats::default();
+        }
         if let Some(checkpoint) = resume {
             assert_eq!(
                 checkpoint.mmus.len(),
@@ -608,6 +623,14 @@ impl ExecutionEngine {
             Some(checkpoint) => checkpoint.mmus.clone(),
             None => self.checkout_mmus(threads),
         };
+        // Tag every core's TLB with the running process's ASID: lookups and
+        // inserts use one constant value per run (hit/miss behaviour — and
+        // golden metrics — are unchanged), but ranged shootdown plans carry
+        // this ASID in their ranges, so invalidation actually matches the
+        // resident entries.
+        for mmu in &mut mmus {
+            mmu.set_asid(System::asid_of(pid));
+        }
         let mut totals = match resume {
             Some(checkpoint) => checkpoint.totals.clone(),
             None => vec![ThreadTotals::default(); threads.len()],
@@ -768,7 +791,23 @@ impl ExecutionEngine {
                                     // Demand paging: fault into the kernel, then
                                     // retry.
                                     totals.demand_faults += 1;
-                                    let fault = system.handle_fault(pid, addr, placement.socket)?;
+                                    let fault = system.handle_fault_access(
+                                        pid,
+                                        addr,
+                                        placement.socket,
+                                        access.is_write,
+                                    )?;
+                                    if !system.pending_shootdown().is_empty() {
+                                        // A copy-on-write break remapped the
+                                        // page (ranged mode records it):
+                                        // invalidate locally before the retry.
+                                        let plan = system.take_shootdown_plan();
+                                        self.shootdowns.merge(&shootdown::apply_local(
+                                            &plan,
+                                            mmu,
+                                            &mut self.pte_caches,
+                                        ));
+                                    }
                                     let retry = {
                                         let env = system.pt_env_mut();
                                         mmu.access(
@@ -869,11 +908,13 @@ impl ExecutionEngine {
 
                 let mut broadcast_flush = false;
                 let mut cache_flush = false;
+                let mut escalate_full = false;
                 let mut targeted: Vec<usize> = Vec::new();
                 for event in schedule.events_at(boundary, accesses_per_thread) {
                     apply_phase_change(system, mitosis, pid, event.change)?;
                     let mutates = event.change.mutates_mappings();
                     cache_flush |= mutates;
+                    escalate_full |= mutates && !event.change.supports_ranged_shootdown();
                     match event.thread {
                         None => {
                             // All threads re-derive their state at the next
@@ -894,24 +935,21 @@ impl ExecutionEngine {
                         Some(_) => {}
                     }
                 }
-                if broadcast_flush {
-                    // Page tables were rewritten wholesale: every core takes a
-                    // broadcast shootdown.
-                    for mmu in &mut mmus {
-                        mmu.shootdown_all();
-                    }
-                } else {
-                    for thread in targeted {
-                        mmus[thread].shootdown_all();
-                    }
-                }
-                if cache_flush {
-                    // The per-socket page-table-line caches drop lines of
-                    // tables that may have been rewritten or freed; unlike the
-                    // per-core TLBs they are coherent with memory, so this is
-                    // not staggerable.
-                    self.pte_caches.flush_all();
-                }
+                // All TLB/PTE-cache consistency work — broadcast full
+                // flushes or the drained ranged plan — happens in the
+                // shootdown module, the only place allowed to flush.
+                let work = shootdown::apply_boundary(
+                    system,
+                    &mut mmus,
+                    &mut self.pte_caches,
+                    BoundaryFlush {
+                        broadcast: broadcast_flush,
+                        targeted: &targeted,
+                        cache_flush,
+                        escalate_full,
+                    },
+                );
+                self.shootdowns.merge(&work);
                 segment_start = boundary;
             }
             Ok(None)

@@ -50,6 +50,7 @@ mod migration;
 mod multisocket;
 mod params;
 mod report;
+mod shootdown;
 
 pub use configs::{DataPolicyChoice, MigrationConfig, MigrationRun, MultiSocketConfig};
 pub use dynamics::{apply_phase_change, PhaseChange, PhaseEvent, PhaseSchedule};
@@ -60,6 +61,8 @@ pub use engine::{
 pub use metrics::RunMetrics;
 pub use migration::WorkloadMigrationScenario;
 pub use mitosis_obs::{IntervalAccumulator, IntervalSample, Observer};
+pub use mitosis_vmm::ShootdownMode;
 pub use multisocket::MultiSocketScenario;
 pub use params::SimParams;
 pub use report::{format_normalized_table, render_rows, NormalizedRow, ScenarioResult};
+pub use shootdown::{BoundaryFlush, ShootdownStats};

@@ -54,6 +54,7 @@ impl WorkloadMigrationScenario {
                 .alloc
                 .set_fragmentation(FragmentationModel::with_probability(probability));
         }
+        system.set_shootdown_mode(params.shootdown_mode);
 
         let a = Self::RUN_SOCKET;
         let b = Self::REMOTE_SOCKET;

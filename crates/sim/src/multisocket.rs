@@ -48,6 +48,7 @@ impl MultiSocketScenario {
                 .alloc
                 .set_fragmentation(FragmentationModel::with_probability(probability));
         }
+        system.set_shootdown_mode(params.shootdown_mode);
 
         let pid = system.create_process(sockets[0])?;
         if config.data_policy == DataPolicyChoice::Interleave {

@@ -1,6 +1,7 @@
 //! Simulation parameters.
 
 use mitosis_numa::{Machine, MachineConfig};
+use mitosis_vmm::ShootdownMode;
 use mitosis_workloads::WorkloadSpec;
 
 /// Parameters shared by every experiment run.
@@ -25,6 +26,9 @@ pub struct SimParams {
     /// External-fragmentation probability applied to the allocator before
     /// the workload populates its memory (`None` = pristine machine).
     pub fragmentation: Option<f64>,
+    /// TLB-consistency model for mapping mutations (`Broadcast` keeps the
+    /// historical full-flush behaviour and bit-identical golden metrics).
+    pub shootdown_mode: ShootdownMode,
 }
 
 impl SimParams {
@@ -44,6 +48,7 @@ impl SimParams {
             threads_per_socket: 1,
             seed: 42,
             fragmentation: None,
+            shootdown_mode: ShootdownMode::Broadcast,
         }
     }
 
@@ -55,6 +60,7 @@ impl SimParams {
             threads_per_socket: 1,
             seed: 7,
             fragmentation: None,
+            shootdown_mode: ShootdownMode::Broadcast,
         }
     }
 
@@ -89,6 +95,12 @@ impl SimParams {
     /// Sets the random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Switches mapping mutations to ranged, ASID-tagged shootdowns.
+    pub fn with_ranged_shootdowns(mut self) -> Self {
+        self.shootdown_mode = ShootdownMode::Ranged;
         self
     }
 

@@ -132,6 +132,21 @@ pub fn trace_event_of_change(
             sockets: sockets.bits(),
             staggered,
         },
+        PhaseChange::Fork => TraceEvent::Fork,
+        PhaseChange::MmapAt { addr, length } => TraceEvent::MmapAt {
+            addr: addr.as_u64(),
+            len: length,
+        },
+        PhaseChange::MunmapAt { addr, length } => TraceEvent::MunmapAt {
+            addr: addr.as_u64(),
+            len: length,
+        },
+        PhaseChange::PromoteHuge { addr } => TraceEvent::PromoteHuge {
+            addr: addr.as_u64(),
+        },
+        PhaseChange::DemoteHuge { addr } => TraceEvent::DemoteHuge {
+            addr: addr.as_u64(),
+        },
     })
 }
 
@@ -268,6 +283,7 @@ pub fn capture_engine_run_dynamic(
             .alloc
             .set_fragmentation(FragmentationModel::with_probability(probability));
     }
+    system.set_shootdown_mode(params.shootdown_mode);
 
     let home = sockets[0];
     let pid = system.create_process(home)?;
@@ -373,6 +389,7 @@ pub fn capture_multisocket_scenario(
             .alloc
             .set_fragmentation(FragmentationModel::with_probability(probability));
     }
+    system.set_shootdown_mode(params.shootdown_mode);
 
     let pid = system.create_process(sockets[0])?;
     events.push(TraceEvent::CreateProcess {
@@ -479,6 +496,7 @@ pub fn capture_migration_scenario(
             .alloc
             .set_fragmentation(FragmentationModel::with_probability(probability));
     }
+    system.set_shootdown_mode(params.shootdown_mode);
 
     // Mirrors WorkloadMigrationScenario: the workload runs on socket 0
     // ("A"), everything left behind lives on socket 1 ("B").

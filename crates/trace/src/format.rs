@@ -99,7 +99,14 @@ pub fn checked_socket_u16(index: usize) -> Result<u16, TraceError> {
 ///   bound the blast radius of corruption or truncation:
 ///   [`Trace::recover`] trims a damaged trace to its longest
 ///   checkpoint-attested prefix instead of losing everything.
-pub const TRACE_VERSION: u32 = 5;
+/// * 6 — address-space-churn and fork/CoW events: [`TraceEvent::Fork`],
+///   [`TraceEvent::MmapAt`], [`TraceEvent::MunmapAt`],
+///   [`TraceEvent::PromoteHuge`] and [`TraceEvent::DemoteHuge`] (codes
+///   16–20), valid as mid-lane phase-change markers.  The wire format is
+///   otherwise unchanged: a v6 trace without the new events encodes
+///   byte-identically to a v5 trace except for the header's version word,
+///   and v1–v5 traces remain readable.
+pub const TRACE_VERSION: u32 = 6;
 
 /// Oldest format version [`TraceReader`] still accepts.
 pub const TRACE_MIN_VERSION: u32 = 1;
@@ -498,6 +505,38 @@ pub enum TraceEvent {
         /// Bit mask of sockets the interleave rotates over.
         sockets: u64,
     },
+    /// The workload process forked: the child shares every data frame
+    /// copy-on-write and the parent's writable mappings were downgraded to
+    /// read-only.  Mid-lane phase-change marker (format v6).
+    Fork,
+    /// `len` bytes of populated anonymous memory were mapped at the fixed
+    /// address `addr` (format v6).
+    MmapAt {
+        /// Fixed start address of the new region.
+        addr: u64,
+        /// Length of the region in bytes.
+        len: u64,
+    },
+    /// `[addr, addr + len)` was unmapped, splitting any VMAs the range cut
+    /// through (format v6).
+    MunmapAt {
+        /// Start address of the hole.
+        addr: u64,
+        /// Length of the hole in bytes.
+        len: u64,
+    },
+    /// The 512 base pages at `addr` were collapsed into one 2 MiB mapping
+    /// (format v6).
+    PromoteHuge {
+        /// 2 MiB-aligned start address of the promoted region.
+        addr: u64,
+    },
+    /// The 2 MiB mapping at `addr` was split back into base pages
+    /// (format v6).
+    DemoteHuge {
+        /// 2 MiB-aligned start address of the demoted mapping.
+        addr: u64,
+    },
 }
 
 impl TraceEvent {
@@ -535,6 +574,12 @@ impl TraceEvent {
                 staggerable(13, sockets, staggered)
             }
             TraceEvent::InterleaveData { sockets } => (14, [sockets, 0, 0], 1),
+            // 15 is the internal checkpoint marker.
+            TraceEvent::Fork => (16, [0; 3], 0),
+            TraceEvent::MmapAt { addr, len } => (17, [addr, len, 0], 2),
+            TraceEvent::MunmapAt { addr, len } => (18, [addr, len, 0], 2),
+            TraceEvent::PromoteHuge { addr } => (19, [addr, 0, 0], 1),
+            TraceEvent::DemoteHuge { addr } => (20, [addr, 0, 0], 1),
         }
     }
 
@@ -583,6 +628,17 @@ impl TraceEvent {
                 staggered: staggered(1),
             },
             14 => TraceEvent::InterleaveData { sockets: arg(0)? },
+            16 => TraceEvent::Fork,
+            17 => TraceEvent::MmapAt {
+                addr: arg(0)?,
+                len: arg(1)?,
+            },
+            18 => TraceEvent::MunmapAt {
+                addr: arg(0)?,
+                len: arg(1)?,
+            },
+            19 => TraceEvent::PromoteHuge { addr: arg(0)? },
+            20 => TraceEvent::DemoteHuge { addr: arg(0)? },
             other => return Err(TraceError::UnknownEvent(other)),
         })
     }
@@ -1445,6 +1501,106 @@ mod tests {
         let checksum = hash.0;
         v3[body_end..].copy_from_slice(&checksum.to_le_bytes());
         assert_eq!(Trace::from_bytes(&v3).unwrap(), trace);
+    }
+
+    #[test]
+    fn v6_bodies_without_churn_events_match_the_v5_encoding() {
+        // The v6 event codes are purely additive: a trace carrying none of
+        // them must encode byte-identically to the v5 writer, except for
+        // the version word in the header.
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![
+                TraceEvent::CreateProcess { socket: 0 },
+                TraceEvent::Mmap {
+                    len: 1 << 27,
+                    populate: true,
+                    thp: false,
+                },
+            ],
+            lanes: vec![TraceLane {
+                socket: 0,
+                accesses: vec![Access {
+                    offset: 64,
+                    is_write: true,
+                }],
+                events: vec![(
+                    1,
+                    TraceEvent::MigrateData {
+                        socket: 1,
+                        staggered: false,
+                    },
+                )],
+            }],
+        };
+        let bytes = trace.to_bytes().unwrap();
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            TRACE_VERSION
+        );
+        // Rewrite the version word to 5 and fix up the checksum: the body
+        // must decode identically, proving nothing else changed.
+        let mut v5 = bytes.clone();
+        v5[4..8].copy_from_slice(&5u32.to_le_bytes());
+        let body_end = v5.len() - 8;
+        let mut hash = Fnv64::new();
+        hash.update(&v5[..body_end]);
+        let checksum = hash.0;
+        v5[body_end..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(Trace::from_bytes(&v5).unwrap(), trace);
+    }
+
+    #[test]
+    fn churn_and_fork_events_roundtrip() {
+        let trace = Trace {
+            meta: meta(),
+            setup_events: vec![TraceEvent::CreateProcess { socket: 0 }],
+            lanes: vec![TraceLane {
+                socket: 0,
+                accesses: vec![
+                    Access {
+                        offset: 0,
+                        is_write: false,
+                    },
+                    Access {
+                        offset: 8,
+                        is_write: true,
+                    },
+                ],
+                events: vec![
+                    (1, TraceEvent::Fork),
+                    (
+                        1,
+                        TraceEvent::MmapAt {
+                            addr: 0x5000_0000_0000,
+                            len: 1 << 21,
+                        },
+                    ),
+                    (
+                        2,
+                        TraceEvent::MunmapAt {
+                            addr: 0x5000_0000_0000,
+                            len: 1 << 20,
+                        },
+                    ),
+                    (
+                        2,
+                        TraceEvent::PromoteHuge {
+                            addr: 0x5000_0010_0000,
+                        },
+                    ),
+                    (
+                        2,
+                        TraceEvent::DemoteHuge {
+                            addr: 0x5000_0010_0000,
+                        },
+                    ),
+                ],
+            }],
+        };
+        let bytes = trace.to_bytes().unwrap();
+        assert_eq!(Trace::from_bytes(&bytes).unwrap(), trace);
+        assert!(!TraceEvent::Fork.staggered());
     }
 
     fn lane_of(accesses: usize) -> TraceLane {

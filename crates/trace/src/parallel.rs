@@ -438,13 +438,39 @@ impl fmt::Display for LaneReplayReport {
     }
 }
 
+/// Whether any lane carries a mid-lane marker that *mutates the address
+/// space* (trace format v6: fork, mmap/munmap churn, huge-page
+/// promotion/demotion).  Such events punch holes in the premapped
+/// footprint (munmap), add lazily faulted ranges (mmap), or allocate and
+/// release frames mid-run (fork's CoW sharing, promote/demote) — so the
+/// frame allocator no longer evolves identically across lane groups and
+/// the premapped-coverage proof below does not apply.
+pub(crate) fn lanes_mutate_address_space(trace: &Trace) -> bool {
+    trace.lanes.iter().any(|lane| {
+        lane.events.iter().any(|(_, event)| {
+            matches!(
+                event,
+                TraceEvent::Fork
+                    | TraceEvent::MmapAt { .. }
+                    | TraceEvent::MunmapAt { .. }
+                    | TraceEvent::PromoteHuge { .. }
+                    | TraceEvent::DemoteHuge { .. }
+            )
+        })
+    })
+}
+
 /// The number of bytes from the region start that the setup events premap
 /// (populate or `MAP_POPULATE`), or `None` when the setup is too unusual to
-/// analyse (no single mmap).  Every byte below the returned length is
-/// mapped before the measured phase begins — and no mid-lane phase change
-/// unmaps (migrations and replica changes remap pages, they never leave a
-/// hole) — so accesses within it can never demand-fault.
+/// analyse (no single mmap) or a mid-lane marker mutates the address space
+/// (see [`lanes_mutate_address_space`]).  Every byte below the returned
+/// length is mapped before the measured phase begins — and no mid-lane
+/// phase change unmaps (migrations and replica changes remap pages, they
+/// never leave a hole) — so accesses within it can never demand-fault.
 pub(crate) fn premapped_bytes(trace: &Trace) -> Option<u64> {
+    if lanes_mutate_address_space(trace) {
+        return None;
+    }
     let mut mmaps = 0usize;
     let mut covered = 0u64;
     for event in &trace.setup_events {
@@ -705,6 +731,38 @@ mod tests {
             thp: true,
         });
         assert_eq!(premapped_bytes(&trace), None);
+    }
+
+    #[test]
+    fn address_space_churn_defeats_the_premapped_proof() {
+        use crate::format::TraceEvent;
+        let mut trace = synthetic_trace(4, &[0, 1]);
+        trace.setup_events = vec![
+            TraceEvent::Mmap {
+                len: 1 << 26,
+                populate: true,
+                thp: true,
+            },
+            TraceEvent::Populate {
+                len: 1 << 26,
+                parallel: false,
+                sockets: 0b1,
+            },
+        ];
+        assert_eq!(premapped_bytes(&trace), Some(1 << 26));
+        assert!(!lanes_mutate_address_space(&trace));
+        // A mid-lane munmap punches a hole the setup analysis cannot see:
+        // the trace must fall back to serial replay.
+        trace.lanes[1].events.push((
+            0,
+            TraceEvent::MunmapAt {
+                addr: 0x7000_0000_0000,
+                len: 4096,
+            },
+        ));
+        assert!(lanes_mutate_address_space(&trace));
+        assert_eq!(premapped_bytes(&trace), None);
+        assert!(!lanes_fully_premapped(&trace));
     }
 
     #[test]

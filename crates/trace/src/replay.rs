@@ -253,6 +253,21 @@ fn phase_change_of_event(event: TraceEvent) -> Option<PhaseChange> {
         TraceEvent::Interference { sockets, .. } => Some(PhaseChange::SetInterference {
             sockets: NodeMask::from_bits(sockets),
         }),
+        TraceEvent::Fork => Some(PhaseChange::Fork),
+        TraceEvent::MmapAt { addr, len } => Some(PhaseChange::MmapAt {
+            addr: VirtAddr::new(addr),
+            length: len,
+        }),
+        TraceEvent::MunmapAt { addr, len } => Some(PhaseChange::MunmapAt {
+            addr: VirtAddr::new(addr),
+            length: len,
+        }),
+        TraceEvent::PromoteHuge { addr } => Some(PhaseChange::PromoteHuge {
+            addr: VirtAddr::new(addr),
+        }),
+        TraceEvent::DemoteHuge { addr } => Some(PhaseChange::DemoteHuge {
+            addr: VirtAddr::new(addr),
+        }),
         _ => None,
     }
 }
@@ -1155,6 +1170,7 @@ pub fn prepare_replay(
             .alloc
             .set_fragmentation(FragmentationModel::with_probability(probability));
     }
+    system.set_shootdown_mode(params.shootdown_mode);
 
     let mut pid = None;
     let mut region = None;
@@ -1296,6 +1312,18 @@ pub fn prepare_replay(
                     .set_data_policy(PlacementPolicy::Interleave(NodeMask::from_bits(sockets)));
             }
             TraceEvent::Marker(_) => {}
+            TraceEvent::Fork
+            | TraceEvent::MmapAt { .. }
+            | TraceEvent::MunmapAt { .. }
+            | TraceEvent::PromoteHuge { .. }
+            | TraceEvent::DemoteHuge { .. } => {
+                // Captures record address-space churn only as mid-lane
+                // phase-change markers; as setup events they would mutate a
+                // system no lane has touched yet, which no live run produces.
+                return Err(ReplayError::Mismatch(format!(
+                    "churn event {event:?} recorded as a setup event"
+                )));
+            }
         }
     }
 

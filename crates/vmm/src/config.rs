@@ -47,6 +47,27 @@ impl PtPlacement {
     }
 }
 
+/// How TLB-consistency work is performed when mappings mutate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShootdownMode {
+    /// Every mapping mutation ends in a broadcast full flush of all TLBs
+    /// and PTE caches (the historical model, and the default: existing
+    /// scenarios stay bit-identical).
+    #[default]
+    Broadcast,
+    /// Mutations accumulate the exact invalidated ranges in a
+    /// [`MappingTx`](mitosis_pt::MappingTx) and flush once as a ranged,
+    /// ASID-tagged shootdown plan.
+    Ranged,
+}
+
+impl ShootdownMode {
+    /// Returns `true` when mutations should record ranged shootdown work.
+    pub fn is_ranged(self) -> bool {
+        matches!(self, ShootdownMode::Ranged)
+    }
+}
+
 /// System-wide virtual-memory configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct VmmConfig {
@@ -54,6 +75,8 @@ pub struct VmmConfig {
     pub thp: ThpMode,
     /// Page-table placement policy.
     pub pt_placement: PtPlacement,
+    /// TLB-consistency mode for mapping mutations.
+    pub shootdown: ShootdownMode,
 }
 
 impl VmmConfig {
@@ -71,6 +94,12 @@ impl VmmConfig {
     /// Configuration forcing page tables onto `socket`.
     pub fn with_fixed_pt_socket(mut self, socket: SocketId) -> Self {
         self.pt_placement = PtPlacement::Fixed(socket);
+        self
+    }
+
+    /// Configuration recording ranged shootdowns instead of broadcasting.
+    pub fn with_ranged_shootdowns(mut self) -> Self {
+        self.shootdown = ShootdownMode::Ranged;
         self
     }
 }
@@ -105,5 +134,8 @@ mod tests {
             .with_fixed_pt_socket(SocketId::new(3));
         assert!(config.thp.is_enabled());
         assert_eq!(config.pt_placement, PtPlacement::Fixed(SocketId::new(3)));
+        assert_eq!(config.shootdown, ShootdownMode::Broadcast);
+        assert!(!config.shootdown.is_ranged());
+        assert!(config.with_ranged_shootdowns().shootdown.is_ranged());
     }
 }

@@ -47,7 +47,7 @@ mod system;
 mod vma;
 
 pub use autonuma::AutoNuma;
-pub use config::{PtPlacement, ThpMode, VmmConfig};
+pub use config::{PtPlacement, ShootdownMode, ThpMode, VmmConfig};
 pub use error::VmError;
 pub use process::{AddressSpace, Pid, Process};
 pub use scheduler::Scheduler;

@@ -1,13 +1,14 @@
 //! The kernel: processes, system calls, demand paging and migration.
 
-use crate::config::{PtPlacement, ThpMode, VmmConfig};
+use crate::config::{PtPlacement, ShootdownMode, ThpMode, VmmConfig};
 use crate::error::VmError;
 use crate::process::{AddressSpace, Pid, Process};
 use crate::vma::{Protection, Vma};
-use mitosis_mem::{FrameId, FrameKind};
+use mitosis_mem::{CowRefCounts, FrameId, FrameKind, MemError};
 use mitosis_numa::{Machine, SocketId};
 use mitosis_pt::{
-    Mapper, NativePvOps, PageSize, PageTableDump, PtEnv, PteFlags, PvOps, Translation, VirtAddr,
+    Level, Mapper, MappingTx, NativePvOps, PageSize, PageTableDump, PtEnv, Pte, PteFlags, PvOps,
+    ShootdownPlan, Translation, VirtAddr,
 };
 use std::collections::BTreeMap;
 
@@ -124,6 +125,8 @@ pub struct System {
     processes: BTreeMap<Pid, Process>,
     config: VmmConfig,
     next_pid: u32,
+    cow: CowRefCounts,
+    pending: MappingTx,
 }
 
 impl System {
@@ -144,7 +147,33 @@ impl System {
             processes: BTreeMap::new(),
             config: VmmConfig::stock(),
             next_pid: 1,
+            cow: CowRefCounts::new(),
+            pending: MappingTx::new(),
         }
+    }
+
+    /// The address-space identifier (TLB tag) of a process — its pid's low
+    /// 16 bits, the way Linux derives PCIDs.
+    pub fn asid_of(pid: Pid) -> u16 {
+        pid.as_u32() as u16
+    }
+
+    /// The shootdown work accumulated by mapping mutations since the last
+    /// [`System::take_shootdown_plan`].  Empty in
+    /// [`ShootdownMode::Broadcast`](crate::ShootdownMode::Broadcast).
+    pub fn pending_shootdown(&self) -> &MappingTx {
+        &self.pending
+    }
+
+    /// Drains the accumulated mapping mutations into a [`ShootdownPlan`]
+    /// ready to apply against the simulated TLBs.
+    pub fn take_shootdown_plan(&mut self) -> ShootdownPlan {
+        self.pending.take_plan()
+    }
+
+    /// The copy-on-write share table (fork bookkeeping).
+    pub fn cow_refcounts(&self) -> &CowRefCounts {
+        &self.cow
     }
 
     /// The machine this system runs on.
@@ -170,6 +199,11 @@ impl System {
     /// Sets the page-table placement policy.
     pub fn set_pt_placement(&mut self, placement: PtPlacement) {
         self.config.pt_placement = placement;
+    }
+
+    /// Sets the TLB-consistency model for mapping mutations.
+    pub fn set_shootdown_mode(&mut self, mode: ShootdownMode) {
+        self.config.shootdown = mode;
     }
 
     /// Replaces the whole configuration.
@@ -414,55 +448,461 @@ impl System {
         })
     }
 
-    /// Unmaps the area previously returned by [`System::mmap`].
-    ///
-    /// The whole area must be named exactly (`addr` = area start, `length` =
-    /// area length), as the paper's micro-benchmarks do.
+    /// Handles a memory-access fault at `addr` by a thread on `socket`,
+    /// distinguishing reads from writes: a store through a read-only leaf of
+    /// a writable area is a copy-on-write break (the frame was shared by
+    /// [`System::fork`]) and gets a private copy; everything else falls
+    /// through to demand paging ([`System::handle_fault`]).
     ///
     /// # Errors
     ///
-    /// Returns [`VmError::InvalidArgument`] if the range does not name a
-    /// whole VMA, or propagates page-table errors.
-    pub fn munmap(&mut self, pid: Pid, addr: VirtAddr, length: u64) -> Result<(), VmError> {
+    /// Returns [`VmError::SegmentationFault`] for an access outside any VMA
+    /// or a store into a read-only area, or propagates allocation errors.
+    pub fn handle_fault_access(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        socket: SocketId,
+        is_write: bool,
+    ) -> Result<FaultOutcome, VmError> {
+        if !is_write {
+            return self.handle_fault(pid, addr, socket);
+        }
+        let t = match self.translate(pid, addr)? {
+            None => return self.handle_fault(pid, addr, socket),
+            Some(t) => t,
+        };
+        if t.pte.flags().writable {
+            // Spurious: another thread already resolved the fault.
+            return Ok(FaultOutcome {
+                addr: addr.align_down(t.size),
+                size: t.size,
+                frame: t.frame,
+                already_mapped: true,
+            });
+        }
+        let ranged = self.config.shootdown.is_ranged();
+        let asid = Self::asid_of(pid);
         let process = self
             .processes
             .get_mut(&pid)
             .ok_or(VmError::NoSuchProcess { pid })?;
-        let matches_whole_vma = process
+        let vma_writable = process
             .address_space()
             .vmas()
             .find(addr)
-            .map(|vma| vma.start() == addr && vma.length() == length)
-            .unwrap_or(false);
-        if !matches_whole_vma {
-            return Err(VmError::InvalidArgument);
+            .ok_or(VmError::SegmentationFault { addr })?
+            .protection()
+            .is_writable();
+        if !vma_writable {
+            return Err(VmError::SegmentationFault { addr });
         }
+        let replication = process.replication();
         let roots = process.address_space().roots().clone();
+        let aligned = addr.align_down(t.size);
+        let pt_socket = self.config.pt_placement.resolve(socket);
+        let flags = PteFlags::user_data();
         let mut ctx = self.env.context();
         let mapper = Mapper::new(&roots);
-        let mut cursor = addr;
-        let end = addr.add(length);
-        while cursor < end {
-            match mapper.translate(&ctx, cursor) {
-                Some(t) => {
-                    let old = mapper.unmap(self.ops.as_mut(), &mut ctx, cursor)?;
-                    let frame = old.frame().expect("mapped entry has a frame");
-                    ctx.frames.remove(frame);
-                    match t.size {
-                        PageSize::Base4K => ctx.alloc.free(frame)?,
-                        PageSize::Huge2M => ctx.alloc.free_huge(frame)?,
-                        PageSize::Giant1G => {
-                            for i in 0..PageSize::Giant1G.frames() / 512 {
-                                ctx.alloc.free_huge(frame.offset(i * 512))?;
-                            }
-                        }
-                    }
-                    cursor = cursor.add(t.size.bytes());
+        if self.cow.is_shared(t.frame) {
+            // Still shared: copy the page to a private frame placed by the
+            // process' data policy, remap, and drop our reference.
+            let new_frame = match t.size {
+                PageSize::Base4K => process.data_policy_mut().alloc_data(ctx.alloc, socket)?,
+                PageSize::Huge2M => process
+                    .data_policy_mut()
+                    .alloc_huge_data(ctx.alloc, socket)?,
+                PageSize::Giant1G => return Err(VmError::InvalidArgument),
+            };
+            ctx.frames.insert(new_frame, FrameKind::Data);
+            mapper.unmap(self.ops.as_mut(), &mut ctx, aligned)?;
+            mapper.map(
+                self.ops.as_mut(),
+                &mut ctx,
+                aligned,
+                new_frame,
+                t.size,
+                flags,
+                pt_socket,
+                replication,
+            )?;
+            self.cow.release(t.frame);
+            if ranged {
+                self.pending.invalidate_page(asid, aligned, t.size);
+            }
+            Ok(FaultOutcome {
+                addr: aligned,
+                size: t.size,
+                frame: new_frame,
+                already_mapped: false,
+            })
+        } else {
+            // The other side already copied; the frame is exclusive again
+            // and can be written in place.
+            mapper.protect(self.ops.as_mut(), &mut ctx, aligned, flags)?;
+            if ranged {
+                self.pending.invalidate_page(asid, aligned, t.size);
+            }
+            Ok(FaultOutcome {
+                addr: aligned,
+                size: t.size,
+                frame: t.frame,
+                already_mapped: false,
+            })
+        }
+    }
+
+    /// Forks `parent`: the child gets its own page-table tree (honouring the
+    /// parent's replication request and the system's page-table placement
+    /// policy), a copy of the parent's VMAs and data policy, and shares
+    /// every mapped data frame copy-on-write — writable leaves are
+    /// downgraded to read-only in the parent and mapped read-only in the
+    /// child, so the next store from either side faults and copies
+    /// ([`System::handle_fault_access`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::NoSuchProcess`] for an unknown parent, or
+    /// propagates page-table allocation errors.
+    pub fn fork(&mut self, parent: Pid) -> Result<Pid, VmError> {
+        let ranged = self.config.shootdown.is_ranged();
+        let parent_asid = Self::asid_of(parent);
+        let (home, replication, policy, parent_roots, vmas) = {
+            let p = self.process(parent)?;
+            (
+                p.home_socket(),
+                p.replication(),
+                p.data_policy().policy(),
+                p.address_space().roots().clone(),
+                p.address_space().vmas().clone(),
+            )
+        };
+        let child_pid = Pid::new(self.next_pid);
+        self.next_pid += 1;
+        let leaves = mitosis_pt::iter_leaf_mappings(&self.env.store, parent_roots.base());
+        let pt_socket = self.config.pt_placement.resolve(home);
+        let mut ctx = self.env.context();
+        let child_roots =
+            Mapper::create_roots(self.ops.as_mut(), &mut ctx, pt_socket, replication)?;
+        let parent_mapper = Mapper::new(&parent_roots);
+        let child_mapper = Mapper::new(&child_roots);
+        let readonly = PteFlags::user_readonly();
+        for leaf in leaves {
+            if leaf.pte.flags().writable {
+                parent_mapper.protect(self.ops.as_mut(), &mut ctx, leaf.addr, readonly)?;
+                if ranged {
+                    self.pending
+                        .invalidate_page(parent_asid, leaf.addr, leaf.size);
                 }
-                None => cursor = cursor.add(PageSize::Base4K.bytes()),
+            }
+            child_mapper.map(
+                self.ops.as_mut(),
+                &mut ctx,
+                leaf.addr,
+                leaf.frame,
+                leaf.size,
+                readonly,
+                pt_socket,
+                replication,
+            )?;
+            self.cow.share(leaf.frame);
+        }
+        let mut child = Process::new(child_pid, home, AddressSpace::new(child_roots));
+        child.set_replication(replication);
+        child.set_data_policy(policy);
+        for vma in vmas.iter() {
+            child.address_space_mut().vmas_mut().insert(vma.clone())?;
+        }
+        self.processes.insert(child_pid, child);
+        Ok(child_pid)
+    }
+
+    /// Maps `length` bytes of anonymous memory at exactly `addr`
+    /// (`MAP_FIXED`-like, without the implicit unmap), failing if the range
+    /// overlaps an existing area.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidArgument`] for a zero/unaligned request,
+    /// [`VmError::VmaOverlap`] on overlap, or propagates fault errors when
+    /// populating.
+    pub fn mmap_at(
+        &mut self,
+        pid: Pid,
+        addr: VirtAddr,
+        length: u64,
+        flags: MmapFlags,
+    ) -> Result<VirtAddr, VmError> {
+        if length == 0
+            || !length.is_multiple_of(PageSize::Base4K.bytes())
+            || !addr.is_aligned(PageSize::Base4K)
+        {
+            return Err(VmError::InvalidArgument);
+        }
+        let home = self.process(pid)?.home_socket();
+        let process = self.process_mut(pid)?;
+        let mut vma = Vma::new(addr, length, flags.protection);
+        if !flags.thp_eligible {
+            vma = vma.with_thp_disabled();
+        }
+        process.address_space_mut().vmas_mut().insert(vma)?;
+        if flags.populate {
+            self.populate_region(pid, addr, length, home)?;
+        }
+        Ok(addr)
+    }
+
+    /// Promotes the 2 MiB-aligned region at `addr` from 512 base pages to
+    /// one huge page, as `khugepaged` would: allocates a huge frame on the
+    /// socket of the first base page, frees the base frames and installs a
+    /// single leaf.  Returns `false` — leaving the mappings untouched — when
+    /// the region is not promotable (incomplete, mixed protection,
+    /// copy-on-write shared, or already huge) or when the huge-frame
+    /// allocation fails under fragmentation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidArgument`] for an unaligned address,
+    /// [`VmError::SegmentationFault`] when no VMA covers the region, or
+    /// propagates page-table errors.
+    pub fn promote_huge(&mut self, pid: Pid, addr: VirtAddr) -> Result<bool, VmError> {
+        if !addr.is_aligned(PageSize::Huge2M) {
+            return Err(VmError::InvalidArgument);
+        }
+        let ranged = self.config.shootdown.is_ranged();
+        let asid = Self::asid_of(pid);
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(VmError::NoSuchProcess { pid })?;
+        {
+            let vma = process
+                .address_space()
+                .vmas()
+                .find(addr)
+                .ok_or(VmError::SegmentationFault { addr })?;
+            if !vma.contains(addr.add(PageSize::Huge2M.bytes() - 1)) {
+                return Ok(false);
             }
         }
-        process.address_space_mut().vmas_mut().remove(addr);
+        let replication = process.replication();
+        let roots = process.address_space().roots().clone();
+        let home = process.home_socket();
+        let pt_socket = self.config.pt_placement.resolve(home);
+        let mut ctx = self.env.context();
+        let mapper = Mapper::new(&roots);
+        // Every base page must be present, base-sized, exclusively owned
+        // and uniformly protected.
+        let pages = PageSize::Huge2M.bytes() / PageSize::Base4K.bytes();
+        let mut first_frame = None;
+        let mut writable = true;
+        for i in 0..pages {
+            let page = addr.add(i * PageSize::Base4K.bytes());
+            match mapper.translate(&ctx, page) {
+                Some(t) if t.size == PageSize::Base4K && !self.cow.is_shared(t.frame) => {
+                    if i == 0 {
+                        first_frame = Some(t.frame);
+                        writable = t.pte.flags().writable;
+                    } else if t.pte.flags().writable != writable {
+                        return Ok(false);
+                    }
+                }
+                _ => return Ok(false),
+            }
+        }
+        let target = ctx
+            .frames
+            .socket_of(first_frame.expect("512 pages were checked"));
+        let huge = match ctx.alloc.alloc_huge_on(target) {
+            Ok(frame) => frame,
+            Err(MemError::HugeAllocationFailed { .. }) => return Ok(false),
+            Err(other) => return Err(other.into()),
+        };
+        ctx.frames.insert(huge, FrameKind::Data);
+        for i in 0..pages {
+            let page = addr.add(i * PageSize::Base4K.bytes());
+            let old = mapper.unmap(self.ops.as_mut(), &mut ctx, page)?;
+            let frame = old.frame().expect("mapped entry has a frame");
+            ctx.frames.remove(frame);
+            ctx.alloc.free(frame)?;
+        }
+        // The unmaps left an empty L1 table linked at L2; unlink and
+        // release it (and its replicas) so the huge leaf can take the slot.
+        let mut table = roots.base();
+        for level in [Level::L4, Level::L3] {
+            table = self
+                .ops
+                .read_pte(&ctx, table, addr.index_at(level))
+                .frame()
+                .expect("intermediate tables exist for a mapped region");
+        }
+        let l2_index = addr.index_at(Level::L2);
+        let l1 = self
+            .ops
+            .read_pte(&ctx, table, l2_index)
+            .frame()
+            .expect("the freed base pages hung off an L1 table");
+        if ranged {
+            for member in ctx.frames.replicas_of(l1) {
+                self.pending.evict_table(member);
+            }
+        }
+        self.ops.set_pte(&mut ctx, table, l2_index, Pte::EMPTY);
+        self.ops.release_table(&mut ctx, l1)?;
+        let flags = if writable {
+            PteFlags::user_data()
+        } else {
+            PteFlags::user_readonly()
+        };
+        mapper.map(
+            self.ops.as_mut(),
+            &mut ctx,
+            addr,
+            huge,
+            PageSize::Huge2M,
+            flags,
+            pt_socket,
+            replication,
+        )?;
+        if ranged {
+            self.pending
+                .invalidate_bytes(asid, addr, PageSize::Huge2M.bytes(), PageSize::Base4K);
+        }
+        Ok(true)
+    }
+
+    /// Demotes the 2 MiB leaf at `addr` back to 512 base-page mappings of
+    /// the same frames (no copy), the way a partial operation on a huge
+    /// page forces a split.  Returns `false` — a no-op — when the address
+    /// is not backed by an exclusively-owned huge mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidArgument`] for an unaligned address, or
+    /// propagates page-table errors.
+    pub fn demote_huge(&mut self, pid: Pid, addr: VirtAddr) -> Result<bool, VmError> {
+        if !addr.is_aligned(PageSize::Huge2M) {
+            return Err(VmError::InvalidArgument);
+        }
+        let ranged = self.config.shootdown.is_ranged();
+        let asid = Self::asid_of(pid);
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(VmError::NoSuchProcess { pid })?;
+        let replication = process.replication();
+        let roots = process.address_space().roots().clone();
+        let home = process.home_socket();
+        let pt_socket = self.config.pt_placement.resolve(home);
+        let mut ctx = self.env.context();
+        let mapper = Mapper::new(&roots);
+        let t = match mapper.translate(&ctx, addr) {
+            Some(t) if t.size == PageSize::Huge2M && !self.cow.is_shared(t.frame) => t,
+            _ => return Ok(false),
+        };
+        let old = mapper.unmap(self.ops.as_mut(), &mut ctx, addr)?;
+        let flags = PteFlags {
+            huge: false,
+            ..old.flags()
+        };
+        let pages = PageSize::Huge2M.bytes() / PageSize::Base4K.bytes();
+        for i in 0..pages {
+            let page = addr.add(i * PageSize::Base4K.bytes());
+            let frame = t.frame.offset(i);
+            if i != 0 {
+                ctx.frames.insert(frame, FrameKind::Data);
+            }
+            mapper.map(
+                self.ops.as_mut(),
+                &mut ctx,
+                page,
+                frame,
+                PageSize::Base4K,
+                flags,
+                pt_socket,
+                replication,
+            )?;
+        }
+        if ranged {
+            self.pending.invalidate_page(asid, addr, PageSize::Huge2M);
+        }
+        Ok(true)
+    }
+
+    /// Unmaps `[addr, addr + length)`, splitting or shrinking any areas the
+    /// range partially covers (Linux `munmap` semantics: the range need not
+    /// name a whole VMA, or even a mapped one).
+    ///
+    /// Copy-on-write shared frames are released, not freed, unless this was
+    /// the last mapping of the frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::InvalidArgument`] for a zero or unaligned range,
+    /// or one that would split a huge-page mapping (demote it first), and
+    /// [`VmError::SegmentationFault`] when the range overlaps no area.
+    pub fn munmap(&mut self, pid: Pid, addr: VirtAddr, length: u64) -> Result<(), VmError> {
+        if length == 0
+            || !length.is_multiple_of(PageSize::Base4K.bytes())
+            || !addr.is_aligned(PageSize::Base4K)
+        {
+            return Err(VmError::InvalidArgument);
+        }
+        let ranged = self.config.shootdown.is_ranged();
+        let asid = Self::asid_of(pid);
+        let process = self
+            .processes
+            .get_mut(&pid)
+            .ok_or(VmError::NoSuchProcess { pid })?;
+        // A huge mapping straddling the edge of the range cannot be split;
+        // reject before mutating any state.
+        let roots = process.address_space().roots().clone();
+        for &edge in &[addr, addr.add(length)] {
+            if let Some(t) = mitosis_pt::translate(&self.env.store, roots.base(), edge) {
+                if edge.align_down(t.size) < edge {
+                    return Err(VmError::InvalidArgument);
+                }
+            }
+        }
+        let removed = process
+            .address_space_mut()
+            .vmas_mut()
+            .remove_range(addr, length);
+        if removed.is_empty() {
+            return Err(VmError::SegmentationFault { addr });
+        }
+        let mut ctx = self.env.context();
+        let mapper = Mapper::new(&roots);
+        for piece in &removed {
+            let mut cursor = piece.start();
+            let end = piece.end();
+            while cursor < end {
+                match mapper.translate(&ctx, cursor) {
+                    Some(t) => {
+                        let aligned = cursor.align_down(t.size);
+                        let old = mapper.unmap(self.ops.as_mut(), &mut ctx, aligned)?;
+                        let frame = old.frame().expect("mapped entry has a frame");
+                        if ranged {
+                            self.pending.invalidate_page(asid, aligned, t.size);
+                        }
+                        if self.cow.release(frame) {
+                            ctx.frames.remove(frame);
+                            match t.size {
+                                PageSize::Base4K => ctx.alloc.free(frame)?,
+                                PageSize::Huge2M => ctx.alloc.free_huge(frame)?,
+                                PageSize::Giant1G => {
+                                    for i in 0..PageSize::Giant1G.frames() / 512 {
+                                        ctx.alloc.free_huge(frame.offset(i * 512))?;
+                                    }
+                                }
+                            }
+                        }
+                        cursor = aligned.add(t.size.bytes());
+                    }
+                    None => cursor = cursor.add(PageSize::Base4K.bytes()),
+                }
+            }
+        }
         Ok(())
     }
 
@@ -482,6 +922,8 @@ impl System {
         if length == 0 {
             return Err(VmError::InvalidArgument);
         }
+        let ranged = self.config.shootdown.is_ranged();
+        let asid = Self::asid_of(pid);
         let process = self
             .processes
             .get_mut(&pid)
@@ -510,6 +952,10 @@ impl System {
             match mapper.translate(&ctx, cursor) {
                 Some(t) => {
                     mapper.protect(self.ops.as_mut(), &mut ctx, cursor, flags)?;
+                    if ranged {
+                        self.pending
+                            .invalidate_page(asid, cursor.align_down(t.size), t.size);
+                    }
                     cursor = cursor.add(t.size.bytes());
                 }
                 None => cursor = cursor.add(PageSize::Base4K.bytes()),
@@ -577,6 +1023,8 @@ impl System {
         addr: VirtAddr,
         target: SocketId,
     ) -> Result<bool, VmError> {
+        let ranged = self.config.shootdown.is_ranged();
+        let asid = Self::asid_of(pid);
         let process = self
             .processes
             .get_mut(&pid)
@@ -591,6 +1039,11 @@ impl System {
             None => return Err(VmError::SegmentationFault { addr }),
         };
         if ctx.frames.socket_of(t.frame) == target {
+            return Ok(false);
+        }
+        // A copy-on-write shared frame is pinned until the sharing breaks:
+        // migrating it would move the page out from under the other owner.
+        if self.cow.is_shared(t.frame) {
             return Ok(false);
         }
         let new_frame = match t.size {
@@ -617,6 +1070,9 @@ impl System {
             PageSize::Base4K => ctx.alloc.free(old_frame)?,
             PageSize::Huge2M => ctx.alloc.free_huge(old_frame)?,
             PageSize::Giant1G => unreachable!("rejected above"),
+        }
+        if ranged {
+            self.pending.invalidate_page(asid, aligned, t.size);
         }
         Ok(true)
     }
@@ -756,6 +1212,8 @@ impl System {
             processes: self.processes.clone(),
             config: self.config,
             next_pid: self.next_pid,
+            cow: self.cow.clone(),
+            pending: self.pending.clone(),
         })
     }
 }
@@ -898,9 +1356,235 @@ mod tests {
         assert!(sys.translate(pid, addr).unwrap().is_none());
         assert!(sys.pt_env().alloc.total_allocated() < allocated_before);
         assert!(sys.process(pid).unwrap().address_space().vmas().is_empty());
-        // Partial munmap is rejected.
-        let addr2 = sys.mmap(pid, len, MmapFlags::lazy()).unwrap();
-        assert_eq!(sys.munmap(pid, addr2, 4096), Err(VmError::InvalidArgument));
+        // Unmapping a range no area covers is a segfault; zero-length and
+        // unaligned ranges are invalid.
+        assert!(matches!(
+            sys.munmap(pid, addr, len),
+            Err(VmError::SegmentationFault { .. })
+        ));
+        assert_eq!(sys.munmap(pid, addr, 0), Err(VmError::InvalidArgument));
+        assert_eq!(sys.munmap(pid, addr, 123), Err(VmError::InvalidArgument));
+    }
+
+    #[test]
+    fn partial_munmap_splits_the_vma_and_frees_only_the_hole() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let len = 16 * 4096;
+        let addr = sys.mmap(pid, len, MmapFlags::populate()).unwrap();
+        // Punch a 4-page hole in the middle.
+        let hole = addr.add(4 * 4096);
+        sys.munmap(pid, hole, 4 * 4096).unwrap();
+        assert!(sys.translate(pid, hole).unwrap().is_none());
+        assert!(sys.translate(pid, hole.add(3 * 4096)).unwrap().is_none());
+        // Pages either side of the hole survive.
+        assert!(sys.translate(pid, addr).unwrap().is_some());
+        assert!(sys.translate(pid, hole.add(4 * 4096)).unwrap().is_some());
+        // The VMA split in two, and faulting in the hole now segfaults.
+        assert_eq!(sys.process(pid).unwrap().address_space().vmas().len(), 2);
+        assert!(matches!(
+            sys.handle_fault(pid, hole, SocketId::new(0)),
+            Err(VmError::SegmentationFault { .. })
+        ));
+        // Shrinking from the tail leaves a single smaller VMA.
+        sys.munmap(pid, addr.add(12 * 4096), 4 * 4096).unwrap();
+        let vmas = sys.process(pid).unwrap().address_space().vmas().len();
+        assert_eq!(vmas, 2);
+        assert!(sys.translate(pid, addr.add(12 * 4096)).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_munmap_through_a_huge_page_is_rejected() {
+        let mut sys = system();
+        sys.set_thp(ThpMode::Always);
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let addr = sys
+            .mmap(pid, 2 * 1024 * 1024, MmapFlags::populate())
+            .unwrap();
+        assert_eq!(
+            sys.translate(pid, addr).unwrap().unwrap().size,
+            PageSize::Huge2M
+        );
+        // Splitting the huge leaf is not modelled: demote first.
+        assert_eq!(sys.munmap(pid, addr, 4096), Err(VmError::InvalidArgument));
+        assert!(sys.demote_huge(pid, addr).unwrap());
+        sys.munmap(pid, addr, 4096).unwrap();
+        assert!(sys.translate(pid, addr).unwrap().is_none());
+        assert!(sys.translate(pid, addr.add(4096)).unwrap().is_some());
+    }
+
+    #[test]
+    fn fork_shares_frames_copy_on_write() {
+        let mut sys = system();
+        let parent = sys.create_process(SocketId::new(0)).unwrap();
+        let len = 8 * 4096;
+        let addr = sys.mmap(parent, len, MmapFlags::populate()).unwrap();
+        let parent_frame = sys.translate(parent, addr).unwrap().unwrap().frame;
+
+        let child = sys.fork(parent).unwrap();
+        assert_ne!(child, parent);
+        // Child sees the same frames, both sides read-only.
+        let pt = sys.translate(parent, addr).unwrap().unwrap();
+        let ct = sys.translate(child, addr).unwrap().unwrap();
+        assert_eq!(pt.frame, parent_frame);
+        assert_eq!(ct.frame, parent_frame);
+        assert!(!pt.pte.flags().writable);
+        assert!(!ct.pte.flags().writable);
+        assert_eq!(sys.cow_refcounts().shared_frames(), 8);
+
+        // A read does not break the sharing.
+        let read = sys
+            .handle_fault_access(child, addr, SocketId::new(0), false)
+            .unwrap();
+        assert!(read.already_mapped);
+
+        // The child's write copies the page.
+        let write = sys
+            .handle_fault_access(child, addr, SocketId::new(0), true)
+            .unwrap();
+        assert!(!write.already_mapped);
+        assert_ne!(write.frame, parent_frame);
+        let ct = sys.translate(child, addr).unwrap().unwrap();
+        assert!(ct.pte.flags().writable);
+        assert_eq!(ct.frame, write.frame);
+
+        // The parent's write finds the frame exclusive and upgrades in
+        // place.
+        let wp = sys
+            .handle_fault_access(parent, addr, SocketId::new(0), true)
+            .unwrap();
+        assert!(!wp.already_mapped);
+        assert_eq!(wp.frame, parent_frame);
+        assert!(
+            sys.translate(parent, addr)
+                .unwrap()
+                .unwrap()
+                .pte
+                .flags()
+                .writable
+        );
+    }
+
+    #[test]
+    fn munmap_of_shared_frames_releases_but_does_not_free() {
+        let mut sys = system();
+        let parent = sys.create_process(SocketId::new(0)).unwrap();
+        let len = 4 * 4096;
+        let addr = sys.mmap(parent, len, MmapFlags::populate()).unwrap();
+        let child = sys.fork(parent).unwrap();
+        let allocated = sys.pt_env().alloc.total_allocated();
+        // The child unmaps its copy: nothing is freed, the parent still
+        // owns the frames.
+        sys.munmap(child, addr, len).unwrap();
+        assert_eq!(sys.pt_env().alloc.total_allocated(), allocated);
+        assert!(sys.translate(parent, addr).unwrap().is_some());
+        assert_eq!(sys.cow_refcounts().shared_frames(), 0);
+        // The parent's unmap now frees them.
+        sys.munmap(parent, addr, len).unwrap();
+        assert!(sys.pt_env().alloc.total_allocated() < allocated);
+    }
+
+    #[test]
+    fn mmap_at_maps_fixed_addresses_and_rejects_overlap() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let addr = VirtAddr::new(0x5000_0000_0000);
+        let got = sys
+            .mmap_at(pid, addr, 8 * 4096, MmapFlags::populate())
+            .unwrap();
+        assert_eq!(got, addr);
+        assert!(sys.translate(pid, addr).unwrap().is_some());
+        assert!(matches!(
+            sys.mmap_at(pid, addr.add(4096), 4096, MmapFlags::lazy()),
+            Err(VmError::VmaOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn promote_and_demote_round_trip() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let len = 2 * 1024 * 1024;
+        let addr = sys
+            .mmap_at(
+                pid,
+                VirtAddr::new(0x6000_0000_0000),
+                len,
+                MmapFlags::populate(),
+            )
+            .unwrap();
+        assert_eq!(
+            sys.translate(pid, addr).unwrap().unwrap().size,
+            PageSize::Base4K
+        );
+        assert!(sys.promote_huge(pid, addr).unwrap());
+        let t = sys.translate(pid, addr).unwrap().unwrap();
+        assert_eq!(t.size, PageSize::Huge2M);
+        // One leaf covers the region now.
+        assert_eq!(sys.page_table_dump(pid).unwrap().total_leaf_ptes(), 1);
+        // Promoting again is a no-op (already huge).
+        assert!(!sys.promote_huge(pid, addr).unwrap());
+        // Demote splits it back into 512 base mappings of the same frames.
+        assert!(sys.demote_huge(pid, addr).unwrap());
+        let t2 = sys.translate(pid, addr).unwrap().unwrap();
+        assert_eq!(t2.size, PageSize::Base4K);
+        assert_eq!(t2.frame, t.frame);
+        assert_eq!(sys.page_table_dump(pid).unwrap().total_leaf_ptes(), 512);
+        assert!(!sys.demote_huge(pid, addr).unwrap());
+        // Everything can still be unmapped and freed.
+        sys.munmap(pid, addr, len).unwrap();
+        assert!(sys.translate(pid, addr).unwrap().is_none());
+    }
+
+    #[test]
+    fn promotion_fails_deterministically_under_fragmentation() {
+        let mut sys = system();
+        sys.pt_env_mut()
+            .alloc
+            .set_fragmentation(mitosis_mem::FragmentationModel::with_probability(1.0));
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let addr = sys
+            .mmap_at(
+                pid,
+                VirtAddr::new(0x6000_0000_0000),
+                2 * 1024 * 1024,
+                MmapFlags::populate(),
+            )
+            .unwrap();
+        assert!(!sys.promote_huge(pid, addr).unwrap());
+        assert_eq!(
+            sys.translate(pid, addr).unwrap().unwrap().size,
+            PageSize::Base4K
+        );
+    }
+
+    #[test]
+    fn ranged_mode_accumulates_shootdown_ranges() {
+        let mut sys = system();
+        sys.set_config(VmmConfig::stock().with_ranged_shootdowns());
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let len = 8 * 4096;
+        let addr = sys.mmap(pid, len, MmapFlags::populate()).unwrap();
+        assert!(sys.pending_shootdown().is_empty());
+        sys.munmap(pid, addr, len).unwrap();
+        let plan = sys.take_shootdown_plan();
+        assert!(!plan.full_flush);
+        // Adjacent page invalidations coalesce into one range.
+        assert_eq!(plan.ranges.len(), 1);
+        assert_eq!(plan.ranges[0].pages, 8);
+        assert_eq!(plan.ranges[0].asid, System::asid_of(pid));
+        assert!(sys.pending_shootdown().is_empty());
+    }
+
+    #[test]
+    fn broadcast_mode_records_nothing() {
+        let mut sys = system();
+        let pid = sys.create_process(SocketId::new(0)).unwrap();
+        let addr = sys.mmap(pid, 8 * 4096, MmapFlags::populate()).unwrap();
+        sys.munmap(pid, addr, 8 * 4096).unwrap();
+        sys.mprotect(pid, addr, 0, Protection::ReadOnly).ok();
+        assert!(sys.pending_shootdown().is_empty());
+        assert!(sys.take_shootdown_plan().is_empty());
     }
 
     #[test]

@@ -121,6 +121,26 @@ impl Vma {
     pub fn base_pages(&self) -> u64 {
         self.length / PageSize::Base4K.bytes()
     }
+
+    /// Returns a sub-area of this VMA covering `[start, start + length)`,
+    /// preserving protection and THP eligibility (the pieces a partial
+    /// `munmap` splits an area into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested range is not fully inside the area.
+    pub fn slice(&self, start: VirtAddr, length: u64) -> Vma {
+        assert!(
+            start >= self.start && start.add(length) <= self.end(),
+            "slice must lie inside the area"
+        );
+        Vma {
+            start,
+            length,
+            protection: self.protection,
+            thp_eligible: self.thp_eligible,
+        }
+    }
 }
 
 /// The ordered set of VMAs of one address space.
@@ -187,6 +207,36 @@ impl VmaSet {
     /// Total bytes covered by all areas.
     pub fn total_bytes(&self) -> u64 {
         self.areas.iter().map(Vma::length).sum()
+    }
+
+    /// Carves `[start, start + length)` out of the set: areas fully inside
+    /// the range are removed, areas partially covered are shrunk or split
+    /// (keeping their protection and THP eligibility).  Returns the removed
+    /// pieces in address order — exactly the sub-areas a partial `munmap`
+    /// tears down.
+    pub fn remove_range(&mut self, start: VirtAddr, length: u64) -> Vec<Vma> {
+        let end = start.add(length);
+        let mut removed = Vec::new();
+        let mut kept = Vec::new();
+        for vma in self.areas.drain(..) {
+            if !vma.overlaps(start, length) {
+                kept.push(vma);
+                continue;
+            }
+            let cut_start = vma.start().max(start);
+            let cut_end = vma.end().min(end);
+            if vma.start() < cut_start {
+                kept.push(vma.slice(vma.start(), cut_start.as_u64() - vma.start().as_u64()));
+            }
+            removed.push(vma.slice(cut_start, cut_end.as_u64() - cut_start.as_u64()));
+            if cut_end < vma.end() {
+                kept.push(vma.slice(cut_end, vma.end().as_u64() - cut_end.as_u64()));
+            }
+        }
+        kept.sort_by_key(|v| v.start());
+        self.areas = kept;
+        removed.sort_by_key(|v| v.start());
+        removed
     }
 
     /// Returns the lowest address at or above `hint` where a `length`-byte
@@ -261,6 +311,50 @@ mod tests {
         assert_eq!(free, VirtAddr::new(0x18000));
         let untouched = set.find_free_region(VirtAddr::new(0x40000), 0x2000);
         assert_eq!(untouched, VirtAddr::new(0x40000));
+    }
+
+    #[test]
+    fn remove_range_splits_and_shrinks() {
+        let mut set = VmaSet::new();
+        set.insert(vma(0x10000, 0x8000)).unwrap();
+        // Punch a hole in the middle: the VMA splits into head and tail.
+        let removed = set.remove_range(VirtAddr::new(0x12000), 0x2000);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].start(), VirtAddr::new(0x12000));
+        assert_eq!(removed[0].length(), 0x2000);
+        assert_eq!(set.len(), 2);
+        assert!(set.find(VirtAddr::new(0x11fff)).is_some());
+        assert!(set.find(VirtAddr::new(0x12000)).is_none());
+        assert!(set.find(VirtAddr::new(0x14000)).is_some());
+        // Shrink the head from the front.
+        let removed = set.remove_range(VirtAddr::new(0x10000), 0x1000);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(
+            set.find(VirtAddr::new(0x11000)).unwrap().start(),
+            VirtAddr::new(0x11000)
+        );
+        // A range spanning the hole removes pieces of both remnants.
+        let removed = set.remove_range(VirtAddr::new(0x11000), 0x4000);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(set.total_bytes(), 0x3000);
+        // A disjoint range removes nothing.
+        assert!(set.remove_range(VirtAddr::new(0x40000), 0x1000).is_empty());
+    }
+
+    #[test]
+    fn slices_preserve_protection_and_thp_flags() {
+        let v = Vma::new(VirtAddr::new(0x10000), 0x4000, Protection::ReadOnly).with_thp_disabled();
+        let piece = v.slice(VirtAddr::new(0x11000), 0x1000);
+        assert_eq!(piece.protection(), Protection::ReadOnly);
+        assert!(!piece.thp_eligible());
+        assert_eq!(piece.length(), 0x1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the area")]
+    fn slice_outside_the_area_panics() {
+        let v = vma(0x10000, 0x1000);
+        let _ = v.slice(VirtAddr::new(0x11000), 0x1000);
     }
 
     #[test]

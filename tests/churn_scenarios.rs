@@ -1,0 +1,200 @@
+//! End-to-end determinism of the fork/CoW and address-space-churn
+//! scenarios the ranged-shootdown layer opens (trace format v6).
+//!
+//! For each scenario, in both `ShootdownMode`s:
+//!
+//! * capture runs the live experiment and records the mid-lane churn
+//!   markers (`Fork`, `MmapAt`, `MunmapAt`, `PromoteHuge`, `DemoteHuge`);
+//! * the encoded bytes decode back to the identical trace (v6 wire
+//!   round trip);
+//! * serial, lane-grouped and snapshot replays all reproduce the live
+//!   metrics bit-identically — the grouped request must *decline to
+//!   shard* (churn defeats the premapped-coverage proof) rather than
+//!   diverge.
+
+use mitosis_numa::SocketId;
+use mitosis_pt::VirtAddr;
+use mitosis_sim::{PhaseChange, PhaseSchedule, ShootdownMode, SimParams};
+use mitosis_trace::{
+    capture_engine_run_dynamic, prepare_replay, CapturedRun, ReplayOptions, ReplayRequest,
+    ReplaySession, ShardDecision, Trace, TraceReplayer,
+};
+use mitosis_workloads::suite;
+
+/// The fixed base the first `mmap` of a capture lands on
+/// (`process.rs::MMAP_BASE`), so schedules can name in-region addresses.
+const REGION_BASE: u64 = 0x2000_0000_0000;
+/// Far above any region the scaled footprints reach: churn mappings here
+/// never collide with the workload region.
+const CHURN_BASE: u64 = 0x7000_0000_0000;
+
+fn params(mode: ShootdownMode) -> SimParams {
+    let params = SimParams::quick_test().with_accesses(400);
+    match mode {
+        ShootdownMode::Broadcast => params,
+        ShootdownMode::Ranged => params.with_ranged_shootdowns(),
+    }
+}
+
+/// Fork mid-run: every subsequent write to a shared page takes a CoW
+/// break; a second fork at a later boundary re-shares the already-copied
+/// pages.
+fn fork_cow_schedule() -> PhaseSchedule {
+    PhaseSchedule::new()
+        .at(100, PhaseChange::Fork)
+        .at(250, PhaseChange::Fork)
+}
+
+/// mmap/munmap churn plus huge-page promotion/demotion: a populated
+/// mapping appears and partially disappears away from the workload
+/// region, a hole is punched *into* the region (later accesses
+/// demand-fault and remap), and the region head is promoted to a huge
+/// page and split again.
+fn churn_schedule() -> PhaseSchedule {
+    PhaseSchedule::new()
+        .at(
+            50,
+            PhaseChange::MmapAt {
+                addr: VirtAddr::new(CHURN_BASE),
+                length: 64 << 12,
+            },
+        )
+        .at(
+            120,
+            PhaseChange::MunmapAt {
+                addr: VirtAddr::new(CHURN_BASE + (16 << 12)),
+                length: 32 << 12,
+            },
+        )
+        .at(
+            180,
+            PhaseChange::MunmapAt {
+                // 4 MiB of the (≥ 64 MiB) region: big enough that the
+                // remaining accesses are certain to land in the hole.
+                addr: VirtAddr::new(REGION_BASE),
+                length: 4 << 20,
+            },
+        )
+        .at(
+            180,
+            PhaseChange::MmapAt {
+                // Re-mapped lazily at the same boundary (events fire in
+                // insertion order), so later accesses demand-fault fresh
+                // pages instead of segfaulting into the hole.
+                addr: VirtAddr::new(REGION_BASE),
+                length: 4 << 20,
+            },
+        )
+        .at(
+            240,
+            PhaseChange::PromoteHuge {
+                // A huge-aligned chunk beyond the hole, which removed the
+                // VMA coverage of the region head.
+                addr: VirtAddr::new(REGION_BASE + (8 << 20)),
+            },
+        )
+        .at(
+            320,
+            PhaseChange::DemoteHuge {
+                addr: VirtAddr::new(REGION_BASE + (8 << 20)),
+            },
+        )
+}
+
+fn capture(schedule: &PhaseSchedule, mode: ShootdownMode) -> (CapturedRun, SimParams) {
+    let params = params(mode);
+    let sockets: Vec<SocketId> = (0..2).map(SocketId::new).collect();
+    let captured = capture_engine_run_dynamic(&suite::gups(), &params, &sockets, schedule)
+        .expect("capture dynamic run");
+    (captured, params)
+}
+
+fn assert_replays_bit_identically(captured: &CapturedRun, params: &SimParams, label: &str) {
+    // v6 wire round trip.
+    let bytes = captured.trace.to_bytes().expect("encode");
+    let decoded = Trace::from_bytes(&bytes).expect("decode");
+    assert_eq!(decoded, captured.trace, "{label}: wire round trip");
+
+    let mut session = ReplaySession::new(params);
+    let serial = session
+        .replay(&decoded, &ReplayRequest::new())
+        .expect("serial replay");
+    assert_eq!(
+        serial.outcome.metrics, captured.live_metrics,
+        "{label}: serial replay diverged from the live run"
+    );
+
+    let grouped = session
+        .replay(&decoded, &ReplayRequest::new().grouped(2))
+        .expect("grouped replay");
+    assert_eq!(
+        grouped.decision,
+        ShardDecision::DemandFaultRisk,
+        "{label}: churn markers must force the serial path"
+    );
+    assert_eq!(
+        grouped.outcome.metrics, captured.live_metrics,
+        "{label}: grouped replay diverged from the live run"
+    );
+
+    let snapshot = prepare_replay(&decoded, params, ReplayOptions::default()).expect("prepare");
+    let from_snapshot = TraceReplayer::new()
+        .replay_snapshot(&snapshot, &decoded)
+        .expect("snapshot replay");
+    assert_eq!(
+        from_snapshot.metrics, captured.live_metrics,
+        "{label}: snapshot replay diverged from the live run"
+    );
+}
+
+#[test]
+fn fork_cow_storm_replays_bit_identically_in_both_modes() {
+    let schedule = fork_cow_schedule();
+    for mode in [ShootdownMode::Broadcast, ShootdownMode::Ranged] {
+        let (captured, params) = capture(&schedule, mode);
+        // The storm actually happened: the forks landed as markers in
+        // every lane, and the write fraction guarantees CoW breaks.
+        for lane in &captured.trace.lanes {
+            assert_eq!(lane.events.len(), 2, "fork markers per lane");
+        }
+        assert!(
+            captured.live_metrics.demand_faults > 0,
+            "{mode:?}: fork must trigger CoW fault storms"
+        );
+        assert_replays_bit_identically(&captured, &params, &format!("fork/CoW {mode:?}"));
+    }
+}
+
+#[test]
+fn mmap_churn_replays_bit_identically_in_both_modes() {
+    let schedule = churn_schedule();
+    for mode in [ShootdownMode::Broadcast, ShootdownMode::Ranged] {
+        let (captured, params) = capture(&schedule, mode);
+        for lane in &captured.trace.lanes {
+            assert_eq!(lane.events.len(), 6, "churn markers per lane");
+        }
+        assert!(
+            captured.live_metrics.demand_faults > 0,
+            "{mode:?}: the munmap hole must demand-fault on re-access"
+        );
+        assert_replays_bit_identically(&captured, &params, &format!("churn {mode:?}"));
+    }
+}
+
+#[test]
+fn shootdown_mode_changes_metrics_but_not_the_access_stream() {
+    // Under churn the two modes do *different modelled TLB work* (that is
+    // the point of the layer), but the captured access lanes — the
+    // workload behaviour — are identical.
+    let schedule = churn_schedule();
+    let (broadcast, _) = capture(&schedule, ShootdownMode::Broadcast);
+    let (ranged, _) = capture(&schedule, ShootdownMode::Ranged);
+    for (lane_b, lane_r) in broadcast.trace.lanes.iter().zip(&ranged.trace.lanes) {
+        assert_eq!(lane_b.accesses, lane_r.accesses);
+        assert_eq!(lane_b.events, lane_r.events);
+    }
+    assert_eq!(
+        broadcast.live_metrics.accesses,
+        ranged.live_metrics.accesses
+    );
+}

@@ -79,21 +79,32 @@ proptest! {
     }
 
     /// After flushing a page, the TLB never returns a stale translation for
-    /// it, while unrelated entries survive.
+    /// it, while unrelated entries — including the same page under a
+    /// different ASID — survive or miss, but never alias.
     #[test]
-    fn tlb_flush_page_is_precise(pages in prop::collection::vec(0u64..4096, 2..32), victim in 0usize..31) {
+    fn tlb_flush_page_is_precise(
+        pages in prop::collection::vec(0u64..4096, 2..32),
+        victim in 0usize..31,
+        asid in 1u16..16,
+    ) {
+        let other_asid = asid ^ 1;
         let mut tlb = Tlb::new(64, 4);
         for page in &pages {
-            tlb.insert(VirtAddr::new(page * 4096), PageSize::Base4K, FrameId::new(*page));
+            tlb.insert(asid, VirtAddr::new(page * 4096), PageSize::Base4K, FrameId::new(*page), true);
+            // The same VPN in a different address space maps elsewhere.
+            tlb.insert(other_asid, VirtAddr::new(page * 4096), PageSize::Base4K, FrameId::new(*page + 10_000), true);
         }
         let victim_page = pages[victim % pages.len()];
-        tlb.flush_page(VirtAddr::new(victim_page * 4096), PageSize::Base4K);
-        prop_assert_eq!(tlb.lookup(VirtAddr::new(victim_page * 4096), PageSize::Base4K), None);
-        // Any other page either hits with the right frame or was evicted —
-        // it must never return the wrong frame.
+        tlb.flush_page(asid, VirtAddr::new(victim_page * 4096), PageSize::Base4K);
+        prop_assert_eq!(tlb.lookup(asid, VirtAddr::new(victim_page * 4096), PageSize::Base4K, false), None);
+        // Any other page — in either address space — either hits with the
+        // right frame or was evicted; it must never return the wrong frame.
         for page in &pages {
-            if let Some(frame) = tlb.lookup(VirtAddr::new(page * 4096), PageSize::Base4K) {
+            if let Some((frame, _)) = tlb.lookup(asid, VirtAddr::new(page * 4096), PageSize::Base4K, false) {
                 prop_assert_eq!(frame, FrameId::new(*page));
+            }
+            if let Some((frame, _)) = tlb.lookup(other_asid, VirtAddr::new(page * 4096), PageSize::Base4K, false) {
+                prop_assert_eq!(frame, FrameId::new(*page + 10_000));
             }
         }
     }
