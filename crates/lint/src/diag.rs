@@ -1,0 +1,199 @@
+//! Diagnostics and the report the engine hands back: plain `file:line`
+//! text, machine-readable JSON lines (`MITOSIS_LINT_JSON`), and a
+//! `$GITHUB_STEP_SUMMARY` markdown table in the `scripts/bench_gate`
+//! style.
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Name of the rule that fired (`nondeterministic-iteration`, …).
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation, one sentence.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        rule: impl Into<String>,
+        file: impl Into<String>,
+        line: u32,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of one engine run.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Violations that survived suppression, sorted by file/line/rule.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Suppressions that actually silenced at least one diagnostic.
+    pub suppressions_used: usize,
+    /// Names of the rules that ran.
+    pub rule_names: Vec<String>,
+}
+
+impl LintReport {
+    /// Whether the run found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the report as plain text, one `file:line` diagnostic per
+    /// line plus a one-line summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for diagnostic in &self.diagnostics {
+            out.push_str(&diagnostic.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "mitosis-lint: {} violation(s), {} file(s) scanned, {} rule(s), {} suppression(s) honoured\n",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.rule_names.len(),
+            self.suppressions_used,
+        ));
+        out
+    }
+
+    /// Renders the report as JSON lines: one `{"type":"violation",…}`
+    /// object per diagnostic and a trailing `{"type":"summary",…}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{{\"type\":\"violation\",\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}\n",
+                escape_json(&d.rule),
+                escape_json(&d.file),
+                d.line,
+                escape_json(&d.message),
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"summary\",\"violations\":{},\"files\":{},\"rules\":{},\"suppressions_used\":{}}}\n",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.rule_names.len(),
+            self.suppressions_used,
+        ));
+        out
+    }
+
+    /// Renders the markdown block appended to `$GITHUB_STEP_SUMMARY`:
+    /// a table of violations (or a pass line) with a bold verdict, the
+    /// same shape `scripts/bench_gate` writes for benchmarks.
+    pub fn render_step_summary(&self) -> String {
+        let mut out = String::from("### mitosis-lint\n\n");
+        if self.diagnostics.is_empty() {
+            out.push_str(&format!(
+                "**mitosis-lint: pass** — 0 violations across {} file(s), {} rule(s), {} suppression(s) honoured\n",
+                self.files_scanned,
+                self.rule_names.len(),
+                self.suppressions_used,
+            ));
+            return out;
+        }
+        out.push_str("| location | rule | message |\n|---|---|---|\n");
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "| `{}:{}` | `{}` | {} |\n",
+                d.file,
+                d.line,
+                d.rule,
+                d.message.replace('|', "\\|"),
+            ));
+        }
+        out.push_str(&format!(
+            "\n**mitosis-lint: FAIL** — {} violation(s) across {} file(s)\n",
+            self.diagnostics.len(),
+            self.files_scanned,
+        ));
+        out
+    }
+}
+
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(diags: Vec<Diagnostic>) -> LintReport {
+        LintReport {
+            diagnostics: diags,
+            files_scanned: 3,
+            suppressions_used: 1,
+            rule_names: vec!["a".into(), "b".into()],
+        }
+    }
+
+    #[test]
+    fn text_and_json_escape_and_summarise() {
+        let r = report(vec![Diagnostic::new(
+            "rule-x",
+            "crates/x/src/lib.rs",
+            7,
+            "bad \"thing\"",
+        )]);
+        assert!(r
+            .render_text()
+            .contains("crates/x/src/lib.rs:7: [rule-x] bad \"thing\""));
+        let json = r.render_json();
+        assert!(json.contains("\"message\":\"bad \\\"thing\\\"\""));
+        assert!(json.contains("\"type\":\"summary\",\"violations\":1"));
+    }
+
+    #[test]
+    fn step_summary_has_verdict_line() {
+        assert!(report(vec![])
+            .render_step_summary()
+            .contains("**mitosis-lint: pass**"));
+        let failing = report(vec![Diagnostic::new("r", "f.rs", 1, "m")]);
+        assert!(failing
+            .render_step_summary()
+            .contains("**mitosis-lint: FAIL**"));
+        assert!(failing
+            .render_step_summary()
+            .contains("| `f.rs:1` | `r` | m |"));
+    }
+}

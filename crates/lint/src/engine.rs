@@ -1,0 +1,150 @@
+//! The engine: walks the workspace, lexes every `.rs` file once, runs
+//! the rule set, applies inline suppressions, and reports.
+
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Diagnostic, LintReport};
+use crate::rules::{Rule, RULE_NAMES, SUPPRESSION_SYNTAX};
+use crate::source::SourceFile;
+
+/// A configured lint run over one workspace tree.
+pub struct LintEngine {
+    root: PathBuf,
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl LintEngine {
+    /// An engine over `root` with an explicit rule set.
+    pub fn new(root: impl Into<PathBuf>, rules: Vec<Box<dyn Rule>>) -> LintEngine {
+        LintEngine {
+            root: root.into(),
+            rules,
+        }
+    }
+
+    /// An engine over `root` with the shipped workspace rule set.
+    pub fn workspace_default(root: impl Into<PathBuf>) -> LintEngine {
+        LintEngine::new(root, crate::rules::default_rules())
+    }
+
+    /// Walks, lexes, checks, suppresses, reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace root cannot be read — the linter has
+    /// nothing useful to do without sources, and a silent empty run would
+    /// read as a pass.
+    pub fn run(&self) -> LintReport {
+        let files = self.load_files();
+        let mut diagnostics = Vec::new();
+        for rule in &self.rules {
+            for file in &files {
+                rule.check_file(file, &mut diagnostics);
+            }
+            rule.check_workspace(&files, &mut diagnostics);
+        }
+
+        // Apply suppressions: an allow matches by rule name and covers its
+        // own line plus the next code-bearing line.  Reason-less allows
+        // never suppress (and are reported below).
+        let mut suppressions_used = 0usize;
+        for file in &files {
+            for suppression in &file.suppressions {
+                if suppression.reason.is_none() {
+                    continue;
+                }
+                let before = diagnostics.len();
+                diagnostics.retain(|d| {
+                    !(d.file == file.path
+                        && d.rule == suppression.rule
+                        && (d.line == suppression.line || d.line == suppression.applies_to))
+                });
+                if diagnostics.len() < before {
+                    suppressions_used += 1;
+                }
+            }
+        }
+
+        // Malformed suppressions and unknown rule names are violations of
+        // the engine's own rule, and cannot be suppressed.
+        for file in &files {
+            for (line, problem) in &file.suppression_errors {
+                diagnostics.push(Diagnostic::new(
+                    SUPPRESSION_SYNTAX,
+                    &file.path,
+                    *line,
+                    problem.clone(),
+                ));
+            }
+            for suppression in &file.suppressions {
+                if !RULE_NAMES.contains(&suppression.rule.as_str()) {
+                    diagnostics.push(Diagnostic::new(
+                        SUPPRESSION_SYNTAX,
+                        &file.path,
+                        suppression.line,
+                        format!(
+                            "allow({}) names an unknown rule — known rules: {}",
+                            suppression.rule,
+                            RULE_NAMES.join(", "),
+                        ),
+                    ));
+                }
+            }
+        }
+
+        diagnostics.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule.as_str(),
+            ))
+        });
+        LintReport {
+            diagnostics,
+            files_scanned: files.len(),
+            suppressions_used,
+            rule_names: self.rules.iter().map(|r| r.name().to_string()).collect(),
+        }
+    }
+
+    /// Every `.rs` file under the root, skipping build output and VCS
+    /// metadata, as lexed [`SourceFile`]s with workspace-relative paths.
+    fn load_files(&self) -> Vec<SourceFile> {
+        let mut paths = Vec::new();
+        collect_rs_files(&self.root, &mut paths);
+        paths.sort();
+        paths
+            .into_iter()
+            .map(|path| {
+                let source = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+                let relative = path
+                    .strip_prefix(&self.root)
+                    .expect("collected under root")
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                SourceFile::parse(relative, &source)
+            })
+            .collect()
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read_dir {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry
+            .unwrap_or_else(|e| panic!("dir entry in {}: {e}", dir.display()))
+            .path();
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        let Some(name) = name else { continue };
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! A hand-rolled Rust lexer, just deep enough for source linting.
+//!
+//! The rules in this crate match on *token* streams, never on raw text, so
+//! a `HashMap` inside a doc comment, a `shootdown_all(` inside a string
+//! literal, or a `panic!` inside `r#"…"#` never produces a diagnostic —
+//! the exact false positives a `grep`-based scan cannot avoid.  The lexer
+//! therefore has to get the hard token boundaries right:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * plain, byte, and raw strings (`r"…"`, `r#"…"#` with any number of
+//!   hashes, `b"…"`, `br#"…"#`) including escape sequences,
+//! * character literals vs. lifetimes (`'a'` is a literal, `'a` is not),
+//! * raw identifiers (`r#match`).
+//!
+//! It deliberately does **not** parse: no expressions, no items, no type
+//! grammar.  Downstream passes that need structure (test-module spans,
+//! `catch_unwind` argument spans, enum variant lists) do their own bracket
+//! matching over the token stream, which the lexer makes sound by
+//! guaranteeing that every `{`/`}`/`(`/`)`/`[`/`]` token really is one.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `as`, `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (without a closing quote).
+    Lifetime,
+    /// Numeric literal, loosely lexed (`0x1f`, `1_000u64`, `0.5`, `1..4`
+    /// comes out as one token — fine for linting, wrong for compiling).
+    Number,
+    /// String literal of any flavour (plain, byte, raw); `text` holds the
+    /// raw source slice including quotes and hashes.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\0'`).
+    Char,
+    /// A single punctuation character (`::` is two `Punct` tokens).
+    Punct,
+    /// `// …` comment, `text` includes the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested), `text` includes delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::str::Chars<'a>,
+    /// Current 1-based line.
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.chars.clone().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut ahead = self.chars.clone();
+        ahead.next();
+        ahead.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.chars.next();
+        if ch == Some('\n') {
+            self.line += 1;
+        }
+        ch
+    }
+}
+
+fn is_ident_start(ch: char) -> bool {
+    ch.is_alphabetic() || ch == '_'
+}
+
+fn is_ident_continue(ch: char) -> bool {
+    ch.is_alphanumeric() || ch == '_'
+}
+
+/// Lexes `source` into a token stream.  Unterminated literals or comments
+/// are tolerated (the remainder of the file becomes part of the token):
+/// the linter must never panic on the code it scans — rustc reports the
+/// syntax error, the lint run just sees fewer tokens.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cursor = Cursor {
+        chars: source.chars(),
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(ch) = cursor.peek() {
+        let line = cursor.line;
+        match ch {
+            _ if ch.is_whitespace() => {
+                cursor.bump();
+            }
+            '/' if cursor.peek2() == Some('/') => {
+                tokens.push(lex_line_comment(&mut cursor, line));
+            }
+            '/' if cursor.peek2() == Some('*') => {
+                tokens.push(lex_block_comment(&mut cursor, line));
+            }
+            '"' => tokens.push(lex_string(&mut cursor, line, String::new())),
+            '\'' => tokens.push(lex_quote(&mut cursor, line)),
+            _ if is_ident_start(ch) => tokens.push(lex_ident_or_prefixed(&mut cursor, line)),
+            _ if ch.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(c) = cursor.peek() {
+                    if is_ident_continue(c) || c == '.' {
+                        text.push(c);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text,
+                    line,
+                });
+            }
+            _ => {
+                cursor.bump();
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: ch.to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+fn lex_line_comment(cursor: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    while let Some(ch) = cursor.peek() {
+        if ch == '\n' {
+            break;
+        }
+        text.push(ch);
+        cursor.bump();
+    }
+    Token {
+        kind: TokenKind::LineComment,
+        text,
+        line,
+    }
+}
+
+fn lex_block_comment(cursor: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    // Consume the opening `/*`.
+    text.push(cursor.bump().expect("peeked '/'"));
+    text.push(cursor.bump().expect("peeked '*'"));
+    let mut depth = 1u32;
+    while depth > 0 {
+        match cursor.peek() {
+            Some('/') if cursor.peek2() == Some('*') => {
+                text.push(cursor.bump().expect("peeked"));
+                text.push(cursor.bump().expect("peeked"));
+                depth += 1;
+            }
+            Some('*') if cursor.peek2() == Some('/') => {
+                text.push(cursor.bump().expect("peeked"));
+                text.push(cursor.bump().expect("peeked"));
+                depth -= 1;
+            }
+            Some(ch) => {
+                text.push(ch);
+                cursor.bump();
+            }
+            None => break, // Unterminated: tolerate.
+        }
+    }
+    Token {
+        kind: TokenKind::BlockComment,
+        text,
+        line,
+    }
+}
+
+/// Lexes a plain or byte string starting at the opening `"`; `text`
+/// already holds any consumed prefix (`b`).
+fn lex_string(cursor: &mut Cursor, line: u32, mut text: String) -> Token {
+    text.push(cursor.bump().expect("peeked '\"'"));
+    while let Some(ch) = cursor.bump() {
+        text.push(ch);
+        match ch {
+            '\\' => {
+                if let Some(escaped) = cursor.bump() {
+                    text.push(escaped);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Lexes a raw (possibly byte) string: cursor sits on the first `#` or `"`
+/// after the `r`/`br` prefix already captured in `text`.
+fn lex_raw_string(cursor: &mut Cursor, line: u32, mut text: String) -> Token {
+    let mut hashes = 0usize;
+    while cursor.peek() == Some('#') {
+        text.push(cursor.bump().expect("peeked '#'"));
+        hashes += 1;
+    }
+    if cursor.peek() == Some('"') {
+        text.push(cursor.bump().expect("peeked '\"'"));
+        loop {
+            match cursor.bump() {
+                Some('"') => {
+                    text.push('"');
+                    // A closing quote counts only when followed by the same
+                    // number of hashes as the opener.
+                    let mut ahead = cursor.chars.clone();
+                    if (0..hashes).all(|_| ahead.next() == Some('#')) {
+                        for _ in 0..hashes {
+                            text.push(cursor.bump().expect("peeked '#'"));
+                        }
+                        break;
+                    }
+                }
+                Some(ch) => text.push(ch),
+                None => break, // Unterminated: tolerate.
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+    }
+}
+
+/// Lexes either a character literal or a lifetime, starting at `'`.
+fn lex_quote(cursor: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    text.push(cursor.bump().expect("peeked '\''"));
+    match cursor.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            while let Some(ch) = cursor.bump() {
+                text.push(ch);
+                match ch {
+                    '\\' => {
+                        if let Some(escaped) = cursor.bump() {
+                            text.push(escaped);
+                        }
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+            }
+        }
+        Some(ch) if is_ident_start(ch) => {
+            // `'a'` is a char literal, `'a`/`'static` a lifetime: consume
+            // the identifier, then look for the closing quote.
+            while let Some(c) = cursor.peek() {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    cursor.bump();
+                } else {
+                    break;
+                }
+            }
+            if cursor.peek() == Some('\'') {
+                text.push(cursor.bump().expect("peeked '\''"));
+                Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                }
+            } else {
+                Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                }
+            }
+        }
+        Some(_) => {
+            // `'+'`, `'0'`, `' '`: a single char then the closing quote.
+            if let Some(ch) = cursor.bump() {
+                text.push(ch);
+            }
+            if cursor.peek() == Some('\'') {
+                text.push(cursor.bump().expect("peeked '\''"));
+            }
+            Token {
+                kind: TokenKind::Char,
+                text,
+                line,
+            }
+        }
+        None => Token {
+            kind: TokenKind::Punct,
+            text,
+            line,
+        },
+    }
+}
+
+/// Lexes an identifier, dispatching to string lexers when it turns out to
+/// be a `r"…"` / `b"…"` / `br#"…"#` prefix or an `r#ident` raw identifier.
+fn lex_ident_or_prefixed(cursor: &mut Cursor, line: u32) -> Token {
+    let mut text = String::new();
+    while let Some(ch) = cursor.peek() {
+        if is_ident_continue(ch) {
+            text.push(ch);
+            cursor.bump();
+        } else {
+            break;
+        }
+    }
+    match (text.as_str(), cursor.peek()) {
+        ("r" | "br", Some('"')) | ("r" | "br", Some('#')) => {
+            // `r#ident` is a raw identifier, not a raw string: only treat
+            // `#` as a string opener when a `"` follows the hash run.
+            let mut ahead = cursor.chars.clone();
+            let mut next = ahead.next();
+            while next == Some('#') {
+                next = ahead.next();
+            }
+            if next == Some('"') || cursor.peek() == Some('"') {
+                return lex_raw_string(cursor, line, text);
+            }
+            if text == "r" && cursor.peek() == Some('#') {
+                cursor.bump(); // the '#'
+                let mut raw = String::new();
+                while let Some(c) = cursor.peek() {
+                    if is_ident_continue(c) {
+                        raw.push(c);
+                        cursor.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return Token {
+                    kind: TokenKind::Ident,
+                    text: raw,
+                    line,
+                };
+            }
+            Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+            }
+        }
+        ("b", Some('"')) => lex_string(cursor, line, text),
+        ("b", Some('\'')) => {
+            let quoted = lex_quote(cursor, line);
+            Token {
+                kind: TokenKind::Char,
+                text: format!("{text}{}", quoted.text),
+                line,
+            }
+        }
+        _ => Token {
+            kind: TokenKind::Ident,
+            text,
+            line,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_identifiers() {
+        let source = "// HashMap in a comment\nlet x = 1; /* HashSet\n still HashSet */ real";
+        assert_eq!(idents(source), ["let", "x", "real"]);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let source = "/* outer /* inner */ still_comment */ visible";
+        assert_eq!(idents(source), ["visible"]);
+        let tokens = lex(source);
+        assert_eq!(tokens[0].kind, TokenKind::BlockComment);
+        assert!(tokens[0].text.contains("still_comment"));
+    }
+
+    #[test]
+    fn strings_hide_identifiers_and_track_lines() {
+        let source = "let s = \"shootdown_all(\"; after";
+        assert_eq!(idents(source), ["let", "s", "after"]);
+        let multi = "let s = \"two\nlines\"; next";
+        let tokens = lex(multi);
+        let next = tokens.iter().find(|t| t.is_ident("next")).unwrap();
+        assert_eq!(next.line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let source = r####"let s = r#"contains "quote" and HashMap"#; tail"####;
+        assert_eq!(idents(source), ["let", "s", "tail"]);
+        let two = "r##\"one \"# not done\"##; done";
+        assert_eq!(idents(two), ["done"]);
+        let byte_raw = "br#\"bytes\"#; after_bytes";
+        assert_eq!(idents(byte_raw), ["after_bytes"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let source = "let c: char = 'a'; fn f<'a>(x: &'a str) -> &'static str { x }";
+        let tokens = lex(source);
+        let chars: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, ["'a'"]);
+        let lifetimes: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let source = r"let q = '\''; let b = '\\'; let u = '\u{1F600}'; end";
+        assert_eq!(idents(source), ["let", "q", "let", "b", "let", "u", "end"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let source = "let r#match = 1; r#fn";
+        assert_eq!(idents(source), ["let", "match", "fn"]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let source = "let b = b'x'; let s = b\"HashMap\"; tail";
+        assert_eq!(idents(source), ["let", "b", "let", "s", "tail"]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let source = "first\nsecond\n\nfourth";
+        let tokens = lex(source);
+        let lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        assert!(!lex("let s = \"never closed").is_empty());
+        assert!(!lex("/* never closed").is_empty());
+        assert!(!lex("let c = 'x").is_empty());
+        assert!(!lex("r#\"never closed").is_empty());
+    }
+}

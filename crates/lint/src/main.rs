@@ -1,0 +1,48 @@
+//! The `mitosis-lint` binary: lint the workspace, print `file:line`
+//! diagnostics, optionally write JSON (`MITOSIS_LINT_JSON`) and a GitHub
+//! step-summary table, exit non-zero on violations.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mitosis_lint::LintEngine;
+
+fn main() -> ExitCode {
+    // Workspace root: first CLI argument, or this crate's grandparent.
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .expect("canonicalize workspace root")
+        });
+    let report = LintEngine::workspace_default(&root).run();
+    print!("{}", report.render_text());
+
+    if let Ok(path) = std::env::var("MITOSIS_LINT_JSON") {
+        if !path.is_empty() {
+            std::fs::write(&path, report.render_json())
+                .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        }
+    }
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if !path.is_empty() {
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("open {path}: {e}"));
+            file.write_all(report.render_step_summary().as_bytes())
+                .unwrap_or_else(|e| panic!("append {path}: {e}"));
+        }
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

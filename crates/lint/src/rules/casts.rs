@@ -1,0 +1,74 @@
+//! `truncating-cast-in-encoding`: no bare `as u16`/`as u32` in the trace
+//! crate.
+//!
+//! PR 5 fixed ~10 silent `as u16` socket casts that could write a
+//! wrong-but-checksummed trace (the checksum covers the *encoded* bytes,
+//! so truncation before encoding is undetectable downstream) and
+//! introduced the checked `socket_index_u16`/`checked_socket_u16`
+//! helpers.  This rule keeps the class extinct: every narrowing cast in
+//! `crates/trace` either routes through a checked helper or carries a
+//! reasoned `allow` proving its operand is bounded.
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Canonical rule name.
+pub const NAME: &str = "truncating-cast-in-encoding";
+
+/// Bans bare narrowing casts in encoding crates.
+pub struct TruncatingCast {
+    path_prefixes: Vec<String>,
+    targets: Vec<String>,
+}
+
+impl TruncatingCast {
+    /// Bans `as <target>` for each target type under the path prefixes.
+    pub fn new(path_prefixes: &[&str], targets: &[&str]) -> Self {
+        TruncatingCast {
+            path_prefixes: path_prefixes.iter().map(|s| s.to_string()).collect(),
+            targets: targets.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The shipped configuration: the whole trace crate (format, capture,
+    /// replay *and* the helpers tests build traces with — a test fixture
+    /// encoding a truncated socket is still a wrong trace).
+    pub fn workspace_default() -> Self {
+        TruncatingCast::new(&["crates/trace/"], &["u16", "u32"])
+    }
+}
+
+impl Rule for TruncatingCast {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        if !self.path_prefixes.iter().any(|p| file.path.starts_with(p)) {
+            return;
+        }
+        for (index, token) in file.code_tokens() {
+            if !token.is_ident("as") {
+                continue;
+            }
+            let Some((_, target)) = file.next_code_token(index + 1) else {
+                continue;
+            };
+            if self.targets.iter().any(|t| target.is_ident(t)) {
+                diags.push(Diagnostic::new(
+                    NAME,
+                    &file.path,
+                    token.line,
+                    format!(
+                        "bare `as {}` in the trace crate can silently truncate a wire value \
+                         into a wrong-but-checksummed trace; use `socket_index_u16`/\
+                         `checked_socket_u16`-style checked conversions, or allow with a \
+                         reason proving the operand is bounded",
+                        target.text,
+                    ),
+                ));
+            }
+        }
+    }
+}

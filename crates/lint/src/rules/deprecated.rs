@@ -1,0 +1,221 @@
+//! `deprecated-replay-api`: no deprecated replay entry points outside
+//! `tests/replay_api.rs`.
+//!
+//! PR 8 left 15 deprecated wrappers delegating to `ReplaySession`, pinned
+//! by a clippy `-D deprecated` pass over examples/tests/benches.  That
+//! pass has blind spots this rule closes: it only covers targets the
+//! invocation lists (a new bench target added without updating CI is
+//! never checked), and an `#[allow(deprecated)]` anywhere silences it
+//! wholesale with no reason recorded.  The rule extracts the deprecated
+//! function names straight from the trace crate's source — no hardcoded
+//! list to rot — and flags any reference to an unambiguous one outside
+//! the crate that defines them and the one equivalence-test file allowed
+//! to call them.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Canonical rule name.
+pub const NAME: &str = "deprecated-replay-api";
+
+/// Flags references to `#[deprecated]` trace-crate functions.
+pub struct DeprecatedReplayApi {
+    /// Path prefix whose `#[deprecated] fn`s define the banned set (their
+    /// own crate may keep referencing them — the wrappers live there).
+    definition_prefix: String,
+    /// Files outside the prefix still allowed to call them.
+    allowed_files: Vec<String>,
+}
+
+impl DeprecatedReplayApi {
+    /// Builds the rule for a definition prefix and its allowed callers.
+    pub fn new(definition_prefix: &str, allowed_files: &[&str]) -> Self {
+        DeprecatedReplayApi {
+            definition_prefix: definition_prefix.to_string(),
+            allowed_files: allowed_files.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The shipped configuration: deprecated entry points are defined in
+    /// `crates/trace/src`, and only `tests/replay_api.rs` (the
+    /// old-vs-new equivalence suite) may still call them.
+    pub fn workspace_default() -> Self {
+        DeprecatedReplayApi::new("crates/trace/src/", &["tests/replay_api.rs"])
+    }
+}
+
+impl Rule for DeprecatedReplayApi {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check_workspace(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+        // Pass 1: extract deprecated fn names, and every fn name, from the
+        // defining crate.  A name defined by *both* a deprecated and a
+        // non-deprecated fn (`replay` is deprecated on `TraceReplayer`
+        // but current on `ReplaySession`) is ambiguous at a lexical call
+        // site, so it is excluded rather than over-reported.
+        let mut deprecated_names: BTreeSet<String> = BTreeSet::new();
+        let mut deprecated_def_sites: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (file_index, file) in files.iter().enumerate() {
+            if !file.path.starts_with(&self.definition_prefix) {
+                continue;
+            }
+            for (index, token) in file.code_tokens() {
+                if !token.is_punct('#') {
+                    continue;
+                }
+                let Some((open, t_open)) = file.next_code_token(index + 1) else {
+                    continue;
+                };
+                if !t_open.is_punct('[') {
+                    continue;
+                }
+                let Some((head, t_head)) = file.next_code_token(open + 1) else {
+                    continue;
+                };
+                if !t_head.is_ident("deprecated") {
+                    continue;
+                }
+                if let Some(name_at) = fn_name_after_attrs(file, head) {
+                    deprecated_names.insert(file.tokens[name_at].text.clone());
+                    deprecated_def_sites.insert((file_index, name_at));
+                }
+            }
+        }
+        let mut plain_defs: BTreeSet<String> = BTreeSet::new();
+        for (file_index, file) in files.iter().enumerate() {
+            if !file.path.starts_with(&self.definition_prefix) {
+                continue;
+            }
+            for (index, token) in file.code_tokens() {
+                if !token.is_ident("fn") {
+                    continue;
+                }
+                let Some((name_at, name)) = file.next_code_token(index + 1) else {
+                    continue;
+                };
+                if name.kind == TokenKind::Ident
+                    && !deprecated_def_sites.contains(&(file_index, name_at))
+                {
+                    plain_defs.insert(name.text.clone());
+                }
+            }
+        }
+        let banned: BTreeSet<&String> = deprecated_names
+            .iter()
+            .filter(|n| !plain_defs.contains(*n))
+            .collect();
+        if banned.is_empty() {
+            return;
+        }
+
+        // Pass 2: flag references anywhere outside the defining crate and
+        // the allowed files.
+        for file in files {
+            if file.path.starts_with(&self.definition_prefix)
+                || self.allowed_files.iter().any(|f| f == &file.path)
+            {
+                continue;
+            }
+            for (_, token) in file.code_tokens() {
+                if token.kind == TokenKind::Ident && banned.contains(&token.text) {
+                    diags.push(Diagnostic::new(
+                        NAME,
+                        &file.path,
+                        token.line,
+                        format!(
+                            "deprecated replay entry point `{}`: migrate to the \
+                             `ReplaySession`/`ReplayRequest` API (its `#[deprecated]` note \
+                             names the replacement)",
+                            token.text,
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// From an attribute head token, skips to the end of that attribute, over
+/// any further attributes and modifiers, and returns the token index of
+/// the following `fn`'s name (if the attributed item is a function).
+fn fn_name_after_attrs(file: &SourceFile, head: usize) -> Option<usize> {
+    // Find the `]` closing the attribute the head sits in.
+    let mut depth = 1i64; // We are just past the `[`.
+    let mut cursor = head;
+    loop {
+        cursor += 1;
+        let token = file.tokens.get(cursor)?;
+        if token.is_punct('[') {
+            depth += 1;
+        } else if token.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    // Skip further attributes, visibility and other modifiers until `fn`.
+    loop {
+        let (next, token) = file.next_code_token(cursor + 1)?;
+        if token.is_punct('#') {
+            let (open, t_open) = file.next_code_token(next + 1)?;
+            if !t_open.is_punct('[') {
+                return None;
+            }
+            let mut d = 0i64;
+            let mut c = open;
+            loop {
+                let t = file.tokens.get(c)?;
+                if t.is_punct('[') {
+                    d += 1;
+                } else if t.is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                c += 1;
+            }
+            cursor = c;
+            continue;
+        }
+        if token.is_ident("fn") {
+            let (name_at, name) = file.next_code_token(next + 1)?;
+            return (name.kind == TokenKind::Ident).then_some(name_at);
+        }
+        // Modifiers that may precede `fn` (visibility, unsafety, …).
+        const MODIFIERS: &[&str] = &["pub", "crate", "unsafe", "async", "const", "extern"];
+        if MODIFIERS.iter().any(|m| token.is_ident(m)) {
+            cursor = next;
+            continue;
+        }
+        if token.is_punct('(') {
+            // `pub(crate)` and friends.
+            let mut d = 0i64;
+            let mut c = next;
+            loop {
+                let t = file.tokens.get(c)?;
+                if t.is_punct('(') {
+                    d += 1;
+                } else if t.is_punct(')') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                c += 1;
+            }
+            cursor = c;
+            continue;
+        }
+        // The deprecated item is not a function (struct, trait, …):
+        // out of scope for a call-site rule.
+        return None;
+    }
+}

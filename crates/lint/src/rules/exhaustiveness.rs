@@ -1,0 +1,270 @@
+//! `trace-event-exhaustiveness`: the wire-event table stays in sync
+//! across format, capture and replay.
+//!
+//! A new `TraceEvent` variant is three changes: its wire code in
+//! `format.rs`, a capture site that emits it, and a replay arm that
+//! applies it.  Forgetting the third compiles fine (replay matches are
+//! written over grouped arms, not `match event { .. }` exhaustively at
+//! every site) and produces a trace that replays *differently* from the
+//! live run — the worst failure class this repo has.  The rule checks,
+//! cross-file: every enum variant in `format.rs` is named in both
+//! `capture.rs` and `replay.rs` as `TraceEvent::<Variant>`, and every
+//! constant in the `event_code` module is actually used by the
+//! encode/decode paths.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Canonical rule name.
+pub const NAME: &str = "trace-event-exhaustiveness";
+
+/// Cross-checks the trace event set across format/capture/replay.
+pub struct TraceEventExhaustiveness {
+    format_file: String,
+    capture_file: String,
+    replay_file: String,
+    enum_name: String,
+    code_mod: String,
+}
+
+impl TraceEventExhaustiveness {
+    /// Builds the rule for explicit file paths and names.
+    pub fn new(
+        format_file: &str,
+        capture_file: &str,
+        replay_file: &str,
+        enum_name: &str,
+        code_mod: &str,
+    ) -> Self {
+        TraceEventExhaustiveness {
+            format_file: format_file.to_string(),
+            capture_file: capture_file.to_string(),
+            replay_file: replay_file.to_string(),
+            enum_name: enum_name.to_string(),
+            code_mod: code_mod.to_string(),
+        }
+    }
+
+    /// The shipped configuration for `mitosis-trace`.
+    pub fn workspace_default() -> Self {
+        TraceEventExhaustiveness::new(
+            "crates/trace/src/format.rs",
+            "crates/trace/src/capture.rs",
+            "crates/trace/src/replay.rs",
+            "TraceEvent",
+            "event_code",
+        )
+    }
+}
+
+impl Rule for TraceEventExhaustiveness {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check_workspace(&self, files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+        let find = |path: &str| files.iter().find(|f| f.path == path);
+        let Some(format) = find(&self.format_file) else {
+            diags.push(Diagnostic::new(
+                NAME,
+                &self.format_file,
+                1,
+                "configured format file not found — update the trace-event-exhaustiveness paths",
+            ));
+            return;
+        };
+        let (capture, replay) = (find(&self.capture_file), find(&self.replay_file));
+        for (file, path) in [(&capture, &self.capture_file), (&replay, &self.replay_file)] {
+            if file.is_none() {
+                diags.push(Diagnostic::new(
+                    NAME,
+                    path,
+                    1,
+                    "configured file not found — update the trace-event-exhaustiveness paths",
+                ));
+            }
+        }
+        let (Some(capture), Some(replay)) = (capture, replay) else {
+            return;
+        };
+
+        let variants = enum_variants(format, &self.enum_name);
+        if variants.is_empty() {
+            diags.push(Diagnostic::new(
+                NAME,
+                &format.path,
+                1,
+                format!(
+                    "enum `{}` not found — the event table moved?",
+                    self.enum_name
+                ),
+            ));
+        }
+        let capture_refs = qualified_refs(capture, &self.enum_name);
+        let replay_refs = qualified_refs(replay, &self.enum_name);
+        for (variant, line) in &variants {
+            for (refs, file) in [(&capture_refs, capture), (&replay_refs, replay)] {
+                if !refs.contains(variant) {
+                    diags.push(Diagnostic::new(
+                        NAME,
+                        &format.path,
+                        *line,
+                        format!(
+                            "`{}::{}` is never named in {} — a wire event must be emitted by \
+                             capture and applied by replay, or the trace replays differently \
+                             from the live run",
+                            self.enum_name, variant, file.path,
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Every named wire code must be used beyond its definition: an
+        // orphaned constant means an encode or decode arm went back to a
+        // bare literal (or was deleted without its code being retired).
+        for (constant, line) in mod_consts(format, &self.code_mod) {
+            let uses = format
+                .code_tokens()
+                .filter(|(_, t)| t.is_ident(&constant))
+                .count();
+            if uses < 2 {
+                diags.push(Diagnostic::new(
+                    NAME,
+                    &format.path,
+                    line,
+                    format!(
+                        "event code constant `{constant}` is defined but never used — \
+                         encode/decode must match on the named code, not a bare literal",
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `(variant, line)` pairs of `enum name {{ … }}` in `file`: identifiers
+/// at bracket depth 1 inside the enum braces that start uppercase.
+fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, u32)> {
+    let mut variants = Vec::new();
+    let tokens = &file.tokens;
+    let mut open = None;
+    for (index, token) in file.code_tokens() {
+        if token.is_ident("enum") {
+            if let Some((name_at, t_name)) = file.next_code_token(index + 1) {
+                if t_name.is_ident(name) {
+                    if let Some((brace, t_brace)) = file.next_code_token(name_at + 1) {
+                        if t_brace.is_punct('{') {
+                            open = Some(brace);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let Some(open) = open else {
+        return variants;
+    };
+    let mut depth = 0i64;
+    for token in &tokens[open..] {
+        if token.is_comment() {
+            continue;
+        }
+        match token.text.as_str() {
+            "{" | "(" | "[" if token.kind == TokenKind::Punct => depth += 1,
+            "}" | ")" | "]" if token.kind == TokenKind::Punct => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {
+                if depth == 1
+                    && token.kind == TokenKind::Ident
+                    && token.text.chars().next().is_some_and(|c| c.is_uppercase())
+                {
+                    variants.push((token.text.clone(), token.line));
+                }
+            }
+        }
+    }
+    variants
+}
+
+/// The set of identifiers `X` referenced as `scope::X` in `file`.
+fn qualified_refs(file: &SourceFile, scope: &str) -> BTreeSet<String> {
+    let mut refs = BTreeSet::new();
+    for (index, token) in file.code_tokens() {
+        if !token.is_ident(scope) {
+            continue;
+        }
+        if let Some((c1, t1)) = file.next_code_token(index + 1) {
+            if t1.is_punct(':') {
+                if let Some((c2, t2)) = file.next_code_token(c1 + 1) {
+                    if t2.is_punct(':') {
+                        if let Some((_, t3)) = file.next_code_token(c2 + 1) {
+                            if t3.kind == TokenKind::Ident {
+                                refs.insert(t3.text.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    refs
+}
+
+/// `(name, line)` of every `const` declared directly in `mod name {{ … }}`.
+fn mod_consts(file: &SourceFile, mod_name: &str) -> Vec<(String, u32)> {
+    let mut consts = Vec::new();
+    let mut open = None;
+    for (index, token) in file.code_tokens() {
+        if token.is_ident("mod") {
+            if let Some((name_at, t_name)) = file.next_code_token(index + 1) {
+                if t_name.is_ident(mod_name) {
+                    if let Some((brace, t_brace)) = file.next_code_token(name_at + 1) {
+                        if t_brace.is_punct('{') {
+                            open = Some(brace);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let Some(open) = open else {
+        return consts;
+    };
+    let mut depth = 0i64;
+    let mut index = open;
+    while index < file.tokens.len() {
+        let token = &file.tokens[index];
+        if !token.is_comment() && token.kind == TokenKind::Punct {
+            match token.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if depth == 1 && token.is_ident("const") {
+            if let Some((_, name)) = file.next_code_token(index + 1) {
+                if name.kind == TokenKind::Ident {
+                    consts.push((name.text.clone(), name.line));
+                }
+            }
+        }
+        index += 1;
+    }
+    consts
+}

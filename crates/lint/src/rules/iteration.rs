@@ -1,0 +1,73 @@
+//! `nondeterministic-iteration`: no `HashMap`/`HashSet` in
+//! simulation-state crates.
+//!
+//! The whole trace/replay contract rests on the simulation being a pure
+//! function of its inputs: replaying a trace must reproduce the live
+//! run's `RunMetrics` bit-for-bit.  `std` hash collections iterate in an
+//! order that depends on `RandomState`, so *any* iteration over one in
+//! state that feeds metrics (allocator scans, frame enumeration, replica
+//! walks, lane bookkeeping) silently breaks that contract — and whether a
+//! map that is only point-looked-up today grows an iteration tomorrow is
+//! exactly the kind of drift a runtime test cannot see coming.  The rule
+//! therefore bans the *types* in the listed crates; genuinely
+//! order-insensitive uses carry a reasoned `allow`.
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Canonical rule name.
+pub const NAME: &str = "nondeterministic-iteration";
+
+/// Bans hash-ordered collections in simulation-state crates.
+pub struct NondeterministicIteration {
+    crates: Vec<String>,
+    banned: Vec<String>,
+}
+
+impl NondeterministicIteration {
+    /// Bans `banned` type names in `crates` (names as under `crates/`).
+    pub fn new(crates: &[&str], banned: &[&str]) -> Self {
+        NondeterministicIteration {
+            crates: crates.iter().map(|s| s.to_string()).collect(),
+            banned: banned.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The shipped configuration: every crate whose state the simulation
+    /// or its capture/replay path can observe, including each crate's
+    /// tests (a hash-ordered oracle makes a test nondeterministic too).
+    pub fn workspace_default() -> Self {
+        NondeterministicIteration::new(
+            &["sim", "mem", "mmu", "pt", "vmm", "trace"],
+            &["HashMap", "HashSet"],
+        )
+    }
+}
+
+impl Rule for NondeterministicIteration {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        let Some(crate_name) = self.crates.iter().find(|c| file.in_crate(c)) else {
+            return;
+        };
+        for (_, token) in file.code_tokens() {
+            if self.banned.iter().any(|b| token.is_ident(b)) {
+                diags.push(Diagnostic::new(
+                    NAME,
+                    &file.path,
+                    token.line,
+                    format!(
+                        "`{}` in simulation-state crate `{}`: hash iteration order is \
+                         nondeterministic and can feed metrics — use `BTreeMap`/`BTreeSet`/`Vec`, \
+                         or allow with a reason proving order is never observed",
+                        token.text, crate_name,
+                    ),
+                ));
+            }
+        }
+    }
+}

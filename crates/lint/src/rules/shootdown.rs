@@ -1,0 +1,102 @@
+//! `shootdown-layering`: configurable banned-call/allowed-module pairs,
+//! generalising the PR 9 source-scan.
+//!
+//! The TLB-consistency layer funnels every invalidation through
+//! `MappingTx`/`ShootdownPlan` so that one policy point
+//! (`mitosis_sim::shootdown`) decides between Broadcast and Ranged
+//! flushes.  A stray `shootdown_all(` call anywhere else silently
+//! re-opens the scattered-flush topology PR 9 closed — it stays
+//! bit-identical under Broadcast, so only a source check catches it
+//! before Ranged mode diverges.
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Canonical rule name.
+pub const NAME: &str = "shootdown-layering";
+
+/// One banned call with the files allowed to make (or define) it.
+pub struct LayeringPair {
+    /// Function name whose call sites are restricted.
+    pub banned_call: String,
+    /// Workspace-relative files allowed to contain `banned_call(`.
+    pub allowed_files: Vec<String>,
+}
+
+/// Enforces banned-call/allowed-module layering pairs.
+pub struct ShootdownLayering {
+    pairs: Vec<LayeringPair>,
+}
+
+impl ShootdownLayering {
+    /// Builds the rule from explicit pairs.
+    pub fn new(pairs: Vec<LayeringPair>) -> Self {
+        ShootdownLayering { pairs }
+    }
+
+    /// The shipped configuration, verbatim from the PR 9 scan:
+    /// `shootdown_all`/`flush_all` may only appear in the MMU primitives
+    /// that define them and the one sim module that owns both flush
+    /// policies.
+    pub fn workspace_default() -> Self {
+        let consistency_layer = || {
+            vec![
+                // The primitives themselves: definitions plus their
+                // internal full-plan fast paths.
+                "crates/mmu/src/mmu.rs".to_string(),
+                "crates/mmu/src/pte_cache.rs".to_string(),
+                // The single policy point that turns ShootdownPlans (or
+                // the Broadcast-mode full flush) into MMU work.
+                "crates/sim/src/shootdown.rs".to_string(),
+            ]
+        };
+        ShootdownLayering::new(vec![
+            LayeringPair {
+                banned_call: "shootdown_all".to_string(),
+                allowed_files: consistency_layer(),
+            },
+            LayeringPair {
+                banned_call: "flush_all".to_string(),
+                allowed_files: consistency_layer(),
+            },
+        ])
+    }
+}
+
+impl Rule for ShootdownLayering {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        for pair in &self.pairs {
+            if pair.allowed_files.iter().any(|f| f == &file.path) {
+                continue;
+            }
+            for (index, token) in file.code_tokens() {
+                if !token.is_ident(&pair.banned_call) {
+                    continue;
+                }
+                // Call or definition site: the name followed by `(`.
+                let called = matches!(
+                    file.next_code_token(index + 1),
+                    Some((_, next)) if next.is_punct('(')
+                );
+                if called {
+                    diags.push(Diagnostic::new(
+                        NAME,
+                        &file.path,
+                        token.line,
+                        format!(
+                            "`{}(` outside its consistency layer ({}): route invalidations \
+                             through MappingTx/ShootdownPlan instead",
+                            pair.banned_call,
+                            pair.allowed_files.join(", "),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! `wall-clock-in-measured-path`: `Instant::now`/`SystemTime` only in
+//! whitelisted wall-reporting modules.
+//!
+//! The simulation's notion of time is modelled cycles; host wall time is
+//! only ever *reported* (setup/measured wall splits, bench harness
+//! timings, observability span stamps).  A wall-clock read inside a
+//! measured path couples metrics to the host — the exact failure the
+//! golden tests cannot attribute when it happens, because the metrics
+//! still *look* plausible.  Everything outside the whitelist must model
+//! time through `RunMetrics` cycles instead.
+
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Canonical rule name.
+pub const NAME: &str = "wall-clock-in-measured-path";
+
+/// Restricts wall-clock reads to wall-reporting modules.
+pub struct WallClock {
+    /// Path prefixes (workspace-relative) where wall-clock reads are the
+    /// module's documented job.
+    allowed_prefixes: Vec<String>,
+}
+
+impl WallClock {
+    /// Allows wall-clock reads under the given path prefixes.
+    pub fn new(allowed_prefixes: &[&str]) -> Self {
+        WallClock {
+            allowed_prefixes: allowed_prefixes.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// The shipped whitelist: the replay wall-split reporters, the
+    /// observability sinks (span stamps are wall time by design), the
+    /// bench harness shim and the bench crate itself.
+    pub fn workspace_default() -> Self {
+        WallClock::new(&[
+            "crates/trace/src/session.rs",
+            "crates/trace/src/replay.rs",
+            "crates/obs/src/",
+            "crates/compat/criterion/",
+            "crates/bench/",
+        ])
+    }
+}
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn check_file(&self, file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+        if !file.path.starts_with("crates/") {
+            return; // Root tests/examples are drivers, not measured paths.
+        }
+        if self
+            .allowed_prefixes
+            .iter()
+            .any(|p| file.path.starts_with(p))
+        {
+            return;
+        }
+        for (index, token) in file.code_tokens() {
+            let flagged = if token.is_ident("Instant") {
+                // `Instant::now` is the read; passing an `Instant` value
+                // around is fine, so require the `::now` to follow.
+                matches!(
+                    file.next_code_token(index + 1),
+                    Some((colon1, t1)) if t1.is_punct(':')
+                        && matches!(
+                            file.next_code_token(colon1 + 1),
+                            Some((colon2, t2)) if t2.is_punct(':')
+                                && matches!(
+                                    file.next_code_token(colon2 + 1),
+                                    Some((_, t3)) if t3.is_ident("now")
+                                )
+                        )
+                )
+            } else {
+                // Every `SystemTime` entry point is a wall read.
+                token.is_ident("SystemTime")
+            };
+            if flagged {
+                diags.push(Diagnostic::new(
+                    NAME,
+                    &file.path,
+                    token.line,
+                    format!(
+                        "`{}` read outside the wall-reporting whitelist: measured paths must \
+                         model time in simulated cycles, not host wall time",
+                        if token.is_ident("Instant") {
+                            "Instant::now"
+                        } else {
+                            "SystemTime"
+                        },
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! A lexed source file plus the derived structure rules need: inline
+//! suppressions, `#[cfg(test)]`/`#[test]` spans, and `catch_unwind`
+//! argument spans.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// An inline suppression comment:
+///
+/// ```text
+/// // mitosis-lint: allow(rule-name, reason = "why this is fine")
+/// ```
+///
+/// A suppression covers diagnostics on its own line and on the next line
+/// that carries code (doc comments and blank lines in between are skipped,
+/// so an allow may sit above a doc block).  A suppression **without** a
+/// reason never suppresses anything — it is itself reported as a
+/// `suppression-syntax` violation, so every allow in the tree carries its
+/// justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule name inside `allow(...)`.
+    pub rule: String,
+    /// The quoted reason string, if present and non-empty.
+    pub reason: Option<String>,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Line of the next code-bearing token after the comment (equal to
+    /// `line` when code precedes the comment on the same line).
+    pub applies_to: u32,
+}
+
+/// A source file, lexed once, with every derived span rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (`crates/mmu/src/tlb.rs`).
+    pub path: String,
+    /// The token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// Parsed suppression comments.
+    pub suppressions: Vec<Suppression>,
+    /// Suppression comments that failed to parse (missing reason, bad
+    /// syntax after the `mitosis-lint:` marker): `(line, problem)`.
+    pub suppression_errors: Vec<(u32, String)>,
+    /// Token-index ranges (inclusive start, exclusive end) covering items
+    /// gated on `#[cfg(test)]` or annotated `#[test]`.
+    test_spans: Vec<(usize, usize)>,
+    /// Token-index ranges covering the parenthesised argument of each
+    /// `catch_unwind(...)` call.
+    catch_unwind_spans: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes `source` and computes all derived spans.
+    pub fn parse(path: impl Into<String>, source: &str) -> SourceFile {
+        let tokens = lex(source);
+        let (suppressions, suppression_errors) = parse_suppressions(&tokens);
+        let test_spans = compute_test_spans(&tokens);
+        let catch_unwind_spans = compute_call_arg_spans(&tokens, "catch_unwind");
+        SourceFile {
+            path: path.into(),
+            tokens,
+            suppressions,
+            suppression_errors,
+            test_spans,
+            catch_unwind_spans,
+        }
+    }
+
+    /// Whether the file lives under `crates/<name>/`.
+    pub fn in_crate(&self, name: &str) -> bool {
+        self.path.starts_with(&format!("crates/{name}/"))
+    }
+
+    /// Whether the token at `index` is inside test-gated code, or the
+    /// whole file is a test target (`tests/…` at the workspace root or a
+    /// crate's `tests/` directory).
+    pub fn is_test_code(&self, index: usize) -> bool {
+        self.is_test_file() || span_contains(&self.test_spans, index)
+    }
+
+    /// Whether the whole file is a test target.
+    pub fn is_test_file(&self) -> bool {
+        self.path.starts_with("tests/") || self.path.contains("/tests/")
+    }
+
+    /// Whether the token at `index` sits inside the argument parentheses
+    /// of a `catch_unwind(...)` call.
+    pub fn in_catch_unwind(&self, index: usize) -> bool {
+        span_contains(&self.catch_unwind_spans, index)
+    }
+
+    /// Whether the file contains `catch_unwind` at all (outside comments
+    /// and strings).
+    pub fn mentions_catch_unwind(&self) -> bool {
+        !self.catch_unwind_spans.is_empty()
+            || self.tokens.iter().any(|t| t.is_ident("catch_unwind"))
+    }
+
+    /// Iterator over `(index, token)` skipping comments.
+    pub fn code_tokens(&self) -> impl Iterator<Item = (usize, &Token)> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+    }
+
+    /// The next non-comment token at or after `index`.
+    pub fn next_code_token(&self, index: usize) -> Option<(usize, &Token)> {
+        self.tokens[index..]
+            .iter()
+            .enumerate()
+            .map(|(offset, t)| (index + offset, t))
+            .find(|(_, t)| !t.is_comment())
+    }
+}
+
+fn span_contains(spans: &[(usize, usize)], index: usize) -> bool {
+    spans
+        .iter()
+        .any(|&(start, end)| start <= index && index < end)
+}
+
+const MARKER: &str = "mitosis-lint:";
+
+fn parse_suppressions(tokens: &[Token]) -> (Vec<Suppression>, Vec<(u32, String)>) {
+    let mut suppressions = Vec::new();
+    let mut errors = Vec::new();
+    for (index, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = token
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => {
+                // Code already on the comment's line (a trailing comment)
+                // anchors the suppression there; otherwise it applies to
+                // the next code-bearing line.
+                let own_line = tokens[..index]
+                    .iter()
+                    .rev()
+                    .take_while(|t| t.line == token.line)
+                    .any(|t| !t.is_comment());
+                let applies_to = if own_line {
+                    token.line
+                } else {
+                    tokens[index + 1..]
+                        .iter()
+                        .find(|t| !t.is_comment())
+                        .map(|t| t.line)
+                        .unwrap_or(token.line)
+                };
+                if reason.is_none() {
+                    errors.push((
+                        token.line,
+                        format!("allow({rule}) is missing a reason — write `allow({rule}, reason = \"…\")`"),
+                    ));
+                }
+                suppressions.push(Suppression {
+                    rule,
+                    reason,
+                    line: token.line,
+                    applies_to,
+                });
+            }
+            Err(problem) => errors.push((token.line, problem)),
+        }
+    }
+    (suppressions, errors)
+}
+
+/// Parses `allow(rule)` / `allow(rule, reason = "…")`, returning the rule
+/// name and the reason (if present and non-empty).
+fn parse_allow(text: &str) -> Result<(String, Option<String>), String> {
+    let Some(inner) = text.strip_prefix("allow(") else {
+        return Err(format!(
+            "expected `allow(<rule>, reason = \"…\")` after `{MARKER}`, found `{text}`"
+        ));
+    };
+    let Some(inner) = inner.strip_suffix(')') else {
+        return Err("unterminated `allow(` — missing closing parenthesis".to_string());
+    };
+    let (rule, rest) = match inner.split_once(',') {
+        Some((rule, rest)) => (rule.trim(), rest.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(format!("`{rule}` is not a valid rule name"));
+    }
+    if rest.is_empty() {
+        return Ok((rule.to_string(), None));
+    }
+    let Some(value) = rest.strip_prefix("reason").map(|v| v.trim_start()) else {
+        return Err(format!(
+            "expected `reason = \"…\"` after the rule name, found `{rest}`"
+        ));
+    };
+    let Some(value) = value.strip_prefix('=').map(|v| v.trim()) else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let quoted = value.strip_prefix('"').and_then(|v| v.strip_suffix('"'));
+    match quoted {
+        Some(reason) if !reason.trim().is_empty() => {
+            Ok((rule.to_string(), Some(reason.to_string())))
+        }
+        Some(_) => Ok((rule.to_string(), None)), // Empty reason = no reason.
+        None => Err("the reason must be a quoted string".to_string()),
+    }
+}
+
+/// Finds token spans of items gated on `#[cfg(test)]` (or `#[cfg(any/all
+/// (... test ...))]`) and functions annotated `#[test]`.  The span runs
+/// from the attribute to the end of the item body (matched braces) or its
+/// terminating semicolon.
+fn compute_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut index = 0;
+    while index < tokens.len() {
+        if let Some(attr_end) = test_attr_end(tokens, index) {
+            let body_end = item_end(tokens, attr_end);
+            spans.push((index, body_end));
+            index = body_end;
+        } else {
+            index += 1;
+        }
+    }
+    spans
+}
+
+/// If `index` starts a `#[cfg(test)]`-like or `#[test]` attribute, returns
+/// the token index just past its closing `]`.
+fn test_attr_end(tokens: &[Token], index: usize) -> Option<usize> {
+    if !tokens[index].is_punct('#') {
+        return None;
+    }
+    let open = next_code(tokens, index + 1)?;
+    if !tokens[open].is_punct('[') {
+        return None;
+    }
+    let close = match_bracket(tokens, open, '[', ']')?;
+    let head = next_code(tokens, open + 1)?;
+    let is_test = if tokens[head].is_ident("test") {
+        // Plain `#[test]` (optionally with arguments we don't inspect).
+        true
+    } else if tokens[head].is_ident("cfg") {
+        tokens[head + 1..close].iter().any(|t| t.is_ident("test"))
+    } else {
+        false
+    };
+    is_test.then_some(close + 1)
+}
+
+/// The end of the item starting after an attribute: skips further
+/// attributes, then runs to the matching `}` of the first body brace, or
+/// just past the first `;` when the item has no body.
+fn item_end(tokens: &[Token], mut index: usize) -> usize {
+    // Skip any further attributes (`#[…]`) and comments.
+    loop {
+        let Some(next) = next_code(tokens, index) else {
+            return tokens.len();
+        };
+        if tokens[next].is_punct('#') {
+            if let Some(open) = next_code(tokens, next + 1) {
+                if tokens[open].is_punct('[') {
+                    if let Some(close) = match_bracket(tokens, open, '[', ']') {
+                        index = close + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        index = next;
+        break;
+    }
+    let mut cursor = index;
+    while cursor < tokens.len() {
+        let token = &tokens[cursor];
+        if token.is_punct('{') {
+            return match_bracket(tokens, cursor, '{', '}')
+                .map(|close| close + 1)
+                .unwrap_or(tokens.len());
+        }
+        if token.is_punct(';') {
+            return cursor + 1;
+        }
+        cursor += 1;
+    }
+    tokens.len()
+}
+
+/// Token index of the first non-comment token at or after `index`.
+fn next_code(tokens: &[Token], index: usize) -> Option<usize> {
+    (index..tokens.len()).find(|&i| !tokens[i].is_comment())
+}
+
+/// Given `tokens[open]` == `open_ch`, returns the index of the matching
+/// `close_ch`, counting nesting.
+fn match_bracket(tokens: &[Token], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (offset, token) in tokens[open..].iter().enumerate() {
+        if token.is_punct(open_ch) {
+            depth += 1;
+        } else if token.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(open + offset);
+            }
+        }
+    }
+    None
+}
+
+/// Spans of the parenthesised argument list of every `name(...)` call.
+fn compute_call_arg_spans(tokens: &[Token], name: &str) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    for (index, token) in tokens.iter().enumerate() {
+        if !token.is_ident(name) {
+            continue;
+        }
+        if let Some(open) = next_code(tokens, index + 1) {
+            if tokens[open].is_punct('(') {
+                if let Some(close) = match_bracket(tokens, open, '(', ')') {
+                    spans.push((open, close + 1));
+                }
+            }
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_with_reason_parses() {
+        let file = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "// mitosis-lint: allow(panic-hygiene, reason = \"test oracle\")\nlet x = 1;",
+        );
+        assert!(file.suppression_errors.is_empty());
+        assert_eq!(file.suppressions.len(), 1);
+        let s = &file.suppressions[0];
+        assert_eq!(s.rule, "panic-hygiene");
+        assert_eq!(s.reason.as_deref(), Some("test oracle"));
+        assert_eq!(s.line, 1);
+        assert_eq!(s.applies_to, 2);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_an_error() {
+        let file = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "// mitosis-lint: allow(panic-hygiene)\nlet x = 1;",
+        );
+        assert_eq!(file.suppression_errors.len(), 1);
+        assert!(file.suppression_errors[0].1.contains("missing a reason"));
+        assert!(file.suppressions[0].reason.is_none());
+    }
+
+    #[test]
+    fn trailing_suppression_applies_to_its_own_line() {
+        let file = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "let x = 1; // mitosis-lint: allow(rule-x, reason = \"ok\")\nlet y = 2;",
+        );
+        assert_eq!(file.suppressions[0].applies_to, 1);
+    }
+
+    #[test]
+    fn suppression_skips_doc_comments_to_find_code() {
+        let file = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "// mitosis-lint: allow(rule-x, reason = \"ok\")\n/// docs\n/// more docs\nfn item() {}\n",
+        );
+        assert_eq!(file.suppressions[0].applies_to, 4);
+    }
+
+    #[test]
+    fn cfg_test_module_span_covers_its_body() {
+        let source =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { inner(); }\n}\nfn after() {}\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", source);
+        let inner = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("inner"))
+            .unwrap();
+        let live = file.tokens.iter().position(|t| t.is_ident("live")).unwrap();
+        let after = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("after"))
+            .unwrap();
+        assert!(file.is_test_code(inner));
+        assert!(!file.is_test_code(live));
+        assert!(!file.is_test_code(after));
+    }
+
+    #[test]
+    fn test_fn_attr_and_extra_attrs_are_covered() {
+        let source = "#[test]\n#[should_panic]\nfn boom() { panic!(\"x\") }\nfn fine() {}\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", source);
+        let panic_ident = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("panic"))
+            .unwrap();
+        let fine = file.tokens.iter().position(|t| t.is_ident("fine")).unwrap();
+        assert!(file.is_test_code(panic_ident));
+        assert!(!file.is_test_code(fine));
+    }
+
+    #[test]
+    fn catch_unwind_span_covers_closure_body() {
+        let source =
+            "let r = catch_unwind(AssertUnwindSafe(|| { job.unwrap() }));\nouter.unwrap();\n";
+        let file = SourceFile::parse("crates/x/src/lib.rs", source);
+        let unwraps: Vec<usize> = file
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(file.in_catch_unwind(unwraps[0]));
+        assert!(!file.in_catch_unwind(unwraps[1]));
+    }
+
+    #[test]
+    fn root_tests_are_whole_file_test_code() {
+        let file = SourceFile::parse("tests/lint_clean.rs", "fn x() {}");
+        assert!(file.is_test_code(0));
+    }
+}

@@ -392,10 +392,10 @@ mod tests {
     /// collisions and evictions.
     #[test]
     fn matches_tick_based_reference_model() {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
 
         struct Reference {
-            map: HashMap<u64, (u64, u64)>, // key -> (value, tick)
+            map: BTreeMap<u64, (u64, u64)>, // key -> (value, tick)
             capacity: usize,
             tick: u64,
         }
@@ -425,7 +425,7 @@ mod tests {
 
         let mut lru = LruMap::new(17);
         let mut reference = Reference {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             capacity: 17,
             tick: 0,
         };

@@ -221,6 +221,7 @@ impl FaultPlan {
     fn flip_mask(&self, index: u64) -> u8 {
         if self.flip > 0.0 && self.chance(SITE_FLIP, index) < self.flip {
             // Derive the flipped bit from the same decision stream.
+            // mitosis-lint: allow(truncating-cast-in-encoding, reason = "chance() is in [0,1) so the operand is a float in [0,8), not a wire value; the cast picks a bit index")
             1 << ((self.chance(SITE_FLIP, index.wrapping_add(1) << 32) * 8.0) as u32 & 7)
         } else {
             0

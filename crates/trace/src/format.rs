@@ -119,10 +119,60 @@ const TAG_EVENT: u64 = 0b01;
 const TAG_LANE: u64 = 0b10;
 const TAG_END: u64 = 0b11;
 
-/// Event code of the internal per-lane checkpoint marker (format v5).
-/// Never decoded into a [`TraceEvent`]: the reader validates and swallows
-/// it, pre-v5 readers reject it as an unknown event.
-const CHECKPOINT_EVENT_CODE: u64 = 15;
+/// Wire code of every event in the stream: one named constant per
+/// [`TraceEvent`] variant plus the internal per-lane checkpoint marker.
+/// `encode`/`decode` and the checkpoint writer/reader paths match on
+/// these names, never on bare literals — the `trace-event-exhaustiveness`
+/// lint checks the table stays in sync with capture and replay, and that
+/// no constant here goes unused.
+pub(crate) mod event_code {
+    /// [`super::TraceEvent::InstallMitosis`].
+    pub const INSTALL_MITOSIS: u64 = 1;
+    /// [`super::TraceEvent::SetThp`].
+    pub const SET_THP: u64 = 2;
+    /// [`super::TraceEvent::PtPlacement`].
+    pub const PT_PLACEMENT: u64 = 3;
+    /// [`super::TraceEvent::CreateProcess`].
+    pub const CREATE_PROCESS: u64 = 4;
+    /// [`super::TraceEvent::BindData`].
+    pub const BIND_DATA: u64 = 5;
+    /// [`super::TraceEvent::Mmap`].
+    pub const MMAP: u64 = 6;
+    /// [`super::TraceEvent::Populate`].
+    pub const POPULATE: u64 = 7;
+    /// [`super::TraceEvent::MigratePageTable`].
+    pub const MIGRATE_PAGE_TABLE: u64 = 8;
+    /// [`super::TraceEvent::Interference`].
+    pub const INTERFERENCE: u64 = 9;
+    /// [`super::TraceEvent::Marker`].
+    pub const MARKER: u64 = 10;
+    /// [`super::TraceEvent::MigrateData`].
+    pub const MIGRATE_DATA: u64 = 11;
+    /// [`super::TraceEvent::Replicate`].
+    pub const REPLICATE: u64 = 12;
+    /// [`super::TraceEvent::AutoNumaRebalance`].
+    pub const AUTO_NUMA_REBALANCE: u64 = 13;
+    /// [`super::TraceEvent::InterleaveData`].
+    pub const INTERLEAVE_DATA: u64 = 14;
+    /// The internal per-lane checkpoint marker (format v5) — never
+    /// surfaced as a [`super::TraceEvent`].
+    pub const CHECKPOINT: u64 = 15;
+    /// [`super::TraceEvent::Fork`].
+    pub const FORK: u64 = 16;
+    /// [`super::TraceEvent::MmapAt`].
+    pub const MMAP_AT: u64 = 17;
+    /// [`super::TraceEvent::MunmapAt`].
+    pub const MUNMAP_AT: u64 = 18;
+    /// [`super::TraceEvent::PromoteHuge`].
+    pub const PROMOTE_HUGE: u64 = 19;
+    /// [`super::TraceEvent::DemoteHuge`].
+    pub const DEMOTE_HUGE: u64 = 20;
+}
+
+/// The internal per-lane checkpoint marker (format v5).  Never decoded
+/// into a [`TraceEvent`]: the reader validates and swallows it, pre-v5
+/// readers reject it as an unknown event.
+const CHECKPOINT_EVENT_CODE: u64 = event_code::CHECKPOINT;
 
 /// Accesses between two checkpoint markers within a lane, unless
 /// overridden via [`TraceWriter::set_checkpoint_interval`].  Dense enough
@@ -468,6 +518,7 @@ pub enum TraceEvent {
         staggered: bool,
     },
     /// Free-form positional marker (also usable inside lanes).
+    // mitosis-lint: allow(trace-event-exhaustiveness, reason = "Marker is a user-annotated event written by trace authors, not emitted by the capture engine; replay still applies it")
     Marker(u64),
     /// Every data page of the process was migrated to a socket (the NUMA
     /// balancer following a scheduler migration).  Mid-lane phase-change
@@ -552,34 +603,46 @@ impl TraceEvent {
             }
         };
         match self {
-            TraceEvent::InstallMitosis => (1, [0; 3], 0),
-            TraceEvent::SetThp(always) => (2, [always as u64, 0, 0], 1),
-            TraceEvent::PtPlacement { socket } => (3, [socket as u64, 0, 0], 1),
-            TraceEvent::CreateProcess { socket } => (4, [socket as u64, 0, 0], 1),
-            TraceEvent::BindData { socket } => (5, [socket as u64, 0, 0], 1),
-            TraceEvent::Mmap { len, populate, thp } => (6, [len, populate as u64, thp as u64], 3),
+            TraceEvent::InstallMitosis => (event_code::INSTALL_MITOSIS, [0; 3], 0),
+            TraceEvent::SetThp(always) => (event_code::SET_THP, [always as u64, 0, 0], 1),
+            TraceEvent::PtPlacement { socket } => {
+                (event_code::PT_PLACEMENT, [socket as u64, 0, 0], 1)
+            }
+            TraceEvent::CreateProcess { socket } => {
+                (event_code::CREATE_PROCESS, [socket as u64, 0, 0], 1)
+            }
+            TraceEvent::BindData { socket } => (event_code::BIND_DATA, [socket as u64, 0, 0], 1),
+            TraceEvent::Mmap { len, populate, thp } => {
+                (event_code::MMAP, [len, populate as u64, thp as u64], 3)
+            }
             TraceEvent::Populate {
                 len,
                 parallel,
                 sockets,
-            } => (7, [len, parallel as u64, sockets], 3),
-            TraceEvent::MigratePageTable { socket } => (8, [socket as u64, 0, 0], 1),
-            TraceEvent::Interference { sockets, staggered } => staggerable(9, sockets, staggered),
-            TraceEvent::Marker(value) => (10, [value, 0, 0], 1),
+            } => (event_code::POPULATE, [len, parallel as u64, sockets], 3),
+            TraceEvent::MigratePageTable { socket } => {
+                (event_code::MIGRATE_PAGE_TABLE, [socket as u64, 0, 0], 1)
+            }
+            TraceEvent::Interference { sockets, staggered } => {
+                staggerable(event_code::INTERFERENCE, sockets, staggered)
+            }
+            TraceEvent::Marker(value) => (event_code::MARKER, [value, 0, 0], 1),
             TraceEvent::MigrateData { socket, staggered } => {
-                staggerable(11, socket as u64, staggered)
+                staggerable(event_code::MIGRATE_DATA, socket as u64, staggered)
             }
-            TraceEvent::Replicate { sockets } => (12, [sockets, 0, 0], 1),
+            TraceEvent::Replicate { sockets } => (event_code::REPLICATE, [sockets, 0, 0], 1),
             TraceEvent::AutoNumaRebalance { sockets, staggered } => {
-                staggerable(13, sockets, staggered)
+                staggerable(event_code::AUTO_NUMA_REBALANCE, sockets, staggered)
             }
-            TraceEvent::InterleaveData { sockets } => (14, [sockets, 0, 0], 1),
-            // 15 is the internal checkpoint marker.
-            TraceEvent::Fork => (16, [0; 3], 0),
-            TraceEvent::MmapAt { addr, len } => (17, [addr, len, 0], 2),
-            TraceEvent::MunmapAt { addr, len } => (18, [addr, len, 0], 2),
-            TraceEvent::PromoteHuge { addr } => (19, [addr, 0, 0], 1),
-            TraceEvent::DemoteHuge { addr } => (20, [addr, 0, 0], 1),
+            TraceEvent::InterleaveData { sockets } => {
+                (event_code::INTERLEAVE_DATA, [sockets, 0, 0], 1)
+            }
+            // event_code::CHECKPOINT is the internal marker, not an event.
+            TraceEvent::Fork => (event_code::FORK, [0; 3], 0),
+            TraceEvent::MmapAt { addr, len } => (event_code::MMAP_AT, [addr, len, 0], 2),
+            TraceEvent::MunmapAt { addr, len } => (event_code::MUNMAP_AT, [addr, len, 0], 2),
+            TraceEvent::PromoteHuge { addr } => (event_code::PROMOTE_HUGE, [addr, 0, 0], 1),
+            TraceEvent::DemoteHuge { addr } => (event_code::DEMOTE_HUGE, [addr, 0, 0], 1),
         }
     }
 
@@ -597,48 +660,48 @@ impl TraceEvent {
             u16::try_from(arg(i)?).map_err(|_| TraceError::Corrupt("socket index overflows u16"))
         };
         Ok(match code {
-            1 => TraceEvent::InstallMitosis,
-            2 => TraceEvent::SetThp(arg(0)? != 0),
-            3 => TraceEvent::PtPlacement { socket: socket(0)? },
-            4 => TraceEvent::CreateProcess { socket: socket(0)? },
-            5 => TraceEvent::BindData { socket: socket(0)? },
-            6 => TraceEvent::Mmap {
+            event_code::INSTALL_MITOSIS => TraceEvent::InstallMitosis,
+            event_code::SET_THP => TraceEvent::SetThp(arg(0)? != 0),
+            event_code::PT_PLACEMENT => TraceEvent::PtPlacement { socket: socket(0)? },
+            event_code::CREATE_PROCESS => TraceEvent::CreateProcess { socket: socket(0)? },
+            event_code::BIND_DATA => TraceEvent::BindData { socket: socket(0)? },
+            event_code::MMAP => TraceEvent::Mmap {
                 len: arg(0)?,
                 populate: arg(1)? != 0,
                 thp: arg(2)? != 0,
             },
-            7 => TraceEvent::Populate {
+            event_code::POPULATE => TraceEvent::Populate {
                 len: arg(0)?,
                 parallel: arg(1)? != 0,
                 sockets: arg(2)?,
             },
-            8 => TraceEvent::MigratePageTable { socket: socket(0)? },
-            9 => TraceEvent::Interference {
+            event_code::MIGRATE_PAGE_TABLE => TraceEvent::MigratePageTable { socket: socket(0)? },
+            event_code::INTERFERENCE => TraceEvent::Interference {
                 sockets: arg(0)?,
                 staggered: staggered(1),
             },
-            10 => TraceEvent::Marker(arg(0)?),
-            11 => TraceEvent::MigrateData {
+            event_code::MARKER => TraceEvent::Marker(arg(0)?),
+            event_code::MIGRATE_DATA => TraceEvent::MigrateData {
                 socket: socket(0)?,
                 staggered: staggered(1),
             },
-            12 => TraceEvent::Replicate { sockets: arg(0)? },
-            13 => TraceEvent::AutoNumaRebalance {
+            event_code::REPLICATE => TraceEvent::Replicate { sockets: arg(0)? },
+            event_code::AUTO_NUMA_REBALANCE => TraceEvent::AutoNumaRebalance {
                 sockets: arg(0)?,
                 staggered: staggered(1),
             },
-            14 => TraceEvent::InterleaveData { sockets: arg(0)? },
-            16 => TraceEvent::Fork,
-            17 => TraceEvent::MmapAt {
+            event_code::INTERLEAVE_DATA => TraceEvent::InterleaveData { sockets: arg(0)? },
+            event_code::FORK => TraceEvent::Fork,
+            event_code::MMAP_AT => TraceEvent::MmapAt {
                 addr: arg(0)?,
                 len: arg(1)?,
             },
-            18 => TraceEvent::MunmapAt {
+            event_code::MUNMAP_AT => TraceEvent::MunmapAt {
                 addr: arg(0)?,
                 len: arg(1)?,
             },
-            19 => TraceEvent::PromoteHuge { addr: arg(0)? },
-            20 => TraceEvent::DemoteHuge { addr: arg(0)? },
+            event_code::PROMOTE_HUGE => TraceEvent::PromoteHuge { addr: arg(0)? },
+            event_code::DEMOTE_HUGE => TraceEvent::DemoteHuge { addr: arg(0)? },
             other => return Err(TraceError::UnknownEvent(other)),
         })
     }

@@ -610,7 +610,8 @@ mod tests {
                 } else {
                     suite::btree()
                 };
-                capture_engine_run(&spec, &params, &[SocketId::new((i % 4) as u16)])
+                let socket = crate::format::checked_socket_u16(i % 4).expect("socket fits u16");
+                capture_engine_run(&spec, &params, &[SocketId::new(socket)])
                     .unwrap()
                     .trace
             })

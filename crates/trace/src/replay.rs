@@ -228,9 +228,9 @@ pub struct ReplayOutcome {
 }
 
 fn sockets_of_mask(mask: u64) -> Vec<SocketId> {
-    (0..64)
-        .filter(|bit| mask & (1 << bit) != 0)
-        .map(|bit| SocketId::new(bit as u16))
+    (0u16..64)
+        .filter(|&bit| mask & (1u64 << bit) != 0)
+        .map(SocketId::new)
         .collect()
 }
 

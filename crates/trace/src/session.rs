@@ -944,6 +944,7 @@ fn unit_job(
         let report = match (completed, last_failure) {
             (Some(outcome), _) => Ok(outcome),
             (None, Some(failure)) => Err(failure),
+            // mitosis-lint: allow(panic-hygiene, reason = "MAX_GROUP_ATTEMPTS is a nonzero const, so the attempt loop always sets completed or last_failure before reaching this match")
             (None, None) => unreachable!("MAX_GROUP_ATTEMPTS is nonzero"),
         };
         let _ = results.send((index, report));

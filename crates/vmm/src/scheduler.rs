@@ -12,7 +12,7 @@ use crate::process::Pid;
 use crate::system::System;
 use mitosis_mem::FrameId;
 use mitosis_numa::{CoreId, SocketId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What a core must do after a context switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +27,7 @@ pub struct ContextSwitch {
 /// Tracks which process (and which root) every core currently runs.
 #[derive(Debug, Clone, Default)]
 pub struct Scheduler {
-    current: HashMap<CoreId, (Pid, FrameId)>,
+    current: BTreeMap<CoreId, (Pid, FrameId)>,
 }
 
 impl Scheduler {

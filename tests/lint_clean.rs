@@ -1,0 +1,26 @@
+//! Tier-1 gate: the workspace passes its own static analysis.
+//!
+//! Runs the full shipped rule set — the same configuration the
+//! `mitosis-lint` binary and the CI lint job use — over the workspace and
+//! asserts zero violations.  Every surviving `allow(...)` carries a
+//! reason (a reason-less allow never suppresses and is itself reported),
+//! so a clean run means every known-sound exception is documented.
+
+use mitosis_lint::LintEngine;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = LintEngine::workspace_default(root).run();
+    assert!(
+        report.is_clean(),
+        "mitosis-lint found violations:\n{}",
+        report.render_text()
+    );
+    // The run exercised real sources, not an empty tree.
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}

@@ -5,10 +5,13 @@
 //! name exactly the pages the mutations invalidated, they do not alter
 //! what the mutations map.
 //!
-//! A source-scan test additionally enforces the layering rule: no
-//! `shootdown_all`/`flush_all` call sites outside the `Mmu`/`PteCacheSet`
-//! primitives themselves and the `mitosis-sim` shootdown module that owns
-//! the Broadcast-mode flush path.
+//! The layering rule — no `shootdown_all`/`flush_all` call sites outside
+//! the `Mmu`/`PteCacheSet` primitives themselves and the `mitosis-sim`
+//! shootdown module that owns the Broadcast-mode flush path — is enforced
+//! by running the `mitosis-lint` shootdown-layering rule through the lint
+//! engine, so this test, the `mitosis-lint` binary, and CI all share one
+//! token-stream-based implementation (no string-literal false positives,
+//! same suppression semantics).
 
 use mitosis_numa::{MachineConfig, SocketId};
 use mitosis_pt::{PageSize, VirtAddr};
@@ -93,52 +96,21 @@ proptest! {
 /// `shootdown_all` and `flush_all` may only be *defined* (and used
 /// internally) by the MMU primitives, and *called* by the one sim module
 /// that implements both flush policies.  Everything else must route
-/// through `MappingTx`/`ShootdownPlan`.
+/// through `MappingTx`/`ShootdownPlan`.  This runs the shootdown-layering
+/// rule alone — the same configuration the `mitosis-lint` binary ships —
+/// through the shared engine, replacing the ad-hoc line scan this test
+/// used before the lint crate existed.
 #[test]
 fn no_stray_shootdown_call_sites() {
-    let crates_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
-    let allowed = [
-        // The primitives themselves: definitions plus their internal
-        // full-plan fast paths.
-        "mmu/src/mmu.rs",
-        "mmu/src/pte_cache.rs",
-        // The single policy point that turns ShootdownPlans (or the
-        // Broadcast-mode full flush) into MMU work; its module docs name
-        // the functions.
-        "sim/src/shootdown.rs",
-    ];
-    let mut stray = Vec::new();
-    let mut stack = vec![crates_root.clone()];
-    while let Some(dir) = stack.pop() {
-        for entry in std::fs::read_dir(&dir).expect("read_dir") {
-            let path = entry.expect("dir entry").path();
-            if path.is_dir() {
-                // Only scan source trees, not build output or fixtures.
-                if path.file_name().is_some_and(|n| n == "target") {
-                    continue;
-                }
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                let relative = path
-                    .strip_prefix(&crates_root)
-                    .expect("under crates/")
-                    .to_string_lossy()
-                    .replace('\\', "/");
-                if allowed.contains(&relative.as_str()) {
-                    continue;
-                }
-                let source = std::fs::read_to_string(&path).expect("read source");
-                for (number, line) in source.lines().enumerate() {
-                    if line.contains("shootdown_all(") || line.contains("flush_all(") {
-                        stray.push(format!("{relative}:{}: {}", number + 1, line.trim()));
-                    }
-                }
-            }
-        }
-    }
+    use mitosis_lint::rules::shootdown::ShootdownLayering;
+    use mitosis_lint::LintEngine;
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let engine = LintEngine::new(root, vec![Box::new(ShootdownLayering::workspace_default())]);
+    let report = engine.run();
     assert!(
-        stray.is_empty(),
+        report.is_clean(),
         "shootdown_all/flush_all called outside the consistency layer:\n{}",
-        stray.join("\n")
+        report.render_text()
     );
 }
